@@ -1,0 +1,279 @@
+package adaptivegossip
+
+import (
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+func fastConfig() Config {
+	cfg := DefaultConfig()
+	cfg.Period = 20 * time.Millisecond
+	cfg.BufferCapacity = 40
+	cfg.MaxAge = 8
+	return cfg
+}
+
+func TestConfigValidate(t *testing.T) {
+	if err := DefaultConfig().Validate(); err != nil {
+		t.Fatalf("default config invalid: %v", err)
+	}
+	bad := DefaultConfig()
+	bad.Fanout = 0
+	if err := bad.Validate(); err == nil {
+		t.Fatal("zero fanout accepted")
+	}
+	bad = DefaultConfig()
+	bad.Adaptation.Window = -1
+	if err := bad.Validate(); err == nil {
+		t.Fatal("bad adaptation accepted")
+	}
+	// Adaptation errors are ignored for non-adaptive nodes.
+	bad.Adaptive = false
+	if err := bad.Validate(); err != nil {
+		t.Fatalf("non-adaptive config rejected: %v", err)
+	}
+}
+
+func TestClusterDisseminates(t *testing.T) {
+	var delivered atomic.Int64
+	var mu sync.Mutex
+	perNode := map[NodeID]int{}
+	cluster, err := NewCluster(10, fastConfig(),
+		WithSeed(42),
+		WithDeliver(func(node NodeID, ev Event) {
+			delivered.Add(1)
+			mu.Lock()
+			perNode[node]++
+			mu.Unlock()
+		}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	cluster.Start()
+	defer cluster.Stop()
+
+	if !cluster.Publish(3, []byte("hello")) {
+		t.Fatal("publish rejected")
+	}
+	deadline := time.Now().Add(5 * time.Second)
+	for time.Now().Before(deadline) {
+		if delivered.Load() >= 10 {
+			break
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	if got := delivered.Load(); got != 10 {
+		t.Fatalf("delivered to %d/10 nodes", got)
+	}
+	mu.Lock()
+	defer mu.Unlock()
+	for node, count := range perNode {
+		if count != 1 {
+			t.Fatalf("node %s delivered %d times", node, count)
+		}
+	}
+}
+
+func TestClusterValidation(t *testing.T) {
+	if _, err := NewCluster(1, fastConfig()); err == nil {
+		t.Fatal("1-node cluster accepted")
+	}
+	bad := fastConfig()
+	bad.Period = 0
+	if _, err := NewCluster(4, bad); err == nil {
+		t.Fatal("invalid config accepted")
+	}
+	if _, err := NewCluster(4, fastConfig(), WithLoss(2)); err == nil {
+		t.Fatal("invalid loss accepted")
+	}
+	if _, err := NewCluster(4, fastConfig(), WithLatency(5, 1)); err == nil {
+		t.Fatal("invalid latency accepted")
+	}
+}
+
+func TestClusterSnapshotAndResize(t *testing.T) {
+	cluster, err := NewCluster(4, fastConfig(), WithSeed(7))
+	if err != nil {
+		t.Fatal(err)
+	}
+	cluster.Start()
+	defer cluster.Stop()
+
+	snap, err := cluster.Snapshot(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if snap.BufferCap != 40 {
+		t.Fatalf("snapshot %+v", snap)
+	}
+	if err := cluster.SetBufferCapacity(0, 12); err != nil {
+		t.Fatal(err)
+	}
+	snap, _ = cluster.Snapshot(0)
+	if snap.BufferCap != 12 {
+		t.Fatalf("resize not applied: %+v", snap)
+	}
+	if _, err := cluster.Snapshot(99); err == nil {
+		t.Fatal("out-of-range snapshot accepted")
+	}
+	if err := cluster.SetBufferCapacity(-1, 5); err == nil {
+		t.Fatal("out-of-range resize accepted")
+	}
+	if cluster.Publish(99, nil) {
+		t.Fatal("out-of-range publish succeeded")
+	}
+	if got := cluster.Len(); got != 4 {
+		t.Fatalf("Len = %d", got)
+	}
+	if got := cluster.Nodes(); len(got) != 4 || got[0] != "node-00" {
+		t.Fatalf("Nodes = %v", got)
+	}
+}
+
+func TestClusterStatsAggregate(t *testing.T) {
+	cluster, err := NewCluster(6, fastConfig(), WithSeed(9))
+	if err != nil {
+		t.Fatal(err)
+	}
+	cluster.Start()
+	defer cluster.Stop()
+	for i := 0; i < 3; i++ {
+		cluster.Publish(i, []byte{byte(i)})
+	}
+	deadline := time.Now().Add(5 * time.Second)
+	for time.Now().Before(deadline) {
+		st := cluster.Stats()
+		if st.Delivered >= 18 && st.Published >= 3 {
+			return
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+	t.Fatalf("stats never converged: %+v", cluster.Stats())
+}
+
+func TestClusterStopIdempotent(t *testing.T) {
+	cluster, err := NewCluster(3, fastConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	cluster.Start()
+	cluster.Start()
+	cluster.Stop()
+	cluster.Stop()
+}
+
+func TestUDPNodePairDisseminates(t *testing.T) {
+	cfg := fastConfig()
+	var got atomic.Int64
+	a, err := NewUDPNode(NodeOptions{
+		ID: "alpha", Bind: "127.0.0.1:0", Config: cfg, Seed: 1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer a.Stop()
+	b, err := NewUDPNode(NodeOptions{
+		ID: "beta", Bind: "127.0.0.1:0", Config: cfg, Seed: 2,
+		Deliver: func(ev Event) { got.Add(1) },
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer b.Stop()
+
+	// Wire the address book both ways.
+	if err := a.AddPeer("beta", b.Addr()); err != nil {
+		t.Fatal(err)
+	}
+	if err := b.AddPeer("alpha", a.Addr()); err != nil {
+		t.Fatal(err)
+	}
+	if err := a.Start(); err != nil {
+		t.Fatal(err)
+	}
+	if err := b.Start(); err != nil {
+		t.Fatal(err)
+	}
+	if !a.Publish([]byte("over the wire")) {
+		t.Fatal("publish rejected")
+	}
+	deadline := time.Now().Add(5 * time.Second)
+	for time.Now().Before(deadline) {
+		if got.Load() >= 1 {
+			break
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	if got.Load() < 1 {
+		t.Fatalf("event never crossed UDP; a=%+v b=%+v", a.TransportStats(), b.TransportStats())
+	}
+	if a.ID() != "alpha" {
+		t.Fatalf("ID = %s", a.ID())
+	}
+	if a.Snapshot().BufferCap != cfg.BufferCapacity {
+		t.Fatal("snapshot wrong")
+	}
+}
+
+func TestUDPNodeValidation(t *testing.T) {
+	if _, err := NewUDPNode(NodeOptions{Bind: "127.0.0.1:0"}); err == nil {
+		t.Fatal("missing id accepted")
+	}
+	if _, err := NewUDPNode(NodeOptions{ID: "x"}); err == nil {
+		t.Fatal("missing bind accepted")
+	}
+	if _, err := NewUDPNode(NodeOptions{ID: "x", Bind: "nope:xyz"}); err == nil {
+		t.Fatal("bad bind accepted")
+	}
+	bad := DefaultConfig()
+	bad.MaxAge = -1
+	if _, err := NewUDPNode(NodeOptions{ID: "x", Bind: "127.0.0.1:0", Config: bad}); err == nil {
+		t.Fatal("bad config accepted")
+	}
+	if _, err := NewUDPNode(NodeOptions{ID: "x", Bind: "127.0.0.1:0",
+		Peers: map[string]string{"y": "not-valid:addr:xx"}}); err == nil {
+		t.Fatal("bad peer addr accepted")
+	}
+}
+
+func TestSimulateFacade(t *testing.T) {
+	cfg := DefaultSimConfig()
+	cfg.N = 16
+	cfg.Fanout = 3
+	cfg.Period = time.Second
+	cfg.Buffer = 25
+	cfg.OfferedRate = 5
+	cfg.Warmup = 20 * time.Second
+	cfg.Duration = 80 * time.Second
+	res, err := Simulate(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Summary.MeanReceiversPct < 95 {
+		t.Fatalf("simulation unhealthy: %+v", res.Summary)
+	}
+	if _, err := Simulate(SimConfig{}); err == nil {
+		t.Fatal("invalid sim config accepted")
+	}
+}
+
+func TestSimulateRealtimeFacade(t *testing.T) {
+	cfg := DefaultSimConfig()
+	cfg.N = 8
+	cfg.Fanout = 3
+	cfg.Period = 25 * time.Millisecond
+	cfg.Buffer = 25
+	cfg.MaxAge = 8
+	cfg.OfferedRate = 40
+	cfg.Warmup = 200 * time.Millisecond
+	cfg.Duration = 600 * time.Millisecond
+	res, err := SimulateRealtime(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Summary.Messages == 0 {
+		t.Fatal("no messages measured")
+	}
+}

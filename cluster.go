@@ -1,0 +1,279 @@
+package adaptivegossip
+
+import (
+	"fmt"
+	"math/rand/v2"
+	"sync"
+	"time"
+
+	"adaptivegossip/internal/core"
+	"adaptivegossip/internal/gossip"
+	"adaptivegossip/internal/membership"
+	"adaptivegossip/internal/runtime"
+	"adaptivegossip/internal/transport"
+)
+
+// DeliverFunc observes deliveries across a cluster.
+type DeliverFunc func(node NodeID, ev Event)
+
+// NodeSnapshot is a point-in-time view of one node's state.
+type NodeSnapshot = runtime.NodeSnapshot
+
+// Cluster is an in-process broadcast group: one goroutine-driven node
+// per member, connected by an in-memory message fabric with optional
+// latency and loss injection. It is the quickest way to exercise the
+// protocol and the backbone of the examples.
+type Cluster struct {
+	cfg     Config
+	names   []NodeID
+	net     *transport.MemNetwork
+	reg     *membership.Registry
+	runners []*runtime.Runner
+
+	mu      sync.Mutex
+	started bool
+	stopped bool
+}
+
+type clusterOptions struct {
+	seed       int64
+	latencyMin time.Duration
+	latencyMax time.Duration
+	loss       float64
+	deliver    DeliverFunc
+	prefix     string
+}
+
+// ClusterOption configures NewCluster.
+type ClusterOption func(*clusterOptions) error
+
+// WithSeed fixes the cluster's randomness for reproducible runs.
+func WithSeed(seed int64) ClusterOption {
+	return func(o *clusterOptions) error {
+		o.seed = seed
+		return nil
+	}
+}
+
+// WithLatency injects uniform delivery latency into the fabric.
+func WithLatency(min, max time.Duration) ClusterOption {
+	return func(o *clusterOptions) error {
+		if min < 0 || max < min {
+			return fmt.Errorf("adaptivegossip: invalid latency bounds [%v, %v]", min, max)
+		}
+		o.latencyMin, o.latencyMax = min, max
+		return nil
+	}
+}
+
+// WithLoss injects iid message loss into the fabric.
+func WithLoss(p float64) ClusterOption {
+	return func(o *clusterOptions) error {
+		if p < 0 || p > 1 {
+			return fmt.Errorf("adaptivegossip: loss probability %v out of [0,1]", p)
+		}
+		o.loss = p
+		return nil
+	}
+}
+
+// WithDeliver observes every delivery in the cluster. The callback
+// runs on node goroutines and must be fast and thread-safe.
+func WithDeliver(fn DeliverFunc) ClusterOption {
+	return func(o *clusterOptions) error {
+		o.deliver = fn
+		return nil
+	}
+}
+
+// WithNamePrefix sets the node name prefix (default "node-").
+func WithNamePrefix(prefix string) ClusterOption {
+	return func(o *clusterOptions) error {
+		o.prefix = prefix
+		return nil
+	}
+}
+
+// NewCluster builds an n-node cluster with the given configuration.
+// Call Start to begin gossiping and Stop to tear everything down.
+func NewCluster(n int, cfg Config, opts ...ClusterOption) (*Cluster, error) {
+	if n < 2 {
+		return nil, fmt.Errorf("adaptivegossip: cluster needs at least 2 nodes, got %d", n)
+	}
+	cfg = cfg.withDefaults()
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	o := clusterOptions{seed: 1, prefix: "node-"}
+	for _, opt := range opts {
+		if err := opt(&o); err != nil {
+			return nil, err
+		}
+	}
+
+	memOpts := []transport.MemOption{transport.WithMemSeed(uint64(o.seed) + 0x5EED)}
+	if o.latencyMax > 0 {
+		memOpts = append(memOpts, transport.WithMemLatency(o.latencyMin, o.latencyMax))
+	}
+	if o.loss > 0 {
+		memOpts = append(memOpts, transport.WithMemLoss(o.loss))
+	}
+	net, err := transport.NewMemNetwork(memOpts...)
+	if err != nil {
+		return nil, err
+	}
+
+	names := make([]NodeID, n)
+	for i := range names {
+		names[i] = NodeID(fmt.Sprintf("%s%02d", o.prefix, i))
+	}
+	reg := membership.NewRegistry(names...)
+	c := &Cluster{cfg: cfg, names: names, net: net, reg: reg}
+
+	for i := range names {
+		name := names[i]
+		var deliver gossip.DeliverFunc
+		if o.deliver != nil {
+			fn := o.deliver
+			deliver = func(ev Event) { fn(name, ev) }
+		}
+		node, err := core.NewAdaptiveNode(core.NodeConfig{
+			ID:       name,
+			Gossip:   cfg.gossipParams(),
+			Adaptive: cfg.Adaptive,
+			Core:     cfg.Adaptation,
+			Peers:    reg,
+			RNG:      rand.New(rand.NewPCG(uint64(o.seed), uint64(i)+1)),
+			Deliver:  deliver,
+			Start:    time.Now(),
+		})
+		if err != nil {
+			net.Close()
+			return nil, err
+		}
+		ep, err := net.Endpoint(name)
+		if err != nil {
+			net.Close()
+			return nil, err
+		}
+		r, err := runtime.NewRunner(runtime.Config{
+			Node:      node,
+			Transport: ep,
+			Period:    cfg.Period,
+			PhaseSeed: uint64(o.seed)*2_654_435_761 + uint64(i) + 1,
+		})
+		if err != nil {
+			net.Close()
+			return nil, err
+		}
+		c.runners = append(c.runners, r)
+	}
+	return c, nil
+}
+
+// Len reports the cluster size.
+func (c *Cluster) Len() int { return len(c.runners) }
+
+// Nodes returns the member names in index order.
+func (c *Cluster) Nodes() []NodeID {
+	return append([]NodeID(nil), c.names...)
+}
+
+// Start launches every node. Idempotent.
+func (c *Cluster) Start() {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.started {
+		return
+	}
+	c.started = true
+	for _, r := range c.runners {
+		r.Start()
+	}
+}
+
+// Stop terminates every node and the fabric. Idempotent.
+func (c *Cluster) Stop() {
+	c.mu.Lock()
+	if c.stopped {
+		c.mu.Unlock()
+		return
+	}
+	c.stopped = true
+	c.mu.Unlock()
+	for _, r := range c.runners {
+		r.Stop()
+	}
+	c.net.Close()
+}
+
+func (c *Cluster) runner(i int) (*runtime.Runner, error) {
+	if i < 0 || i >= len(c.runners) {
+		return nil, fmt.Errorf("adaptivegossip: node index %d out of range [0,%d)", i, len(c.runners))
+	}
+	return c.runners[i], nil
+}
+
+// Publish broadcasts payload from node i, reporting whether the
+// message was admitted (adaptive nodes rate-limit at the allowance).
+func (c *Cluster) Publish(i int, payload []byte) bool {
+	r, err := c.runner(i)
+	if err != nil {
+		return false
+	}
+	return r.Publish(payload)
+}
+
+// SetBufferCapacity resizes node i's buffer at runtime — the paper's
+// dynamic-resource scenario.
+func (c *Cluster) SetBufferCapacity(i, capacity int) error {
+	r, err := c.runner(i)
+	if err != nil {
+		return err
+	}
+	return r.SetBufferCapacity(capacity)
+}
+
+// Snapshot captures node i's state.
+func (c *Cluster) Snapshot(i int) (NodeSnapshot, error) {
+	r, err := c.runner(i)
+	if err != nil {
+		return NodeSnapshot{}, err
+	}
+	return r.Snapshot(), nil
+}
+
+// ClusterStats aggregates per-node counters.
+type ClusterStats struct {
+	Published       uint64
+	Delivered       uint64
+	DroppedCapacity uint64
+	DroppedExpired  uint64
+	MessagesSent    uint64
+	MinAllowedRate  float64
+	MaxAllowedRate  float64
+	SumAllowedRate  float64
+}
+
+// Stats aggregates counters across the cluster.
+func (c *Cluster) Stats() ClusterStats {
+	var st ClusterStats
+	first := true
+	for _, r := range c.runners {
+		snap := r.Snapshot()
+		st.Published += snap.Adaptive.Published
+		st.Delivered += snap.Gossip.Delivered
+		st.DroppedCapacity += snap.Gossip.DroppedCapacity
+		st.DroppedExpired += snap.Gossip.DroppedExpired
+		st.MessagesSent += snap.Gossip.MessagesSent
+		st.SumAllowedRate += snap.AllowedRate
+		if first || snap.AllowedRate < st.MinAllowedRate {
+			st.MinAllowedRate = snap.AllowedRate
+		}
+		if first || snap.AllowedRate > st.MaxAllowedRate {
+			st.MaxAllowedRate = snap.AllowedRate
+		}
+		first = false
+	}
+	return st
+}

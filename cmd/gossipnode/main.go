@@ -1,0 +1,140 @@
+// Command gossipnode runs one adaptive gossip broadcast node over UDP —
+// the per-workstation process of the paper's prototype deployment.
+//
+// Example (three nodes on one machine):
+//
+//	gossipnode -id a -bind 127.0.0.1:9001 -peers b=127.0.0.1:9002,c=127.0.0.1:9003 -rate 2
+//	gossipnode -id b -bind 127.0.0.1:9002 -peers a=127.0.0.1:9001,c=127.0.0.1:9003
+//	gossipnode -id c -bind 127.0.0.1:9003 -peers a=127.0.0.1:9001,b=127.0.0.1:9002
+//
+// Each node prints a stats line every reporting interval; nodes with
+// -rate > 0 publish synthetic messages at that offered rate.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"os/signal"
+	"strings"
+	"sync/atomic"
+	"syscall"
+	"time"
+
+	"adaptivegossip"
+	"adaptivegossip/internal/workload"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "gossipnode:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("gossipnode", flag.ContinueOnError)
+	var (
+		id       = fs.String("id", "", "node identifier (required)")
+		bind     = fs.String("bind", "127.0.0.1:0", "UDP listen address")
+		peers    = fs.String("peers", "", "comma-separated name=host:port pairs")
+		rate     = fs.Float64("rate", 0, "offered publish rate in msg/s (0 = receive only)")
+		payload  = fs.Int("payload", 64, "publish payload size in bytes")
+		period   = fs.Duration("period", 5*time.Second, "gossip period T")
+		buffer   = fs.Int("buffer", 120, "events buffer capacity")
+		adaptive = fs.Bool("adaptive", true, "enable the adaptation mechanism")
+		report   = fs.Duration("report", 5*time.Second, "stats reporting interval")
+		runFor   = fs.Duration("for", 0, "exit after this duration (0 = run until signal)")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *id == "" {
+		return fmt.Errorf("-id is required")
+	}
+
+	peerBook := map[string]string{}
+	if *peers != "" {
+		for _, pair := range strings.Split(*peers, ",") {
+			name, addr, ok := strings.Cut(strings.TrimSpace(pair), "=")
+			if !ok {
+				return fmt.Errorf("bad peer %q, want name=host:port", pair)
+			}
+			peerBook[name] = addr
+		}
+	}
+
+	cfg := adaptivegossip.DefaultConfig()
+	cfg.Period = *period
+	cfg.BufferCapacity = *buffer
+	cfg.Adaptive = *adaptive
+	if *rate > 0 {
+		cfg.Adaptation.InitialRate = *rate
+		cfg.Adaptation.MaxRate = 4 * *rate
+	}
+
+	var delivered atomic.Int64
+	node, err := adaptivegossip.NewUDPNode(adaptivegossip.NodeOptions{
+		ID:     *id,
+		Bind:   *bind,
+		Peers:  peerBook,
+		Config: cfg,
+		Deliver: func(ev adaptivegossip.Event) {
+			delivered.Add(1)
+		},
+	})
+	if err != nil {
+		return err
+	}
+	defer node.Stop()
+	if err := node.Start(); err != nil {
+		return err
+	}
+	fmt.Printf("node %s listening on %s, %d peers, adaptive=%v\n",
+		node.ID(), node.Addr(), len(peerBook), *adaptive)
+
+	var sender *workload.TimedSender
+	if *rate > 0 {
+		sender, err = workload.StartTimedSender(workload.SenderConfig{
+			Rate:        *rate,
+			PayloadSize: *payload,
+		}, node.Publish, 1)
+		if err != nil {
+			return err
+		}
+		defer sender.Stop()
+	}
+
+	stop := make(chan os.Signal, 1)
+	signal.Notify(stop, os.Interrupt, syscall.SIGTERM)
+	var deadline <-chan time.Time
+	if *runFor > 0 {
+		deadline = time.After(*runFor)
+	}
+	ticker := time.NewTicker(*report)
+	defer ticker.Stop()
+
+	for {
+		select {
+		case <-stop:
+			fmt.Println("signal received, shutting down")
+			return nil
+		case <-deadline:
+			return nil
+		case <-ticker.C:
+			snap := node.Snapshot()
+			tr := node.TransportStats()
+			line := fmt.Sprintf("delivered=%d buffer=%d/%d sent=%dB recv=%dB",
+				delivered.Load(), snap.BufferLen, snap.BufferCap, tr.SentBytes, tr.RecvBytes)
+			if *adaptive {
+				line += fmt.Sprintf(" allowed=%.2f/s minBuff=%d avgAge=%.2f",
+					snap.AllowedRate, snap.MinBuff, snap.AvgAge)
+			}
+			if sender != nil {
+				st := sender.Stats()
+				line += fmt.Sprintf(" offered=%d admitted=%d", st.Offered, st.Admitted)
+			}
+			fmt.Println(line)
+		}
+	}
+}

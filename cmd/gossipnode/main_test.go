@@ -1,0 +1,46 @@
+package main
+
+import (
+	"testing"
+	"time"
+)
+
+func TestRunRequiresID(t *testing.T) {
+	if err := run([]string{"-bind", "127.0.0.1:0"}); err == nil {
+		t.Fatal("missing id accepted")
+	}
+}
+
+func TestRunBadPeerSpec(t *testing.T) {
+	if err := run([]string{"-id", "x", "-peers", "no-equals-sign"}); err == nil {
+		t.Fatal("bad peer spec accepted")
+	}
+}
+
+func TestRunBadFlag(t *testing.T) {
+	if err := run([]string{"-nope"}); err == nil {
+		t.Fatal("bad flag accepted")
+	}
+}
+
+func TestRunNodeForShortWindow(t *testing.T) {
+	done := make(chan error, 1)
+	go func() {
+		done <- run([]string{
+			"-id", "solo",
+			"-bind", "127.0.0.1:0",
+			"-period", "50ms",
+			"-report", "100ms",
+			"-rate", "10",
+			"-for", "400ms",
+		})
+	}()
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatalf("run: %v", err)
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("node did not exit at -for deadline")
+	}
+}

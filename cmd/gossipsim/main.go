@@ -1,0 +1,234 @@
+// Command gossipsim regenerates the evaluation figures of "Adaptive
+// Gossip-Based Broadcast" (DSN 2003). Each figure prints as an aligned
+// text table shaped like the paper's plot.
+//
+// Usage:
+//
+//	gossipsim -figure all            # everything (minutes)
+//	gossipsim -figure 2              # reliability vs input rate
+//	gossipsim -figure 4              # max input rate vs buffer (+T1 critical age)
+//	gossipsim -figure 6              # offered/allowed/maximum rates
+//	gossipsim -figure 7              # input/output rates and dropped ages
+//	gossipsim -figure 8              # % receivers and atomicity
+//	gossipsim -figure 9              # dynamic buffers (simulation)
+//	gossipsim -figure 9rt            # dynamic buffers (real-time prototype)
+//	gossipsim -figure ablations      # A1–A4 design-choice studies
+//	gossipsim -figure 2 -fast        # reduced duration for a quick look
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"adaptivegossip/internal/experiments"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "gossipsim:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("gossipsim", flag.ContinueOnError)
+	var (
+		figure = fs.String("figure", "all", "2|4|6|7|8|9|9rt|t1|ablations|all")
+		seed   = fs.Int64("seed", 1, "base random seed")
+		seeds  = fs.Int("seeds", 1, "seeds to average per data point")
+		n      = fs.Int("n", 60, "group size")
+		fast   = fs.Bool("fast", false, "shorter windows (quick look, noisier)")
+		scale  = fs.Float64("rtscale", 100, "real-time speedup for -figure 9rt")
+		plots  = fs.Bool("plot", false, "draw terminal plots after each table")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	drawPlots = *plots
+
+	base := experiments.DefaultConfig()
+	base.N = *n
+	base.Seed = *seed
+	if *fast {
+		base.Warmup = 100 * time.Second
+		base.Duration = 200 * time.Second
+	}
+
+	buffers := []int{30, 45, 60, 75, 90, 105, 120, 135, 150, 165, 180}
+	if *fast {
+		buffers = []int{30, 60, 90, 120, 150, 180}
+	}
+
+	started := time.Now()
+	switch *figure {
+	case "2":
+		return figure2(base, *seeds)
+	case "4", "t1":
+		_, err := figure4(base, buffers, *seeds)
+		return err
+	case "6":
+		return figure6(base, buffers, *seeds)
+	case "7", "8":
+		return figures78(base, buffers, *seeds, *figure)
+	case "9":
+		return figure9(base, buffers, *seeds)
+	case "9rt":
+		return figure9rt(base, buffers, *seeds, *scale)
+	case "ablations":
+		return ablations(base, *seeds)
+	case "all":
+		if err := figure2(base, *seeds); err != nil {
+			return err
+		}
+		fig4, err := figure4(base, buffers, *seeds)
+		if err != nil {
+			return err
+		}
+		if err := figure6WithRows(base, buffers, fig4, *seeds); err != nil {
+			return err
+		}
+		if err := figures78(base, buffers, *seeds, "7+8"); err != nil {
+			return err
+		}
+		if err := figure9WithFit(base, fig4); err != nil {
+			return err
+		}
+		if err := figure9rtWithFit(base, fig4, *scale); err != nil {
+			return err
+		}
+		if err := ablations(base, *seeds); err != nil {
+			return err
+		}
+		fmt.Printf("\n# total wall time: %v\n", time.Since(started).Round(time.Second))
+		return nil
+	default:
+		return fmt.Errorf("unknown figure %q", *figure)
+	}
+}
+
+// drawPlots adds terminal plots after each table (-plot).
+var drawPlots bool
+
+func maybePlot(draw func() error) error {
+	if !drawPlots {
+		return nil
+	}
+	if err := draw(); err != nil {
+		return err
+	}
+	fmt.Println()
+	return nil
+}
+
+func figure2(base experiments.Config, seeds int) error {
+	rows, err := experiments.RunFigure2(base, []float64{10, 15, 20, 25, 30, 35, 40, 45, 50, 55, 60}, seeds)
+	if err != nil {
+		return err
+	}
+	experiments.RenderFigure2(os.Stdout, rows)
+	fmt.Println()
+	return maybePlot(func() error { return experiments.PlotFigure2(os.Stdout, rows) })
+}
+
+func figure4(base experiments.Config, buffers []int, seeds int) ([]experiments.Figure4Row, error) {
+	rows, err := experiments.RunFigure4(base, buffers, 95, seeds)
+	if err != nil {
+		return nil, err
+	}
+	experiments.RenderFigure4(os.Stdout, rows)
+	fmt.Println()
+	if err := maybePlot(func() error { return experiments.PlotFigure4(os.Stdout, rows) }); err != nil {
+		return nil, err
+	}
+	return rows, nil
+}
+
+func figure6(base experiments.Config, buffers []int, seeds int) error {
+	fig4, err := experiments.RunFigure4(base, buffers, 95, seeds)
+	if err != nil {
+		return err
+	}
+	return figure6WithRows(base, buffers, fig4, seeds)
+}
+
+func figure6WithRows(base experiments.Config, buffers []int, fig4 []experiments.Figure4Row, seeds int) error {
+	rows, err := experiments.RunFigure6(base, buffers, fig4, seeds)
+	if err != nil {
+		return err
+	}
+	experiments.RenderFigure6(os.Stdout, rows)
+	fmt.Println()
+	return maybePlot(func() error { return experiments.PlotFigure6(os.Stdout, rows) })
+}
+
+func figures78(base experiments.Config, buffers []int, seeds int, which string) error {
+	rows7, rows8, err := experiments.RunFigures78(base, buffers, seeds)
+	if err != nil {
+		return err
+	}
+	if which == "7" || which == "7+8" {
+		experiments.RenderFigure7(os.Stdout, rows7)
+		fmt.Println()
+	}
+	if which == "8" || which == "7+8" {
+		experiments.RenderFigure8(os.Stdout, rows8)
+		fmt.Println()
+		if err := maybePlot(func() error { return experiments.PlotFigure8(os.Stdout, rows8) }); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func figure9(base experiments.Config, buffers []int, seeds int) error {
+	fig4, err := experiments.RunFigure4(base, []int{45, 60, 90}, 95, seeds)
+	if err != nil {
+		return err
+	}
+	return figure9WithFit(base, fig4)
+}
+
+func figure9WithFit(base experiments.Config, fig4 []experiments.Figure4Row) error {
+	cfg := experiments.DefaultFigure9Config(base)
+	cfg.IdealFor = experiments.Figure4Fit(fig4)
+	res, err := experiments.RunFigure9Sim(cfg)
+	if err != nil {
+		return err
+	}
+	experiments.RenderFigure9(os.Stdout, res)
+	fmt.Println()
+	return maybePlot(func() error { return experiments.PlotFigure9(os.Stdout, res) })
+}
+
+func figure9rt(base experiments.Config, buffers []int, seeds int, scale float64) error {
+	fig4, err := experiments.RunFigure4(base, []int{45, 60, 90}, 95, seeds)
+	if err != nil {
+		return err
+	}
+	return figure9rtWithFit(base, fig4, scale)
+}
+
+func figure9rtWithFit(base experiments.Config, fig4 []experiments.Figure4Row, scale float64) error {
+	cfg := experiments.DefaultFigure9Config(base)
+	cfg.IdealFor = experiments.Figure4Fit(fig4)
+	fmt.Printf("# Figure 9 (real-time prototype run, %d goroutine nodes, scale ×%.0f)\n", base.N, scale)
+	res, err := experiments.RunFigure9Runtime(cfg, scale)
+	if err != nil {
+		return err
+	}
+	experiments.RenderFigure9(os.Stdout, res)
+	fmt.Println()
+	return nil
+}
+
+func ablations(base experiments.Config, seeds int) error {
+	rows, err := experiments.RunAblations(base, seeds)
+	if err != nil {
+		return err
+	}
+	experiments.RenderAblations(os.Stdout, rows)
+	fmt.Println()
+	return nil
+}

@@ -1,0 +1,25 @@
+package main
+
+import "testing"
+
+func TestRunUnknownFigure(t *testing.T) {
+	if err := run([]string{"-figure", "nope"}); err == nil {
+		t.Fatal("unknown figure accepted")
+	}
+}
+
+func TestRunBadFlag(t *testing.T) {
+	if err := run([]string{"-definitely-not-a-flag"}); err == nil {
+		t.Fatal("bad flag accepted")
+	}
+}
+
+func TestRunFigure2SmallGroup(t *testing.T) {
+	if testing.Short() {
+		t.Skip("several seconds of simulation")
+	}
+	// A reduced group keeps this a smoke test of the full CLI path.
+	if err := run([]string{"-figure", "2", "-n", "16", "-fast"}); err != nil {
+		t.Fatalf("figure 2: %v", err)
+	}
+}

@@ -1,0 +1,116 @@
+package adaptivegossip
+
+import (
+	"fmt"
+	"time"
+
+	"adaptivegossip/internal/core"
+	"adaptivegossip/internal/experiments"
+	"adaptivegossip/internal/gossip"
+)
+
+// Re-exported protocol types. The aliases keep a single definition in
+// internal/gossip while making the types nameable by API consumers.
+type (
+	// NodeID identifies a group member.
+	NodeID = gossip.NodeID
+	// Event is a broadcast message with its gossip age.
+	Event = gossip.Event
+	// EventID uniquely identifies a broadcast event.
+	EventID = gossip.EventID
+	// AdaptationConfig holds the adaptive mechanism's parameters
+	// (paper Figure 5); see the field docs in internal/core.Params.
+	AdaptationConfig = core.Params
+	// SimConfig configures a simulated or real-time experiment run.
+	SimConfig = experiments.Config
+	// SimResult is an experiment run's measurements.
+	SimResult = experiments.RunResult
+)
+
+// Config configures a broadcast node or cluster.
+type Config struct {
+	// Fanout is the number of gossip targets per round (paper: 4).
+	Fanout int
+	// Period is the gossip round interval (paper: 5s; scale it down
+	// for in-process clusters).
+	Period time.Duration
+	// BufferCapacity bounds the events buffer (|events|max).
+	BufferCapacity int
+	// IDCacheCapacity bounds the duplicate-suppression set. Zero
+	// derives it from BufferCapacity.
+	IDCacheCapacity int
+	// MaxAge is the age purge bound k.
+	MaxAge int
+	// Adaptive enables the paper's adaptation mechanism. Disabled, the
+	// node is plain lpbcast with no input bound.
+	Adaptive bool
+	// Adaptation parametrizes the mechanism. The zero value means
+	// DefaultConfig's calibrated defaults.
+	Adaptation AdaptationConfig
+}
+
+// DefaultConfig returns the paper's protocol configuration with a
+// 250 ms period (suited to in-process clusters; set Period to 5s for
+// paper-faithful deployments) and adaptation enabled.
+func DefaultConfig() Config {
+	return Config{
+		Fanout:         gossip.DefaultFanout,
+		Period:         250 * time.Millisecond,
+		BufferCapacity: gossip.DefaultMaxEvents,
+		MaxAge:         gossip.DefaultMaxAge,
+		Adaptive:       true,
+		Adaptation:     core.DefaultParams(),
+	}
+}
+
+func (c Config) withDefaults() Config {
+	if c.Adaptation == (AdaptationConfig{}) {
+		c.Adaptation = core.DefaultParams()
+	}
+	return c
+}
+
+func (c Config) gossipParams() gossip.Params {
+	return gossip.Params{
+		Fanout:      c.Fanout,
+		Period:      c.Period,
+		MaxEvents:   c.BufferCapacity,
+		MaxEventIDs: c.IDCacheCapacity,
+		MaxAge:      c.MaxAge,
+	}
+}
+
+// Validate reports the first configuration error.
+func (c Config) Validate() error {
+	c = c.withDefaults()
+	if err := c.gossipParams().Validate(); err != nil {
+		return fmt.Errorf("adaptivegossip: %w", err)
+	}
+	if c.Adaptive {
+		if err := c.Adaptation.Validate(); err != nil {
+			return fmt.Errorf("adaptivegossip: %w", err)
+		}
+	}
+	return nil
+}
+
+// DefaultSimConfig returns the paper's experimental configuration
+// (60 nodes, fanout 4, 5-second rounds, 30 msg/s aggregate offered
+// load).
+func DefaultSimConfig() SimConfig {
+	return experiments.DefaultConfig()
+}
+
+// Simulate runs one deterministic discrete-event experiment — the
+// harness behind the paper's simulation results. Virtual time makes
+// even 10-minute scenarios complete in well under a second.
+func Simulate(cfg SimConfig) (SimResult, error) {
+	return experiments.Run(cfg)
+}
+
+// SimulateRealtime runs the same experiment on the goroutine runtime
+// over the in-memory transport — the paper's prototype-validation mode.
+// Durations are wall-clock; scale them down accordingly.
+func SimulateRealtime(cfg SimConfig) (SimResult, error) {
+	return experiments.RunRuntime(cfg)
+}

@@ -1,0 +1,213 @@
+package core
+
+import (
+	"fmt"
+	"math/rand/v2"
+	"time"
+
+	"adaptivegossip/internal/gossip"
+	"adaptivegossip/internal/ratelimit"
+)
+
+// NodeConfig assembles a complete broadcast node.
+type NodeConfig struct {
+	// ID is the node identifier.
+	ID gossip.NodeID
+	// Gossip configures the lpbcast substrate (Figure 1).
+	Gossip gossip.Params
+	// Adaptive enables the adaptation mechanism. When false the node is
+	// plain lpbcast with an unbounded input rate — the paper's
+	// comparison baseline.
+	Adaptive bool
+	// Core configures the adaptation mechanism (used when Adaptive).
+	Core Params
+	// Peers supplies gossip targets.
+	Peers gossip.PeerSampler
+	// RNG drives all protocol randomness; inject a seeded generator for
+	// deterministic simulation.
+	RNG *rand.Rand
+	// Deliver receives each event exactly once (optional).
+	Deliver gossip.DeliverFunc
+	// Extensions are additional protocol extensions (e.g. a partial
+	// view); they run after the adaptation hooks.
+	Extensions []gossip.Extension
+	// Start is the creation instant (token bucket epoch).
+	Start time.Time
+}
+
+// AdaptiveStats counts adaptation activity.
+type AdaptiveStats struct {
+	Published uint64 // broadcasts admitted by the token bucket
+	Throttled uint64 // broadcasts rejected by the token bucket
+	Rate      RateStats
+	AvgTokens float64
+}
+
+// AdaptiveNode is the complete adaptive gossip broadcast node: the
+// lpbcast state machine, the Figure 5 adaptation stack and the Figure 3
+// token bucket. With Adaptive=false it degrades to the plain lpbcast
+// baseline (no input bound), which is how the paper's comparison runs
+// are configured.
+//
+// AdaptiveNode is not safe for concurrent use; a driver serializes
+// Publish, Tick and Receive, passing the current time in.
+type AdaptiveNode struct {
+	node    *gossip.Node
+	adaptor *Adaptor        // nil when not adaptive
+	ctrl    *RateController // nil when not adaptive
+	bucket  *ratelimit.Bucket
+	params  Params
+
+	avgTokens float64
+	published uint64
+	throttled uint64
+}
+
+// NewAdaptiveNode builds a node from cfg.
+func NewAdaptiveNode(cfg NodeConfig) (*AdaptiveNode, error) {
+	a := &AdaptiveNode{params: cfg.Core}
+	exts := make([]gossip.Extension, 0, len(cfg.Extensions)+1)
+	if cfg.Adaptive {
+		adaptor, err := NewAdaptor(cfg.ID, cfg.Core, cfg.Gossip.MaxEvents)
+		if err != nil {
+			return nil, err
+		}
+		ctrl, err := NewRateController(cfg.Core, cfg.RNG)
+		if err != nil {
+			return nil, err
+		}
+		bucket, err := ratelimit.NewBucket(cfg.Core.TokenBucketMax, ctrl.Rate(), cfg.Start)
+		if err != nil {
+			return nil, err
+		}
+		a.adaptor, a.ctrl, a.bucket = adaptor, ctrl, bucket
+		exts = append(exts, adaptor)
+	}
+	exts = append(exts, cfg.Extensions...)
+
+	node, err := gossip.NewNode(cfg.ID, cfg.Gossip, cfg.Peers, cfg.RNG,
+		gossip.WithDeliver(cfg.Deliver), gossip.WithExtensions(exts...))
+	if err != nil {
+		return nil, err
+	}
+	a.node = node
+	return a, nil
+}
+
+// ID returns the node identifier.
+func (a *AdaptiveNode) ID() gossip.NodeID { return a.node.ID() }
+
+// Gossip exposes the underlying lpbcast node (read-only use).
+func (a *AdaptiveNode) Gossip() *gossip.Node { return a.node }
+
+// Adaptive reports whether the adaptation mechanism is active.
+func (a *AdaptiveNode) Adaptive() bool { return a.adaptor != nil }
+
+// Publish attempts to broadcast payload at time now. With adaptation
+// enabled, admission is gated by the token bucket (Figure 3): the
+// returned bool reports whether the event was admitted. The baseline
+// node admits everything.
+func (a *AdaptiveNode) Publish(payload []byte, now time.Time) (gossip.Event, bool) {
+	if a.bucket != nil && !a.bucket.TryTake(now) {
+		a.throttled++
+		return gossip.Event{}, false
+	}
+	a.published++
+	return a.node.Broadcast(payload), true
+}
+
+// Tick runs one gossip round at time now: the rate-adaptation step of
+// Figure 5(c) followed by the Figure 1 gossip emission.
+func (a *AdaptiveNode) Tick(now time.Time) []gossip.Outgoing {
+	if a.adaptor != nil {
+		// avgTokens: EMA of bucket occupancy, sampled once per round.
+		alpha := a.params.Alpha
+		a.avgTokens = alpha*a.avgTokens + (1-alpha)*a.bucket.Tokens(now)
+		a.ctrl.Adjust(a.adaptor.AvgAge(), a.avgTokens, a.bucket.Max())
+		if err := a.bucket.SetRate(a.ctrl.Rate(), now); err != nil {
+			// Unreachable: the controller clamps to positive rates.
+			panic(fmt.Sprintf("core: %v", err))
+		}
+	}
+	outs := a.node.Tick()
+	if a.adaptor != nil {
+		a.adaptor.onRoundEnd(a.node.Params().MaxAge)
+	}
+	return outs
+}
+
+// Receive processes an incoming gossip message at time now.
+func (a *AdaptiveNode) Receive(msg *gossip.Message, now time.Time) {
+	a.node.Receive(msg)
+}
+
+// SetBufferCapacity resizes the local events buffer at runtime,
+// informing the minBuff estimator (the dynamic-resource scenario of
+// paper §4).
+func (a *AdaptiveNode) SetBufferCapacity(capacity int) error {
+	if err := a.node.SetBufferCapacity(capacity); err != nil {
+		return err
+	}
+	if a.adaptor != nil {
+		return a.adaptor.SetLocalCapacity(capacity)
+	}
+	return nil
+}
+
+// AllowedRate returns the sender's current allowed rate in msg/s, or
+// +Inf conceptually for the baseline; baseline nodes report 0 to mean
+// "unbounded".
+func (a *AdaptiveNode) AllowedRate() float64 {
+	if a.ctrl == nil {
+		return 0
+	}
+	return a.ctrl.Rate()
+}
+
+// AvgAge returns the congestion estimate (0 when not adaptive).
+func (a *AdaptiveNode) AvgAge() float64 {
+	if a.adaptor == nil {
+		return 0
+	}
+	return a.adaptor.AvgAge()
+}
+
+// MinBuffEstimate returns the working group-minimum buffer estimate
+// (0 when not adaptive).
+func (a *AdaptiveNode) MinBuffEstimate() int {
+	if a.adaptor == nil {
+		return 0
+	}
+	return a.adaptor.MinBuff()
+}
+
+// SamplePeriod returns the adaptation sample period s (0 when not
+// adaptive).
+func (a *AdaptiveNode) SamplePeriod() uint64 {
+	if a.adaptor == nil {
+		return 0
+	}
+	return a.adaptor.SamplePeriod()
+}
+
+// BufferLen reports the buffered event count.
+func (a *AdaptiveNode) BufferLen() int { return a.node.BufferLen() }
+
+// BufferCapacity reports the local buffer bound.
+func (a *AdaptiveNode) BufferCapacity() int { return a.node.BufferCapacity() }
+
+// GossipStats returns the substrate's counters.
+func (a *AdaptiveNode) GossipStats() gossip.NodeStats { return a.node.Stats() }
+
+// Stats returns the adaptation counters.
+func (a *AdaptiveNode) Stats() AdaptiveStats {
+	st := AdaptiveStats{
+		Published: a.published,
+		Throttled: a.throttled,
+		AvgTokens: a.avgTokens,
+	}
+	if a.ctrl != nil {
+		st.Rate = a.ctrl.Stats()
+	}
+	return st
+}

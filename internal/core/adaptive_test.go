@@ -1,0 +1,350 @@
+package core
+
+import (
+	"fmt"
+	"math/rand/v2"
+	"testing"
+	"time"
+
+	"adaptivegossip/internal/gossip"
+)
+
+var start = time.Unix(0, 0).UTC()
+
+// fullPeers samples from a fixed list.
+type fullPeers []gossip.NodeID
+
+func (f fullPeers) SamplePeers(self gossip.NodeID, k int, rng *rand.Rand) []gossip.NodeID {
+	out := make([]gossip.NodeID, 0, k)
+	for _, p := range f {
+		if p != self {
+			out = append(out, p)
+		}
+	}
+	rng.Shuffle(len(out), func(i, j int) { out[i], out[j] = out[j], out[i] })
+	if len(out) > k {
+		out = out[:k]
+	}
+	return out
+}
+
+func nodeConfig(id gossip.NodeID, peers gossip.PeerSampler, adaptive bool) NodeConfig {
+	gp := gossip.Params{Fanout: 2, Period: time.Second, MaxEvents: 10, MaxAge: 8}
+	cp := DefaultParams()
+	cp.InitialRate = 5
+	return NodeConfig{
+		ID:       id,
+		Gossip:   gp,
+		Adaptive: adaptive,
+		Core:     cp,
+		Peers:    peers,
+		RNG:      rand.New(rand.NewPCG(uint64(len(id)), 77)),
+		Start:    start,
+	}
+}
+
+func TestNewAdaptiveNodeValidation(t *testing.T) {
+	peers := fullPeers{"a", "b"}
+	cfg := nodeConfig("a", peers, true)
+	cfg.Core.Window = 0
+	if _, err := NewAdaptiveNode(cfg); err == nil {
+		t.Fatal("bad core params accepted")
+	}
+	cfg = nodeConfig("", peers, false)
+	if _, err := NewAdaptiveNode(cfg); err == nil {
+		t.Fatal("empty id accepted")
+	}
+}
+
+func TestBaselineNodeAdmitsEverything(t *testing.T) {
+	n, err := NewAdaptiveNode(nodeConfig("a", fullPeers{"a", "b"}, false))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n.Adaptive() {
+		t.Fatal("baseline node reports adaptive")
+	}
+	for i := 0; i < 100; i++ {
+		if _, ok := n.Publish(nil, start); !ok {
+			t.Fatal("baseline throttled a publish")
+		}
+	}
+	if n.AllowedRate() != 0 || n.AvgAge() != 0 || n.MinBuffEstimate() != 0 || n.SamplePeriod() != 0 {
+		t.Fatal("baseline node leaks adaptation state")
+	}
+	st := n.Stats()
+	if st.Published != 100 || st.Throttled != 0 {
+		t.Fatalf("stats %+v", st)
+	}
+}
+
+func TestAdaptiveNodeThrottlesAtBucketRate(t *testing.T) {
+	n, err := NewAdaptiveNode(nodeConfig("a", fullPeers{"a", "b"}, true))
+	if err != nil {
+		t.Fatal(err)
+	}
+	burst := int(DefaultParams().TokenBucketMax)
+	admitted := 0
+	// Offer 100 messages instantaneously: only the initial burst
+	// (bucket capacity) is admitted.
+	for i := 0; i < 100; i++ {
+		if _, ok := n.Publish(nil, start); ok {
+			admitted++
+		}
+	}
+	if admitted != burst {
+		t.Fatalf("admitted %d, want bucket burst %d", admitted, burst)
+	}
+	// Much later the bucket has refilled, but only to its capacity.
+	more := 0
+	for i := 0; i < 100; i++ {
+		if _, ok := n.Publish(nil, start.Add(time.Minute)); ok {
+			more++
+		}
+	}
+	if more != burst {
+		t.Fatalf("admitted %d after refill, want %d", more, burst)
+	}
+	st := n.Stats()
+	if st.Published != uint64(2*burst) || st.Throttled != uint64(200-2*burst) {
+		t.Fatalf("stats %+v", st)
+	}
+}
+
+func TestAdaptiveNodeHeaderStamping(t *testing.T) {
+	n, err := NewAdaptiveNode(nodeConfig("a", fullPeers{"a", "b"}, true))
+	if err != nil {
+		t.Fatal(err)
+	}
+	n.Publish(nil, start)
+	outs := n.Tick(start)
+	if len(outs) == 0 {
+		t.Fatal("no outgoing gossip")
+	}
+	msg := outs[0].Msg
+	if !msg.Adaptive {
+		t.Fatal("adaptation header missing")
+	}
+	if msg.MinBuff != 10 {
+		t.Fatalf("header minBuff = %d, want local capacity 10", msg.MinBuff)
+	}
+}
+
+func TestAdaptiveNodeMinBuffPropagation(t *testing.T) {
+	peers := fullPeers{"a", "b"}
+	na, _ := NewAdaptiveNode(nodeConfig("a", peers, true))
+	nb, _ := NewAdaptiveNode(nodeConfig("b", peers, true))
+	if err := nb.SetBufferCapacity(4); err != nil {
+		t.Fatal(err)
+	}
+	now := start
+	for round := 0; round < 3; round++ {
+		now = now.Add(time.Second)
+		for _, out := range nb.Tick(now) {
+			if out.To == "a" {
+				na.Receive(out.Msg, now)
+			}
+		}
+	}
+	if got := na.MinBuffEstimate(); got != 4 {
+		t.Fatalf("a's minBuff estimate = %d, want b's capacity 4", got)
+	}
+}
+
+func TestAdaptiveNodeCongestionLowersRate(t *testing.T) {
+	peers := fullPeers{"a", "b"}
+	n, err := NewAdaptiveNode(nodeConfig("a", peers, true))
+	if err != nil {
+		t.Fatal(err)
+	}
+	initial := n.AllowedRate()
+	// Flood the node with young events from a peer claiming a tiny
+	// buffer: the virtual overflow consists of young events, so avgAge
+	// collapses and the controller must decrease.
+	now := start
+	var seq uint64
+	for round := 0; round < 12; round++ {
+		now = now.Add(time.Second)
+		events := make([]gossip.Event, 8)
+		for i := range events {
+			events[i] = gossip.Event{ID: gossip.EventID{Origin: "b", Seq: seq}, Age: 1}
+			seq++
+		}
+		n.Receive(&gossip.Message{
+			From: "b", Adaptive: true, SamplePeriod: 0, MinBuff: 3, Events: events,
+		}, now)
+		// Keep the bucket drained so the unused-allowance guard stays
+		// quiet and the age signal drives the decision.
+		for {
+			if _, ok := n.Publish(nil, now); !ok {
+				break
+			}
+		}
+		n.Tick(now)
+	}
+	if got := n.AllowedRate(); got >= initial {
+		t.Fatalf("allowed rate %v did not fall below initial %v under congestion", got, initial)
+	}
+	if n.AvgAge() >= DefaultParams().LowAge {
+		t.Fatalf("avgAge = %v, want below low mark", n.AvgAge())
+	}
+}
+
+func TestAdaptiveNodeUnusedAllowanceShrinks(t *testing.T) {
+	cfg := nodeConfig("a", fullPeers{"a", "b"}, true)
+	cfg.Core.OptimisticDrift = true
+	n, err := NewAdaptiveNode(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	initial := n.AllowedRate()
+	// Publish nothing: tokens pool up, avgTokens rises, rate shrinks —
+	// the inflated-allowance guard of §3.3.
+	now := start
+	for round := 0; round < 20; round++ {
+		now = now.Add(time.Second)
+		n.Tick(now)
+	}
+	if got := n.AllowedRate(); got >= initial {
+		t.Fatalf("idle sender's allowance %v did not shrink from %v", got, initial)
+	}
+}
+
+func TestAdaptiveNodeOptimisticDriftRecovers(t *testing.T) {
+	cfg := nodeConfig("a", fullPeers{"a", "b"}, true)
+	n, err := NewAdaptiveNode(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Push avgAge down artificially via congested traffic, then go
+	// quiet: drift must pull avgAge back up toward the age bound.
+	now := start
+	events := make([]gossip.Event, 12)
+	for i := range events {
+		events[i] = gossip.Event{ID: gossip.EventID{Origin: "b", Seq: uint64(i)}, Age: 0}
+	}
+	n.Receive(&gossip.Message{From: "b", Adaptive: true, MinBuff: 2, Events: events}, now)
+	low := n.AvgAge()
+	for round := 0; round < 30; round++ {
+		now = now.Add(time.Second)
+		n.Tick(now)
+	}
+	if got := n.AvgAge(); got <= low {
+		t.Fatalf("avgAge %v did not drift up from %v in an idle system", got, low)
+	}
+}
+
+func TestAdaptiveNodeResizePropagatesToEstimator(t *testing.T) {
+	n, err := NewAdaptiveNode(nodeConfig("a", fullPeers{"a", "b"}, true))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := n.SetBufferCapacity(6); err != nil {
+		t.Fatal(err)
+	}
+	if got := n.MinBuffEstimate(); got != 6 {
+		t.Fatalf("estimate = %d, want 6", got)
+	}
+	if got := n.BufferCapacity(); got != 6 {
+		t.Fatalf("capacity = %d", got)
+	}
+	if err := n.SetBufferCapacity(0); err == nil {
+		t.Fatal("capacity 0 accepted")
+	}
+}
+
+func TestAdaptiveNodeKMinMode(t *testing.T) {
+	cfg := nodeConfig("a", fullPeers{"a", "b"}, true)
+	cfg.Core.MinBuffRank = 2
+	cfg.Core.MinBuffFloor = 3
+	n, err := NewAdaptiveNode(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// One tiny node must not drag the estimate down at κ=2.
+	n.Receive(&gossip.Message{
+		From: "tiny", Adaptive: true, MinBuff: 1,
+		KMin: []MinEntry{{Node: "tiny", Cap: 1}},
+	}, start)
+	if got := n.MinBuffEstimate(); got != 10 {
+		t.Fatalf("κ=2 estimate = %d, want local 10", got)
+	}
+	// Header carries KMin entries.
+	outs := n.Tick(start.Add(time.Second))
+	if len(outs) == 0 || len(outs[0].Msg.KMin) == 0 {
+		t.Fatal("κ-mode header missing KMin entries")
+	}
+}
+
+// TestAdaptiveGroupConvergesUnderOverload runs a 12-node group at an
+// offered load far above capacity and checks the aggregate allowed rate
+// converges below the offered load while remaining positive — the
+// Figure 6 behaviour in miniature.
+func TestAdaptiveGroupConvergesUnderOverload(t *testing.T) {
+	const (
+		n           = 12
+		offeredEach = 6.0 // msg/s per node, far above capacity
+		rounds      = 120
+	)
+	names := make([]gossip.NodeID, n)
+	for i := range names {
+		names[i] = gossip.NodeID(fmt.Sprintf("n%02d", i))
+	}
+	peers := fullPeers(names)
+	nodes := make([]*AdaptiveNode, n)
+	for i := range nodes {
+		cfg := nodeConfig(names[i], peers, true)
+		cfg.Gossip.MaxEvents = 12
+		cfg.Gossip.Fanout = 3
+		cfg.Core.InitialRate = offeredEach
+		cfg.Core.MaxRate = offeredEach
+		cfg.RNG = rand.New(rand.NewPCG(uint64(i), 1234))
+		node, err := NewAdaptiveNode(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		nodes[i] = node
+	}
+	now := start
+	carry := make([]float64, n)
+	for round := 0; round < rounds; round++ {
+		now = now.Add(time.Second)
+		// Offered load: each node attempts offeredEach publishes/s.
+		for i, node := range nodes {
+			carry[i] += offeredEach
+			for carry[i] >= 1 {
+				node.Publish(nil, now)
+				carry[i]--
+			}
+		}
+		// Gossip exchange.
+		type envelope struct {
+			to  gossip.NodeID
+			msg *gossip.Message
+		}
+		var mail []envelope
+		for _, node := range nodes {
+			for _, out := range node.Tick(now) {
+				mail = append(mail, envelope{out.To, out.Msg})
+			}
+		}
+		for _, env := range mail {
+			for i, name := range names {
+				if name == env.to {
+					nodes[i].Receive(env.msg, now)
+				}
+			}
+		}
+	}
+	var aggregate float64
+	for _, node := range nodes {
+		aggregate += node.AllowedRate()
+	}
+	offered := offeredEach * n
+	if aggregate >= offered*0.8 {
+		t.Fatalf("aggregate allowed rate %v did not converge below offered %v", aggregate, offered)
+	}
+	if aggregate < 0.5 {
+		t.Fatalf("aggregate allowed rate %v collapsed to the floor", aggregate)
+	}
+}

@@ -1,0 +1,85 @@
+package core
+
+import (
+	"math"
+	"testing"
+
+	"adaptivegossip/internal/gossip"
+)
+
+func evWithAge(seq uint64, age int) gossip.Event {
+	return gossip.Event{ID: gossip.EventID{Origin: "x", Seq: seq}, Age: age}
+}
+
+func TestCongestionValidation(t *testing.T) {
+	if _, err := NewCongestionEstimator(1.0, 5); err == nil {
+		t.Fatal("alpha=1 accepted")
+	}
+	if _, err := NewCongestionEstimator(-0.1, 5); err == nil {
+		t.Fatal("alpha<0 accepted")
+	}
+	if _, err := NewCongestionEstimator(0.9, -1); err == nil {
+		t.Fatal("negative initial accepted")
+	}
+}
+
+func TestCongestionEMA(t *testing.T) {
+	c, err := NewCongestionEstimator(0.5, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c.ObserveOverflow([]gossip.Event{evWithAge(1, 8)})
+	// 0.5*4 + 0.5*8 = 6
+	if got := c.AvgAge(); got != 6 {
+		t.Fatalf("avgAge = %v, want 6", got)
+	}
+	c.ObserveOverflow([]gossip.Event{evWithAge(2, 2)})
+	// 0.5*6 + 0.5*2 = 4
+	if got := c.AvgAge(); got != 4 {
+		t.Fatalf("avgAge = %v, want 4", got)
+	}
+	if c.Samples() != 2 {
+		t.Fatalf("samples = %d", c.Samples())
+	}
+}
+
+func TestCongestionLostSetLifecycle(t *testing.T) {
+	c, _ := NewCongestionEstimator(0.9, 5)
+	c.ObserveOverflow([]gossip.Event{evWithAge(1, 3), evWithAge(2, 4)})
+	if !c.Counted(gossip.EventID{Origin: "x", Seq: 1}) {
+		t.Fatal("counted event not in lost set")
+	}
+	if c.LostLen() != 2 {
+		t.Fatalf("lost len = %d", c.LostLen())
+	}
+	c.Forget(gossip.EventID{Origin: "x", Seq: 1})
+	if c.Counted(gossip.EventID{Origin: "x", Seq: 1}) {
+		t.Fatal("forgotten event still counted")
+	}
+	if c.LostLen() != 1 {
+		t.Fatalf("lost len = %d after forget", c.LostLen())
+	}
+	c.Forget(gossip.EventID{Origin: "zz", Seq: 9}) // unknown: no-op
+}
+
+func TestCongestionDrift(t *testing.T) {
+	c, _ := NewCongestionEstimator(0.9, 2)
+	for i := 0; i < 50; i++ {
+		c.Drift(10)
+	}
+	if got := c.AvgAge(); math.Abs(got-10) > 0.1 {
+		t.Fatalf("avgAge = %v, want ≈10 after drifting", got)
+	}
+}
+
+// TestCongestionConvergesToSignal: feeding a constant age converges the
+// EMA to that age regardless of the start.
+func TestCongestionConvergesToSignal(t *testing.T) {
+	c, _ := NewCongestionEstimator(0.9, 20)
+	for i := uint64(0); i < 200; i++ {
+		c.ObserveOverflow([]gossip.Event{evWithAge(i, 3)})
+	}
+	if got := c.AvgAge(); math.Abs(got-3) > 0.05 {
+		t.Fatalf("avgAge = %v, want ≈3", got)
+	}
+}

@@ -1,0 +1,199 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+
+	"adaptivegossip/internal/gossip"
+)
+
+// MinEntry is one (node, capacity) observation carried in the gossip
+// header when the κ-smallest extension is active. It aliases the wire
+// type gossip.BuffCap.
+type MinEntry = gossip.BuffCap
+
+// KMinEstimator generalizes MinBuffEstimator to the κ-th smallest
+// buffer in the group, the extension sketched in the paper's concluding
+// remarks: adapting to the κ-th smallest (optionally clamped from below
+// by a floor) prevents one pathological node from throttling the whole
+// group.
+//
+// Because a bare minimum is idempotent but a multiset of small values
+// is not, entries carry node identities and merges deduplicate per
+// node, keeping the per-period state bounded at a small multiple of κ.
+//
+// KMinEstimator is not safe for concurrent use.
+type KMinEstimator struct {
+	self     gossip.NodeID
+	rank     int
+	floor    int
+	keep     int // per-period entry bound
+	window   []map[gossip.NodeID]int
+	period   uint64
+	localCap int
+	rounds   int
+	perLen   int
+}
+
+// NewKMinEstimator creates an estimator of the rank-th smallest buffer.
+func NewKMinEstimator(self gossip.NodeID, rank, floor, window, samplePeriodRounds, localCap int) (*KMinEstimator, error) {
+	if rank < 1 {
+		return nil, fmt.Errorf("core: rank must be at least 1, got %d", rank)
+	}
+	if floor < 0 {
+		return nil, fmt.Errorf("core: floor must be non-negative, got %d", floor)
+	}
+	if window <= 0 || samplePeriodRounds <= 0 || localCap <= 0 {
+		return nil, fmt.Errorf("core: window, sample period and capacity must be positive (got %d, %d, %d)",
+			window, samplePeriodRounds, localCap)
+	}
+	e := &KMinEstimator{
+		self:     self,
+		rank:     rank,
+		floor:    floor,
+		keep:     4 * rank,
+		window:   make([]map[gossip.NodeID]int, window),
+		localCap: localCap,
+		perLen:   samplePeriodRounds,
+	}
+	for i := range e.window {
+		e.window[i] = map[gossip.NodeID]int{self: localCap}
+	}
+	return e, nil
+}
+
+// Period returns the current sample period.
+func (e *KMinEstimator) Period() uint64 { return e.period }
+
+// SetLocalCapacity tracks a local resize; shrinks apply to the current
+// period immediately.
+func (e *KMinEstimator) SetLocalCapacity(capacity int) error {
+	if capacity <= 0 {
+		return fmt.Errorf("core: local capacity must be positive, got %d", capacity)
+	}
+	e.localCap = capacity
+	slot := e.window[int(e.period)%len(e.window)]
+	if old, ok := slot[e.self]; !ok || capacity < old {
+		slot[e.self] = capacity
+	}
+	return nil
+}
+
+func (e *KMinEstimator) advance() {
+	e.period++
+	e.rounds = 0
+	e.window[int(e.period)%len(e.window)] = map[gossip.NodeID]int{e.self: e.localCap}
+}
+
+// OnRound accounts one gossip round, reporting whether a new period
+// started.
+func (e *KMinEstimator) OnRound() bool {
+	e.rounds++
+	if e.rounds < e.perLen {
+		return false
+	}
+	e.advance()
+	return true
+}
+
+// Header returns the current period and the κ-smallest entries to
+// piggyback.
+func (e *KMinEstimator) Header() (uint64, []MinEntry) {
+	slot := e.window[int(e.period)%len(e.window)]
+	entries := make([]MinEntry, 0, len(slot))
+	for n, c := range slot {
+		entries = append(entries, MinEntry{Node: n, Cap: c})
+	}
+	sort.Slice(entries, func(i, j int) bool {
+		if entries[i].Cap != entries[j].Cap {
+			return entries[i].Cap < entries[j].Cap
+		}
+		return entries[i].Node < entries[j].Node
+	})
+	if len(entries) > e.rank {
+		entries = entries[:e.rank]
+	}
+	return e.period, entries
+}
+
+// Observe merges a received header into the local state, with the same
+// period synchronization rules as MinBuffEstimator.
+func (e *KMinEstimator) Observe(period uint64, entries []MinEntry) {
+	w := uint64(len(e.window))
+	if period > e.period {
+		if period-e.period >= w {
+			for i := range e.window {
+				e.window[i] = map[gossip.NodeID]int{e.self: e.localCap}
+			}
+			e.period = period
+			e.rounds = 0
+		} else {
+			for e.period < period {
+				e.advance()
+			}
+		}
+	} else if e.period-period >= w {
+		return
+	}
+	slot := e.window[int(period)%len(e.window)]
+	for _, ent := range entries {
+		if ent.Cap <= 0 {
+			continue
+		}
+		if old, ok := slot[ent.Node]; !ok || ent.Cap < old {
+			slot[ent.Node] = ent.Cap
+		}
+	}
+	e.trim(slot)
+}
+
+// trim bounds a period map to the keep smallest entries (self always
+// retained).
+func (e *KMinEstimator) trim(slot map[gossip.NodeID]int) {
+	if len(slot) <= e.keep {
+		return
+	}
+	entries := make([]MinEntry, 0, len(slot))
+	for n, c := range slot {
+		entries = append(entries, MinEntry{Node: n, Cap: c})
+	}
+	sort.Slice(entries, func(i, j int) bool {
+		if entries[i].Cap != entries[j].Cap {
+			return entries[i].Cap < entries[j].Cap
+		}
+		return entries[i].Node < entries[j].Node
+	})
+	for _, ent := range entries[e.keep:] {
+		if ent.Node != e.self {
+			delete(slot, ent.Node)
+		}
+	}
+}
+
+// Estimate returns the κ-th smallest capacity over the window (the
+// largest known if fewer than κ nodes are known), clamped from below by
+// the floor.
+func (e *KMinEstimator) Estimate() int {
+	merged := make(map[gossip.NodeID]int)
+	for _, slot := range e.window {
+		for n, c := range slot {
+			if old, ok := merged[n]; !ok || c < old {
+				merged[n] = c
+			}
+		}
+	}
+	caps := make([]int, 0, len(merged))
+	for _, c := range merged {
+		caps = append(caps, c)
+	}
+	sort.Ints(caps)
+	idx := e.rank - 1
+	if idx >= len(caps) {
+		idx = len(caps) - 1
+	}
+	est := caps[idx]
+	if e.floor > 0 && est < e.floor {
+		est = e.floor
+	}
+	return est
+}

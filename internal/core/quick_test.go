@@ -1,0 +1,199 @@
+package core
+
+// Property-based tests (testing/quick) on the adaptation estimators and
+// the rate controller.
+
+import (
+	"math/rand"
+	mrand2 "math/rand/v2"
+	"testing"
+	"testing/quick"
+
+	"adaptivegossip/internal/gossip"
+)
+
+// TestQuickMinBuffEstimatorModel checks the estimator against a
+// reference model: the estimate equals the minimum of the local
+// capacity and all observations folded into periods still inside the
+// window.
+func TestQuickMinBuffEstimatorModel(t *testing.T) {
+	type obs struct {
+		Advance bool
+		Period  uint8
+		Value   uint16
+	}
+	f := func(localCap uint16, window uint8, tape []obs) bool {
+		lc := int(localCap)%200 + 1
+		w := int(window)%4 + 1
+		e, err := NewMinBuffEstimator(w, 3, lc)
+		if err != nil {
+			return false
+		}
+		// Reference model: map period → min folded value.
+		model := map[uint64]int{0: lc}
+		curPeriod := uint64(0)
+		touch := func(p uint64) {
+			if _, ok := model[p]; !ok {
+				model[p] = lc
+			}
+		}
+		for _, o := range tape {
+			if o.Advance {
+				e.OnRound()
+				e.OnRound()
+				e.OnRound() // exactly one period advance (3 rounds)
+				curPeriod++
+				touch(curPeriod)
+				continue
+			}
+			p := uint64(o.Period % 8)
+			v := int(o.Value)%300 + 1
+			e.Observe(p, v)
+			if p > curPeriod {
+				// Clock sync: all periods up to p now exist.
+				if p-curPeriod >= uint64(w) {
+					// Full reset.
+					model = map[uint64]int{}
+					for q := p + 1 - uint64(w); q <= p; q++ {
+						model[q] = lc
+					}
+				} else {
+					for q := curPeriod + 1; q <= p; q++ {
+						touch(q)
+					}
+				}
+				curPeriod = p
+			}
+			if curPeriod >= uint64(w) && p <= curPeriod-uint64(w) {
+				continue // too old, ignored
+			}
+			touch(p)
+			if v < model[p] {
+				model[p] = v
+			}
+		}
+		// Expected estimate: min over the last w periods (missing
+		// periods contribute localCap because slots reset lazily).
+		want := 1 << 30
+		for q := uint64(0); q < uint64(w); q++ {
+			var p uint64
+			if curPeriod >= q {
+				p = curPeriod - q
+			} else {
+				break
+			}
+			val, ok := model[p]
+			if !ok {
+				val = lc
+			}
+			if val < want {
+				want = val
+			}
+		}
+		// Ring slots never rotated yet keep their initial localCap.
+		if curPeriod+1 < uint64(w) && lc < want {
+			want = lc
+		}
+		return e.Estimate() == want
+	}
+	cfg := &quick.Config{MaxCount: 400, Rand: rand.New(rand.NewSource(51))}
+	if err := quick.Check(f, cfg); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestQuickMinBuffEstimateBounds: whatever happens, the estimate is
+// positive and never exceeds the smallest local capacity ever active.
+func TestQuickMinBuffEstimateBounds(t *testing.T) {
+	f := func(localCap uint8, values []uint16, rounds uint8) bool {
+		lc := int(localCap)%100 + 1
+		e, err := NewMinBuffEstimator(2, 2, lc)
+		if err != nil {
+			return false
+		}
+		for i, v := range values {
+			e.Observe(uint64(i%5), int(v)%200-50) // includes invalid ≤0 values
+			if i%3 == 0 {
+				e.OnRound()
+			}
+		}
+		for i := 0; i < int(rounds); i++ {
+			e.OnRound()
+		}
+		est := e.Estimate()
+		return est >= 1 && est <= lc
+	}
+	cfg := &quick.Config{MaxCount: 400, Rand: rand.New(rand.NewSource(52))}
+	if err := quick.Check(f, cfg); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestQuickRateControllerClamped: the rate stays within bounds under
+// arbitrary signal sequences.
+func TestQuickRateControllerClamped(t *testing.T) {
+	p := DefaultParams()
+	p.MinRate = 0.5
+	p.MaxRate = 50
+	p.InitialRate = 10
+	f := func(ages []float64, tokens []float64) bool {
+		c, err := NewRateController(p, mrand2.New(mrand2.NewPCG(9, 9)))
+		if err != nil {
+			return false
+		}
+		n := len(ages)
+		if len(tokens) < n {
+			n = len(tokens)
+		}
+		for i := 0; i < n; i++ {
+			age := ages[i]
+			if age < 0 {
+				age = -age
+			}
+			tok := tokens[i]
+			if tok < 0 {
+				tok = -tok
+			}
+			c.Adjust(age, tok, p.TokenBucketMax)
+			if c.Rate() < p.MinRate || c.Rate() > p.MaxRate {
+				return false
+			}
+		}
+		return true
+	}
+	cfg := &quick.Config{MaxCount: 300, Rand: rand.New(rand.NewSource(53))}
+	if err := quick.Check(f, cfg); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestQuickCongestionEstimatorBounds: avgAge remains within the convex
+// hull of its initial value and all observed ages.
+func TestQuickCongestionEstimatorBounds(t *testing.T) {
+	f := func(initial uint8, ages []uint8) bool {
+		init := float64(initial % 20)
+		c, err := NewCongestionEstimator(0.9, init)
+		if err != nil {
+			return false
+		}
+		lo, hi := init, init
+		for i, a := range ages {
+			age := int(a % 30)
+			c.ObserveOverflow([]gossip.Event{{ID: gossip.EventID{Origin: "q", Seq: uint64(i)}, Age: age}})
+			if float64(age) < lo {
+				lo = float64(age)
+			}
+			if float64(age) > hi {
+				hi = float64(age)
+			}
+			if c.AvgAge() < lo-1e-9 || c.AvgAge() > hi+1e-9 {
+				return false
+			}
+		}
+		return true
+	}
+	cfg := &quick.Config{MaxCount: 300, Rand: rand.New(rand.NewSource(54))}
+	if err := quick.Check(f, cfg); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,131 @@
+package core
+
+import (
+	"fmt"
+	"math/rand/v2"
+)
+
+// Adjustment describes a rate controller decision.
+type Adjustment int
+
+const (
+	// AdjustNone: thresholds not crossed; rate unchanged.
+	AdjustNone Adjustment = iota
+	// AdjustDecreaseAge: avgAge at or below the low-age mark — the
+	// group is congested.
+	AdjustDecreaseAge
+	// AdjustDecreaseUnused: the allowance is going unused (high
+	// avgTokens); it shrinks toward actual usage so it cannot inflate.
+	AdjustDecreaseUnused
+	// AdjustIncrease: resources are free (high avgAge, fully used
+	// allowance) and the randomized coin allowed an increase.
+	AdjustIncrease
+	// AdjustIncreaseSkipped: increase conditions held but the
+	// randomization deferred it to a later round.
+	AdjustIncreaseSkipped
+)
+
+// String names the adjustment.
+func (a Adjustment) String() string {
+	switch a {
+	case AdjustNone:
+		return "none"
+	case AdjustDecreaseAge:
+		return "decrease(age)"
+	case AdjustDecreaseUnused:
+		return "decrease(unused)"
+	case AdjustIncrease:
+		return "increase"
+	case AdjustIncreaseSkipped:
+		return "increase(skipped)"
+	default:
+		return fmt.Sprintf("Adjustment(%d)", int(a))
+	}
+}
+
+// RateStats counts controller decisions.
+type RateStats struct {
+	DecreasesAge    uint64
+	DecreasesUnused uint64
+	Increases       uint64
+	IncreasesSkip   uint64
+}
+
+// RateController implements the sender throttling of paper Figure 5(c).
+// Each round it compares avgAge with the low/high-age marks and the
+// average token-bucket occupancy with the usage marks, then adjusts the
+// allowed rate multiplicatively.
+//
+// RateController is not safe for concurrent use.
+type RateController struct {
+	params Params
+	rate   float64
+	rng    *rand.Rand
+	stats  RateStats
+}
+
+// NewRateController creates a controller starting at params.InitialRate.
+func NewRateController(params Params, rng *rand.Rand) (*RateController, error) {
+	if err := params.Validate(); err != nil {
+		return nil, fmt.Errorf("core: invalid params: %w", err)
+	}
+	if rng == nil {
+		return nil, fmt.Errorf("core: rng must not be nil")
+	}
+	c := &RateController{params: params, rng: rng}
+	c.rate = clamp(params.InitialRate, params.MinRate, params.MaxRate)
+	return c, nil
+}
+
+// Rate returns the current allowed rate in msg/s.
+func (c *RateController) Rate() float64 { return c.rate }
+
+// SetRate overrides the allowed rate (clamped). Intended for tests and
+// for seeding the controller with the offered load.
+func (c *RateController) SetRate(rate float64) {
+	c.rate = clamp(rate, c.params.MinRate, c.params.MaxRate)
+}
+
+// Stats returns a copy of the decision counters.
+func (c *RateController) Stats() RateStats { return c.stats }
+
+// Adjust runs one round of the Figure 5(c) decision rule and returns
+// what happened. maxTokens is the bucket capacity against which
+// avgTokens is compared.
+func (c *RateController) Adjust(avgAge, avgTokens, maxTokens float64) Adjustment {
+	p := c.params
+
+	// Decrease takes precedence: congestion or an unused allowance must
+	// never be masked by a simultaneous increase condition.
+	if avgAge <= p.LowAge {
+		c.rate = clamp(c.rate*(1-p.DecreaseFactor), p.MinRate, p.MaxRate)
+		c.stats.DecreasesAge++
+		return AdjustDecreaseAge
+	}
+	if !p.DisableTokenCheck && avgTokens >= p.HighTokensFrac*maxTokens {
+		c.rate = clamp(c.rate*(1-p.DecreaseFactor), p.MinRate, p.MaxRate)
+		c.stats.DecreasesUnused++
+		return AdjustDecreaseUnused
+	}
+
+	if avgAge >= p.HighAge && (p.DisableTokenCheck || avgTokens <= p.LowTokensFrac*maxTokens) {
+		if c.rng.Float64() >= p.IncreaseProb {
+			c.stats.IncreasesSkip++
+			return AdjustIncreaseSkipped
+		}
+		c.rate = clamp(c.rate*(1+p.IncreaseFactor), p.MinRate, p.MaxRate)
+		c.stats.Increases++
+		return AdjustIncrease
+	}
+	return AdjustNone
+}
+
+func clamp(v, lo, hi float64) float64 {
+	if v < lo {
+		return lo
+	}
+	if v > hi {
+		return hi
+	}
+	return v
+}

@@ -1,0 +1,186 @@
+package core
+
+import (
+	"math/rand/v2"
+	"testing"
+)
+
+func ctrlParams() Params {
+	p := DefaultParams()
+	p.InitialRate = 10
+	p.IncreaseProb = 1 // deterministic increases unless a test overrides
+	return p
+}
+
+func newCtrl(t *testing.T, p Params) *RateController {
+	t.Helper()
+	c, err := NewRateController(p, rand.New(rand.NewPCG(5, 6)))
+	if err != nil {
+		t.Fatalf("NewRateController: %v", err)
+	}
+	return c
+}
+
+func TestRateControllerValidation(t *testing.T) {
+	if _, err := NewRateController(Params{}, rand.New(rand.NewPCG(1, 1))); err == nil {
+		t.Fatal("zero params accepted")
+	}
+	if _, err := NewRateController(DefaultParams(), nil); err == nil {
+		t.Fatal("nil rng accepted")
+	}
+	bad := DefaultParams()
+	bad.LowAge = bad.HighAge + 1
+	if _, err := NewRateController(bad, rand.New(rand.NewPCG(1, 1))); err == nil {
+		t.Fatal("inverted thresholds accepted")
+	}
+}
+
+func TestDefaultParamsValid(t *testing.T) {
+	if err := DefaultParams().Validate(); err != nil {
+		t.Fatalf("default params invalid: %v", err)
+	}
+}
+
+func TestRateDecreaseOnLowAge(t *testing.T) {
+	p := ctrlParams()
+	c := newCtrl(t, p)
+	// avgAge at the low mark: decrease by δdec.
+	if got := c.Adjust(p.LowAge, 0, p.TokenBucketMax); got != AdjustDecreaseAge {
+		t.Fatalf("adjustment = %v", got)
+	}
+	want := 10 * (1 - p.DecreaseFactor)
+	if c.Rate() != want {
+		t.Fatalf("rate = %v, want %v", c.Rate(), want)
+	}
+	if c.Stats().DecreasesAge != 1 {
+		t.Fatalf("stats %+v", c.Stats())
+	}
+}
+
+func TestRateDecreaseOnUnusedAllowance(t *testing.T) {
+	p := ctrlParams()
+	c := newCtrl(t, p)
+	// avgAge healthy but tokens pooling up: the inflated-allowance guard.
+	got := c.Adjust(p.TargetAge, p.HighTokensFrac*p.TokenBucketMax, p.TokenBucketMax)
+	if got != AdjustDecreaseUnused {
+		t.Fatalf("adjustment = %v", got)
+	}
+	if c.Rate() >= 10 {
+		t.Fatalf("rate did not decrease: %v", c.Rate())
+	}
+}
+
+func TestRateIncreaseRequiresUsedAllowance(t *testing.T) {
+	p := ctrlParams()
+	c := newCtrl(t, p)
+	// High age but tokens half-full (above LowTokensFrac): no increase.
+	mid := (p.LowTokensFrac + p.HighTokensFrac) / 2 * p.TokenBucketMax
+	if got := c.Adjust(p.HighAge, mid, p.TokenBucketMax); got != AdjustNone {
+		t.Fatalf("adjustment = %v, want none", got)
+	}
+	// Fully used allowance: increase fires.
+	if got := c.Adjust(p.HighAge, 0, p.TokenBucketMax); got != AdjustIncrease {
+		t.Fatalf("adjustment = %v, want increase", got)
+	}
+	want := 10 * (1 + p.IncreaseFactor)
+	if c.Rate() != want {
+		t.Fatalf("rate = %v, want %v", c.Rate(), want)
+	}
+}
+
+func TestRateDecreasePrecedence(t *testing.T) {
+	p := ctrlParams()
+	c := newCtrl(t, p)
+	// Both a low age and increase-enabling tokens: decrease wins.
+	if got := c.Adjust(p.LowAge, 0, p.TokenBucketMax); got != AdjustDecreaseAge {
+		t.Fatalf("adjustment = %v, want decrease", got)
+	}
+}
+
+func TestRateNeutralZoneHolds(t *testing.T) {
+	p := ctrlParams()
+	c := newCtrl(t, p)
+	mid := (p.LowAge + p.HighAge) / 2
+	for i := 0; i < 10; i++ {
+		if got := c.Adjust(mid, 0, p.TokenBucketMax); got != AdjustNone {
+			t.Fatalf("adjustment = %v in neutral zone", got)
+		}
+	}
+	if c.Rate() != 10 {
+		t.Fatalf("rate moved in neutral zone: %v", c.Rate())
+	}
+}
+
+func TestRateRandomizedIncrease(t *testing.T) {
+	p := ctrlParams()
+	p.IncreaseProb = 0.25
+	c := newCtrl(t, p)
+	fired, skipped := 0, 0
+	for i := 0; i < 4000; i++ {
+		c.SetRate(10)
+		switch c.Adjust(p.HighAge, 0, p.TokenBucketMax) {
+		case AdjustIncrease:
+			fired++
+		case AdjustIncreaseSkipped:
+			skipped++
+		default:
+			t.Fatal("unexpected adjustment")
+		}
+	}
+	frac := float64(fired) / float64(fired+skipped)
+	if frac < 0.2 || frac > 0.3 {
+		t.Fatalf("increase probability ≈ %v, want ≈0.25", frac)
+	}
+}
+
+func TestRateClamping(t *testing.T) {
+	p := ctrlParams()
+	p.MinRate = 5
+	p.MaxRate = 12
+	c := newCtrl(t, p)
+	for i := 0; i < 50; i++ {
+		c.Adjust(p.LowAge, 0, p.TokenBucketMax)
+	}
+	if c.Rate() != 5 {
+		t.Fatalf("rate = %v, want clamp at MinRate 5", c.Rate())
+	}
+	for i := 0; i < 200; i++ {
+		c.Adjust(p.HighAge, 0, p.TokenBucketMax)
+	}
+	if c.Rate() != 12 {
+		t.Fatalf("rate = %v, want clamp at MaxRate 12", c.Rate())
+	}
+	c.SetRate(1000)
+	if c.Rate() != 12 {
+		t.Fatalf("SetRate bypassed clamp: %v", c.Rate())
+	}
+}
+
+func TestRateDisableTokenCheck(t *testing.T) {
+	p := ctrlParams()
+	p.DisableTokenCheck = true
+	c := newCtrl(t, p)
+	// Pooling tokens no longer force decreases.
+	if got := c.Adjust(p.TargetAge, p.TokenBucketMax, p.TokenBucketMax); got != AdjustNone {
+		t.Fatalf("adjustment = %v, want none with token check disabled", got)
+	}
+	// And increases no longer require a used allowance.
+	if got := c.Adjust(p.HighAge, p.TokenBucketMax, p.TokenBucketMax); got != AdjustIncrease {
+		t.Fatalf("adjustment = %v, want increase", got)
+	}
+}
+
+func TestAdjustmentString(t *testing.T) {
+	for adj, want := range map[Adjustment]string{
+		AdjustNone:            "none",
+		AdjustDecreaseAge:     "decrease(age)",
+		AdjustDecreaseUnused:  "decrease(unused)",
+		AdjustIncrease:        "increase",
+		AdjustIncreaseSkipped: "increase(skipped)",
+		Adjustment(42):        "Adjustment(42)",
+	} {
+		if got := adj.String(); got != want {
+			t.Errorf("String(%d) = %q, want %q", int(adj), got, want)
+		}
+	}
+}

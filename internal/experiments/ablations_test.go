@@ -1,0 +1,74 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestAblationTokenCheckShowsInflation(t *testing.T) {
+	base := smallConfig()
+	rows, err := RunAblationTokenCheck(base, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 2 {
+		t.Fatalf("rows %d", len(rows))
+	}
+	withCheck, without := rows[0], rows[1]
+	// Without the guard, the unused allowance inflates well beyond the
+	// guarded variant's.
+	if without.AllowedMean < 1.5*withCheck.AllowedMean {
+		t.Fatalf("no inflation visible: with=%.2f without=%.2f",
+			withCheck.AllowedMean, without.AllowedMean)
+	}
+	var sb strings.Builder
+	RenderAblations(&sb, rows)
+	if !strings.Contains(sb.String(), "avgTokens") {
+		t.Fatal("render missing study name")
+	}
+}
+
+func TestAblationRandomizationRuns(t *testing.T) {
+	base := smallConfig()
+	base.Duration = 100 * 1e9 // 100s
+	rows, err := RunAblationRandomization(base, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 2 {
+		t.Fatalf("rows %d", len(rows))
+	}
+	for _, r := range rows {
+		if r.AllowedMean <= 0 {
+			t.Fatalf("allowed mean empty: %+v", r)
+		}
+	}
+}
+
+func TestAblationWindowRuns(t *testing.T) {
+	base := smallConfig()
+	rows, err := RunAblationWindow(base, []int{1, 4}, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 2 {
+		t.Fatalf("rows %d", len(rows))
+	}
+	// Both variants keep the group functional.
+	for _, r := range rows {
+		if r.AllowedMean <= 0 {
+			t.Fatalf("window variant dead: %+v", r)
+		}
+	}
+}
+
+func TestAblationAlphaRuns(t *testing.T) {
+	base := smallConfig()
+	rows, err := RunAblationAlpha(base, []float64{0.5, 0.9}, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 2 {
+		t.Fatalf("rows %d", len(rows))
+	}
+}

@@ -1,0 +1,477 @@
+// Package experiments regenerates every figure of the paper's
+// evaluation (§2 and §4). Each RunFigureN function sweeps the same
+// parameter axes as the paper and returns rows/series shaped like the
+// published plots; Render methods print them as aligned text tables.
+// The per-experiment index lives in DESIGN.md §4 and the measured
+// outcomes in EXPERIMENTS.md.
+package experiments
+
+import (
+	"fmt"
+	"time"
+
+	"adaptivegossip/internal/core"
+	"adaptivegossip/internal/gossip"
+	"adaptivegossip/internal/membership"
+	"adaptivegossip/internal/metrics"
+	"adaptivegossip/internal/sim"
+	"adaptivegossip/internal/workload"
+)
+
+// Config describes one simulated experiment run.
+type Config struct {
+	// N is the group size (paper: 60).
+	N int
+	// Fanout is F (paper: 4).
+	Fanout int
+	// Period is the gossip period T (paper: 5s; virtual time, so the
+	// value does not affect wall-clock cost).
+	Period time.Duration
+	// MaxAge is the purge bound k.
+	MaxAge int
+	// Buffer is |events|max at every node.
+	Buffer int
+	// IDCacheMult sizes |eventIds|max as a multiple of Buffer.
+	IDCacheMult int
+	// Senders is the number of publishing nodes (the first Senders
+	// node indexes). Zero means all nodes publish.
+	Senders int
+	// OfferedRate is the aggregate offered load in msg/s, split evenly
+	// across senders.
+	OfferedRate float64
+	// Poisson selects exponential instead of periodic inter-arrivals.
+	Poisson bool
+	// PayloadSize is the event payload size in bytes.
+	PayloadSize int
+	// Adaptive enables the paper's mechanism; false runs the lpbcast
+	// baseline.
+	Adaptive bool
+	// Core parametrizes the adaptation (ignored for the baseline).
+	// The zero value means DefaultExperimentCore().
+	Core core.Params
+	// Warmup is excluded from measurements at the start.
+	Warmup time.Duration
+	// Duration is the measured window length.
+	Duration time.Duration
+	// Drain extends the run past the measured window so messages born
+	// late can finish disseminating. Zero means MaxAge×Period.
+	Drain time.Duration
+	// Seed drives all randomness.
+	Seed int64
+	// LatencyMin/LatencyMax bound network delay (uniform).
+	LatencyMin time.Duration
+	LatencyMax time.Duration
+	// Loss is the iid message loss probability.
+	Loss float64
+	// Resizes is the buffer-resize schedule (offsets relative to run
+	// start, i.e. before the warmup window ends or after — caller's
+	// choice).
+	Resizes []workload.Resize
+	// Crashes is the failure schedule: listed nodes become unreachable
+	// at the given offsets (simulation runs only). Crashed nodes still
+	// count in the delivery denominator; size assertions accordingly.
+	Crashes []workload.Crash
+	// Joins is the membership-growth schedule: listed nodes stay idle
+	// and unknown until their join offset (simulation runs only). Like
+	// crashed nodes, late joiners count in the delivery denominator
+	// from the start.
+	Joins []workload.Join
+	// Bucket is the series granularity. Zero means Period.
+	Bucket time.Duration
+}
+
+// DefaultConfig is the paper's experimental setting (§4): 60 processes,
+// fanout 4, 5-second gossip period, every node publishing.
+func DefaultConfig() Config {
+	return Config{
+		N:           60,
+		Fanout:      4,
+		Period:      5 * time.Second,
+		MaxAge:      10,
+		Buffer:      120,
+		IDCacheMult: gossip.DefaultIDCacheMult,
+		Senders:     0, // all
+		OfferedRate: 30,
+		PayloadSize: 16,
+		Warmup:      150 * time.Second,
+		Duration:    450 * time.Second,
+		Seed:        1,
+	}
+}
+
+// DefaultExperimentCore adapts core.DefaultParams to a per-sender share
+// of the offered load.
+func DefaultExperimentCore(offeredShare float64) core.Params {
+	p := core.DefaultParams()
+	p.InitialRate = offeredShare
+	p.MaxRate = 2 * offeredShare // headroom: "offered load is accepted" without pinning
+	return p
+}
+
+func (c Config) withDefaults() Config {
+	if c.Senders <= 0 || c.Senders > c.N {
+		c.Senders = c.N
+	}
+	if c.IDCacheMult <= 0 {
+		c.IDCacheMult = gossip.DefaultIDCacheMult
+	}
+	if c.Drain == 0 {
+		c.Drain = time.Duration(c.MaxAge) * c.Period
+	}
+	if c.Bucket <= 0 {
+		c.Bucket = c.Period
+	}
+	if c.Adaptive && c.Core == (core.Params{}) {
+		c.Core = DefaultExperimentCore(c.OfferedRate / float64(c.Senders))
+	}
+	return c
+}
+
+// Validate reports the first configuration error.
+func (c Config) Validate() error {
+	if c.N < 2 {
+		return fmt.Errorf("experiments: need at least 2 nodes, got %d", c.N)
+	}
+	if c.OfferedRate < 0 {
+		return fmt.Errorf("experiments: offered rate must be non-negative, got %v", c.OfferedRate)
+	}
+	if c.Duration <= 0 {
+		return fmt.Errorf("experiments: duration must be positive, got %v", c.Duration)
+	}
+	if c.Warmup < 0 || c.Drain < 0 {
+		return fmt.Errorf("experiments: warmup/drain must be non-negative")
+	}
+	for _, r := range c.Resizes {
+		if err := r.Validate(c.N); err != nil {
+			return err
+		}
+	}
+	for _, cr := range c.Crashes {
+		if err := cr.Validate(c.N); err != nil {
+			return err
+		}
+	}
+	for _, j := range c.Joins {
+		if err := j.Validate(c.N); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// RunResult aggregates one run's measurements over the window
+// [Warmup, Warmup+Duration).
+type RunResult struct {
+	Config Config
+	// Summary holds delivery coverage and atomicity (threshold 95%).
+	Summary metrics.Summary
+	// InputRate is the admitted broadcast rate in msg/s (aggregate).
+	InputRate float64
+	// OutputRate is the average per-receiver goodput in msg/s:
+	// InputRate × mean coverage. This is the paper's Figure 7(b)
+	// "output rate (input-loss)" reading.
+	OutputRate float64
+	// AtomicRate is the rate of messages reaching >95% of members.
+	AtomicRate float64
+	// AvgDroppedAge is the mean age of capacity-dropped events across
+	// all nodes within the window — the §2.3 congestion signal.
+	AvgDroppedAge float64
+	// DroppedEvents counts capacity drops in the window.
+	DroppedEvents uint64
+	// AllowedRate is the aggregate allowed sending rate (adaptive runs;
+	// 0 for the baseline).
+	AllowedRate float64
+	// OfferedRate echoes the aggregate offered load.
+	OfferedRate float64
+	// AllowedSeries is the aggregate allowed rate per bucket over the
+	// whole run (adaptive only).
+	AllowedSeries []metrics.GaugePoint
+	// AtomicitySeries is the per-bucket atomicity over the whole run.
+	AtomicitySeries []metrics.BucketStat
+	// MinBuffFinal is the minimum over nodes of the final minBuff
+	// estimate (adaptive only) — convergence diagnostic.
+	MinBuffFinal int
+}
+
+// Run executes one simulated experiment.
+func Run(cfg Config) (RunResult, error) {
+	cfg = cfg.withDefaults()
+	if err := cfg.Validate(); err != nil {
+		return RunResult{}, err
+	}
+
+	epoch := sim.Epoch
+	sched := sim.NewScheduler(epoch)
+	netOpts := []sim.NetworkOption{}
+	if cfg.LatencyMax > 0 {
+		netOpts = append(netOpts, sim.WithLatency(cfg.LatencyMin, cfg.LatencyMax))
+	}
+	if cfg.Loss > 0 {
+		netOpts = append(netOpts, sim.WithLoss(cfg.Loss))
+	}
+	network, err := sim.NewNetwork(sched, sim.DeriveRNG(cfg.Seed, 0), netOpts...)
+	if err != nil {
+		return RunResult{}, err
+	}
+
+	names := make([]gossip.NodeID, cfg.N)
+	for i := range names {
+		names[i] = gossip.NodeID(fmt.Sprintf("n%03d", i))
+	}
+	// Late joiners stay out of the membership (and idle) until their
+	// scheduled join instant.
+	joinAt := make(map[int]time.Duration, len(cfg.Joins))
+	for _, j := range cfg.Joins {
+		for _, idx := range j.Nodes {
+			joinAt[idx] = j.At
+		}
+	}
+	registry := membership.NewRegistry()
+	for i, name := range names {
+		if _, late := joinAt[i]; !late {
+			registry.Add(name)
+		}
+	}
+	tracker, err := metrics.NewDeliveryTracker(names)
+	if err != nil {
+		return RunResult{}, err
+	}
+	allowed := metrics.NewGaugeMeter(epoch, cfg.Bucket)
+
+	gp := gossip.Params{
+		Fanout:      cfg.Fanout,
+		Period:      cfg.Period,
+		MaxEvents:   cfg.Buffer,
+		MaxEventIDs: cfg.IDCacheMult * cfg.Buffer,
+		MaxAge:      cfg.MaxAge,
+	}
+	nodes := make([]*core.AdaptiveNode, cfg.N)
+	for i := range nodes {
+		name := names[i]
+		node, err := core.NewAdaptiveNode(core.NodeConfig{
+			ID:       name,
+			Gossip:   gp,
+			Adaptive: cfg.Adaptive,
+			Core:     cfg.Core,
+			Peers:    registry,
+			RNG:      sim.DeriveRNG(cfg.Seed, uint64(i)+1),
+			Deliver: func(ev gossip.Event) {
+				tracker.Deliver(ev.ID, name, sched.Now())
+			},
+			Start: epoch,
+		})
+		if err != nil {
+			return RunResult{}, err
+		}
+		nodes[i] = node
+		network.Attach(name, func(m *gossip.Message) {
+			node.Receive(m, sched.Now())
+		})
+	}
+
+	// Gossip rounds: each node ticks every Period with a random initial
+	// phase so the cluster does not tick in lockstep. Late joiners'
+	// first tick is deferred to their join instant.
+	startTicks := func(i int) {
+		phaseRNG := sim.DeriveRNG(cfg.Seed, 10_000+uint64(i))
+		var tick func()
+		tick = func() {
+			node := nodes[i]
+			for _, out := range node.Tick(sched.Now()) {
+				network.Send(names[i], out.To, out.Msg)
+			}
+			if cfg.Adaptive && i < cfg.Senders {
+				allowed.Observe(sched.Now(), node.AllowedRate())
+			}
+			sched.After(cfg.Period, tick)
+		}
+		phase := time.Duration(phaseRNG.Float64() * float64(cfg.Period))
+		sched.After(phase, tick)
+	}
+
+	// Offered load: senders are indexed by node; late-joining senders
+	// are created at join time.
+	senders := make([]*workload.SimSender, cfg.Senders)
+	perSender := cfg.OfferedRate / float64(cfg.Senders)
+	startSender := func(i int) error {
+		node := nodes[i]
+		sender, err := workload.StartSimSender(sched, workload.SenderConfig{
+			Rate:        perSender,
+			PayloadSize: cfg.PayloadSize,
+			Poisson:     cfg.Poisson,
+		}, func(payload []byte) bool {
+			ev, ok := node.Publish(payload, sched.Now())
+			if ok {
+				tracker.Broadcast(ev.ID, sched.Now())
+			}
+			return ok
+		}, sim.DeriveRNG(cfg.Seed, 20_000+uint64(i)))
+		if err != nil {
+			return err
+		}
+		senders[i] = sender
+		return nil
+	}
+	for i := 0; i < cfg.N; i++ {
+		if _, late := joinAt[i]; late {
+			continue
+		}
+		startTicks(i)
+		if i < cfg.Senders {
+			if err := startSender(i); err != nil {
+				return RunResult{}, err
+			}
+		}
+	}
+
+	// Join schedule: at the join instant a node enters the membership,
+	// starts ticking and starts offering load.
+	for _, j := range cfg.Joins {
+		j := j
+		sched.At(epoch.Add(j.At), func() {
+			for _, idx := range j.Nodes {
+				registry.Add(names[idx])
+				startTicks(idx)
+				if idx < cfg.Senders && senders[idx] == nil {
+					if err := startSender(idx); err != nil {
+						panic(fmt.Sprintf("experiments: join: %v", err))
+					}
+				}
+			}
+		})
+	}
+
+	// Buffer-resize schedule.
+	for _, r := range cfg.Resizes {
+		r := r
+		sched.At(epoch.Add(r.At), func() {
+			for _, idx := range r.Nodes {
+				if err := nodes[idx].SetBufferCapacity(r.Capacity); err != nil {
+					panic(fmt.Sprintf("experiments: resize: %v", err))
+				}
+			}
+		})
+	}
+
+	// Failure schedule: crashed nodes drop all traffic and stop
+	// publishing from then on.
+	for _, cr := range cfg.Crashes {
+		cr := cr
+		sched.At(epoch.Add(cr.At), func() {
+			for _, idx := range cr.Nodes {
+				network.SetDown(names[idx], true)
+				registry.Remove(names[idx])
+				if idx < len(senders) && senders[idx] != nil {
+					senders[idx].Stop()
+				}
+			}
+		})
+	}
+
+	// Capture dropped-age counters at the window edges so the measured
+	// average covers exactly the measurement window.
+	from := epoch.Add(cfg.Warmup)
+	to := from.Add(cfg.Duration)
+	var startAgeSum, startDropped uint64
+	sched.At(from, func() {
+		for _, n := range nodes {
+			st := n.GossipStats()
+			startAgeSum += st.DroppedAgeSum
+			startDropped += st.DroppedCapacity
+		}
+	})
+	var endAgeSum, endDropped uint64
+	sched.At(to, func() {
+		for _, n := range nodes {
+			st := n.GossipStats()
+			endAgeSum += st.DroppedAgeSum
+			endDropped += st.DroppedCapacity
+		}
+	})
+
+	end := to.Add(cfg.Drain)
+	sched.RunUntil(end)
+
+	// Senders stop implicitly: the scheduler simply stops executing.
+	for _, s := range senders {
+		if s != nil {
+			s.Stop()
+		}
+	}
+
+	res := RunResult{
+		Config:      cfg,
+		OfferedRate: cfg.OfferedRate,
+		Summary:     tracker.Results(from, to, metrics.DefaultAtomicityThreshold),
+	}
+	secs := cfg.Duration.Seconds()
+	res.InputRate = float64(res.Summary.Messages) / secs
+	res.OutputRate = res.InputRate * res.Summary.MeanReceiversPct / 100
+	res.AtomicRate = res.InputRate * res.Summary.AtomicityPct / 100
+	if d := endDropped - startDropped; d > 0 {
+		res.AvgDroppedAge = float64(endAgeSum-startAgeSum) / float64(d)
+		res.DroppedEvents = d
+	}
+	if cfg.Adaptive {
+		if mean, ok := allowed.MeanWindow(from, to); ok {
+			res.AllowedRate = mean * float64(cfg.Senders)
+		}
+		res.AllowedSeries = scaleGauge(allowed.Series(epoch, end), float64(cfg.Senders))
+		res.MinBuffFinal = nodes[0].MinBuffEstimate()
+		for _, n := range nodes[1:] {
+			if mb := n.MinBuffEstimate(); mb < res.MinBuffFinal {
+				res.MinBuffFinal = mb
+			}
+		}
+	}
+	res.AtomicitySeries = tracker.Series(epoch, end, cfg.Bucket, metrics.DefaultAtomicityThreshold)
+	return res, nil
+}
+
+func scaleGauge(points []metrics.GaugePoint, factor float64) []metrics.GaugePoint {
+	out := make([]metrics.GaugePoint, len(points))
+	for i, p := range points {
+		p.Mean *= factor
+		out[i] = p
+	}
+	return out
+}
+
+// RunSeeds runs cfg with consecutive seeds and averages the scalar
+// results (series come from the first seed).
+func RunSeeds(cfg Config, seeds int) (RunResult, error) {
+	if seeds <= 0 {
+		seeds = 1
+	}
+	var agg RunResult
+	for s := 0; s < seeds; s++ {
+		c := cfg
+		c.Seed = cfg.Seed + int64(s)
+		res, err := Run(c)
+		if err != nil {
+			return RunResult{}, err
+		}
+		if s == 0 {
+			agg = res
+			continue
+		}
+		agg.Summary.MeanReceiversPct += res.Summary.MeanReceiversPct
+		agg.Summary.AtomicityPct += res.Summary.AtomicityPct
+		agg.Summary.Messages += res.Summary.Messages
+		agg.InputRate += res.InputRate
+		agg.OutputRate += res.OutputRate
+		agg.AtomicRate += res.AtomicRate
+		agg.AvgDroppedAge += res.AvgDroppedAge
+		agg.AllowedRate += res.AllowedRate
+	}
+	k := float64(seeds)
+	agg.Summary.Messages /= seeds
+	agg.Summary.MeanReceiversPct /= k
+	agg.Summary.AtomicityPct /= k
+	agg.InputRate /= k
+	agg.OutputRate /= k
+	agg.AtomicRate /= k
+	agg.AvgDroppedAge /= k
+	agg.AllowedRate /= k
+	return agg, nil
+}

@@ -1,0 +1,206 @@
+package experiments
+
+import (
+	"testing"
+	"time"
+
+	"adaptivegossip/internal/workload"
+)
+
+// smallConfig is a fast (sub-second) experiment configuration used by
+// the shape tests: 20 nodes, fanout 3, 1-second virtual rounds.
+func smallConfig() Config {
+	return Config{
+		N:           20,
+		Fanout:      3,
+		Period:      time.Second,
+		MaxAge:      10,
+		Buffer:      30,
+		OfferedRate: 4,
+		PayloadSize: 8,
+		Warmup:      40 * time.Second,
+		Duration:    120 * time.Second,
+		Seed:        11,
+	}
+}
+
+func TestConfigValidate(t *testing.T) {
+	cases := []struct {
+		name string
+		mut  func(*Config)
+	}{
+		{"too few nodes", func(c *Config) { c.N = 1 }},
+		{"negative rate", func(c *Config) { c.OfferedRate = -1 }},
+		{"zero duration", func(c *Config) { c.Duration = 0 }},
+		{"negative warmup", func(c *Config) { c.Warmup = -time.Second }},
+		{"bad resize", func(c *Config) {
+			c.Resizes = []workload.Resize{{At: 0, Nodes: []int{99}, Capacity: 5}}
+		}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			cfg := smallConfig().withDefaults()
+			tc.mut(&cfg)
+			if err := cfg.Validate(); err == nil {
+				t.Fatal("want error, got nil")
+			}
+		})
+	}
+	if err := smallConfig().withDefaults().Validate(); err != nil {
+		t.Fatalf("small config invalid: %v", err)
+	}
+	if err := DefaultConfig().withDefaults().Validate(); err != nil {
+		t.Fatalf("default config invalid: %v", err)
+	}
+}
+
+func TestRunBaselineHealthyAtLowRate(t *testing.T) {
+	cfg := smallConfig()
+	res, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Summary.Messages < 300 {
+		t.Fatalf("only %d messages measured", res.Summary.Messages)
+	}
+	if res.Summary.MeanReceiversPct < 97 {
+		t.Fatalf("mean receivers %.1f%%, want healthy ≥97%%", res.Summary.MeanReceiversPct)
+	}
+	if res.Summary.AtomicityPct < 90 {
+		t.Fatalf("atomicity %.1f%%, want ≥90%% at low rate", res.Summary.AtomicityPct)
+	}
+	// Input equals offered for the unbounded baseline.
+	if res.InputRate < 3.8 || res.InputRate > 4.2 {
+		t.Fatalf("input rate %.2f, want ≈4", res.InputRate)
+	}
+}
+
+// Capacity note: with T=1s, F=3, B=30, the maximum reliable rate is
+// ≈28 msg/s (rate ∝ F·B/T), so "overload" in these tests means ≳100.
+
+func TestRunBaselineDegradesUnderOverload(t *testing.T) {
+	cfg := smallConfig()
+	cfg.OfferedRate = 120 // ≈4× capacity for buffer 30
+	res, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Summary.MeanReceiversPct > 90 {
+		t.Fatalf("mean receivers %.1f%% under overload, want degradation", res.Summary.MeanReceiversPct)
+	}
+	if res.Summary.AtomicityPct > 30 {
+		t.Fatalf("atomicity %.1f%% under overload, want collapse", res.Summary.AtomicityPct)
+	}
+	if res.AvgDroppedAge >= 5 {
+		t.Fatalf("dropped age %.1f under overload, want young drops", res.AvgDroppedAge)
+	}
+}
+
+func TestRunAdaptiveProtectsReliability(t *testing.T) {
+	base := smallConfig()
+	base.OfferedRate = 120
+
+	lp, err := Run(base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ad := base
+	ad.Adaptive = true
+	adRes, err := Run(ad)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The mechanism throttles input below offered...
+	if adRes.InputRate >= 0.8*base.OfferedRate {
+		t.Fatalf("adaptive input %.2f did not throttle below offered %v", adRes.InputRate, base.OfferedRate)
+	}
+	// ...and reliability is far better than the baseline's.
+	if adRes.Summary.AtomicityPct < lp.Summary.AtomicityPct+30 {
+		t.Fatalf("adaptive atomicity %.1f%% vs baseline %.1f%%: no clear win",
+			adRes.Summary.AtomicityPct, lp.Summary.AtomicityPct)
+	}
+	if adRes.Summary.MeanReceiversPct < 92 {
+		t.Fatalf("adaptive mean receivers %.1f%%", adRes.Summary.MeanReceiversPct)
+	}
+	// Input ≈ output for the adaptive run (Fig. 7's no-loss claim).
+	if adRes.OutputRate < 0.9*adRes.InputRate {
+		t.Fatalf("adaptive output %.2f ≪ input %.2f", adRes.OutputRate, adRes.InputRate)
+	}
+	if adRes.AllowedRate <= 0 {
+		t.Fatal("allowed rate not measured")
+	}
+	if adRes.MinBuffFinal != base.Buffer {
+		t.Fatalf("minBuff converged to %d, want %d", adRes.MinBuffFinal, base.Buffer)
+	}
+}
+
+func TestRunDeterministicForSameSeed(t *testing.T) {
+	cfg := smallConfig()
+	cfg.OfferedRate = 120 // overload: per-message outcomes vary with the seed
+	cfg.Duration = 60 * time.Second
+	a, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Summary != b.Summary || a.InputRate != b.InputRate || a.AvgDroppedAge != b.AvgDroppedAge {
+		t.Fatalf("same seed diverged:\n a=%+v\n b=%+v", a, b)
+	}
+	c := cfg
+	c.Seed = 999
+	d, err := Run(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Summary == d.Summary {
+		t.Fatal("different seeds produced identical summaries (suspicious)")
+	}
+}
+
+func TestRunWithLossStillDelivers(t *testing.T) {
+	cfg := smallConfig()
+	cfg.Loss = 0.1
+	cfg.LatencyMin = 5 * time.Millisecond
+	cfg.LatencyMax = 80 * time.Millisecond
+	res, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Gossip's redundancy shrugs off 10% iid loss at low load.
+	if res.Summary.MeanReceiversPct < 95 {
+		t.Fatalf("mean receivers %.1f%% with 10%% loss", res.Summary.MeanReceiversPct)
+	}
+}
+
+func TestRunResizeScheduleApplies(t *testing.T) {
+	cfg := smallConfig()
+	cfg.Adaptive = true
+	cfg.Resizes = []workload.Resize{
+		{At: 60 * time.Second, Nodes: []int{0, 1}, Capacity: 8},
+	}
+	res, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.MinBuffFinal != 8 {
+		t.Fatalf("minBuff final %d, want the resized 8", res.MinBuffFinal)
+	}
+}
+
+func TestRunSeedsAverages(t *testing.T) {
+	cfg := smallConfig()
+	cfg.Duration = 60 * time.Second
+	res, err := RunSeeds(cfg, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Summary.MeanReceiversPct <= 0 || res.InputRate <= 0 {
+		t.Fatalf("averaged result empty: %+v", res)
+	}
+	if _, err := RunSeeds(Config{}, 1); err == nil {
+		t.Fatal("invalid config accepted")
+	}
+}

@@ -1,0 +1,216 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"math"
+)
+
+// Figure2Row is one point of paper Figure 2 (reliability degradation of
+// static lpbcast as the input rate grows).
+type Figure2Row struct {
+	Rate             float64 // offered = input rate, msg/s
+	AtomicityPct     float64 // messages reaching >95% of receivers
+	MeanReceiversPct float64
+	AvgDroppedAge    float64 // the §2 text's 8.5 → 3.7 → 2.7 progression
+}
+
+// RunFigure2 sweeps the offered rate with the baseline algorithm.
+func RunFigure2(base Config, rates []float64, seeds int) ([]Figure2Row, error) {
+	rows := make([]Figure2Row, 0, len(rates))
+	for _, rate := range rates {
+		cfg := base
+		cfg.Adaptive = false
+		cfg.OfferedRate = rate
+		res, err := RunSeeds(cfg, seeds)
+		if err != nil {
+			return nil, fmt.Errorf("figure 2 rate %v: %w", rate, err)
+		}
+		rows = append(rows, Figure2Row{
+			Rate:             rate,
+			AtomicityPct:     res.Summary.AtomicityPct,
+			MeanReceiversPct: res.Summary.MeanReceiversPct,
+			AvgDroppedAge:    res.AvgDroppedAge,
+		})
+	}
+	return rows, nil
+}
+
+// RenderFigure2 prints the Figure 2 series.
+func RenderFigure2(w io.Writer, rows []Figure2Row) {
+	fmt.Fprintln(w, "# Figure 2 — Reliability degradation (lpbcast, static buffers)")
+	fmt.Fprintln(w, "# rate(msg/s)  msgs>95%(%)  mean-receivers(%)  avg-dropped-age(hops)")
+	for _, r := range rows {
+		fmt.Fprintf(w, "%12.1f  %10.1f  %17.1f  %21.2f\n",
+			r.Rate, r.AtomicityPct, r.MeanReceiversPct, r.AvgDroppedAge)
+	}
+}
+
+// Figure4Row is one point of paper Figure 4 (maximum input rate
+// sustaining the reliability target, per buffer size) and of the §2.3
+// critical-age table (T1).
+type Figure4Row struct {
+	Buffer        int
+	MaxRate       float64 // msg/s: largest rate with mean coverage ≥ target
+	AvgDroppedAge float64 // dropped age at that rate — ta's constancy
+	CoveragePct   float64 // achieved coverage at MaxRate
+}
+
+// RunFigure4 finds, for each buffer size, the maximum aggregate rate
+// that still delivers messages to at least targetPct of members on
+// average (paper: 95%), by bisection over the offered rate.
+func RunFigure4(base Config, buffers []int, targetPct float64, seeds int) ([]Figure4Row, error) {
+	if targetPct <= 0 {
+		targetPct = 95
+	}
+	rows := make([]Figure4Row, 0, len(buffers))
+	for _, buffer := range buffers {
+		row, err := maxRateFor(base, buffer, targetPct, seeds)
+		if err != nil {
+			return nil, fmt.Errorf("figure 4 buffer %d: %w", buffer, err)
+		}
+		rows = append(rows, row)
+	}
+	return rows, nil
+}
+
+func maxRateFor(base Config, buffer int, targetPct float64, seeds int) (Figure4Row, error) {
+	cfg := base
+	cfg.Adaptive = false
+	cfg.Buffer = buffer
+
+	measure := func(rate float64) (RunResult, error) {
+		c := cfg
+		c.OfferedRate = rate
+		return RunSeeds(c, seeds)
+	}
+
+	// Bracket: grow hi until coverage drops below target (or a cap).
+	lo, hi := 0.5, float64(buffer) // rates scale ~linearly with buffer
+	loRes, err := measure(lo)
+	if err != nil {
+		return Figure4Row{}, err
+	}
+	if loRes.Summary.MeanReceiversPct < targetPct {
+		// Even a trickle fails: report the floor.
+		return Figure4Row{Buffer: buffer, MaxRate: lo,
+			AvgDroppedAge: loRes.AvgDroppedAge, CoveragePct: loRes.Summary.MeanReceiversPct}, nil
+	}
+	best := loRes
+	bestRate := lo
+	for iter := 0; iter < 8; iter++ {
+		mid := (lo + hi) / 2
+		res, err := measure(mid)
+		if err != nil {
+			return Figure4Row{}, err
+		}
+		if res.Summary.MeanReceiversPct >= targetPct {
+			lo, best, bestRate = mid, res, mid
+		} else {
+			hi = mid
+		}
+	}
+	return Figure4Row{
+		Buffer:        buffer,
+		MaxRate:       bestRate,
+		AvgDroppedAge: best.AvgDroppedAge,
+		CoveragePct:   best.Summary.MeanReceiversPct,
+	}, nil
+}
+
+// CriticalAge is the §2.3 calibration: the mean of the per-buffer
+// dropped ages at the maximum rate. The paper's observation is that
+// these are all ≈ equal (5.3 hops in their system); the estimator's
+// TargetAge should be set to this value.
+func CriticalAge(rows []Figure4Row) float64 {
+	if len(rows) == 0 {
+		return 0
+	}
+	var sum float64
+	for _, r := range rows {
+		sum += r.AvgDroppedAge
+	}
+	return sum / float64(len(rows))
+}
+
+// CriticalAgeSpread returns the max absolute deviation from the mean —
+// how constant the critical age is across buffer sizes.
+func CriticalAgeSpread(rows []Figure4Row) float64 {
+	mean := CriticalAge(rows)
+	var worst float64
+	for _, r := range rows {
+		if d := math.Abs(r.AvgDroppedAge - mean); d > worst {
+			worst = d
+		}
+	}
+	return worst
+}
+
+// RenderFigure4 prints the Figure 4 series plus the T1 critical-age
+// table.
+func RenderFigure4(w io.Writer, rows []Figure4Row) {
+	fmt.Fprintln(w, "# Figure 4 / Table T1 — Maximum input rate and critical age per buffer size")
+	fmt.Fprintln(w, "# buffer(msg)  max-rate(msg/s)  coverage(%)  avg-dropped-age(hops)")
+	for _, r := range rows {
+		fmt.Fprintf(w, "%12d  %15.2f  %11.1f  %21.2f\n",
+			r.Buffer, r.MaxRate, r.CoveragePct, r.AvgDroppedAge)
+	}
+	fmt.Fprintf(w, "# critical age ta = %.2f hops (max deviation %.2f)\n",
+		CriticalAge(rows), CriticalAgeSpread(rows))
+}
+
+// Figure6Row is one point of paper Figure 6 (offered, adaptive-allowed
+// and maximum rates per buffer size).
+type Figure6Row struct {
+	Buffer  int
+	Offered float64
+	Allowed float64 // mean aggregate allowed rate computed by the mechanism
+	Maximum float64 // the Figure 4 ideal
+	Input   float64 // admitted rate under the allowance
+}
+
+// RunFigure6 runs the adaptive algorithm at a constant offered load
+// across buffer sizes. fig4 supplies the "maximum" line; rows are
+// matched by buffer size (missing buffers get Maximum = 0).
+func RunFigure6(base Config, buffers []int, fig4 []Figure4Row, seeds int) ([]Figure6Row, error) {
+	maxFor := make(map[int]float64, len(fig4))
+	for _, r := range fig4 {
+		maxFor[r.Buffer] = r.MaxRate
+	}
+	rows := make([]Figure6Row, 0, len(buffers))
+	for _, buffer := range buffers {
+		cfg := base
+		cfg.Adaptive = true
+		cfg.Buffer = buffer
+		cfg.Core = DefaultExperimentCore(cfg.OfferedRate / float64(orAll(cfg.Senders, cfg.N)))
+		res, err := RunSeeds(cfg, seeds)
+		if err != nil {
+			return nil, fmt.Errorf("figure 6 buffer %d: %w", buffer, err)
+		}
+		rows = append(rows, Figure6Row{
+			Buffer:  buffer,
+			Offered: cfg.OfferedRate,
+			Allowed: res.AllowedRate,
+			Maximum: maxFor[buffer],
+			Input:   res.InputRate,
+		})
+	}
+	return rows, nil
+}
+
+func orAll(senders, n int) int {
+	if senders <= 0 || senders > n {
+		return n
+	}
+	return senders
+}
+
+// RenderFigure6 prints the Figure 6 series.
+func RenderFigure6(w io.Writer, rows []Figure6Row) {
+	fmt.Fprintln(w, "# Figure 6 — Ideal and adaptive rates")
+	fmt.Fprintln(w, "# buffer(msg)  offered(msg/s)  allowed(msg/s)  maximum(msg/s)  input(msg/s)")
+	for _, r := range rows {
+		fmt.Fprintf(w, "%12d  %14.1f  %14.2f  %14.2f  %12.2f\n",
+			r.Buffer, r.Offered, r.Allowed, r.Maximum, r.Input)
+	}
+}

@@ -1,0 +1,92 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+)
+
+// Figure7Row pairs baseline and adaptive rate/age measurements for one
+// buffer size (paper Figure 7 a/b/c).
+type Figure7Row struct {
+	Buffer int
+	// lpbcast: unbounded input equals the offered load.
+	LpInput, LpOutput, LpDroppedAge float64
+	// adaptive: input tracks the allowance; output equals input when no
+	// messages are lost.
+	AdInput, AdOutput, AdDroppedAge float64
+}
+
+// Figure8Row pairs baseline and adaptive reliability for one buffer
+// size (paper Figure 8 a/b).
+type Figure8Row struct {
+	Buffer int
+	// Average % of receivers per message (Fig. 8a).
+	LpMeanReceivers, AdMeanReceivers float64
+	// % of messages delivered to >95% of nodes (Fig. 8b).
+	LpAtomicity, AdAtomicity float64
+}
+
+// RunFigures78 sweeps buffer sizes running the baseline and the
+// adaptive algorithm at the same constant offered load, returning both
+// figures' rows from the same runs (as the paper does).
+func RunFigures78(base Config, buffers []int, seeds int) ([]Figure7Row, []Figure8Row, error) {
+	rows7 := make([]Figure7Row, 0, len(buffers))
+	rows8 := make([]Figure8Row, 0, len(buffers))
+	for _, buffer := range buffers {
+		lpCfg := base
+		lpCfg.Adaptive = false
+		lpCfg.Buffer = buffer
+		lp, err := RunSeeds(lpCfg, seeds)
+		if err != nil {
+			return nil, nil, fmt.Errorf("figure 7/8 lpbcast buffer %d: %w", buffer, err)
+		}
+		adCfg := base
+		adCfg.Adaptive = true
+		adCfg.Buffer = buffer
+		adCfg.Core = DefaultExperimentCore(adCfg.OfferedRate / float64(orAll(adCfg.Senders, adCfg.N)))
+		ad, err := RunSeeds(adCfg, seeds)
+		if err != nil {
+			return nil, nil, fmt.Errorf("figure 7/8 adaptive buffer %d: %w", buffer, err)
+		}
+		rows7 = append(rows7, Figure7Row{
+			Buffer:       buffer,
+			LpInput:      lp.InputRate,
+			LpOutput:     lp.OutputRate,
+			LpDroppedAge: lp.AvgDroppedAge,
+			AdInput:      ad.InputRate,
+			AdOutput:     ad.OutputRate,
+			AdDroppedAge: ad.AvgDroppedAge,
+		})
+		rows8 = append(rows8, Figure8Row{
+			Buffer:          buffer,
+			LpMeanReceivers: lp.Summary.MeanReceiversPct,
+			AdMeanReceivers: ad.Summary.MeanReceiversPct,
+			LpAtomicity:     lp.Summary.AtomicityPct,
+			AdAtomicity:     ad.Summary.AtomicityPct,
+		})
+	}
+	return rows7, rows8, nil
+}
+
+// RenderFigure7 prints the Figure 7 series (input rate, output rate and
+// dropped age, lpbcast vs adaptive).
+func RenderFigure7(w io.Writer, rows []Figure7Row) {
+	fmt.Fprintln(w, "# Figure 7 — Rates and average ages (lpbcast vs adaptive)")
+	fmt.Fprintln(w, "# buffer(msg)  lp-in(msg/s)  lp-out(msg/s)  lp-age(hops)  ad-in(msg/s)  ad-out(msg/s)  ad-age(hops)")
+	for _, r := range rows {
+		fmt.Fprintf(w, "%12d  %12.2f  %13.2f  %12.2f  %12.2f  %13.2f  %12.2f\n",
+			r.Buffer, r.LpInput, r.LpOutput, r.LpDroppedAge,
+			r.AdInput, r.AdOutput, r.AdDroppedAge)
+	}
+}
+
+// RenderFigure8 prints the Figure 8 series (average receivers and
+// atomically delivered messages, lpbcast vs adaptive).
+func RenderFigure8(w io.Writer, rows []Figure8Row) {
+	fmt.Fprintln(w, "# Figure 8 — Reliability degradation (lpbcast vs adaptive)")
+	fmt.Fprintln(w, "# buffer(msg)  lp-receivers(%)  ad-receivers(%)  lp-atomic(%)  ad-atomic(%)")
+	for _, r := range rows {
+		fmt.Fprintf(w, "%12d  %15.1f  %15.1f  %12.1f  %12.1f\n",
+			r.Buffer, r.LpMeanReceivers, r.AdMeanReceivers, r.LpAtomicity, r.AdAtomicity)
+	}
+}

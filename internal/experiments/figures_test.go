@@ -1,0 +1,141 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestFigure2ShapeReliabilityFalls(t *testing.T) {
+	base := smallConfig()
+	rows, err := RunFigure2(base, []float64{8, 120}, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 2 {
+		t.Fatalf("rows %d", len(rows))
+	}
+	low, high := rows[0], rows[1]
+	if low.AtomicityPct < high.AtomicityPct+30 {
+		t.Fatalf("atomicity did not collapse: %.1f%% → %.1f%%", low.AtomicityPct, high.AtomicityPct)
+	}
+	// Under overload drops are young — the paper's congestion signal.
+	if high.AvgDroppedAge >= 5 {
+		t.Fatalf("overload dropped age %.2f, want young drops", high.AvgDroppedAge)
+	}
+	// At low rate either nothing is capacity-dropped or drops are old.
+	if low.AvgDroppedAge != 0 && low.AvgDroppedAge <= high.AvgDroppedAge {
+		t.Fatalf("dropped age did not fall with rate: %.2f → %.2f", low.AvgDroppedAge, high.AvgDroppedAge)
+	}
+	var sb strings.Builder
+	RenderFigure2(&sb, rows)
+	if !strings.Contains(sb.String(), "Figure 2") {
+		t.Fatal("render missing header")
+	}
+}
+
+func TestFigure4MaxRateGrowsWithBufferAndCriticalAgeConstant(t *testing.T) {
+	base := smallConfig()
+	base.Duration = 100 * time.Second
+	rows, err := RunFigure4(base, []int{20, 40}, 95, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rows[1].MaxRate < 1.5*rows[0].MaxRate {
+		t.Fatalf("max rate not ≈linear in buffer: %v vs %v", rows[0].MaxRate, rows[1].MaxRate)
+	}
+	for _, r := range rows {
+		if r.CoveragePct < 95 {
+			t.Fatalf("buffer %d: coverage %.1f%% below target at reported max", r.Buffer, r.CoveragePct)
+		}
+	}
+	// The §2.3 phenomenon: critical ages approximately equal.
+	if spread := CriticalAgeSpread(rows); spread > 1.0 {
+		t.Fatalf("critical age spread %.2f hops, want ≈constant", spread)
+	}
+	if ta := CriticalAge(rows); ta < 2 || ta > 10 {
+		t.Fatalf("critical age %.2f out of sane range", ta)
+	}
+	var sb strings.Builder
+	RenderFigure4(&sb, rows)
+	if !strings.Contains(sb.String(), "critical age") {
+		t.Fatal("render missing critical age line")
+	}
+}
+
+func TestCriticalAgeEmpty(t *testing.T) {
+	if CriticalAge(nil) != 0 || CriticalAgeSpread(nil) != 0 {
+		t.Fatal("empty rows should yield 0")
+	}
+}
+
+func TestFigure6AllowedTracksCapacityAndOffered(t *testing.T) {
+	base := smallConfig()
+	base.OfferedRate = 20
+	fig4 := []Figure4Row{{Buffer: 6, MaxRate: 5.5}, {Buffer: 60, MaxRate: 55}}
+	rows, err := RunFigure6(base, []int{6, 60}, fig4, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	congested, uncongested := rows[0], rows[1]
+	// Congested: allowed well below offered, in the vicinity of max.
+	if congested.Allowed >= 0.8*congested.Offered {
+		t.Fatalf("buffer 6: allowed %.2f did not throttle below offered %.1f",
+			congested.Allowed, congested.Offered)
+	}
+	if congested.Maximum != 5.5 {
+		t.Fatalf("fig4 join broken: %v", congested.Maximum)
+	}
+	// Uncongested: the offered load is accepted (within 25%).
+	if uncongested.Input < 0.75*uncongested.Offered {
+		t.Fatalf("buffer 60: input %.2f rejected too much of offered %.1f",
+			uncongested.Input, uncongested.Offered)
+	}
+	var sb strings.Builder
+	RenderFigure6(&sb, rows)
+	if !strings.Contains(sb.String(), "Figure 6") {
+		t.Fatal("render missing header")
+	}
+}
+
+func TestFigures78AdaptiveWins(t *testing.T) {
+	base := smallConfig()
+	base.OfferedRate = 40
+	rows7, rows8, err := RunFigures78(base, []int{12}, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r7, r8 := rows7[0], rows8[0]
+	// lpbcast pushes the whole offered load and loses much of it.
+	if r7.LpInput < 38 {
+		t.Fatalf("lp input %.2f, want ≈40", r7.LpInput)
+	}
+	if r7.LpOutput > 0.8*r7.LpInput {
+		t.Fatalf("lp output %.2f vs input %.2f: expected heavy loss", r7.LpOutput, r7.LpInput)
+	}
+	// adaptive throttles and keeps input ≈ output.
+	if r7.AdInput >= 0.7*r7.LpInput {
+		t.Fatalf("adaptive input %.2f did not throttle", r7.AdInput)
+	}
+	if r7.AdOutput < 0.9*r7.AdInput {
+		t.Fatalf("adaptive output %.2f ≪ input %.2f", r7.AdOutput, r7.AdInput)
+	}
+	// the congestion signal: lp dropped age collapses, adaptive holds
+	// it higher.
+	if r7.AdDroppedAge <= r7.LpDroppedAge {
+		t.Fatalf("dropped ages: adaptive %.2f vs lpbcast %.2f", r7.AdDroppedAge, r7.LpDroppedAge)
+	}
+	// Figure 8: reliability gap.
+	if r8.AdMeanReceivers < r8.LpMeanReceivers+10 {
+		t.Fatalf("mean receivers: adaptive %.1f%% vs lp %.1f%%", r8.AdMeanReceivers, r8.LpMeanReceivers)
+	}
+	if r8.AdAtomicity < r8.LpAtomicity+30 {
+		t.Fatalf("atomicity: adaptive %.1f%% vs lp %.1f%%", r8.AdAtomicity, r8.LpAtomicity)
+	}
+	var sb strings.Builder
+	RenderFigure7(&sb, rows7)
+	RenderFigure8(&sb, rows8)
+	if !strings.Contains(sb.String(), "Figure 7") || !strings.Contains(sb.String(), "Figure 8") {
+		t.Fatal("render missing headers")
+	}
+}

@@ -1,0 +1,102 @@
+package experiments
+
+import (
+	"io"
+
+	"adaptivegossip/internal/plot"
+)
+
+// Terminal plots of the reproduced figures (`gossipsim -plot`): the
+// same series as the Render tables, shaped like the paper's plots.
+
+// PlotFigure2 draws reliability vs input rate.
+func PlotFigure2(w io.Writer, rows []Figure2Row) error {
+	atomic := plot.Series{Name: "msgs >95% (%)"}
+	for _, r := range rows {
+		atomic.Points = append(atomic.Points, plot.Point{X: r.Rate, Y: r.AtomicityPct})
+	}
+	return plot.Render(w, plot.Config{
+		Title:  "Figure 2 — reliability vs input rate",
+		XLabel: "input rate (msg/s)", YLabel: "%", YMin: 0, YMax: 100,
+	}, atomic)
+}
+
+// PlotFigure4 draws the maximum rate line.
+func PlotFigure4(w io.Writer, rows []Figure4Row) error {
+	max := plot.Series{Name: "max rate (msg/s)"}
+	for _, r := range rows {
+		max.Points = append(max.Points, plot.Point{X: float64(r.Buffer), Y: r.MaxRate})
+	}
+	return plot.Render(w, plot.Config{
+		Title:  "Figure 4 — maximum input rate vs buffer size",
+		XLabel: "buffer (msg)", YLabel: "msg/s",
+	}, max)
+}
+
+// PlotFigure6 draws offered, allowed and maximum rates.
+func PlotFigure6(w io.Writer, rows []Figure6Row) error {
+	offered := plot.Series{Name: "offered"}
+	allowed := plot.Series{Name: "allowed"}
+	maximum := plot.Series{Name: "maximum"}
+	for _, r := range rows {
+		x := float64(r.Buffer)
+		offered.Points = append(offered.Points, plot.Point{X: x, Y: r.Offered})
+		allowed.Points = append(allowed.Points, plot.Point{X: x, Y: r.Allowed})
+		maximum.Points = append(maximum.Points, plot.Point{X: x, Y: r.Maximum})
+	}
+	return plot.Render(w, plot.Config{
+		Title:  "Figure 6 — ideal and adaptive rates",
+		XLabel: "buffer (msg)", YLabel: "msg/s",
+	}, offered, allowed, maximum)
+}
+
+// PlotFigure8 draws atomicity of both algorithms.
+func PlotFigure8(w io.Writer, rows []Figure8Row) error {
+	lp := plot.Series{Name: "lpbcast"}
+	ad := plot.Series{Name: "adaptive"}
+	for _, r := range rows {
+		x := float64(r.Buffer)
+		lp.Points = append(lp.Points, plot.Point{X: x, Y: r.LpAtomicity})
+		ad.Points = append(ad.Points, plot.Point{X: x, Y: r.AdAtomicity})
+	}
+	return plot.Render(w, plot.Config{
+		Title:  "Figure 8(b) — atomically delivered messages",
+		XLabel: "buffer (msg)", YLabel: "%", YMin: 0, YMax: 100,
+	}, lp, ad)
+}
+
+// PlotFigure9 draws the allowed-vs-ideal rate series and the atomicity
+// series of the dynamic scenario.
+func PlotFigure9(w io.Writer, r Figure9Result) error {
+	allowed := plot.Series{Name: "allowed"}
+	ideal := plot.Series{Name: "ideal"}
+	atomicAd := plot.Series{Name: "adaptive"}
+	atomicLp := plot.Series{Name: "lpbcast"}
+	for _, p := range r.Points {
+		x := p.Start.Seconds()
+		if p.AllowedRate > 0 {
+			allowed.Points = append(allowed.Points, plot.Point{X: x, Y: p.AllowedRate})
+		}
+		if p.IdealRate > 0 {
+			ideal.Points = append(ideal.Points, plot.Point{X: x, Y: p.IdealRate})
+		}
+		if p.Messages > 0 {
+			atomicAd.Points = append(atomicAd.Points, plot.Point{X: x, Y: p.AtomicityAdaptive})
+			atomicLp.Points = append(atomicLp.Points, plot.Point{X: x, Y: p.AtomicityLpbcast})
+		}
+	}
+	rate := []plot.Series{allowed}
+	if len(ideal.Points) > 0 {
+		rate = append(rate, ideal)
+	}
+	if err := plot.Render(w, plot.Config{
+		Title:  "Figure 9(a) — allowed rate over time",
+		XLabel: "time (s)", YLabel: "msg/s",
+	}, rate...); err != nil {
+		return err
+	}
+	return plot.Render(w, plot.Config{
+		Title:  "Figure 9(b) — atomicity over time",
+		XLabel: "time (s)", YLabel: "%", YMin: 0, YMax: 100,
+	}, atomicAd, atomicLp)
+}

@@ -1,0 +1,60 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestPlotFigures(t *testing.T) {
+	var sb strings.Builder
+	fig2 := []Figure2Row{{Rate: 10, AtomicityPct: 99}, {Rate: 60, AtomicityPct: 1}}
+	if err := PlotFigure2(&sb, fig2); err != nil {
+		t.Fatal(err)
+	}
+	fig4 := []Figure4Row{{Buffer: 30, MaxRate: 8}, {Buffer: 180, MaxRate: 49}}
+	if err := PlotFigure4(&sb, fig4); err != nil {
+		t.Fatal(err)
+	}
+	fig6 := []Figure6Row{
+		{Buffer: 30, Offered: 30, Allowed: 6, Maximum: 8},
+		{Buffer: 180, Offered: 30, Allowed: 29, Maximum: 49},
+	}
+	if err := PlotFigure6(&sb, fig6); err != nil {
+		t.Fatal(err)
+	}
+	fig8 := []Figure8Row{
+		{Buffer: 30, LpAtomicity: 0, AdAtomicity: 85},
+		{Buffer: 180, LpAtomicity: 98, AdAtomicity: 99},
+	}
+	if err := PlotFigure8(&sb, fig8); err != nil {
+		t.Fatal(err)
+	}
+	fig9 := Figure9Result{Points: []Figure9Point{
+		{Start: 0, AllowedRate: 20, IdealRate: 24, AtomicityAdaptive: 90, AtomicityLpbcast: 80, Messages: 50},
+		{Start: 200 * time.Second, AllowedRate: 12, IdealRate: 12, AtomicityAdaptive: 99, AtomicityLpbcast: 60, Messages: 50},
+	}}
+	if err := PlotFigure9(&sb, fig9); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	for _, want := range []string{"Figure 2", "Figure 4", "Figure 6", "Figure 8(b)", "Figure 9(a)", "Figure 9(b)"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("plots missing %q", want)
+		}
+	}
+}
+
+func TestPlotFigure9NoIdeal(t *testing.T) {
+	var sb strings.Builder
+	fig9 := Figure9Result{Points: []Figure9Point{
+		{Start: 0, AllowedRate: 20, AtomicityAdaptive: 90, AtomicityLpbcast: 80, Messages: 10},
+		{Start: 5 * time.Second, AllowedRate: 18, AtomicityAdaptive: 91, AtomicityLpbcast: 70, Messages: 10},
+	}}
+	if err := PlotFigure9(&sb, fig9); err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(sb.String(), "ideal") {
+		t.Fatal("ideal series drawn without data")
+	}
+}

@@ -1,0 +1,108 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+	"time"
+)
+
+// runtimeConfig is a sub-second real-time configuration: 10 nodes,
+// 30ms rounds.
+func runtimeConfig() Config {
+	return Config{
+		N:           10,
+		Fanout:      3,
+		Period:      30 * time.Millisecond,
+		MaxAge:      8,
+		Buffer:      30,
+		OfferedRate: 100, // msg/s aggregate ≈ 3 per round
+		PayloadSize: 8,
+		Warmup:      300 * time.Millisecond,
+		Duration:    900 * time.Millisecond,
+		Seed:        5,
+	}
+}
+
+func TestRunRuntimeBaselineSmoke(t *testing.T) {
+	res, err := RunRuntime(runtimeConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Summary.Messages < 30 {
+		t.Fatalf("only %d messages measured", res.Summary.Messages)
+	}
+	if res.Summary.MeanReceiversPct < 90 {
+		t.Fatalf("mean receivers %.1f%% in healthy runtime run", res.Summary.MeanReceiversPct)
+	}
+}
+
+func TestRunRuntimeAdaptiveSmoke(t *testing.T) {
+	cfg := runtimeConfig()
+	cfg.Adaptive = true
+	cfg.Core = DefaultExperimentCore(cfg.OfferedRate / float64(cfg.N))
+	res, err := RunRuntime(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.AllowedRate <= 0 {
+		t.Fatal("allowed rate not sampled")
+	}
+	if res.Summary.Messages == 0 {
+		t.Fatal("no messages admitted")
+	}
+	if res.MinBuffFinal != cfg.Buffer {
+		t.Fatalf("minBuff %d, want %d", res.MinBuffFinal, cfg.Buffer)
+	}
+}
+
+func TestRunRuntimeInvalidConfig(t *testing.T) {
+	cfg := runtimeConfig()
+	cfg.N = 0
+	if _, err := RunRuntime(cfg); err == nil {
+		t.Fatal("invalid config accepted")
+	}
+}
+
+func TestRunFigure9RuntimeScaled(t *testing.T) {
+	if testing.Short() {
+		t.Skip("real-time scenario, ~3s")
+	}
+	base := Config{
+		N:           12,
+		Fanout:      3,
+		Period:      time.Second, // scaled ÷40 → 25ms
+		MaxAge:      8,
+		Buffer:      30,
+		OfferedRate: 6,
+		PayloadSize: 8,
+		Seed:        3,
+	}
+	cfg := Figure9Config{
+		Base:            base,
+		InitialBuffer:   30,
+		ReducedBuffer:   10,
+		RecoveredBuffer: 20,
+		Fraction:        0.25,
+		ChangeAt1:       20 * time.Second,
+		ChangeAt2:       40 * time.Second,
+		Total:           60 * time.Second,
+		IdealFor:        func(buffer int) float64 { return float64(buffer) / 4 },
+	}
+	res, err := RunFigure9Runtime(cfg, 40)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Points) == 0 {
+		t.Fatal("no points")
+	}
+	// Points are rescaled back to scenario time.
+	last := res.Points[len(res.Points)-1]
+	if last.Start < 30*time.Second {
+		t.Fatalf("series too short after rescale: last at %v", last.Start)
+	}
+	var sb strings.Builder
+	RenderFigure9(&sb, res)
+	if !strings.Contains(sb.String(), "Figure 9") {
+		t.Fatal("render missing header")
+	}
+}

@@ -1,0 +1,256 @@
+package gossip
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Buffer is the bounded events store of Figure 1.
+//
+// Entries are kept ordered by age (youngest first). When the buffer is
+// over capacity the oldest event is discarded: highest age first and,
+// among equal ages, the entry that has been resident longest — the
+// paper's "remove oldest element from events" with age as the discard
+// criterion. Ages advance in lockstep each round, which preserves the
+// ordering, so only insertions and duplicate age updates reposition
+// entries.
+//
+// Buffer is not safe for concurrent use; the owning Node serializes
+// access.
+type Buffer struct {
+	capacity int
+	entries  []*bufEntry // sorted by (age asc, insertion seq desc)
+	index    map[EventID]*bufEntry
+	nextSeq  uint64
+}
+
+type bufEntry struct {
+	ev  Event
+	seq uint64 // insertion order; lower = resident longer
+}
+
+// NewBuffer returns an empty buffer with the given capacity.
+// The capacity must be positive.
+func NewBuffer(capacity int) (*Buffer, error) {
+	if capacity <= 0 {
+		return nil, fmt.Errorf("gossip: buffer capacity must be positive, got %d", capacity)
+	}
+	return &Buffer{
+		capacity: capacity,
+		entries:  make([]*bufEntry, 0, capacity),
+		index:    make(map[EventID]*bufEntry, capacity),
+	}, nil
+}
+
+// Len reports the number of buffered events.
+func (b *Buffer) Len() int { return len(b.entries) }
+
+// Capacity reports the maximum number of buffered events.
+func (b *Buffer) Capacity() int { return b.capacity }
+
+// Contains reports whether an event with the given ID is buffered.
+func (b *Buffer) Contains(id EventID) bool {
+	_, ok := b.index[id]
+	return ok
+}
+
+// Age returns the buffered age of the event and whether it is present.
+func (b *Buffer) Age(id EventID) (int, bool) {
+	e, ok := b.index[id]
+	if !ok {
+		return 0, false
+	}
+	return e.ev.Age, true
+}
+
+// insertPos returns the index at which an entry with the given age and
+// insertion sequence keeps the slice ordered. Among equal ages newer
+// insertions sort earlier, so the slice tail is always the eviction
+// victim.
+func (b *Buffer) insertPos(age int, seq uint64) int {
+	return sort.Search(len(b.entries), func(i int) bool {
+		e := b.entries[i]
+		if e.ev.Age != age {
+			return e.ev.Age > age
+		}
+		return e.seq < seq
+	})
+}
+
+func (b *Buffer) insert(e *bufEntry) {
+	pos := b.insertPos(e.ev.Age, e.seq)
+	b.entries = append(b.entries, nil)
+	copy(b.entries[pos+1:], b.entries[pos:])
+	b.entries[pos] = e
+}
+
+func (b *Buffer) removeAt(pos int) *bufEntry {
+	e := b.entries[pos]
+	copy(b.entries[pos:], b.entries[pos+1:])
+	b.entries[len(b.entries)-1] = nil
+	b.entries = b.entries[:len(b.entries)-1]
+	return e
+}
+
+// Add inserts a new event and returns the events evicted to make room,
+// oldest first. Adding an event whose ID is already buffered is a
+// programming error and reported as such; callers are expected to route
+// duplicates through RaiseAge.
+func (b *Buffer) Add(ev Event) ([]Event, error) {
+	if _, ok := b.index[ev.ID]; ok {
+		return nil, fmt.Errorf("gossip: duplicate add of event %s", ev.ID)
+	}
+	e := &bufEntry{ev: ev, seq: b.nextSeq}
+	b.nextSeq++
+	b.insert(e)
+	b.index[ev.ID] = e
+
+	var evicted []Event
+	for len(b.entries) > b.capacity {
+		victim := b.removeAt(len(b.entries) - 1)
+		delete(b.index, victim.ev.ID)
+		evicted = append(evicted, victim.ev)
+	}
+	return evicted, nil
+}
+
+// RaiseAge updates a buffered event's age to the maximum of its current
+// and the given age (Figure 1's duplicate handling). It reports whether
+// the event was present.
+func (b *Buffer) RaiseAge(id EventID, age int) bool {
+	e, ok := b.index[id]
+	if !ok {
+		return false
+	}
+	if age <= e.ev.Age {
+		return true
+	}
+	// Reposition: remove and reinsert with the original insertion seq so
+	// residency-based tie-breaking is preserved.
+	pos := b.findPos(e)
+	b.removeAt(pos)
+	e.ev.Age = age
+	b.insert(e)
+	return true
+}
+
+// findPos locates the slice position of a known entry via binary search
+// on its (age, seq) key.
+func (b *Buffer) findPos(e *bufEntry) int {
+	pos := b.insertPos(e.ev.Age, e.seq)
+	// insertPos returns the slot the entry occupies, because the
+	// predicate is false exactly for entries ordered before (age, seq)
+	// and the entry itself compares equal.
+	if pos < len(b.entries) && b.entries[pos] == e {
+		return pos
+	}
+	// Defensive linear fallback; unreachable if invariants hold.
+	for i, cand := range b.entries {
+		if cand == e {
+			return i
+		}
+	}
+	panic(fmt.Sprintf("gossip: buffer index desynchronized for event %s", e.ev.ID))
+}
+
+// IncrementAges advances every buffered event's age by one, as done at
+// the start of each gossip round (Figure 1). Ordering is preserved.
+func (b *Buffer) IncrementAges() {
+	for _, e := range b.entries {
+		e.ev.Age++
+	}
+}
+
+// DropExpired removes and returns all events with age strictly greater
+// than maxAge, oldest first.
+func (b *Buffer) DropExpired(maxAge int) []Event {
+	// Entries are age-ascending, so expired entries form the tail.
+	cut := sort.Search(len(b.entries), func(i int) bool {
+		return b.entries[i].ev.Age > maxAge
+	})
+	if cut == len(b.entries) {
+		return nil
+	}
+	expired := make([]Event, 0, len(b.entries)-cut)
+	// Oldest first: walk the tail backwards.
+	for i := len(b.entries) - 1; i >= cut; i-- {
+		expired = append(expired, b.entries[i].ev)
+		delete(b.index, b.entries[i].ev.ID)
+		b.entries[i] = nil
+	}
+	b.entries = b.entries[:cut]
+	return expired
+}
+
+// SetCapacity changes the buffer capacity, evicting oldest events first
+// if the buffer shrinks below its current length. It returns the evicted
+// events, oldest first.
+func (b *Buffer) SetCapacity(capacity int) ([]Event, error) {
+	if capacity <= 0 {
+		return nil, fmt.Errorf("gossip: buffer capacity must be positive, got %d", capacity)
+	}
+	b.capacity = capacity
+	var evicted []Event
+	for len(b.entries) > b.capacity {
+		victim := b.removeAt(len(b.entries) - 1)
+		delete(b.index, victim.ev.ID)
+		evicted = append(evicted, victim.ev)
+	}
+	return evicted, nil
+}
+
+// Snapshot returns copies of all buffered events, youngest first.
+// Payload slices are shared (events are read-only by convention).
+func (b *Buffer) Snapshot() []Event {
+	out := make([]Event, len(b.entries))
+	for i, e := range b.entries {
+		out[i] = e.ev
+	}
+	return out
+}
+
+// OldestUncounted returns up to limit events, oldest first, for which
+// counted reports false. It implements the scan used by the congestion
+// estimator (paper Figure 5(b)): the events that would overflow a buffer
+// of the group-minimum size, excluding those already accounted for in
+// the estimator's lost set.
+func (b *Buffer) OldestUncounted(limit int, counted func(EventID) bool) []Event {
+	if limit <= 0 {
+		return nil
+	}
+	out := make([]Event, 0, limit)
+	for i := len(b.entries) - 1; i >= 0 && len(out) < limit; i-- {
+		ev := b.entries[i].ev
+		if counted != nil && counted(ev.ID) {
+			continue
+		}
+		out = append(out, ev)
+	}
+	return out
+}
+
+// checkInvariants validates ordering and index consistency. It is used
+// by tests only.
+func (b *Buffer) checkInvariants() error {
+	if len(b.entries) > b.capacity {
+		return fmt.Errorf("len %d exceeds capacity %d", len(b.entries), b.capacity)
+	}
+	if len(b.entries) != len(b.index) {
+		return fmt.Errorf("entries %d != index %d", len(b.entries), len(b.index))
+	}
+	for i := 1; i < len(b.entries); i++ {
+		prev, cur := b.entries[i-1], b.entries[i]
+		if prev.ev.Age > cur.ev.Age {
+			return fmt.Errorf("age order violated at %d: %d > %d", i, prev.ev.Age, cur.ev.Age)
+		}
+		if prev.ev.Age == cur.ev.Age && prev.seq < cur.seq {
+			return fmt.Errorf("tie order violated at %d", i)
+		}
+	}
+	for id, e := range b.index {
+		if e.ev.ID != id {
+			return fmt.Errorf("index key %s maps to event %s", id, e.ev.ID)
+		}
+	}
+	return nil
+}

@@ -1,0 +1,62 @@
+// Package gossip implements the lpbcast-style probabilistic broadcast
+// algorithm of Eugster et al. (DSN 2001) as reproduced in Figure 1 of
+// "Adaptive Gossip-Based Broadcast" (Rodrigues et al., DSN 2003).
+//
+// The package provides the protocol as a deterministic, single-threaded
+// state machine (Node). Drivers — the discrete-event simulator in
+// internal/sim or the goroutine runtime in internal/runtime — own time,
+// randomness and message delivery, and serialize all calls into a Node.
+// This is what lets one implementation back both the paper's simulation
+// results and its prototype validation.
+//
+// Adaptation (the paper's contribution, implemented in internal/core) is
+// layered on top through the Extension interface rather than by forking
+// the algorithm, mirroring the paper's claim that the mechanism applies
+// to gossip-based broadcast algorithms in general.
+package gossip
+
+import "strconv"
+
+// NodeID identifies a member of the broadcast group. IDs are opaque
+// strings; transports map them to addresses.
+type NodeID string
+
+// EventID uniquely identifies a broadcast event: the identifier of the
+// origin node plus a per-origin sequence number.
+type EventID struct {
+	Origin NodeID
+	Seq    uint64
+}
+
+// String renders the identifier as "origin/seq".
+func (id EventID) String() string {
+	return string(id.Origin) + "/" + strconv.FormatUint(id.Seq, 10)
+}
+
+// Event is a broadcast message together with its gossip age.
+//
+// Age counts how many gossip rounds the event has lived through: every
+// node holding the event increments the age once per round before
+// forwarding, and a node receiving a copy keeps the maximum of the known
+// and received ages (paper Figure 1). Because all holders advance ages in
+// lockstep, age approximates the number of times the event has been
+// forwarded between nodes, which in turn tracks its level of
+// dissemination — the property the adaptive mechanism relies on.
+type Event struct {
+	ID      EventID
+	Age     int
+	Payload []byte
+}
+
+// Clone returns a deep copy of the event, including the payload. Events
+// exchanged through in-process transports share payload slices by
+// convention (they are read-only after Broadcast); Clone is for callers
+// that need ownership.
+func (e Event) Clone() Event {
+	c := e
+	if e.Payload != nil {
+		c.Payload = make([]byte, len(e.Payload))
+		copy(c.Payload, e.Payload)
+	}
+	return c
+}

@@ -1,0 +1,158 @@
+package gossip
+
+import (
+	"math/rand/v2"
+	"testing"
+)
+
+func mustCache(t *testing.T, capacity int) *IDCache {
+	t.Helper()
+	c, err := NewIDCache(capacity)
+	if err != nil {
+		t.Fatalf("NewIDCache(%d): %v", capacity, err)
+	}
+	return c
+}
+
+func id(origin string, seq uint64) EventID {
+	return EventID{Origin: NodeID(origin), Seq: seq}
+}
+
+func TestNewIDCacheRejectsNonPositiveCapacity(t *testing.T) {
+	for _, capacity := range []int{0, -3} {
+		if _, err := NewIDCache(capacity); err == nil {
+			t.Errorf("NewIDCache(%d): want error", capacity)
+		}
+	}
+}
+
+func TestIDCacheAddAndContains(t *testing.T) {
+	c := mustCache(t, 4)
+	if !c.Add(id("a", 1)) {
+		t.Fatal("first Add returned false")
+	}
+	if c.Add(id("a", 1)) {
+		t.Fatal("duplicate Add returned true")
+	}
+	if !c.Contains(id("a", 1)) {
+		t.Fatal("Contains lost the id")
+	}
+	if c.Contains(id("a", 2)) {
+		t.Fatal("Contains invented an id")
+	}
+	if c.Len() != 1 {
+		t.Fatalf("Len = %d, want 1", c.Len())
+	}
+}
+
+func TestIDCacheFIFOEviction(t *testing.T) {
+	c := mustCache(t, 3)
+	for i := uint64(1); i <= 3; i++ {
+		c.Add(id("a", i))
+	}
+	c.Add(id("a", 4)) // evicts a/1
+	if c.Contains(id("a", 1)) {
+		t.Fatal("oldest id survived eviction")
+	}
+	for i := uint64(2); i <= 4; i++ {
+		if !c.Contains(id("a", i)) {
+			t.Fatalf("id a/%d lost", i)
+		}
+	}
+	if c.Len() != 3 {
+		t.Fatalf("Len = %d, want 3", c.Len())
+	}
+	// Re-adding an evicted id works and evicts the now-oldest (a/2).
+	if !c.Add(id("a", 1)) {
+		t.Fatal("re-add of evicted id returned false")
+	}
+	if c.Contains(id("a", 2)) {
+		t.Fatal("a/2 should have been evicted")
+	}
+}
+
+func TestIDCacheSetCapacityShrinkKeepsNewest(t *testing.T) {
+	c := mustCache(t, 5)
+	for i := uint64(1); i <= 5; i++ {
+		c.Add(id("a", i))
+	}
+	if err := c.SetCapacity(2); err != nil {
+		t.Fatal(err)
+	}
+	if c.Len() != 2 || c.Capacity() != 2 {
+		t.Fatalf("len/cap = %d/%d, want 2/2", c.Len(), c.Capacity())
+	}
+	for i := uint64(1); i <= 3; i++ {
+		if c.Contains(id("a", i)) {
+			t.Fatalf("old id a/%d survived shrink", i)
+		}
+	}
+	for i := uint64(4); i <= 5; i++ {
+		if !c.Contains(id("a", i)) {
+			t.Fatalf("new id a/%d lost in shrink", i)
+		}
+	}
+	// Eviction order still FIFO after resize.
+	c.Add(id("b", 1))
+	if c.Contains(id("a", 4)) {
+		t.Fatal("a/4 should be the next FIFO victim")
+	}
+}
+
+func TestIDCacheSetCapacityGrow(t *testing.T) {
+	c := mustCache(t, 2)
+	c.Add(id("a", 1))
+	c.Add(id("a", 2))
+	if err := c.SetCapacity(4); err != nil {
+		t.Fatal(err)
+	}
+	c.Add(id("a", 3))
+	c.Add(id("a", 4))
+	for i := uint64(1); i <= 4; i++ {
+		if !c.Contains(id("a", i)) {
+			t.Fatalf("id a/%d lost after grow", i)
+		}
+	}
+	if err := c.SetCapacity(0); err == nil {
+		t.Fatal("SetCapacity(0): want error")
+	}
+}
+
+func TestIDCacheRandomOps(t *testing.T) {
+	rng := rand.New(rand.NewPCG(7, 9))
+	c := mustCache(t, 32)
+	var seq uint64
+	window := make([]EventID, 0, 64) // newest-last shadow of expected content
+
+	for op := 0; op < 4000; op++ {
+		switch rng.IntN(10) {
+		case 9:
+			newCap := 1 + rng.IntN(64)
+			if err := c.SetCapacity(newCap); err != nil {
+				t.Fatal(err)
+			}
+			if len(window) > newCap {
+				window = window[len(window)-newCap:]
+			}
+		default:
+			eid := id("x", seq)
+			seq++
+			c.Add(eid)
+			window = append(window, eid)
+			if len(window) > c.Capacity() {
+				window = window[len(window)-c.Capacity():]
+			}
+		}
+		if c.Len() > c.Capacity() {
+			t.Fatalf("op %d: len %d exceeds cap %d", op, c.Len(), c.Capacity())
+		}
+		if c.Len() != len(window) {
+			t.Fatalf("op %d: len %d != shadow %d", op, c.Len(), len(window))
+		}
+		for _, w := range window {
+			if !c.Contains(w) {
+				t.Fatalf("op %d: lost %v", op, w)
+			}
+		}
+	}
+}

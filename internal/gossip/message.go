@@ -1,0 +1,69 @@
+package gossip
+
+// Message is one gossip exchange: the sender's buffered events plus the
+// small control headers that ride along with them. Per the paper, the
+// adaptation mechanism adds no messages of its own — the SamplePeriod
+// and MinBuff header fields are the entirety of its wire footprint
+// (Figure 5(a)), and the Subs/Unsubs fields carry lpbcast's partial-view
+// membership traffic.
+//
+// A message built by Node.Tick is shared read-only between the fanout
+// targets; receivers copy event values into their own buffers and must
+// not mutate the message.
+type Message struct {
+	// From is the sending node.
+	From NodeID
+	// Group tags the broadcast group (topic) this gossip belongs to.
+	// Empty for single-group deployments; the pub/sub layer routes by
+	// it (the paper's motivating multi-group scenario).
+	Group string
+	// Round is the sender's local round counter. Diagnostic only.
+	Round uint64
+
+	// Adaptive reports whether the adaptation header fields below are
+	// meaningful. Plain lpbcast nodes leave it false.
+	Adaptive bool
+	// SamplePeriod is the sender's current sample period s.
+	SamplePeriod uint64
+	// MinBuff is the sender's running estimate of the smallest buffer
+	// capacity in the group for SamplePeriod.
+	MinBuff int
+
+	// Events are the sender's buffered events (its full buffer, as in
+	// Figure 1).
+	Events []Event
+
+	// KMin carries the κ-smallest extension's per-node capacity
+	// observations (empty for the paper's base mechanism, which needs
+	// only the scalar MinBuff).
+	KMin []BuffCap
+
+	// Subs and Unsubs piggyback partial-view membership churn
+	// (subscriptions and unsubscriptions) on data gossip.
+	Subs   []NodeID
+	Unsubs []NodeID
+}
+
+// BuffCap is one (node, buffer capacity) observation, the unit of the
+// κ-smallest extension's header.
+type BuffCap struct {
+	Node NodeID
+	Cap  int
+}
+
+// Clone returns a deep copy of the message, including payloads. Used
+// when a driver needs to hand the same logical message to mutating
+// consumers.
+func (m *Message) Clone() *Message {
+	c := *m
+	if m.Events != nil {
+		c.Events = make([]Event, len(m.Events))
+		for i, e := range m.Events {
+			c.Events[i] = e.Clone()
+		}
+	}
+	c.KMin = append([]BuffCap(nil), m.KMin...)
+	c.Subs = append([]NodeID(nil), m.Subs...)
+	c.Unsubs = append([]NodeID(nil), m.Unsubs...)
+	return &c
+}

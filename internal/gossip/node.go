@@ -1,0 +1,315 @@
+package gossip
+
+import (
+	"fmt"
+	"math/rand/v2"
+)
+
+// PeerSampler supplies random gossip targets. Implementations include a
+// static full-membership registry and an lpbcast-style partial view
+// (internal/membership).
+type PeerSampler interface {
+	// SamplePeers returns up to k distinct peers, excluding self. Fewer
+	// than k peers may be returned if the membership is small.
+	SamplePeers(self NodeID, k int, rng *rand.Rand) []NodeID
+}
+
+// EvictReason says why events left the buffer.
+type EvictReason int
+
+const (
+	// EvictCapacity: pushed out by newer events (the overload path the
+	// adaptive mechanism observes).
+	EvictCapacity EvictReason = iota + 1
+	// EvictExpired: age exceeded the purge bound k.
+	EvictExpired
+	// EvictResize: the local buffer capacity was reduced at runtime.
+	EvictResize
+)
+
+// String returns a short human-readable reason name.
+func (r EvictReason) String() string {
+	switch r {
+	case EvictCapacity:
+		return "capacity"
+	case EvictExpired:
+		return "expired"
+	case EvictResize:
+		return "resize"
+	default:
+		return fmt.Sprintf("EvictReason(%d)", int(r))
+	}
+}
+
+// Extension observes and augments the protocol without modifying it.
+// The adaptive mechanism (internal/core) and partial-view membership
+// (internal/membership) are both Extensions.
+//
+// Hooks run synchronously on the Node's driver; they must not retain the
+// passed Message or Events beyond the call.
+type Extension interface {
+	// OnTick runs while an outgoing gossip message is being built, after
+	// ages were advanced and expired events purged. Extensions may set
+	// header fields (e.g. the adaptation header) on out.
+	OnTick(n *Node, out *Message)
+	// OnReceive runs after the events of an incoming message have been
+	// stored and their ages updated, per Figure 5(b)'s placement.
+	OnReceive(n *Node, in *Message)
+	// OnEvicted reports events leaving the buffer and why.
+	OnEvicted(n *Node, evicted []Event, reason EvictReason)
+}
+
+// DeliverFunc receives events exactly once each, in arrival order.
+type DeliverFunc func(e Event)
+
+// Outgoing pairs a gossip message with its destination.
+type Outgoing struct {
+	To  NodeID
+	Msg *Message
+}
+
+// NodeStats counts protocol activity since the node was created.
+type NodeStats struct {
+	Broadcasts        uint64 // events originated locally
+	Delivered         uint64 // events delivered (including own)
+	Duplicates        uint64 // received events suppressed as duplicates
+	MessagesSent      uint64
+	MessagesReceived  uint64
+	EventsSent        uint64
+	EventsReceived    uint64
+	DroppedCapacity   uint64 // buffer evictions due to overload
+	DroppedExpired    uint64 // age-based purges
+	DroppedResize     uint64 // evictions due to capacity reduction
+	DroppedAgeSum     uint64 // total age of capacity-dropped events
+	RedeliveriesAvoid uint64 // duplicate suppressed though event already left buffer
+}
+
+// AvgDroppedAge is the mean age of capacity-dropped events, the
+// congestion signal of paper §2.3. It returns 0 when nothing dropped.
+func (s NodeStats) AvgDroppedAge() float64 {
+	if s.DroppedCapacity == 0 {
+		return 0
+	}
+	return float64(s.DroppedAgeSum) / float64(s.DroppedCapacity)
+}
+
+// Node is the lpbcast state machine of Figure 1.
+//
+// Node is not safe for concurrent use: a driver (simulator or runtime
+// loop) must serialize calls to Broadcast, Tick and Receive.
+type Node struct {
+	id     NodeID
+	params Params
+	buf    *Buffer
+	seen   *IDCache
+	peers  PeerSampler
+	rng    *rand.Rand
+
+	deliver DeliverFunc
+	exts    []Extension
+
+	round   uint64
+	nextSeq uint64
+	stats   NodeStats
+}
+
+// Option configures a Node.
+type Option func(*Node)
+
+// WithDeliver sets the local delivery callback.
+func WithDeliver(fn DeliverFunc) Option {
+	return func(n *Node) { n.deliver = fn }
+}
+
+// WithExtensions appends protocol extensions, invoked in order.
+func WithExtensions(exts ...Extension) Option {
+	return func(n *Node) { n.exts = append(n.exts, exts...) }
+}
+
+// NewNode creates a node. peers supplies gossip targets and rng drives
+// all protocol randomness (inject a seeded generator for determinism).
+func NewNode(id NodeID, params Params, peers PeerSampler, rng *rand.Rand, opts ...Option) (*Node, error) {
+	if id == "" {
+		return nil, fmt.Errorf("gossip: node id must not be empty")
+	}
+	if peers == nil {
+		return nil, fmt.Errorf("gossip: node %s: peer sampler must not be nil", id)
+	}
+	if rng == nil {
+		return nil, fmt.Errorf("gossip: node %s: rng must not be nil", id)
+	}
+	params = params.withDefaults()
+	if err := params.Validate(); err != nil {
+		return nil, fmt.Errorf("gossip: node %s: invalid params: %w", id, err)
+	}
+	buf, err := NewBuffer(params.MaxEvents)
+	if err != nil {
+		return nil, fmt.Errorf("gossip: node %s: %w", id, err)
+	}
+	seen, err := NewIDCache(params.MaxEventIDs)
+	if err != nil {
+		return nil, fmt.Errorf("gossip: node %s: %w", id, err)
+	}
+	n := &Node{
+		id:     id,
+		params: params,
+		buf:    buf,
+		seen:   seen,
+		peers:  peers,
+		rng:    rng,
+	}
+	for _, opt := range opts {
+		opt(n)
+	}
+	return n, nil
+}
+
+// ID returns the node identifier.
+func (n *Node) ID() NodeID { return n.id }
+
+// Params returns the node's protocol parameters.
+func (n *Node) Params() Params { return n.params }
+
+// Round returns the number of completed gossip rounds.
+func (n *Node) Round() uint64 { return n.round }
+
+// Stats returns a copy of the activity counters.
+func (n *Node) Stats() NodeStats { return n.stats }
+
+// BufferLen reports the current number of buffered events.
+func (n *Node) BufferLen() int { return n.buf.Len() }
+
+// BufferCapacity reports the local events buffer bound |events|max.
+func (n *Node) BufferCapacity() int { return n.buf.Capacity() }
+
+// OldestUncounted exposes the buffer scan used by the congestion
+// estimator; see Buffer.OldestUncounted.
+func (n *Node) OldestUncounted(limit int, counted func(EventID) bool) []Event {
+	return n.buf.OldestUncounted(limit, counted)
+}
+
+// SetBufferCapacity changes |events|max at runtime — the dynamic
+// resource scenario of paper §4. Evicted events are reported to
+// extensions with EvictResize.
+func (n *Node) SetBufferCapacity(capacity int) error {
+	evicted, err := n.buf.SetCapacity(capacity)
+	if err != nil {
+		return fmt.Errorf("gossip: node %s: %w", n.id, err)
+	}
+	if len(evicted) > 0 {
+		n.stats.DroppedResize += uint64(len(evicted))
+		n.notifyEvicted(evicted, EvictResize)
+	}
+	return nil
+}
+
+// Broadcast originates a new event with the given payload: the event is
+// delivered locally, recorded in eventIds and buffered for gossiping
+// (the buffering half of Figure 3; rate admission is the caller's
+// concern, see internal/ratelimit and internal/core).
+//
+// The payload is retained and must not be modified afterwards.
+func (n *Node) Broadcast(payload []byte) Event {
+	ev := Event{
+		ID:      EventID{Origin: n.id, Seq: n.nextSeq},
+		Age:     0,
+		Payload: payload,
+	}
+	n.nextSeq++
+	n.stats.Broadcasts++
+	n.seen.Add(ev.ID)
+	n.deliverLocal(ev)
+	n.store(ev)
+	return ev
+}
+
+// Tick runs one gossip round (Figure 1's "every T ms" block): ages
+// advance, expired events are purged, and the buffer contents are
+// addressed to Fanout random peers. The returned messages share one
+// Message value; drivers deliver them without mutation.
+//
+// The driver is responsible for calling Tick every Period.
+func (n *Node) Tick() []Outgoing {
+	n.round++
+	n.buf.IncrementAges()
+	if expired := n.buf.DropExpired(n.params.MaxAge); len(expired) > 0 {
+		n.stats.DroppedExpired += uint64(len(expired))
+		n.notifyEvicted(expired, EvictExpired)
+	}
+
+	msg := &Message{
+		From:   n.id,
+		Round:  n.round,
+		Events: n.buf.Snapshot(),
+	}
+	for _, ext := range n.exts {
+		ext.OnTick(n, msg)
+	}
+
+	targets := n.peers.SamplePeers(n.id, n.params.Fanout, n.rng)
+	if len(targets) == 0 {
+		return nil
+	}
+	out := make([]Outgoing, 0, len(targets))
+	for _, t := range targets {
+		if t == n.id {
+			continue
+		}
+		out = append(out, Outgoing{To: t, Msg: msg})
+	}
+	n.stats.MessagesSent += uint64(len(out))
+	n.stats.EventsSent += uint64(len(out) * len(msg.Events))
+	return out
+}
+
+// Receive processes an incoming gossip message: new events are delivered
+// and buffered, duplicate copies raise stored ages to the maximum seen,
+// and extensions observe the message afterwards (Figure 1 receive block
+// plus the Figure 5 additions).
+func (n *Node) Receive(msg *Message) {
+	n.stats.MessagesReceived++
+	n.stats.EventsReceived += uint64(len(msg.Events))
+	for _, ev := range msg.Events {
+		if !n.seen.Add(ev.ID) {
+			n.stats.Duplicates++
+			if !n.buf.RaiseAge(ev.ID, ev.Age) {
+				n.stats.RedeliveriesAvoid++
+			}
+			continue
+		}
+		n.deliverLocal(ev)
+		n.store(ev)
+	}
+	for _, ext := range n.exts {
+		ext.OnReceive(n, msg)
+	}
+}
+
+func (n *Node) deliverLocal(ev Event) {
+	n.stats.Delivered++
+	if n.deliver != nil {
+		n.deliver(ev)
+	}
+}
+
+func (n *Node) store(ev Event) {
+	evicted, err := n.buf.Add(ev)
+	if err != nil {
+		// Unreachable: the eventIds check precedes every Add. Surface
+		// loudly in development rather than corrupting state.
+		panic(err)
+	}
+	if len(evicted) > 0 {
+		n.stats.DroppedCapacity += uint64(len(evicted))
+		for _, e := range evicted {
+			n.stats.DroppedAgeSum += uint64(e.Age)
+		}
+		n.notifyEvicted(evicted, EvictCapacity)
+	}
+}
+
+func (n *Node) notifyEvicted(evicted []Event, reason EvictReason) {
+	for _, ext := range n.exts {
+		ext.OnEvicted(n, evicted, reason)
+	}
+}

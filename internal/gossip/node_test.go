@@ -1,0 +1,345 @@
+package gossip
+
+import (
+	"math/rand/v2"
+	"testing"
+	"time"
+)
+
+// staticPeers samples uniformly from a fixed member list.
+type staticPeers []NodeID
+
+func (s staticPeers) SamplePeers(self NodeID, k int, rng *rand.Rand) []NodeID {
+	candidates := make([]NodeID, 0, len(s))
+	for _, p := range s {
+		if p != self {
+			candidates = append(candidates, p)
+		}
+	}
+	rng.Shuffle(len(candidates), func(i, j int) {
+		candidates[i], candidates[j] = candidates[j], candidates[i]
+	})
+	if len(candidates) > k {
+		candidates = candidates[:k]
+	}
+	return candidates
+}
+
+func testParams() Params {
+	return Params{Fanout: 2, Period: time.Second, MaxEvents: 8, MaxAge: 5}
+}
+
+func newTestNode(t *testing.T, id NodeID, peers PeerSampler, opts ...Option) *Node {
+	t.Helper()
+	n, err := NewNode(id, testParams(), peers, rand.New(rand.NewPCG(42, uint64(len(id)))), opts...)
+	if err != nil {
+		t.Fatalf("NewNode(%s): %v", id, err)
+	}
+	return n
+}
+
+func TestNewNodeValidation(t *testing.T) {
+	peers := staticPeers{"a", "b"}
+	rng := rand.New(rand.NewPCG(1, 1))
+	cases := []struct {
+		name string
+		fn   func() (*Node, error)
+	}{
+		{"empty id", func() (*Node, error) { return NewNode("", testParams(), peers, rng) }},
+		{"nil peers", func() (*Node, error) { return NewNode("a", testParams(), nil, rng) }},
+		{"nil rng", func() (*Node, error) { return NewNode("a", testParams(), peers, nil) }},
+		{"bad params", func() (*Node, error) {
+			p := testParams()
+			p.Fanout = 0
+			return NewNode("a", p, peers, rng)
+		}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			if _, err := tc.fn(); err == nil {
+				t.Fatal("want error, got nil")
+			}
+		})
+	}
+}
+
+func TestBroadcastDeliversLocallyAndBuffers(t *testing.T) {
+	var delivered []Event
+	n := newTestNode(t, "a", staticPeers{"a", "b"}, WithDeliver(func(e Event) {
+		delivered = append(delivered, e)
+	}))
+	ev := n.Broadcast([]byte("hello"))
+	if ev.ID.Origin != "a" || ev.ID.Seq != 0 || ev.Age != 0 {
+		t.Fatalf("unexpected event %+v", ev)
+	}
+	if len(delivered) != 1 || string(delivered[0].Payload) != "hello" {
+		t.Fatalf("local delivery missing: %v", delivered)
+	}
+	if n.BufferLen() != 1 {
+		t.Fatalf("buffer len %d, want 1", n.BufferLen())
+	}
+	ev2 := n.Broadcast(nil)
+	if ev2.ID.Seq != 1 {
+		t.Fatalf("seq %d, want 1", ev2.ID.Seq)
+	}
+}
+
+func TestTickAdvancesAgesAndFansOut(t *testing.T) {
+	n := newTestNode(t, "a", staticPeers{"a", "b", "c", "d"})
+	n.Broadcast([]byte("x"))
+	outs := n.Tick()
+	if len(outs) != 2 {
+		t.Fatalf("fanout %d, want 2", len(outs))
+	}
+	seen := map[NodeID]bool{}
+	for _, o := range outs {
+		if o.To == "a" {
+			t.Fatal("node gossiped to itself")
+		}
+		if seen[o.To] {
+			t.Fatalf("duplicate target %s", o.To)
+		}
+		seen[o.To] = true
+		if len(o.Msg.Events) != 1 || o.Msg.Events[0].Age != 1 {
+			t.Fatalf("message events %+v, want one event with age 1", o.Msg.Events)
+		}
+		if o.Msg.From != "a" {
+			t.Fatalf("message from %s", o.Msg.From)
+		}
+	}
+	if n.Round() != 1 {
+		t.Fatalf("round %d, want 1", n.Round())
+	}
+}
+
+func TestTickExpiresOldEvents(t *testing.T) {
+	n := newTestNode(t, "a", staticPeers{"a", "b"})
+	n.Broadcast(nil)
+	for i := 0; i < 5; i++ {
+		n.Tick()
+	}
+	if n.BufferLen() != 1 {
+		t.Fatalf("event should still be buffered at age 5 (k=5), len=%d", n.BufferLen())
+	}
+	n.Tick() // age 6 > k
+	if n.BufferLen() != 0 {
+		t.Fatalf("event not expired, len=%d", n.BufferLen())
+	}
+	if got := n.Stats().DroppedExpired; got != 1 {
+		t.Fatalf("DroppedExpired = %d, want 1", got)
+	}
+}
+
+func TestReceiveDeliversOnceAndSuppressesDuplicates(t *testing.T) {
+	var got []Event
+	n := newTestNode(t, "b", staticPeers{"a", "b"}, WithDeliver(func(e Event) {
+		got = append(got, e)
+	}))
+	msg := &Message{From: "a", Events: []Event{mkEvent("a", 0, 1), mkEvent("a", 1, 2)}}
+	n.Receive(msg)
+	if len(got) != 2 {
+		t.Fatalf("delivered %d, want 2", len(got))
+	}
+	n.Receive(msg)
+	if len(got) != 2 {
+		t.Fatalf("duplicates delivered: %d", len(got))
+	}
+	st := n.Stats()
+	if st.Duplicates != 2 {
+		t.Fatalf("Duplicates = %d, want 2", st.Duplicates)
+	}
+	if st.MessagesReceived != 2 || st.EventsReceived != 4 {
+		t.Fatalf("stats %+v", st)
+	}
+}
+
+func TestReceiveRaisesAgeOfDuplicates(t *testing.T) {
+	n := newTestNode(t, "b", staticPeers{"a", "b"})
+	n.Receive(&Message{From: "a", Events: []Event{mkEvent("a", 0, 1)}})
+	n.Receive(&Message{From: "c", Events: []Event{mkEvent("a", 0, 4)}})
+	if age, ok := n.buf.Age(EventID{Origin: "a", Seq: 0}); !ok || age != 4 {
+		t.Fatalf("age = %d (present=%v), want 4", age, ok)
+	}
+}
+
+func TestReceiveCapacityEvictionUpdatesStats(t *testing.T) {
+	n := newTestNode(t, "b", staticPeers{"a", "b"})
+	// Capacity is 8: send 10 events with distinct ages.
+	events := make([]Event, 10)
+	for i := range events {
+		events[i] = mkEvent("a", uint64(i), i)
+	}
+	n.Receive(&Message{From: "a", Events: events})
+	if n.BufferLen() != 8 {
+		t.Fatalf("buffer len %d, want 8", n.BufferLen())
+	}
+	st := n.Stats()
+	if st.DroppedCapacity != 2 {
+		t.Fatalf("DroppedCapacity = %d, want 2", st.DroppedCapacity)
+	}
+	// Victims are the oldest: ages 9 and 8 (17 total). Note the events
+	// arrive youngest-first so the last two arrivals displace them.
+	if st.DroppedAgeSum != 17 {
+		t.Fatalf("DroppedAgeSum = %d, want 17", st.DroppedAgeSum)
+	}
+	if got := st.AvgDroppedAge(); got != 8.5 {
+		t.Fatalf("AvgDroppedAge = %v, want 8.5", got)
+	}
+}
+
+func TestSetBufferCapacityEvictsAndCounts(t *testing.T) {
+	n := newTestNode(t, "a", staticPeers{"a", "b"})
+	for i := 0; i < 8; i++ {
+		n.Broadcast(nil)
+	}
+	if err := n.SetBufferCapacity(3); err != nil {
+		t.Fatal(err)
+	}
+	if n.BufferLen() != 3 || n.BufferCapacity() != 3 {
+		t.Fatalf("len/cap = %d/%d, want 3/3", n.BufferLen(), n.BufferCapacity())
+	}
+	if got := n.Stats().DroppedResize; got != 5 {
+		t.Fatalf("DroppedResize = %d, want 5", got)
+	}
+	if err := n.SetBufferCapacity(0); err == nil {
+		t.Fatal("SetBufferCapacity(0): want error")
+	}
+}
+
+// recordingExt records hook invocations.
+type recordingExt struct {
+	ticks    int
+	receives int
+	evicted  map[EvictReason]int
+	lastMsg  *Message
+}
+
+func (r *recordingExt) OnTick(n *Node, out *Message) {
+	r.ticks++
+	out.Adaptive = true
+	out.SamplePeriod = 7
+	out.MinBuff = 42
+}
+
+func (r *recordingExt) OnReceive(n *Node, in *Message) {
+	r.receives++
+	r.lastMsg = in
+}
+
+func (r *recordingExt) OnEvicted(n *Node, evicted []Event, reason EvictReason) {
+	if r.evicted == nil {
+		r.evicted = map[EvictReason]int{}
+	}
+	r.evicted[reason] += len(evicted)
+}
+
+func TestExtensionHooks(t *testing.T) {
+	ext := &recordingExt{}
+	n := newTestNode(t, "a", staticPeers{"a", "b"}, WithExtensions(ext))
+
+	n.Broadcast(nil)
+	outs := n.Tick()
+	if ext.ticks != 1 {
+		t.Fatalf("OnTick calls = %d, want 1", ext.ticks)
+	}
+	if len(outs) == 0 || !outs[0].Msg.Adaptive || outs[0].Msg.SamplePeriod != 7 || outs[0].Msg.MinBuff != 42 {
+		t.Fatalf("extension header not applied: %+v", outs[0].Msg)
+	}
+
+	// Receive triggers OnReceive after events are stored.
+	in := &Message{From: "b", Events: []Event{mkEvent("b", 0, 1)}}
+	n.Receive(in)
+	if ext.receives != 1 || ext.lastMsg != in {
+		t.Fatalf("OnReceive not called with the incoming message")
+	}
+
+	// Capacity eviction reaches OnEvicted.
+	events := make([]Event, 12)
+	for i := range events {
+		events[i] = mkEvent("c", uint64(i), i)
+	}
+	n.Receive(&Message{From: "c", Events: events})
+	if ext.evicted[EvictCapacity] == 0 {
+		t.Fatal("OnEvicted(EvictCapacity) never called")
+	}
+
+	// Resize eviction reaches OnEvicted.
+	if err := n.SetBufferCapacity(1); err != nil {
+		t.Fatal(err)
+	}
+	if ext.evicted[EvictResize] == 0 {
+		t.Fatal("OnEvicted(EvictResize) never called")
+	}
+}
+
+func TestEvictReasonString(t *testing.T) {
+	cases := map[EvictReason]string{
+		EvictCapacity:   "capacity",
+		EvictExpired:    "expired",
+		EvictResize:     "resize",
+		EvictReason(99): "EvictReason(99)",
+	}
+	for r, want := range cases {
+		if got := r.String(); got != want {
+			t.Errorf("String(%d) = %q, want %q", int(r), got, want)
+		}
+	}
+}
+
+// TestTwoNodeDissemination wires two nodes directly and checks an event
+// crosses over with its age advanced.
+func TestTwoNodeDissemination(t *testing.T) {
+	peers := staticPeers{"a", "b"}
+	var deliveredAtB []Event
+	na := newTestNode(t, "a", peers)
+	nb := newTestNode(t, "b", peers, WithDeliver(func(e Event) {
+		deliveredAtB = append(deliveredAtB, e)
+	}))
+
+	na.Broadcast([]byte("payload"))
+	for _, out := range na.Tick() {
+		if out.To == "b" {
+			nb.Receive(out.Msg)
+		}
+	}
+	if len(deliveredAtB) != 1 {
+		t.Fatalf("delivered %d at b, want 1", len(deliveredAtB))
+	}
+	if deliveredAtB[0].Age != 1 {
+		t.Fatalf("age at delivery = %d, want 1", deliveredAtB[0].Age)
+	}
+	if string(deliveredAtB[0].Payload) != "payload" {
+		t.Fatalf("payload %q", deliveredAtB[0].Payload)
+	}
+}
+
+func TestEventIDString(t *testing.T) {
+	eid := EventID{Origin: "node-3", Seq: 17}
+	if got := eid.String(); got != "node-3/17" {
+		t.Fatalf("String = %q", got)
+	}
+}
+
+func TestEventCloneIsDeep(t *testing.T) {
+	e := Event{ID: id("a", 1), Age: 2, Payload: []byte{1, 2, 3}}
+	c := e.Clone()
+	c.Payload[0] = 9
+	if e.Payload[0] != 1 {
+		t.Fatal("Clone shares payload")
+	}
+}
+
+func TestMessageCloneIsDeep(t *testing.T) {
+	m := &Message{
+		From:   "a",
+		Events: []Event{{ID: id("a", 1), Payload: []byte{5}}},
+		Subs:   []NodeID{"x"},
+		Unsubs: []NodeID{"y"},
+	}
+	c := m.Clone()
+	c.Events[0].Payload[0] = 7
+	c.Subs[0] = "z"
+	if m.Events[0].Payload[0] != 5 || m.Subs[0] != "x" {
+		t.Fatal("Clone shares state with original")
+	}
+}

@@ -1,0 +1,77 @@
+package gossip
+
+import (
+	"errors"
+	"fmt"
+	"time"
+)
+
+// Default protocol parameters. Fanout, period and the 60-node group size
+// come from the paper's experimental settings (§4); MaxAge and the
+// eventIds sizing are reconstructed in DESIGN.md §3.
+const (
+	DefaultFanout      = 4
+	DefaultPeriod      = 5 * time.Second
+	DefaultMaxEvents   = 120
+	DefaultMaxAge      = 10
+	DefaultIDCacheMult = 30 // MaxEventIDs = mult × MaxEvents when unset
+)
+
+// Params are the configuration parameters of the base algorithm
+// (Figure 1): fanout F, gossip period T, buffer bound |events|max,
+// dedup-cache bound |eventIds|max and the age purge bound k.
+type Params struct {
+	// Fanout is the number of random targets each round (F).
+	Fanout int
+	// Period is the gossip round interval (T).
+	Period time.Duration
+	// MaxEvents bounds the events buffer (|events|max).
+	MaxEvents int
+	// MaxEventIDs bounds the duplicate-suppression set (|eventIds|max).
+	// Zero means DefaultIDCacheMult × MaxEvents.
+	MaxEventIDs int
+	// MaxAge is the age k beyond which events are purged.
+	MaxAge int
+}
+
+// DefaultParams returns the paper's experimental configuration.
+func DefaultParams() Params {
+	return Params{
+		Fanout:    DefaultFanout,
+		Period:    DefaultPeriod,
+		MaxEvents: DefaultMaxEvents,
+		MaxAge:    DefaultMaxAge,
+	}
+}
+
+// withDefaults returns p with zero-valued optional fields filled in.
+func (p Params) withDefaults() Params {
+	if p.MaxEventIDs == 0 {
+		p.MaxEventIDs = DefaultIDCacheMult * p.MaxEvents
+	}
+	return p
+}
+
+// Validate reports the first configuration error, if any.
+func (p Params) Validate() error {
+	var errs []error
+	if p.Fanout <= 0 {
+		errs = append(errs, fmt.Errorf("fanout must be positive, got %d", p.Fanout))
+	}
+	if p.Period <= 0 {
+		errs = append(errs, fmt.Errorf("period must be positive, got %v", p.Period))
+	}
+	if p.MaxEvents <= 0 {
+		errs = append(errs, fmt.Errorf("max events must be positive, got %d", p.MaxEvents))
+	}
+	if p.MaxEventIDs < 0 {
+		errs = append(errs, fmt.Errorf("max event ids must be non-negative, got %d", p.MaxEventIDs))
+	}
+	if p.MaxEventIDs != 0 && p.MaxEventIDs < p.MaxEvents {
+		errs = append(errs, fmt.Errorf("max event ids (%d) must be at least max events (%d)", p.MaxEventIDs, p.MaxEvents))
+	}
+	if p.MaxAge <= 0 {
+		errs = append(errs, fmt.Errorf("max age must be positive, got %d", p.MaxAge))
+	}
+	return errors.Join(errs...)
+}

@@ -1,0 +1,50 @@
+package gossip
+
+import (
+	"testing"
+	"time"
+)
+
+func TestDefaultParamsAreValid(t *testing.T) {
+	p := DefaultParams().withDefaults()
+	if err := p.Validate(); err != nil {
+		t.Fatalf("default params invalid: %v", err)
+	}
+	if p.Fanout != 4 || p.Period != 5*time.Second || p.MaxEvents != 120 {
+		t.Fatalf("defaults drifted from the paper's configuration: %+v", p)
+	}
+	if p.MaxEventIDs != DefaultIDCacheMult*p.MaxEvents {
+		t.Fatalf("MaxEventIDs default = %d", p.MaxEventIDs)
+	}
+}
+
+func TestParamsValidate(t *testing.T) {
+	valid := Params{Fanout: 3, Period: time.Second, MaxEvents: 10, MaxEventIDs: 100, MaxAge: 8}
+	cases := []struct {
+		name   string
+		mutate func(*Params)
+		ok     bool
+	}{
+		{"valid", func(p *Params) {}, true},
+		{"zero fanout", func(p *Params) { p.Fanout = 0 }, false},
+		{"negative fanout", func(p *Params) { p.Fanout = -1 }, false},
+		{"zero period", func(p *Params) { p.Period = 0 }, false},
+		{"zero max events", func(p *Params) { p.MaxEvents = 0 }, false},
+		{"negative ids", func(p *Params) { p.MaxEventIDs = -1 }, false},
+		{"ids below events", func(p *Params) { p.MaxEventIDs = 5 }, false},
+		{"zero max age", func(p *Params) { p.MaxAge = 0 }, false},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			p := valid
+			tc.mutate(&p)
+			err := p.Validate()
+			if tc.ok && err != nil {
+				t.Fatalf("want valid, got %v", err)
+			}
+			if !tc.ok && err == nil {
+				t.Fatal("want error, got nil")
+			}
+		})
+	}
+}

@@ -1,0 +1,273 @@
+package membership
+
+import (
+	"fmt"
+	"math/rand/v2"
+
+	"adaptivegossip/internal/gossip"
+)
+
+// PartialViewConfig bounds the lpbcast membership state.
+type PartialViewConfig struct {
+	// MaxView is the partial view bound (lpbcast's ℓ).
+	MaxView int
+	// MaxSubs bounds the pool of recently heard subscriptions.
+	MaxSubs int
+	// MaxUnsubs bounds the pool of recently heard unsubscriptions.
+	MaxUnsubs int
+	// SubsPerGossip is how many subscriptions ride on each outgoing
+	// gossip message (the sender itself always rides along, refreshing
+	// its own membership).
+	SubsPerGossip int
+	// UnsubsPerGossip is how many unsubscriptions ride on each message.
+	UnsubsPerGossip int
+}
+
+// DefaultPartialViewConfig mirrors lpbcast's sizing for groups of ~60
+// to a few hundred nodes.
+func DefaultPartialViewConfig() PartialViewConfig {
+	return PartialViewConfig{
+		MaxView:         15,
+		MaxSubs:         30,
+		MaxUnsubs:       30,
+		SubsPerGossip:   4,
+		UnsubsPerGossip: 4,
+	}
+}
+
+// Validate reports the first configuration error.
+func (c PartialViewConfig) Validate() error {
+	if c.MaxView <= 0 {
+		return fmt.Errorf("membership: MaxView must be positive, got %d", c.MaxView)
+	}
+	if c.MaxSubs <= 0 || c.MaxUnsubs <= 0 {
+		return fmt.Errorf("membership: pool bounds must be positive, got subs=%d unsubs=%d", c.MaxSubs, c.MaxUnsubs)
+	}
+	if c.SubsPerGossip <= 0 || c.UnsubsPerGossip < 0 {
+		return fmt.Errorf("membership: per-gossip counts invalid: subs=%d unsubs=%d", c.SubsPerGossip, c.UnsubsPerGossip)
+	}
+	return nil
+}
+
+// PartialView is lpbcast's partial-membership mechanism: each node
+// knows only a bounded random subset of the group, maintained purely by
+// piggybacking subscriptions and unsubscriptions on data gossip. It
+// implements both gossip.PeerSampler (targets come from the view) and
+// gossip.Extension (membership traffic rides on Message.Subs/Unsubs).
+//
+// PartialView is owned by a single node and is not safe for concurrent
+// use; the node's driver serializes all calls.
+type PartialView struct {
+	self gossip.NodeID
+	cfg  PartialViewConfig
+	rng  *rand.Rand
+
+	view    []gossip.NodeID
+	viewSet map[gossip.NodeID]struct{}
+
+	subs    []gossip.NodeID
+	subsSet map[gossip.NodeID]struct{}
+
+	unsubs    []gossip.NodeID
+	unsubsSet map[gossip.NodeID]struct{}
+}
+
+// NewPartialView creates a view seeded with the given contacts.
+func NewPartialView(self gossip.NodeID, seeds []gossip.NodeID, cfg PartialViewConfig, rng *rand.Rand) (*PartialView, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	if self == "" {
+		return nil, fmt.Errorf("membership: self id must not be empty")
+	}
+	if rng == nil {
+		return nil, fmt.Errorf("membership: rng must not be nil")
+	}
+	v := &PartialView{
+		self:      self,
+		cfg:       cfg,
+		rng:       rng,
+		viewSet:   make(map[gossip.NodeID]struct{}, cfg.MaxView),
+		subsSet:   make(map[gossip.NodeID]struct{}, cfg.MaxSubs),
+		unsubsSet: make(map[gossip.NodeID]struct{}, cfg.MaxUnsubs),
+	}
+	for _, s := range seeds {
+		v.addToView(s)
+	}
+	return v, nil
+}
+
+// View returns a copy of the current partial view.
+func (v *PartialView) View() []gossip.NodeID {
+	return append([]gossip.NodeID(nil), v.view...)
+}
+
+// ViewSize reports the current view length.
+func (v *PartialView) ViewSize() int { return len(v.view) }
+
+// Contains reports whether id is in the view.
+func (v *PartialView) Contains(id gossip.NodeID) bool {
+	_, ok := v.viewSet[id]
+	return ok
+}
+
+// SamplePeers draws up to k distinct targets from the partial view.
+func (v *PartialView) SamplePeers(self gossip.NodeID, k int, rng *rand.Rand) []gossip.NodeID {
+	if k <= 0 || len(v.view) == 0 {
+		return nil
+	}
+	if k >= len(v.view) {
+		out := append([]gossip.NodeID(nil), v.view...)
+		rng.Shuffle(len(out), func(i, j int) { out[i], out[j] = out[j], out[i] })
+		return out
+	}
+	out := make([]gossip.NodeID, 0, k)
+	chosen := make(map[int]struct{}, k)
+	for len(out) < k {
+		i := rng.IntN(len(v.view))
+		if _, dup := chosen[i]; dup {
+			continue
+		}
+		chosen[i] = struct{}{}
+		out = append(out, v.view[i])
+	}
+	return out
+}
+
+// OnTick piggybacks membership traffic: the sender's own subscription
+// plus random samples of the subs and unsubs pools.
+func (v *PartialView) OnTick(n *gossip.Node, out *Message) {
+	out.Subs = append(out.Subs, v.self)
+	for _, s := range v.samplePool(v.subs, v.cfg.SubsPerGossip-1) {
+		out.Subs = append(out.Subs, s)
+	}
+	out.Unsubs = append(out.Unsubs, v.samplePool(v.unsubs, v.cfg.UnsubsPerGossip)...)
+}
+
+// Message aliases gossip.Message for readability of the Extension
+// implementation.
+type Message = gossip.Message
+
+// OnReceive merges incoming membership traffic into the local state.
+func (v *PartialView) OnReceive(n *gossip.Node, in *Message) {
+	for _, u := range in.Unsubs {
+		if u == v.self {
+			continue
+		}
+		v.removeFromView(u)
+		v.removeFromSubs(u)
+		v.addToPool(&v.unsubs, v.unsubsSet, u, v.cfg.MaxUnsubs)
+	}
+	for _, s := range in.Subs {
+		if s == v.self {
+			continue
+		}
+		if _, gone := v.unsubsSet[s]; gone {
+			// Recently unsubscribed; do not resurrect until the unsub
+			// ages out of the pool.
+			continue
+		}
+		v.addToView(s)
+		v.addToPool(&v.subs, v.subsSet, s, v.cfg.MaxSubs)
+	}
+}
+
+// OnEvicted is a no-op; the partial view does not track events.
+func (v *PartialView) OnEvicted(n *gossip.Node, evicted []gossip.Event, reason gossip.EvictReason) {}
+
+// Unsubscribe announces the local node's departure. The unsubscription
+// propagates on subsequent gossip rounds.
+func (v *PartialView) Unsubscribe() {
+	v.addToPool(&v.unsubs, v.unsubsSet, v.self, v.cfg.MaxUnsubs)
+}
+
+// samplePool draws up to k distinct elements from a pool.
+func (v *PartialView) samplePool(pool []gossip.NodeID, k int) []gossip.NodeID {
+	if k <= 0 || len(pool) == 0 {
+		return nil
+	}
+	if k >= len(pool) {
+		return append([]gossip.NodeID(nil), pool...)
+	}
+	out := make([]gossip.NodeID, 0, k)
+	chosen := make(map[int]struct{}, k)
+	for len(out) < k {
+		i := v.rng.IntN(len(pool))
+		if _, dup := chosen[i]; dup {
+			continue
+		}
+		chosen[i] = struct{}{}
+		out = append(out, pool[i])
+	}
+	return out
+}
+
+func (v *PartialView) addToView(id gossip.NodeID) {
+	if id == v.self {
+		return
+	}
+	if _, ok := v.viewSet[id]; ok {
+		return
+	}
+	v.view = append(v.view, id)
+	v.viewSet[id] = struct{}{}
+	// Over capacity: demote a random member to the subs pool so the
+	// group's knowledge of it is not lost, as in lpbcast.
+	for len(v.view) > v.cfg.MaxView {
+		i := v.rng.IntN(len(v.view))
+		demoted := v.view[i]
+		v.view[i] = v.view[len(v.view)-1]
+		v.view = v.view[:len(v.view)-1]
+		delete(v.viewSet, demoted)
+		v.addToPool(&v.subs, v.subsSet, demoted, v.cfg.MaxSubs)
+	}
+}
+
+func (v *PartialView) removeFromView(id gossip.NodeID) {
+	if _, ok := v.viewSet[id]; !ok {
+		return
+	}
+	for i, cand := range v.view {
+		if cand == id {
+			v.view[i] = v.view[len(v.view)-1]
+			v.view = v.view[:len(v.view)-1]
+			break
+		}
+	}
+	delete(v.viewSet, id)
+}
+
+func (v *PartialView) removeFromSubs(id gossip.NodeID) {
+	if _, ok := v.subsSet[id]; !ok {
+		return
+	}
+	for i, cand := range v.subs {
+		if cand == id {
+			v.subs[i] = v.subs[len(v.subs)-1]
+			v.subs = v.subs[:len(v.subs)-1]
+			break
+		}
+	}
+	delete(v.subsSet, id)
+}
+
+func (v *PartialView) addToPool(pool *[]gossip.NodeID, set map[gossip.NodeID]struct{}, id gossip.NodeID, max int) {
+	if _, ok := set[id]; ok {
+		return
+	}
+	if len(*pool) < max {
+		*pool = append(*pool, id)
+		set[id] = struct{}{}
+		return
+	}
+	// Replace a random element, bounding the pool while keeping churn.
+	i := v.rng.IntN(len(*pool))
+	delete(set, (*pool)[i])
+	(*pool)[i] = id
+	set[id] = struct{}{}
+}
+
+var (
+	_ gossip.PeerSampler = (*PartialView)(nil)
+	_ gossip.Extension   = (*PartialView)(nil)
+)

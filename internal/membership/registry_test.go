@@ -1,0 +1,132 @@
+package membership
+
+import (
+	"math/rand/v2"
+	"testing"
+
+	"adaptivegossip/internal/gossip"
+)
+
+func ids(names ...string) []gossip.NodeID {
+	out := make([]gossip.NodeID, len(names))
+	for i, n := range names {
+		out[i] = gossip.NodeID(n)
+	}
+	return out
+}
+
+func TestRegistryAddRemove(t *testing.T) {
+	r := NewRegistry(ids("a", "b")...)
+	if r.Len() != 2 {
+		t.Fatalf("Len = %d, want 2", r.Len())
+	}
+	if r.Add("a") {
+		t.Fatal("duplicate Add returned true")
+	}
+	if !r.Add("c") {
+		t.Fatal("new Add returned false")
+	}
+	if !r.Remove("b") {
+		t.Fatal("Remove of member returned false")
+	}
+	if r.Remove("b") {
+		t.Fatal("Remove of absent returned true")
+	}
+	if r.Contains("b") {
+		t.Fatal("b still contained after removal")
+	}
+	if !r.Contains("c") {
+		t.Fatal("c lost")
+	}
+	got := r.IDs()
+	if len(got) != 2 {
+		t.Fatalf("IDs = %v", got)
+	}
+}
+
+func TestRegistrySampleExcludesSelfAndDuplicates(t *testing.T) {
+	r := NewRegistry(ids("a", "b", "c", "d", "e")...)
+	rng := rand.New(rand.NewPCG(3, 4))
+	for trial := 0; trial < 200; trial++ {
+		got := r.SamplePeers("a", 3, rng)
+		if len(got) != 3 {
+			t.Fatalf("sample size %d, want 3", len(got))
+		}
+		seen := map[gossip.NodeID]bool{}
+		for _, id := range got {
+			if id == "a" {
+				t.Fatal("sample included self")
+			}
+			if seen[id] {
+				t.Fatalf("duplicate %s in sample", id)
+			}
+			seen[id] = true
+		}
+	}
+}
+
+func TestRegistrySampleWholeGroup(t *testing.T) {
+	r := NewRegistry(ids("a", "b", "c")...)
+	rng := rand.New(rand.NewPCG(5, 6))
+	got := r.SamplePeers("a", 10, rng)
+	if len(got) != 2 {
+		t.Fatalf("sample = %v, want both other members", got)
+	}
+}
+
+func TestRegistrySampleEdgeCases(t *testing.T) {
+	rng := rand.New(rand.NewPCG(7, 8))
+	empty := NewRegistry()
+	if got := empty.SamplePeers("a", 4, rng); got != nil {
+		t.Fatalf("empty registry sample = %v", got)
+	}
+	solo := NewRegistry("a")
+	if got := solo.SamplePeers("a", 4, rng); got != nil {
+		t.Fatalf("solo registry sample = %v", got)
+	}
+	r := NewRegistry(ids("a", "b")...)
+	if got := r.SamplePeers("a", 0, rng); got != nil {
+		t.Fatalf("k=0 sample = %v", got)
+	}
+	// Sampling from a registry that does not contain self still works.
+	if got := r.SamplePeers("zz", 2, rng); len(got) != 2 {
+		t.Fatalf("outsider sample = %v", got)
+	}
+}
+
+func TestRegistrySampleIsRoughlyUniform(t *testing.T) {
+	r := NewRegistry(ids("a", "b", "c", "d", "e", "f")...)
+	rng := rand.New(rand.NewPCG(9, 10))
+	counts := map[gossip.NodeID]int{}
+	const trials = 6000
+	for i := 0; i < trials; i++ {
+		for _, id := range r.SamplePeers("a", 2, rng) {
+			counts[id]++
+		}
+	}
+	// Expected per member: trials*2/5 = 2400. Allow ±15%.
+	for _, id := range ids("b", "c", "d", "e", "f") {
+		c := counts[id]
+		if c < 2040 || c > 2760 {
+			t.Fatalf("member %s drawn %d times, want ≈2400", id, c)
+		}
+	}
+}
+
+func TestRegistryConcurrentUse(t *testing.T) {
+	r := NewRegistry(ids("a", "b", "c", "d")...)
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		for i := 0; i < 1000; i++ {
+			r.Add("x")
+			r.Remove("x")
+		}
+	}()
+	rng := rand.New(rand.NewPCG(11, 12))
+	for i := 0; i < 1000; i++ {
+		r.SamplePeers("a", 2, rng)
+		r.Len()
+	}
+	<-done
+}

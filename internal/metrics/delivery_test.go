@@ -1,0 +1,192 @@
+package metrics
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+
+	"adaptivegossip/internal/gossip"
+)
+
+var epoch = time.Unix(0, 0).UTC()
+
+func members(n int) []gossip.NodeID {
+	out := make([]gossip.NodeID, n)
+	for i := range out {
+		out[i] = gossip.NodeID(fmt.Sprintf("n%03d", i))
+	}
+	return out
+}
+
+func eid(seq uint64) gossip.EventID {
+	return gossip.EventID{Origin: "n000", Seq: seq}
+}
+
+func TestNewDeliveryTrackerValidation(t *testing.T) {
+	if _, err := NewDeliveryTracker(nil); err == nil {
+		t.Fatal("empty members accepted")
+	}
+	if _, err := NewDeliveryTracker([]gossip.NodeID{"a", "a"}); err == nil {
+		t.Fatal("duplicate members accepted")
+	}
+}
+
+func TestDeliveryTrackerCoverage(t *testing.T) {
+	group := members(10)
+	tr, err := NewDeliveryTracker(group)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Message 0: all 10 members. Message 1: 9 members. Message 2: 5.
+	for seq, count := range map[uint64]int{0: 10, 1: 9, 2: 5} {
+		tr.Broadcast(eid(seq), epoch)
+		for i := 0; i < count; i++ {
+			tr.Deliver(eid(seq), group[i], epoch.Add(time.Second))
+		}
+	}
+	sum := tr.Results(time.Time{}, time.Time{}, 0.95)
+	if sum.Messages != 3 {
+		t.Fatalf("messages = %d", sum.Messages)
+	}
+	// >95% of 10 means all 10: only message 0 qualifies.
+	if sum.AtomicityPct < 33.2 || sum.AtomicityPct > 33.4 {
+		t.Fatalf("atomicity = %v, want 33.3", sum.AtomicityPct)
+	}
+	wantMean := (100.0 + 90.0 + 50.0) / 3
+	if sum.MeanReceiversPct < wantMean-0.01 || sum.MeanReceiversPct > wantMean+0.01 {
+		t.Fatalf("mean receivers = %v, want %v", sum.MeanReceiversPct, wantMean)
+	}
+	if sum.FullyDelivered != 1 {
+		t.Fatalf("fully delivered = %d", sum.FullyDelivered)
+	}
+	if sum.MinReceiversPct != 50 {
+		t.Fatalf("min receivers = %v", sum.MinReceiversPct)
+	}
+}
+
+func TestDeliveryTrackerThresholdBoundary(t *testing.T) {
+	group := members(20)
+	tr, _ := NewDeliveryTracker(group)
+	// Exactly 19/20 = 95%: NOT strictly more than 95%.
+	tr.Broadcast(eid(0), epoch)
+	for i := 0; i < 19; i++ {
+		tr.Deliver(eid(0), group[i], epoch)
+	}
+	if got := tr.Results(time.Time{}, time.Time{}, 0.95).AtomicityPct; got != 0 {
+		t.Fatalf("19/20 counted as atomic: %v", got)
+	}
+	tr.Deliver(eid(0), group[19], epoch)
+	if got := tr.Results(time.Time{}, time.Time{}, 0.95).AtomicityPct; got != 100 {
+		t.Fatalf("20/20 not atomic: %v", got)
+	}
+}
+
+func TestDeliveryTrackerDuplicateAndUnknownDeliveries(t *testing.T) {
+	group := members(4)
+	tr, _ := NewDeliveryTracker(group)
+	tr.Broadcast(eid(0), epoch)
+	tr.Deliver(eid(0), group[1], epoch)
+	tr.Deliver(eid(0), group[1], epoch) // duplicate
+	tr.Deliver(eid(0), "stranger", epoch)
+	got := tr.Results(time.Time{}, time.Time{}, 0)
+	if got.MeanReceiversPct != 25 {
+		t.Fatalf("mean = %v, want 25", got.MeanReceiversPct)
+	}
+}
+
+func TestDeliveryTrackerHorizonFiltering(t *testing.T) {
+	group := members(2)
+	tr, _ := NewDeliveryTracker(group)
+	tr.Broadcast(eid(0), epoch.Add(1*time.Second))
+	tr.Broadcast(eid(1), epoch.Add(10*time.Second))
+	tr.Deliver(eid(0), group[0], epoch)
+	tr.Deliver(eid(1), group[0], epoch)
+	got := tr.Results(time.Time{}, epoch.Add(5*time.Second), 0)
+	if got.Messages != 1 {
+		t.Fatalf("horizon filter kept %d messages, want 1", got.Messages)
+	}
+	got = tr.Results(epoch.Add(5*time.Second), time.Time{}, 0)
+	if got.Messages != 1 {
+		t.Fatalf("from filter kept %d messages, want 1", got.Messages)
+	}
+}
+
+func TestDeliveryTrackerDeliverBeforeBroadcast(t *testing.T) {
+	group := members(2)
+	tr, _ := NewDeliveryTracker(group)
+	// Origin's local delivery can reach the tracker before Broadcast.
+	tr.Deliver(eid(0), group[0], epoch.Add(time.Second))
+	tr.Broadcast(eid(0), epoch)
+	got := tr.Results(time.Time{}, time.Time{}, 0)
+	if got.Messages != 1 || got.MeanReceiversPct != 50 {
+		t.Fatalf("got %+v", got)
+	}
+}
+
+func TestDeliveryTrackerSeries(t *testing.T) {
+	group := members(4)
+	tr, _ := NewDeliveryTracker(group)
+	// Bucket 0: one fully delivered message. Bucket 1: one message at
+	// 50%. Bucket 2: empty.
+	tr.Broadcast(eid(0), epoch)
+	for _, m := range group {
+		tr.Deliver(eid(0), m, epoch)
+	}
+	tr.Broadcast(eid(1), epoch.Add(11*time.Second))
+	tr.Deliver(eid(1), group[0], epoch.Add(11*time.Second))
+	tr.Deliver(eid(1), group[1], epoch.Add(11*time.Second))
+
+	series := tr.Series(epoch, epoch.Add(30*time.Second), 10*time.Second, 0.95)
+	if len(series) != 4 {
+		t.Fatalf("series length %d", len(series))
+	}
+	if series[0].AtomicityPct != 100 || series[0].Messages != 1 {
+		t.Fatalf("bucket 0: %+v", series[0])
+	}
+	if series[1].AtomicityPct != 0 || series[1].MeanReceiversPct != 50 {
+		t.Fatalf("bucket 1: %+v", series[1])
+	}
+	if series[2].Messages != 0 {
+		t.Fatalf("bucket 2: %+v", series[2])
+	}
+	if tr.Series(epoch, epoch, time.Second, 0) != nil {
+		t.Fatal("empty window should return nil")
+	}
+}
+
+func TestDeliveryTrackerCoverageHistogram(t *testing.T) {
+	group := members(4)
+	tr, _ := NewDeliveryTracker(group)
+	tr.Broadcast(eid(0), epoch)
+	tr.Deliver(eid(0), group[0], epoch)
+	tr.Broadcast(eid(1), epoch)
+	for _, m := range group {
+		tr.Deliver(eid(1), m, epoch)
+	}
+	h := tr.CoverageHistogram(time.Time{}, time.Time{})
+	if len(h) != 2 || h[0] != 25 || h[1] != 100 {
+		t.Fatalf("histogram %v", h)
+	}
+}
+
+func TestDeliveryTrackerConcurrent(t *testing.T) {
+	group := members(8)
+	tr, _ := NewDeliveryTracker(group)
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 500; i++ {
+				id := gossip.EventID{Origin: group[g], Seq: uint64(i)}
+				tr.Broadcast(id, epoch)
+				tr.Deliver(id, group[(g+i)%8], epoch)
+			}
+		}(g)
+	}
+	wg.Wait()
+	if got := tr.Results(time.Time{}, time.Time{}, 0).Messages; got != 4000 {
+		t.Fatalf("messages = %d, want 4000", got)
+	}
+}

@@ -1,0 +1,141 @@
+// Package plot renders small multi-series line charts as text — enough
+// to eyeball the shape of every reproduced figure straight from the
+// terminal (`gossipsim -plot`), the way one would compare against the
+// paper's plots.
+package plot
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"strings"
+)
+
+// Point is one (x, y) sample.
+type Point struct {
+	X, Y float64
+}
+
+// Series is one named curve.
+type Series struct {
+	Name   string
+	Points []Point
+}
+
+// Config sizes and labels a chart.
+type Config struct {
+	// Title is printed above the chart.
+	Title string
+	// Width and Height are the plot area size in characters (axes and
+	// labels excluded). Zero values default to 64×16.
+	Width  int
+	Height int
+	// XLabel and YLabel annotate the axes.
+	XLabel string
+	YLabel string
+	// YMin/YMax fix the y range; both zero means auto-scale.
+	YMin float64
+	YMax float64
+}
+
+var markers = []byte{'*', '+', 'o', 'x', '#', '@'}
+
+// Render draws the series onto w. Series beyond the marker palette
+// reuse markers cyclically.
+func Render(w io.Writer, cfg Config, series ...Series) error {
+	if len(series) == 0 {
+		return fmt.Errorf("plot: no series")
+	}
+	width := cfg.Width
+	if width <= 0 {
+		width = 64
+	}
+	height := cfg.Height
+	if height <= 0 {
+		height = 16
+	}
+	if width < 8 || height < 4 {
+		return fmt.Errorf("plot: area %dx%d too small", width, height)
+	}
+
+	xMin, xMax := math.Inf(1), math.Inf(-1)
+	yMin, yMax := math.Inf(1), math.Inf(-1)
+	points := 0
+	for _, s := range series {
+		for _, p := range s.Points {
+			if math.IsNaN(p.X) || math.IsNaN(p.Y) {
+				continue
+			}
+			points++
+			xMin = math.Min(xMin, p.X)
+			xMax = math.Max(xMax, p.X)
+			yMin = math.Min(yMin, p.Y)
+			yMax = math.Max(yMax, p.Y)
+		}
+	}
+	if points == 0 {
+		return fmt.Errorf("plot: no finite points")
+	}
+	if cfg.YMin != 0 || cfg.YMax != 0 {
+		yMin, yMax = cfg.YMin, cfg.YMax
+	}
+	if xMax == xMin {
+		xMax = xMin + 1
+	}
+	if yMax <= yMin {
+		yMax = yMin + 1
+	}
+
+	grid := make([][]byte, height)
+	for i := range grid {
+		grid[i] = []byte(strings.Repeat(" ", width))
+	}
+	for si, s := range series {
+		m := markers[si%len(markers)]
+		for _, p := range s.Points {
+			if math.IsNaN(p.X) || math.IsNaN(p.Y) {
+				continue
+			}
+			col := int((p.X - xMin) / (xMax - xMin) * float64(width-1))
+			row := int((p.Y - yMin) / (yMax - yMin) * float64(height-1))
+			if col < 0 || col >= width || row < 0 || row >= height {
+				continue
+			}
+			r := height - 1 - row
+			grid[r][col] = m
+		}
+	}
+
+	if cfg.Title != "" {
+		fmt.Fprintf(w, "  %s\n", cfg.Title)
+	}
+	legend := make([]string, 0, len(series))
+	for si, s := range series {
+		legend = append(legend, fmt.Sprintf("%c %s", markers[si%len(markers)], s.Name))
+	}
+	fmt.Fprintf(w, "  [%s]\n", strings.Join(legend, "   "))
+
+	yLabelAt := func(row int) string {
+		v := yMax - (yMax-yMin)*float64(row)/float64(height-1)
+		return fmt.Sprintf("%8.1f", v)
+	}
+	for row := 0; row < height; row++ {
+		label := strings.Repeat(" ", 8)
+		if row == 0 || row == height-1 || row == height/2 {
+			label = yLabelAt(row)
+		}
+		fmt.Fprintf(w, "%s |%s\n", label, string(grid[row]))
+	}
+	fmt.Fprintf(w, "%s +%s\n", strings.Repeat(" ", 8), strings.Repeat("-", width))
+	left := fmt.Sprintf("%.1f", xMin)
+	right := fmt.Sprintf("%.1f", xMax)
+	pad := width - len(left) - len(right)
+	if pad < 1 {
+		pad = 1
+	}
+	fmt.Fprintf(w, "%s %s%s%s\n", strings.Repeat(" ", 8), left, strings.Repeat(" ", pad), right)
+	if cfg.XLabel != "" || cfg.YLabel != "" {
+		fmt.Fprintf(w, "%s  x: %s, y: %s\n", strings.Repeat(" ", 8), cfg.XLabel, cfg.YLabel)
+	}
+	return nil
+}

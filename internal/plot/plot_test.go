@@ -1,0 +1,96 @@
+package plot
+
+import (
+	"math"
+	"strings"
+	"testing"
+)
+
+func line(from, to float64, n int) []Point {
+	pts := make([]Point, n)
+	for i := range pts {
+		x := float64(i)
+		pts[i] = Point{X: x, Y: from + (to-from)*x/float64(n-1)}
+	}
+	return pts
+}
+
+func TestRenderBasics(t *testing.T) {
+	var sb strings.Builder
+	err := Render(&sb, Config{Title: "demo", XLabel: "t", YLabel: "v"},
+		Series{Name: "up", Points: line(0, 10, 20)},
+		Series{Name: "down", Points: line(10, 0, 20)},
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	for _, want := range []string{"demo", "* up", "+ down", "x: t, y: v", "10.0", "0.0"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("output missing %q:\n%s", want, out)
+		}
+	}
+	if !strings.Contains(out, "*") || !strings.Contains(out, "+") {
+		t.Fatal("markers missing")
+	}
+}
+
+func TestRenderShapeOrientation(t *testing.T) {
+	// A rising line must put its marker high-right and low-left.
+	var sb strings.Builder
+	if err := Render(&sb, Config{Width: 20, Height: 5}, Series{Name: "r", Points: line(0, 1, 10)}); err != nil {
+		t.Fatal(err)
+	}
+	rows := strings.Split(sb.String(), "\n")
+	// Find first and last grid rows (those containing '|').
+	var gridRows []string
+	for _, r := range rows {
+		if strings.Contains(r, "|") {
+			gridRows = append(gridRows, r[strings.Index(r, "|")+1:])
+		}
+	}
+	if len(gridRows) != 5 {
+		t.Fatalf("grid rows %d", len(gridRows))
+	}
+	top, bottom := gridRows[0], gridRows[len(gridRows)-1]
+	if strings.IndexByte(top, '*') < strings.IndexByte(bottom, '*') {
+		t.Fatalf("rising line rendered falling:\n%s", sb.String())
+	}
+}
+
+func TestRenderErrors(t *testing.T) {
+	var sb strings.Builder
+	if err := Render(&sb, Config{}); err == nil {
+		t.Fatal("no series accepted")
+	}
+	if err := Render(&sb, Config{}, Series{Name: "empty"}); err == nil {
+		t.Fatal("no points accepted")
+	}
+	if err := Render(&sb, Config{Width: 2, Height: 2}, Series{Points: line(0, 1, 3)}); err == nil {
+		t.Fatal("tiny area accepted")
+	}
+	nan := Series{Points: []Point{{X: math.NaN(), Y: math.NaN()}}}
+	if err := Render(&sb, Config{}, nan); err == nil {
+		t.Fatal("all-NaN series accepted")
+	}
+}
+
+func TestRenderFixedYRangeAndClipping(t *testing.T) {
+	var sb strings.Builder
+	err := Render(&sb, Config{YMin: 0, YMax: 5, Width: 20, Height: 5},
+		Series{Name: "s", Points: []Point{{0, 1}, {1, 99}}}) // 99 clipped
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(sb.String(), "5.0") {
+		t.Fatalf("fixed y max not used:\n%s", sb.String())
+	}
+}
+
+func TestRenderConstantSeries(t *testing.T) {
+	var sb strings.Builder
+	err := Render(&sb, Config{}, Series{Name: "flat", Points: []Point{{0, 3}, {1, 3}}})
+	if err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,194 @@
+package pubsub
+
+import (
+	"fmt"
+	"math/rand/v2"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"adaptivegossip/internal/gossip"
+	"adaptivegossip/internal/transport"
+)
+
+// RunnerConfig drives a Peer in real time.
+type RunnerConfig struct {
+	// Peer is the state machine the runner owns; do not touch it after
+	// Start except through Do.
+	Peer *Peer
+	// Transport carries gossip for all of the peer's topics.
+	Transport transport.Transport
+	// Period is the gossip round interval.
+	Period time.Duration
+	// InboxSize bounds the receive queue (default 256).
+	InboxSize int
+	// PhaseSeed randomizes the initial tick phase.
+	PhaseSeed uint64
+}
+
+// Runner owns a Peer: one goroutine serializes ticks, receives and
+// commands, mirroring internal/runtime.Runner for single-group nodes.
+type Runner struct {
+	peer   *Peer
+	tr     transport.Transport
+	period time.Duration
+	phase  time.Duration
+
+	inbox chan *gossip.Message
+	cmds  chan func(*Peer)
+	stop  chan struct{}
+	done  chan struct{}
+
+	startOnce sync.Once
+	stopOnce  sync.Once
+	started   atomic.Bool
+
+	inboxDropped atomic.Uint64
+	sendErrors   atomic.Uint64
+}
+
+// NewRunner wires the runner and installs the transport handler.
+func NewRunner(cfg RunnerConfig) (*Runner, error) {
+	if cfg.Peer == nil {
+		return nil, fmt.Errorf("pubsub: peer must not be nil")
+	}
+	if cfg.Transport == nil {
+		return nil, fmt.Errorf("pubsub: transport must not be nil")
+	}
+	if cfg.Period <= 0 {
+		return nil, fmt.Errorf("pubsub: period must be positive, got %v", cfg.Period)
+	}
+	size := cfg.InboxSize
+	if size <= 0 {
+		size = 256
+	}
+	seed := cfg.PhaseSeed
+	if seed == 0 {
+		for _, b := range []byte(cfg.Peer.ID()) {
+			seed = seed*131 + uint64(b)
+		}
+		seed++
+	}
+	rng := rand.New(rand.NewPCG(seed, seed^0x517CC1B7))
+	r := &Runner{
+		peer:   cfg.Peer,
+		tr:     cfg.Transport,
+		period: cfg.Period,
+		phase:  time.Duration(rng.Int64N(int64(cfg.Period))),
+		inbox:  make(chan *gossip.Message, size),
+		cmds:   make(chan func(*Peer)),
+		stop:   make(chan struct{}),
+		done:   make(chan struct{}),
+	}
+	r.tr.SetHandler(func(msg *gossip.Message) {
+		select {
+		case r.inbox <- msg:
+		default:
+			r.inboxDropped.Add(1)
+		}
+	})
+	return r, nil
+}
+
+// Start launches the peer loop. Idempotent.
+func (r *Runner) Start() {
+	r.startOnce.Do(func() {
+		r.started.Store(true)
+		go r.loop()
+	})
+}
+
+// Stop terminates the loop and waits for it. Safe to call repeatedly
+// and before Start.
+func (r *Runner) Stop() {
+	r.stopOnce.Do(func() { close(r.stop) })
+	if r.started.Load() {
+		<-r.done
+	}
+}
+
+func (r *Runner) loop() {
+	defer close(r.done)
+	phase := time.NewTimer(r.phase)
+	defer phase.Stop()
+waitPhase:
+	for {
+		select {
+		case <-phase.C:
+			break waitPhase
+		case <-r.stop:
+			return
+		case msg := <-r.inbox:
+			r.peer.Receive(msg, time.Now())
+		case cmd := <-r.cmds:
+			cmd(r.peer)
+		}
+	}
+	ticker := time.NewTicker(r.period)
+	defer ticker.Stop()
+	for {
+		select {
+		case <-r.stop:
+			return
+		case <-ticker.C:
+			for _, out := range r.peer.Tick(time.Now()) {
+				if err := r.tr.Send(out.To, out.Msg); err != nil {
+					r.sendErrors.Add(1)
+				}
+			}
+		case msg := <-r.inbox:
+			r.peer.Receive(msg, time.Now())
+		case cmd := <-r.cmds:
+			cmd(r.peer)
+		}
+	}
+}
+
+// Do runs fn serialized with the loop, reporting false after Stop.
+func (r *Runner) Do(fn func(*Peer)) bool {
+	if !r.started.Load() {
+		return false
+	}
+	doneCh := make(chan struct{})
+	select {
+	case r.cmds <- func(p *Peer) { fn(p); close(doneCh) }:
+		<-doneCh
+		return true
+	case <-r.done:
+		return false
+	}
+}
+
+// Subscribe joins a topic from outside the loop.
+func (r *Runner) Subscribe(topic Topic, peers gossip.PeerSampler) error {
+	err := fmt.Errorf("pubsub: runner stopped")
+	r.Do(func(p *Peer) { err = p.Subscribe(topic, peers) })
+	return err
+}
+
+// Unsubscribe leaves a topic from outside the loop.
+func (r *Runner) Unsubscribe(topic Topic) error {
+	err := fmt.Errorf("pubsub: runner stopped")
+	r.Do(func(p *Peer) { err = p.Unsubscribe(topic) })
+	return err
+}
+
+// Publish broadcasts on a topic, reporting admission.
+func (r *Runner) Publish(topic Topic, payload []byte) (bool, error) {
+	var admitted bool
+	err := fmt.Errorf("pubsub: runner stopped")
+	r.Do(func(p *Peer) {
+		_, admitted, err = p.Publish(topic, payload, time.Now())
+	})
+	return admitted, err
+}
+
+// State snapshots all subscriptions.
+func (r *Runner) State() []TopicState {
+	var out []TopicState
+	r.Do(func(p *Peer) { out = p.State() })
+	return out
+}
+
+// InboxDropped counts receive-queue overflow drops.
+func (r *Runner) InboxDropped() uint64 { return r.inboxDropped.Load() }

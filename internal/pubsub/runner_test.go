@@ -1,0 +1,187 @@
+package pubsub
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+
+	"adaptivegossip/internal/gossip"
+	"adaptivegossip/internal/membership"
+	"adaptivegossip/internal/transport"
+)
+
+func TestNewRunnerValidation(t *testing.T) {
+	net, _ := transport.NewMemNetwork()
+	defer net.Close()
+	ep, _ := net.Endpoint("a")
+	p := newPeer(t, "a", 30)
+	if _, err := NewRunner(RunnerConfig{Peer: nil, Transport: ep, Period: time.Second}); err == nil {
+		t.Fatal("nil peer accepted")
+	}
+	if _, err := NewRunner(RunnerConfig{Peer: p, Transport: nil, Period: time.Second}); err == nil {
+		t.Fatal("nil transport accepted")
+	}
+	if _, err := NewRunner(RunnerConfig{Peer: p, Transport: ep, Period: 0}); err == nil {
+		t.Fatal("zero period accepted")
+	}
+}
+
+// TestRunnersDisseminatePerTopic runs a live two-topic cluster over the
+// in-memory fabric and checks topic isolation end to end.
+func TestRunnersDisseminatePerTopic(t *testing.T) {
+	const n = 8
+	net, err := transport.NewMemNetwork(transport.WithMemSeed(11))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer net.Close()
+
+	names := make([]gossip.NodeID, n)
+	for i := range names {
+		names[i] = gossip.NodeID(fmt.Sprintf("p%02d", i))
+	}
+	regAll := membership.NewRegistry(names...)
+	regHalf := membership.NewRegistry(names[:4]...)
+
+	var mu sync.Mutex
+	delivered := map[gossip.NodeID]map[Topic]int{}
+
+	runners := make([]*Runner, n)
+	for i := range runners {
+		name := names[i]
+		delivered[name] = map[Topic]int{}
+		cfg := peerConfig(string(name), 40)
+		cfg.Gossip.Period = 25 * time.Millisecond
+		cfg.Deliver = func(topic Topic, ev gossip.Event) {
+			mu.Lock()
+			delivered[name][topic]++
+			mu.Unlock()
+		}
+		p, err := NewPeer(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ep, err := net.Endpoint(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		r, err := NewRunner(RunnerConfig{Peer: p, Transport: ep, Period: 25 * time.Millisecond})
+		if err != nil {
+			t.Fatal(err)
+		}
+		runners[i] = r
+		r.Start()
+	}
+	defer func() {
+		for _, r := range runners {
+			r.Stop()
+		}
+	}()
+
+	// Everyone subscribes to "wide"; only the first half to "narrow".
+	for i, r := range runners {
+		if err := r.Subscribe("wide", regAll); err != nil {
+			t.Fatal(err)
+		}
+		if i < 4 {
+			if err := r.Subscribe("narrow", regHalf); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+
+	if ok, err := runners[0].Publish("wide", []byte("w")); err != nil || !ok {
+		t.Fatalf("publish wide: %v %v", ok, err)
+	}
+	if ok, err := runners[0].Publish("narrow", []byte("n")); err != nil || !ok {
+		t.Fatalf("publish narrow: %v %v", ok, err)
+	}
+	if _, err := runners[5].Publish("narrow", nil); err == nil {
+		t.Fatal("publish on unsubscribed topic accepted")
+	}
+
+	deadline := time.Now().Add(5 * time.Second)
+	for time.Now().Before(deadline) {
+		mu.Lock()
+		wide, narrow := 0, 0
+		for _, byTopic := range delivered {
+			if byTopic["wide"] > 0 {
+				wide++
+			}
+			if byTopic["narrow"] > 0 {
+				narrow++
+			}
+		}
+		mu.Unlock()
+		if wide == n && narrow == 4 {
+			break
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+
+	mu.Lock()
+	defer mu.Unlock()
+	for i, name := range names {
+		if delivered[name]["wide"] != 1 {
+			t.Fatalf("%s wide deliveries = %d", name, delivered[name]["wide"])
+		}
+		wantNarrow := 0
+		if i < 4 {
+			wantNarrow = 1
+		}
+		if delivered[name]["narrow"] != wantNarrow {
+			t.Fatalf("%s narrow deliveries = %d, want %d", name, delivered[name]["narrow"], wantNarrow)
+		}
+	}
+}
+
+func TestRunnerSubscribeUnsubscribeLive(t *testing.T) {
+	net, _ := transport.NewMemNetwork()
+	defer net.Close()
+	p := newPeer(t, "solo", 30)
+	ep, _ := net.Endpoint("solo")
+	r, err := NewRunner(RunnerConfig{Peer: p, Transport: ep, Period: 20 * time.Millisecond})
+	if err != nil {
+		t.Fatal(err)
+	}
+	r.Start()
+	defer r.Stop()
+
+	reg := membership.NewRegistry("solo", "other")
+	if err := r.Subscribe("t1", reg); err != nil {
+		t.Fatal(err)
+	}
+	if err := r.Subscribe("t2", reg); err != nil {
+		t.Fatal(err)
+	}
+	state := r.State()
+	if len(state) != 2 || state[0].BufferCap != 15 {
+		t.Fatalf("state %+v", state)
+	}
+	if err := r.Unsubscribe("t1"); err != nil {
+		t.Fatal(err)
+	}
+	state = r.State()
+	if len(state) != 1 || state[0].BufferCap != 30 {
+		t.Fatalf("state after unsubscribe %+v", state)
+	}
+}
+
+func TestRunnerStopSemantics(t *testing.T) {
+	net, _ := transport.NewMemNetwork()
+	defer net.Close()
+	p := newPeer(t, "x", 30)
+	ep, _ := net.Endpoint("x")
+	r, err := NewRunner(RunnerConfig{Peer: p, Transport: ep, Period: 20 * time.Millisecond})
+	if err != nil {
+		t.Fatal(err)
+	}
+	r.Stop() // before start: no hang
+	if r.Do(func(*Peer) {}) {
+		t.Fatal("Do succeeded on never-started runner")
+	}
+	if _, err := r.Publish("t", nil); err == nil {
+		t.Fatal("publish on stopped runner accepted")
+	}
+}

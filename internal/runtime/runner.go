@@ -1,0 +1,275 @@
+// Package runtime drives protocol nodes in real time: one goroutine per
+// node owns the (single-threaded) state machine, fed by a gossip
+// ticker, the transport's inbox and a command queue. This is the
+// "prototype implementation" half of the paper's evaluation — the same
+// state machine the simulator drives, under real concurrency, timers
+// and a real wire.
+package runtime
+
+import (
+	"fmt"
+	"math/rand/v2"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"adaptivegossip/internal/core"
+	"adaptivegossip/internal/gossip"
+	"adaptivegossip/internal/transport"
+)
+
+// DefaultInboxSize bounds the queue between the transport's delivery
+// goroutines and the node loop. Overflow drops messages — acceptable
+// for gossip, which tolerates loss by design — and is counted.
+const DefaultInboxSize = 256
+
+// Config assembles a Runner.
+type Config struct {
+	// Node is the protocol state machine the runner owns. The caller
+	// must not touch it after Start; use Do for serialized access.
+	Node *core.AdaptiveNode
+	// Transport carries gossip to and from peers. The runner installs
+	// its handler.
+	Transport transport.Transport
+	// Period is the gossip round interval T.
+	Period time.Duration
+	// InboxSize overrides DefaultInboxSize when positive.
+	InboxSize int
+	// PhaseSeed randomizes the initial tick phase in [0, Period) so a
+	// cluster started at once does not tick in lockstep. Zero seeds
+	// from the node id.
+	PhaseSeed uint64
+}
+
+// Stats counts runner activity.
+type Stats struct {
+	Ticks         uint64
+	InboxDropped  uint64
+	SendErrors    uint64
+	MessagesMoved uint64
+}
+
+// Runner drives one node. Create with NewRunner, then Start; Stop waits
+// for the loop to exit.
+type Runner struct {
+	node   *core.AdaptiveNode
+	tr     transport.Transport
+	period time.Duration
+	phase  time.Duration
+
+	inbox chan *gossip.Message
+	cmds  chan func(*core.AdaptiveNode)
+	stop  chan struct{}
+	done  chan struct{}
+
+	startOnce sync.Once
+	stopOnce  sync.Once
+	started   atomic.Bool
+
+	ticks        atomic.Uint64
+	inboxDropped atomic.Uint64
+	sendErrors   atomic.Uint64
+	moved        atomic.Uint64
+}
+
+// NewRunner wires a runner and installs the transport handler. The
+// runner does not tick until Start.
+func NewRunner(cfg Config) (*Runner, error) {
+	if cfg.Node == nil {
+		return nil, fmt.Errorf("runtime: node must not be nil")
+	}
+	if cfg.Transport == nil {
+		return nil, fmt.Errorf("runtime: transport must not be nil")
+	}
+	if cfg.Period <= 0 {
+		return nil, fmt.Errorf("runtime: period must be positive, got %v", cfg.Period)
+	}
+	size := cfg.InboxSize
+	if size <= 0 {
+		size = DefaultInboxSize
+	}
+	seed := cfg.PhaseSeed
+	if seed == 0 {
+		for _, b := range []byte(cfg.Node.ID()) {
+			seed = seed*131 + uint64(b)
+		}
+		seed++
+	}
+	rng := rand.New(rand.NewPCG(seed, seed^0xA5A5A5A5))
+	r := &Runner{
+		node:   cfg.Node,
+		tr:     cfg.Transport,
+		period: cfg.Period,
+		phase:  time.Duration(rng.Int64N(int64(cfg.Period))),
+		inbox:  make(chan *gossip.Message, size),
+		cmds:   make(chan func(*core.AdaptiveNode)),
+		stop:   make(chan struct{}),
+		done:   make(chan struct{}),
+	}
+	r.tr.SetHandler(r.enqueue)
+	return r, nil
+}
+
+// ID returns the owned node's identifier.
+func (r *Runner) ID() gossip.NodeID { return r.node.ID() }
+
+func (r *Runner) enqueue(msg *gossip.Message) {
+	select {
+	case r.inbox <- msg:
+	default:
+		r.inboxDropped.Add(1)
+	}
+}
+
+// Start launches the node loop. Calling Start twice is a no-op.
+func (r *Runner) Start() {
+	r.startOnce.Do(func() {
+		r.started.Store(true)
+		go r.loop()
+	})
+}
+
+// Stop terminates the loop and waits for it to exit. Safe to call
+// multiple times and before Start.
+func (r *Runner) Stop() {
+	r.stopOnce.Do(func() { close(r.stop) })
+	if r.started.Load() {
+		<-r.done
+	}
+}
+
+func (r *Runner) loop() {
+	defer close(r.done)
+	// Random initial phase desynchronizes cluster-wide ticks. Inbox and
+	// command traffic is serviced while waiting — it must not cut the
+	// phase short, or a cluster started under load ticks in lockstep.
+	phase := time.NewTimer(r.phase)
+	defer phase.Stop()
+waitPhase:
+	for {
+		select {
+		case <-phase.C:
+			break waitPhase
+		case <-r.stop:
+			return
+		case msg := <-r.inbox:
+			r.receive(msg)
+		case cmd := <-r.cmds:
+			cmd(r.node)
+		}
+	}
+
+	ticker := time.NewTicker(r.period)
+	defer ticker.Stop()
+	for {
+		select {
+		case <-r.stop:
+			return
+		case <-ticker.C:
+			r.tick()
+		case msg := <-r.inbox:
+			r.receive(msg)
+		case cmd := <-r.cmds:
+			cmd(r.node)
+		}
+	}
+}
+
+func (r *Runner) tick() {
+	r.ticks.Add(1)
+	outs := r.node.Tick(time.Now())
+	for _, out := range outs {
+		if err := r.tr.Send(out.To, out.Msg); err != nil {
+			r.sendErrors.Add(1)
+		} else {
+			r.moved.Add(1)
+		}
+	}
+}
+
+func (r *Runner) receive(msg *gossip.Message) {
+	r.node.Receive(msg, time.Now())
+}
+
+// Do runs fn inside the node loop, serialized with ticks and receives,
+// and waits for it to finish. It reports false if the runner stopped
+// before fn could run.
+func (r *Runner) Do(fn func(*core.AdaptiveNode)) bool {
+	if !r.started.Load() {
+		return false
+	}
+	doneCh := make(chan struct{})
+	wrapped := func(n *core.AdaptiveNode) {
+		fn(n)
+		close(doneCh)
+	}
+	select {
+	case r.cmds <- wrapped:
+		<-doneCh
+		return true
+	case <-r.done:
+		return false
+	}
+}
+
+// Publish submits a broadcast through the node's admission control. It
+// reports whether the message was admitted (false also when the runner
+// is stopped).
+func (r *Runner) Publish(payload []byte) bool {
+	admitted := false
+	r.Do(func(n *core.AdaptiveNode) {
+		_, admitted = n.Publish(payload, time.Now())
+	})
+	return admitted
+}
+
+// SetBufferCapacity resizes the node's buffer from outside the loop.
+func (r *Runner) SetBufferCapacity(capacity int) error {
+	err := fmt.Errorf("runtime: runner stopped")
+	ok := r.Do(func(n *core.AdaptiveNode) {
+		err = n.SetBufferCapacity(capacity)
+	})
+	if !ok {
+		return fmt.Errorf("runtime: runner stopped")
+	}
+	return err
+}
+
+// NodeSnapshot is a point-in-time view of the node's adaptation state.
+type NodeSnapshot struct {
+	AllowedRate float64
+	AvgAge      float64
+	MinBuff     int
+	BufferLen   int
+	BufferCap   int
+	Gossip      gossip.NodeStats
+	Adaptive    core.AdaptiveStats
+}
+
+// Snapshot captures the node state, serialized with the loop. The zero
+// snapshot is returned after Stop.
+func (r *Runner) Snapshot() NodeSnapshot {
+	var snap NodeSnapshot
+	r.Do(func(n *core.AdaptiveNode) {
+		snap = NodeSnapshot{
+			AllowedRate: n.AllowedRate(),
+			AvgAge:      n.AvgAge(),
+			MinBuff:     n.MinBuffEstimate(),
+			BufferLen:   n.BufferLen(),
+			BufferCap:   n.BufferCapacity(),
+			Gossip:      n.GossipStats(),
+			Adaptive:    n.Stats(),
+		}
+	})
+	return snap
+}
+
+// Stats returns the runner's counters.
+func (r *Runner) Stats() Stats {
+	return Stats{
+		Ticks:         r.ticks.Load(),
+		InboxDropped:  r.inboxDropped.Load(),
+		SendErrors:    r.sendErrors.Load(),
+		MessagesMoved: r.moved.Load(),
+	}
+}

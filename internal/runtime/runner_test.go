@@ -1,0 +1,217 @@
+package runtime
+
+import (
+	"fmt"
+	"math/rand/v2"
+	"testing"
+	"time"
+
+	"adaptivegossip/internal/core"
+	"adaptivegossip/internal/gossip"
+	"adaptivegossip/internal/membership"
+	"adaptivegossip/internal/transport"
+)
+
+func testCluster(t *testing.T, n int, adaptive bool, period time.Duration) ([]*Runner, *transport.MemNetwork) {
+	t.Helper()
+	net, err := transport.NewMemNetwork(WithClusterSeed())
+	if err != nil {
+		t.Fatal(err)
+	}
+	names := make([]gossip.NodeID, n)
+	for i := range names {
+		names[i] = gossip.NodeID(fmt.Sprintf("n%02d", i))
+	}
+	reg := membership.NewRegistry(names...)
+	runners := make([]*Runner, n)
+	for i := range runners {
+		gp := gossip.Params{Fanout: 3, Period: period, MaxEvents: 30, MaxAge: 8}
+		cp := core.DefaultParams()
+		cp.InitialRate = 20
+		node, err := core.NewAdaptiveNode(core.NodeConfig{
+			ID:       names[i],
+			Gossip:   gp,
+			Adaptive: adaptive,
+			Core:     cp,
+			Peers:    reg,
+			RNG:      rand.New(rand.NewPCG(uint64(i), 42)),
+			Start:    time.Now(),
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		ep, err := net.Endpoint(names[i])
+		if err != nil {
+			t.Fatal(err)
+		}
+		r, err := NewRunner(Config{Node: node, Transport: ep, Period: period})
+		if err != nil {
+			t.Fatal(err)
+		}
+		runners[i] = r
+	}
+	t.Cleanup(func() {
+		for _, r := range runners {
+			r.Stop()
+		}
+		net.Close()
+	})
+	return runners, net
+}
+
+// WithClusterSeed keeps the fabric deterministic where possible.
+func WithClusterSeed() transport.MemOption { return transport.WithMemSeed(1234) }
+
+func TestNewRunnerValidation(t *testing.T) {
+	net, _ := transport.NewMemNetwork()
+	defer net.Close()
+	ep, _ := net.Endpoint("a")
+	reg := membership.NewRegistry("a", "b")
+	node, err := core.NewAdaptiveNode(core.NodeConfig{
+		ID:     "a",
+		Gossip: gossip.Params{Fanout: 1, Period: time.Second, MaxEvents: 4, MaxAge: 5},
+		Peers:  reg,
+		RNG:    rand.New(rand.NewPCG(1, 2)),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := NewRunner(Config{Node: nil, Transport: ep, Period: time.Second}); err == nil {
+		t.Fatal("nil node accepted")
+	}
+	if _, err := NewRunner(Config{Node: node, Transport: nil, Period: time.Second}); err == nil {
+		t.Fatal("nil transport accepted")
+	}
+	if _, err := NewRunner(Config{Node: node, Transport: ep, Period: 0}); err == nil {
+		t.Fatal("zero period accepted")
+	}
+}
+
+func TestRunnerDisseminates(t *testing.T) {
+	runners, _ := testCluster(t, 8, false, 25*time.Millisecond)
+	for _, r := range runners {
+		r.Start()
+	}
+	if !runners[0].Publish([]byte("hello")) {
+		t.Fatal("publish rejected on baseline node")
+	}
+	// Wait for dissemination: every node should deliver the event.
+	deadline := time.Now().Add(5 * time.Second)
+	for time.Now().Before(deadline) {
+		all := true
+		for _, r := range runners {
+			if r.Snapshot().Gossip.Delivered < 1 {
+				all = false
+				break
+			}
+		}
+		if all {
+			return
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+	for i, r := range runners {
+		t.Logf("node %d: %+v", i, r.Snapshot().Gossip)
+	}
+	t.Fatal("event did not reach every node")
+}
+
+func TestRunnerStopIsIdempotentAndBeforeStart(t *testing.T) {
+	runners, _ := testCluster(t, 2, false, 50*time.Millisecond)
+	r := runners[0]
+	r.Stop() // before Start: no hang
+	r.Stop()
+	// Do on a never-started runner returns false.
+	if ok := r.Do(func(*core.AdaptiveNode) {}); ok {
+		t.Fatal("Do on stopped runner returned true")
+	}
+	r2 := runners[1]
+	r2.Start()
+	r2.Stop()
+	r2.Stop()
+	if ok := r2.Publish(nil); ok {
+		t.Fatal("publish after stop succeeded")
+	}
+}
+
+func TestRunnerSnapshotAndCapacity(t *testing.T) {
+	runners, _ := testCluster(t, 2, true, 30*time.Millisecond)
+	r := runners[0]
+	r.Start()
+	snap := r.Snapshot()
+	if snap.BufferCap != 30 {
+		t.Fatalf("snapshot %+v", snap)
+	}
+	if err := r.SetBufferCapacity(12); err != nil {
+		t.Fatal(err)
+	}
+	if got := r.Snapshot().BufferCap; got != 12 {
+		t.Fatalf("capacity = %d after resize", got)
+	}
+	if got := r.Snapshot().MinBuff; got != 12 {
+		t.Fatalf("minbuff estimate = %d after resize", got)
+	}
+	if err := r.SetBufferCapacity(-1); err == nil {
+		t.Fatal("negative capacity accepted")
+	}
+}
+
+func TestRunnerTicksHappen(t *testing.T) {
+	runners, _ := testCluster(t, 3, false, 20*time.Millisecond)
+	for _, r := range runners {
+		r.Start()
+	}
+	time.Sleep(300 * time.Millisecond)
+	for i, r := range runners {
+		if r.Stats().Ticks == 0 {
+			t.Fatalf("runner %d never ticked", i)
+		}
+	}
+}
+
+func TestRunnerAdaptiveHeadersFlow(t *testing.T) {
+	runners, _ := testCluster(t, 6, true, 20*time.Millisecond)
+	for _, r := range runners {
+		r.Start()
+	}
+	// Shrink one node's buffer; the estimate must propagate to others.
+	if err := runners[3].SetBufferCapacity(7); err != nil {
+		t.Fatal(err)
+	}
+	deadline := time.Now().Add(5 * time.Second)
+	for time.Now().Before(deadline) {
+		reached := 0
+		for _, r := range runners {
+			if r.Snapshot().MinBuff == 7 {
+				reached++
+			}
+		}
+		if reached == len(runners) {
+			return
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+	for i, r := range runners {
+		t.Logf("node %d minbuff=%d", i, r.Snapshot().MinBuff)
+	}
+	t.Fatal("minBuff estimate did not propagate to all runners")
+}
+
+func TestRunnerPublishThrottlesWhenAdaptive(t *testing.T) {
+	runners, _ := testCluster(t, 2, true, 30*time.Millisecond)
+	r := runners[0]
+	r.Start()
+	admitted := 0
+	for i := 0; i < 50; i++ {
+		if r.Publish(nil) {
+			admitted++
+		}
+	}
+	if admitted == 0 || admitted == 50 {
+		t.Fatalf("admitted %d of 50, want partial admission (bucket-limited)", admitted)
+	}
+	snap := r.Snapshot()
+	if snap.Adaptive.Published != uint64(admitted) {
+		t.Fatalf("snapshot %+v vs admitted %d", snap.Adaptive, admitted)
+	}
+}

@@ -1,0 +1,23 @@
+package sim
+
+import "math/rand/v2"
+
+// splitmix64 is the standard SplitMix64 mixing function, used to derive
+// well-separated RNG streams from a single user seed.
+func splitmix64(x uint64) uint64 {
+	x += 0x9E3779B97F4A7C15
+	x = (x ^ (x >> 30)) * 0xBF58476D1CE4E5B9
+	x = (x ^ (x >> 27)) * 0x94D049BB133111EB
+	return x ^ (x >> 31)
+}
+
+// DeriveRNG returns a deterministic generator for (seed, stream).
+// Distinct streams from the same seed are statistically independent;
+// simulations derive one stream per node plus streams for the network
+// and workload so that changing one component's consumption does not
+// perturb the others.
+func DeriveRNG(seed int64, stream uint64) *rand.Rand {
+	s1 := splitmix64(uint64(seed) ^ splitmix64(stream))
+	s2 := splitmix64(s1 ^ 0xD1B54A32D192ED03)
+	return rand.New(rand.NewPCG(s1, s2))
+}

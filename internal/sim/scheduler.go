@@ -1,0 +1,154 @@
+// Package sim is a deterministic discrete-event simulator: a virtual
+// clock, an event scheduler and a network model with configurable
+// latency and loss. It stands in for the event-based simulator the
+// paper's authors used (§4, "Experimental Settings"): the protocol under
+// test is the same state machine the real-time runtime drives, so
+// simulation results and prototype results differ only in the driver.
+package sim
+
+import (
+	"container/heap"
+	"time"
+)
+
+// Epoch is the conventional start-of-simulation instant.
+var Epoch = time.Unix(0, 0).UTC()
+
+type scheduled struct {
+	at        time.Time
+	seq       uint64
+	fn        func()
+	cancelled bool
+	index     int
+}
+
+type eventHeap []*scheduled
+
+func (h eventHeap) Len() int { return len(h) }
+func (h eventHeap) Less(i, j int) bool {
+	if !h[i].at.Equal(h[j].at) {
+		return h[i].at.Before(h[j].at)
+	}
+	return h[i].seq < h[j].seq
+}
+func (h eventHeap) Swap(i, j int) {
+	h[i], h[j] = h[j], h[i]
+	h[i].index = i
+	h[j].index = j
+}
+func (h *eventHeap) Push(x any) {
+	ev := x.(*scheduled)
+	ev.index = len(*h)
+	*h = append(*h, ev)
+}
+func (h *eventHeap) Pop() any {
+	old := *h
+	n := len(old)
+	ev := old[n-1]
+	old[n-1] = nil
+	*h = old[:n-1]
+	return ev
+}
+
+// Handle allows cancelling a scheduled callback.
+type Handle struct{ ev *scheduled }
+
+// Cancel prevents the callback from running. Cancelling an executed or
+// already cancelled callback is a no-op.
+func (h Handle) Cancel() {
+	if h.ev != nil {
+		h.ev.cancelled = true
+	}
+}
+
+// Scheduler is a deterministic discrete-event loop. Events scheduled
+// for the same instant run in scheduling order. Scheduler is not safe
+// for concurrent use: simulations are single-threaded by design.
+type Scheduler struct {
+	now  time.Time
+	heap eventHeap
+	seq  uint64
+}
+
+// NewScheduler returns a scheduler whose clock starts at start.
+func NewScheduler(start time.Time) *Scheduler {
+	return &Scheduler{now: start}
+}
+
+// Now returns the current virtual time.
+func (s *Scheduler) Now() time.Time { return s.now }
+
+// Len reports the number of pending events (including cancelled ones
+// not yet reaped).
+func (s *Scheduler) Len() int { return len(s.heap) }
+
+// At schedules fn to run at instant t. Instants in the past run
+// immediately on the next Step at the current time.
+func (s *Scheduler) At(t time.Time, fn func()) Handle {
+	if t.Before(s.now) {
+		t = s.now
+	}
+	ev := &scheduled{at: t, seq: s.seq, fn: fn}
+	s.seq++
+	heap.Push(&s.heap, ev)
+	return Handle{ev: ev}
+}
+
+// After schedules fn to run d from now. Non-positive d means "next
+// step".
+func (s *Scheduler) After(d time.Duration, fn func()) Handle {
+	if d < 0 {
+		d = 0
+	}
+	return s.At(s.now.Add(d), fn)
+}
+
+// Step runs the next pending event, advancing the clock to its instant.
+// It reports whether an event ran.
+func (s *Scheduler) Step() bool {
+	for len(s.heap) > 0 {
+		ev := heap.Pop(&s.heap).(*scheduled)
+		if ev.cancelled {
+			continue
+		}
+		s.now = ev.at
+		ev.fn()
+		return true
+	}
+	return false
+}
+
+// RunUntil executes all events scheduled at or before t, then advances
+// the clock to t.
+func (s *Scheduler) RunUntil(t time.Time) {
+	for len(s.heap) > 0 {
+		next := s.heap[0]
+		if next.cancelled {
+			heap.Pop(&s.heap)
+			continue
+		}
+		if next.at.After(t) {
+			break
+		}
+		s.Step()
+	}
+	if s.now.Before(t) {
+		s.now = t
+	}
+}
+
+// RunFor is RunUntil(Now().Add(d)).
+func (s *Scheduler) RunFor(d time.Duration) {
+	s.RunUntil(s.now.Add(d))
+}
+
+// Drain runs events until none remain or the safety limit is hit,
+// returning the number executed. The limit guards against runaway
+// self-rescheduling loops in tests.
+func (s *Scheduler) Drain(limit int) int {
+	ran := 0
+	for ran < limit && s.Step() {
+		ran++
+	}
+	return ran
+}

@@ -1,0 +1,444 @@
+// Package transport carries gossip messages between nodes: a versioned
+// binary wire codec, an in-memory network with injectable latency and
+// loss (the fabric for in-process clusters), and a UDP transport with
+// datagram splitting (the fabric for real deployments, standing in for
+// the paper's 60-workstation Ethernet testbed).
+package transport
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+
+	"adaptivegossip/internal/gossip"
+)
+
+// Wire format (big endian):
+//
+//	magic   [3]byte "AGB"
+//	version u8      = 1
+//	flags   u8      bit0: adaptation header present
+//	                bit1: group tag present
+//	from    u16 len + bytes
+//	[if group] group u16 len + bytes
+//	round   u64
+//	[if adaptive] samplePeriod u64, minBuff i32
+//	kmin    u16 count, each: node u16 len + bytes, cap i32
+//	events  u32 count, each: origin u16 len + bytes, seq u64, age u32,
+//	        payload u32 len + bytes
+//	subs    u16 count, each: u16 len + bytes
+//	unsubs  u16 count, each: u16 len + bytes
+const (
+	codecVersion = 1
+	flagAdaptive = 1 << 0
+	flagGroup    = 1 << 1
+	maxUint16    = 1<<16 - 1
+)
+
+var codecMagic = [3]byte{'A', 'G', 'B'}
+
+// Codec encodes and decodes gossip messages with hard limits that bound
+// the memory a hostile or corrupt datagram can make the decoder commit.
+type Codec struct {
+	// MaxPayload bounds a single event payload.
+	MaxPayload int
+	// MaxIDLen bounds node identifier lengths.
+	MaxIDLen int
+	// MaxEvents bounds the events per message accepted when decoding.
+	MaxEvents int
+}
+
+// DefaultCodec returns the limits used across the repository.
+func DefaultCodec() Codec {
+	return Codec{MaxPayload: 1 << 20, MaxIDLen: 256, MaxEvents: 1 << 16}
+}
+
+// Errors reported by the codec.
+var (
+	ErrTruncated = errors.New("transport: truncated message")
+	ErrBadMagic  = errors.New("transport: bad magic or version")
+	ErrTooLarge  = errors.New("transport: field exceeds codec limit")
+)
+
+func (c Codec) limits() Codec {
+	d := DefaultCodec()
+	if c.MaxPayload <= 0 {
+		c.MaxPayload = d.MaxPayload
+	}
+	if c.MaxIDLen <= 0 {
+		c.MaxIDLen = d.MaxIDLen
+	}
+	if c.MaxEvents <= 0 {
+		c.MaxEvents = d.MaxEvents
+	}
+	return c
+}
+
+func appendString(buf []byte, s string) []byte {
+	buf = binary.BigEndian.AppendUint16(buf, uint16(len(s)))
+	return append(buf, s...)
+}
+
+// Encode serializes the message.
+func (c Codec) Encode(m *gossip.Message) ([]byte, error) {
+	c = c.limits()
+	if err := c.validateForEncode(m); err != nil {
+		return nil, err
+	}
+	buf := make([]byte, 0, c.encodedSize(m))
+	buf = append(buf, codecMagic[:]...)
+	buf = append(buf, codecVersion)
+	var flags byte
+	if m.Adaptive {
+		flags |= flagAdaptive
+	}
+	if m.Group != "" {
+		flags |= flagGroup
+	}
+	buf = append(buf, flags)
+	buf = appendString(buf, string(m.From))
+	if m.Group != "" {
+		buf = appendString(buf, m.Group)
+	}
+	buf = binary.BigEndian.AppendUint64(buf, m.Round)
+	if m.Adaptive {
+		buf = binary.BigEndian.AppendUint64(buf, m.SamplePeriod)
+		buf = binary.BigEndian.AppendUint32(buf, uint32(int32(m.MinBuff)))
+	}
+	buf = binary.BigEndian.AppendUint16(buf, uint16(len(m.KMin)))
+	for _, e := range m.KMin {
+		buf = appendString(buf, string(e.Node))
+		buf = binary.BigEndian.AppendUint32(buf, uint32(int32(e.Cap)))
+	}
+	buf = binary.BigEndian.AppendUint32(buf, uint32(len(m.Events)))
+	for _, ev := range m.Events {
+		buf = appendString(buf, string(ev.ID.Origin))
+		buf = binary.BigEndian.AppendUint64(buf, ev.ID.Seq)
+		buf = binary.BigEndian.AppendUint32(buf, uint32(ev.Age))
+		buf = binary.BigEndian.AppendUint32(buf, uint32(len(ev.Payload)))
+		buf = append(buf, ev.Payload...)
+	}
+	buf = binary.BigEndian.AppendUint16(buf, uint16(len(m.Subs)))
+	for _, s := range m.Subs {
+		buf = appendString(buf, string(s))
+	}
+	buf = binary.BigEndian.AppendUint16(buf, uint16(len(m.Unsubs)))
+	for _, s := range m.Unsubs {
+		buf = appendString(buf, string(s))
+	}
+	return buf, nil
+}
+
+func (c Codec) validateForEncode(m *gossip.Message) error {
+	if m == nil {
+		return fmt.Errorf("transport: nil message")
+	}
+	if len(m.From) > c.MaxIDLen || len(m.From) > maxUint16 {
+		return fmt.Errorf("%w: from id %d bytes", ErrTooLarge, len(m.From))
+	}
+	if len(m.Group) > c.MaxIDLen {
+		return fmt.Errorf("%w: group tag %d bytes", ErrTooLarge, len(m.Group))
+	}
+	if len(m.Events) > c.MaxEvents {
+		return fmt.Errorf("%w: %d events", ErrTooLarge, len(m.Events))
+	}
+	if len(m.KMin) > maxUint16 || len(m.Subs) > maxUint16 || len(m.Unsubs) > maxUint16 {
+		return fmt.Errorf("%w: header list too long", ErrTooLarge)
+	}
+	for _, ev := range m.Events {
+		if len(ev.ID.Origin) > c.MaxIDLen {
+			return fmt.Errorf("%w: origin id %d bytes", ErrTooLarge, len(ev.ID.Origin))
+		}
+		if len(ev.Payload) > c.MaxPayload {
+			return fmt.Errorf("%w: payload %d bytes", ErrTooLarge, len(ev.Payload))
+		}
+		if ev.Age < 0 {
+			return fmt.Errorf("transport: negative age %d", ev.Age)
+		}
+	}
+	for _, e := range m.KMin {
+		if len(e.Node) > c.MaxIDLen {
+			return fmt.Errorf("%w: kmin id %d bytes", ErrTooLarge, len(e.Node))
+		}
+	}
+	for _, s := range append(append([]gossip.NodeID{}, m.Subs...), m.Unsubs...) {
+		if len(s) > c.MaxIDLen {
+			return fmt.Errorf("%w: membership id %d bytes", ErrTooLarge, len(s))
+		}
+	}
+	return nil
+}
+
+// encodedSize returns the exact encoding size of m.
+func (c Codec) encodedSize(m *gossip.Message) int {
+	n := 3 + 1 + 1 + 2 + len(m.From) + 8
+	if m.Group != "" {
+		n += 2 + len(m.Group)
+	}
+	if m.Adaptive {
+		n += 8 + 4
+	}
+	n += 2
+	for _, e := range m.KMin {
+		n += 2 + len(e.Node) + 4
+	}
+	n += 4
+	for _, ev := range m.Events {
+		n += eventWireSize(ev)
+	}
+	n += 2
+	for _, s := range m.Subs {
+		n += 2 + len(s)
+	}
+	n += 2
+	for _, s := range m.Unsubs {
+		n += 2 + len(s)
+	}
+	return n
+}
+
+func eventWireSize(ev gossip.Event) int {
+	return 2 + len(ev.ID.Origin) + 8 + 4 + 4 + len(ev.Payload)
+}
+
+// EncodeChunks encodes m into one or more datagrams of at most maxSize
+// bytes each, splitting the event list when necessary. Control headers
+// (adaptation, κ-entries, membership) ride on the first chunk only;
+// every chunk is a valid standalone message.
+func (c Codec) EncodeChunks(m *gossip.Message, maxSize int) ([][]byte, error) {
+	c = c.limits()
+	full, err := c.Encode(m)
+	if err != nil {
+		return nil, err
+	}
+	if len(full) <= maxSize {
+		return [][]byte{full}, nil
+	}
+	head := *m
+	head.Events = nil
+	rest := gossip.Message{From: m.From, Group: m.Group, Round: m.Round, Adaptive: m.Adaptive,
+		SamplePeriod: m.SamplePeriod, MinBuff: m.MinBuff}
+	headBase := c.encodedSize(&head)
+	restBase := c.encodedSize(&rest)
+
+	var chunks [][]byte
+	cur := head
+	base := headBase
+	size := base
+	for _, ev := range m.Events {
+		evSize := eventWireSize(ev)
+		if base+evSize > maxSize {
+			return nil, fmt.Errorf("%w: event %s (%d bytes) cannot fit a %d-byte datagram",
+				ErrTooLarge, ev.ID, evSize, maxSize)
+		}
+		if size+evSize > maxSize {
+			enc, err := c.Encode(&cur)
+			if err != nil {
+				return nil, err
+			}
+			chunks = append(chunks, enc)
+			cur = rest
+			cur.Events = nil
+			base = restBase
+			size = base
+		}
+		cur.Events = append(cur.Events, ev)
+		size += evSize
+	}
+	enc, err := c.Encode(&cur)
+	if err != nil {
+		return nil, err
+	}
+	return append(chunks, enc), nil
+}
+
+type reader struct {
+	data []byte
+	off  int
+}
+
+func (r *reader) need(n int) error {
+	if r.off+n > len(r.data) {
+		return ErrTruncated
+	}
+	return nil
+}
+
+func (r *reader) u8() (byte, error) {
+	if err := r.need(1); err != nil {
+		return 0, err
+	}
+	v := r.data[r.off]
+	r.off++
+	return v, nil
+}
+
+func (r *reader) u16() (uint16, error) {
+	if err := r.need(2); err != nil {
+		return 0, err
+	}
+	v := binary.BigEndian.Uint16(r.data[r.off:])
+	r.off += 2
+	return v, nil
+}
+
+func (r *reader) u32() (uint32, error) {
+	if err := r.need(4); err != nil {
+		return 0, err
+	}
+	v := binary.BigEndian.Uint32(r.data[r.off:])
+	r.off += 4
+	return v, nil
+}
+
+func (r *reader) u64() (uint64, error) {
+	if err := r.need(8); err != nil {
+		return 0, err
+	}
+	v := binary.BigEndian.Uint64(r.data[r.off:])
+	r.off += 8
+	return v, nil
+}
+
+func (r *reader) str(maxLen int) (string, error) {
+	n, err := r.u16()
+	if err != nil {
+		return "", err
+	}
+	if int(n) > maxLen {
+		return "", fmt.Errorf("%w: id %d bytes", ErrTooLarge, n)
+	}
+	if err := r.need(int(n)); err != nil {
+		return "", err
+	}
+	s := string(r.data[r.off : r.off+int(n)])
+	r.off += int(n)
+	return s, nil
+}
+
+// Decode parses a message, enforcing the codec limits. The returned
+// message owns all of its memory.
+func (c Codec) Decode(data []byte) (*gossip.Message, error) {
+	c = c.limits()
+	r := &reader{data: data}
+	if err := r.need(4); err != nil {
+		return nil, err
+	}
+	if data[0] != codecMagic[0] || data[1] != codecMagic[1] || data[2] != codecMagic[2] || data[3] != codecVersion {
+		return nil, ErrBadMagic
+	}
+	r.off = 4
+	flags, err := r.u8()
+	if err != nil {
+		return nil, err
+	}
+	m := &gossip.Message{Adaptive: flags&flagAdaptive != 0}
+	from, err := r.str(c.MaxIDLen)
+	if err != nil {
+		return nil, err
+	}
+	m.From = gossip.NodeID(from)
+	if flags&flagGroup != 0 {
+		group, err := r.str(c.MaxIDLen)
+		if err != nil {
+			return nil, err
+		}
+		if group == "" {
+			return nil, fmt.Errorf("transport: empty group tag with group flag set")
+		}
+		m.Group = group
+	}
+	if m.Round, err = r.u64(); err != nil {
+		return nil, err
+	}
+	if m.Adaptive {
+		if m.SamplePeriod, err = r.u64(); err != nil {
+			return nil, err
+		}
+		mb, err := r.u32()
+		if err != nil {
+			return nil, err
+		}
+		m.MinBuff = int(int32(mb))
+	}
+	nk, err := r.u16()
+	if err != nil {
+		return nil, err
+	}
+	if nk > 0 {
+		m.KMin = make([]gossip.BuffCap, 0, nk)
+		for i := 0; i < int(nk); i++ {
+			node, err := r.str(c.MaxIDLen)
+			if err != nil {
+				return nil, err
+			}
+			cp, err := r.u32()
+			if err != nil {
+				return nil, err
+			}
+			m.KMin = append(m.KMin, gossip.BuffCap{Node: gossip.NodeID(node), Cap: int(int32(cp))})
+		}
+	}
+	ne, err := r.u32()
+	if err != nil {
+		return nil, err
+	}
+	if int64(ne) > int64(c.MaxEvents) {
+		return nil, fmt.Errorf("%w: %d events", ErrTooLarge, ne)
+	}
+	if ne > 0 {
+		m.Events = make([]gossip.Event, 0, ne)
+		for i := 0; i < int(ne); i++ {
+			origin, err := r.str(c.MaxIDLen)
+			if err != nil {
+				return nil, err
+			}
+			seq, err := r.u64()
+			if err != nil {
+				return nil, err
+			}
+			age, err := r.u32()
+			if err != nil {
+				return nil, err
+			}
+			plen, err := r.u32()
+			if err != nil {
+				return nil, err
+			}
+			if int64(plen) > int64(c.MaxPayload) {
+				return nil, fmt.Errorf("%w: payload %d bytes", ErrTooLarge, plen)
+			}
+			if err := r.need(int(plen)); err != nil {
+				return nil, err
+			}
+			var payload []byte
+			if plen > 0 {
+				payload = make([]byte, plen)
+				copy(payload, r.data[r.off:])
+			}
+			r.off += int(plen)
+			m.Events = append(m.Events, gossip.Event{
+				ID:      gossip.EventID{Origin: gossip.NodeID(origin), Seq: seq},
+				Age:     int(age),
+				Payload: payload,
+			})
+		}
+	}
+	for _, dst := range []*[]gossip.NodeID{&m.Subs, &m.Unsubs} {
+		n, err := r.u16()
+		if err != nil {
+			return nil, err
+		}
+		for i := 0; i < int(n); i++ {
+			s, err := r.str(c.MaxIDLen)
+			if err != nil {
+				return nil, err
+			}
+			*dst = append(*dst, gossip.NodeID(s))
+		}
+	}
+	if r.off != len(data) {
+		return nil, fmt.Errorf("transport: %d trailing bytes", len(data)-r.off)
+	}
+	return m, nil
+}

@@ -1,0 +1,349 @@
+package transport
+
+import (
+	"bytes"
+	"math/rand"
+	"reflect"
+	"testing"
+	"testing/quick"
+
+	"adaptivegossip/internal/gossip"
+)
+
+func sampleMessage() *gossip.Message {
+	return &gossip.Message{
+		From:         "node-1",
+		Group:        "topic-a",
+		Round:        42,
+		Adaptive:     true,
+		SamplePeriod: 7,
+		MinBuff:      90,
+		KMin: []gossip.BuffCap{
+			{Node: "node-2", Cap: 45},
+			{Node: "node-3", Cap: 60},
+		},
+		Events: []gossip.Event{
+			{ID: gossip.EventID{Origin: "node-2", Seq: 1}, Age: 3, Payload: []byte("hello")},
+			{ID: gossip.EventID{Origin: "node-1", Seq: 9}, Age: 0, Payload: nil},
+			{ID: gossip.EventID{Origin: "node-4", Seq: 1 << 40}, Age: 11, Payload: bytes.Repeat([]byte{0xAB}, 300)},
+		},
+		Subs:   []gossip.NodeID{"node-5"},
+		Unsubs: []gossip.NodeID{"node-6", "node-7"},
+	}
+}
+
+func msgEqual(a, b *gossip.Message) bool {
+	if a.From != b.From || a.Group != b.Group || a.Round != b.Round || a.Adaptive != b.Adaptive {
+		return false
+	}
+	if a.Adaptive && (a.SamplePeriod != b.SamplePeriod || a.MinBuff != b.MinBuff) {
+		return false
+	}
+	if len(a.KMin) != len(b.KMin) || len(a.Events) != len(b.Events) ||
+		len(a.Subs) != len(b.Subs) || len(a.Unsubs) != len(b.Unsubs) {
+		return false
+	}
+	for i := range a.KMin {
+		if a.KMin[i] != b.KMin[i] {
+			return false
+		}
+	}
+	for i := range a.Events {
+		if a.Events[i].ID != b.Events[i].ID || a.Events[i].Age != b.Events[i].Age ||
+			!bytes.Equal(a.Events[i].Payload, b.Events[i].Payload) {
+			return false
+		}
+	}
+	for i := range a.Subs {
+		if a.Subs[i] != b.Subs[i] {
+			return false
+		}
+	}
+	for i := range a.Unsubs {
+		if a.Unsubs[i] != b.Unsubs[i] {
+			return false
+		}
+	}
+	return true
+}
+
+func TestCodecRoundTrip(t *testing.T) {
+	c := DefaultCodec()
+	m := sampleMessage()
+	data, err := c.Encode(m)
+	if err != nil {
+		t.Fatalf("Encode: %v", err)
+	}
+	got, err := c.Decode(data)
+	if err != nil {
+		t.Fatalf("Decode: %v", err)
+	}
+	if !msgEqual(m, got) {
+		t.Fatalf("round trip mismatch:\n in: %+v\nout: %+v", m, got)
+	}
+}
+
+func TestCodecRoundTripMinimal(t *testing.T) {
+	c := DefaultCodec()
+	m := &gossip.Message{From: "x"}
+	data, err := c.Encode(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := c.Decode(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !msgEqual(m, got) {
+		t.Fatalf("minimal round trip mismatch: %+v", got)
+	}
+}
+
+func TestCodecEncodedSizeIsExact(t *testing.T) {
+	c := DefaultCodec()
+	for _, m := range []*gossip.Message{sampleMessage(), {From: "y", Adaptive: true, MinBuff: -1}} {
+		data, err := c.Encode(m)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got := c.encodedSize(m); got != len(data) {
+			t.Fatalf("encodedSize = %d, actual %d", got, len(data))
+		}
+	}
+}
+
+func TestCodecNegativeMinBuffSurvives(t *testing.T) {
+	c := DefaultCodec()
+	m := &gossip.Message{From: "a", Adaptive: true, MinBuff: -5}
+	data, _ := c.Encode(m)
+	got, err := c.Decode(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.MinBuff != -5 {
+		t.Fatalf("MinBuff = %d, want -5", got.MinBuff)
+	}
+}
+
+func TestCodecRejectsBadMagicAndVersion(t *testing.T) {
+	c := DefaultCodec()
+	data, _ := c.Encode(sampleMessage())
+	bad := append([]byte(nil), data...)
+	bad[0] = 'X'
+	if _, err := c.Decode(bad); err == nil {
+		t.Fatal("bad magic accepted")
+	}
+	bad = append([]byte(nil), data...)
+	bad[3] = 99
+	if _, err := c.Decode(bad); err == nil {
+		t.Fatal("bad version accepted")
+	}
+	if _, err := c.Decode(nil); err == nil {
+		t.Fatal("empty input accepted")
+	}
+}
+
+func TestCodecRejectsTruncationsEverywhere(t *testing.T) {
+	c := DefaultCodec()
+	data, _ := c.Encode(sampleMessage())
+	for cut := 0; cut < len(data); cut++ {
+		if _, err := c.Decode(data[:cut]); err == nil {
+			t.Fatalf("truncation at %d/%d accepted", cut, len(data))
+		}
+	}
+}
+
+func TestCodecRejectsTrailingGarbage(t *testing.T) {
+	c := DefaultCodec()
+	data, _ := c.Encode(sampleMessage())
+	if _, err := c.Decode(append(data, 0x00)); err == nil {
+		t.Fatal("trailing bytes accepted")
+	}
+}
+
+func TestCodecLimits(t *testing.T) {
+	c := Codec{MaxPayload: 8, MaxIDLen: 4, MaxEvents: 2}
+	// Payload too large for encode.
+	m := &gossip.Message{From: "a", Events: []gossip.Event{
+		{ID: gossip.EventID{Origin: "b", Seq: 1}, Payload: bytes.Repeat([]byte{1}, 9)},
+	}}
+	if _, err := c.Encode(m); err == nil {
+		t.Fatal("oversized payload encoded")
+	}
+	// ID too long.
+	m = &gossip.Message{From: "abcdef"}
+	if _, err := c.Encode(m); err == nil {
+		t.Fatal("oversized id encoded")
+	}
+	// Too many events on decode: craft with permissive encoder, decode
+	// with strict limits.
+	big := &gossip.Message{From: "a", Events: []gossip.Event{
+		{ID: gossip.EventID{Origin: "b", Seq: 1}},
+		{ID: gossip.EventID{Origin: "b", Seq: 2}},
+		{ID: gossip.EventID{Origin: "b", Seq: 3}},
+	}}
+	data, err := DefaultCodec().Encode(big)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.Decode(data); err == nil {
+		t.Fatal("too many events accepted on decode")
+	}
+}
+
+func TestCodecFuzzDecodeNeverPanics(t *testing.T) {
+	c := DefaultCodec()
+	rng := rand.New(rand.NewSource(99))
+	valid, _ := c.Encode(sampleMessage())
+	for i := 0; i < 3000; i++ {
+		data := append([]byte(nil), valid...)
+		// Flip a few random bytes.
+		for k := 0; k < 1+rng.Intn(8); k++ {
+			data[rng.Intn(len(data))] ^= byte(1 + rng.Intn(255))
+		}
+		c.Decode(data) // must not panic; errors are fine
+	}
+	for i := 0; i < 2000; i++ {
+		data := make([]byte, rng.Intn(200))
+		rng.Read(data)
+		c.Decode(data)
+	}
+}
+
+// TestCodecQuickRoundTrip property-tests arbitrary (bounded) messages.
+func TestCodecQuickRoundTrip(t *testing.T) {
+	c := DefaultCodec()
+	f := func(from string, round uint64, adaptive bool, sp uint64, mb int32,
+		origins [][8]byte, seqs []uint64, ages []uint8, payloads [][]byte) bool {
+		if len(from) > 64 {
+			from = from[:64]
+		}
+		if from == "" {
+			from = "f"
+		}
+		m := &gossip.Message{From: gossip.NodeID(from), Round: round,
+			Adaptive: adaptive, SamplePeriod: sp, MinBuff: int(mb)}
+		n := len(origins)
+		if len(seqs) < n {
+			n = len(seqs)
+		}
+		if len(ages) < n {
+			n = len(ages)
+		}
+		if len(payloads) < n {
+			n = len(payloads)
+		}
+		if n > 16 {
+			n = 16
+		}
+		for i := 0; i < n; i++ {
+			pl := payloads[i]
+			if len(pl) > 1024 {
+				pl = pl[:1024]
+			}
+			m.Events = append(m.Events, gossip.Event{
+				ID:      gossip.EventID{Origin: gossip.NodeID(origins[i][:]), Seq: seqs[i]},
+				Age:     int(ages[i]),
+				Payload: pl,
+			})
+		}
+		data, err := c.Encode(m)
+		if err != nil {
+			return false
+		}
+		got, err := c.Decode(data)
+		if err != nil {
+			return false
+		}
+		if !adaptive {
+			// Non-adaptive headers do not carry sp/mb; normalize.
+			m.SamplePeriod, m.MinBuff = 0, 0
+		}
+		return msgEqual(m, got)
+	}
+	cfg := &quick.Config{MaxCount: 300, Rand: rand.New(rand.NewSource(7))}
+	if err := quick.Check(f, cfg); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestEncodeChunksSplitsAndEachChunkDecodes(t *testing.T) {
+	c := DefaultCodec()
+	m := sampleMessage()
+	// Add enough events to exceed a small datagram bound.
+	for i := 0; i < 100; i++ {
+		m.Events = append(m.Events, gossip.Event{
+			ID:      gossip.EventID{Origin: "bulk", Seq: uint64(i)},
+			Age:     2,
+			Payload: bytes.Repeat([]byte{byte(i)}, 100),
+		})
+	}
+	const maxSize = 1024
+	chunks, err := c.EncodeChunks(m, maxSize)
+	if err != nil {
+		t.Fatalf("EncodeChunks: %v", err)
+	}
+	if len(chunks) < 2 {
+		t.Fatalf("expected a split, got %d chunk(s)", len(chunks))
+	}
+	var events int
+	for i, chunk := range chunks {
+		if len(chunk) > maxSize {
+			t.Fatalf("chunk %d is %d bytes > %d", i, len(chunk), maxSize)
+		}
+		dm, err := c.Decode(chunk)
+		if err != nil {
+			t.Fatalf("chunk %d decode: %v", i, err)
+		}
+		if dm.From != m.From || dm.Adaptive != m.Adaptive || dm.MinBuff != m.MinBuff {
+			t.Fatalf("chunk %d header mismatch", i)
+		}
+		if i == 0 {
+			if len(dm.KMin) == 0 || len(dm.Subs) == 0 {
+				t.Fatal("first chunk lost control headers")
+			}
+		} else if len(dm.KMin) != 0 || len(dm.Subs) != 0 {
+			t.Fatalf("chunk %d duplicated control headers", i)
+		}
+		events += len(dm.Events)
+	}
+	if events != len(m.Events) {
+		t.Fatalf("chunks carry %d events, want %d", events, len(m.Events))
+	}
+}
+
+func TestEncodeChunksSingleWhenSmall(t *testing.T) {
+	c := DefaultCodec()
+	chunks, err := c.EncodeChunks(sampleMessage(), DefaultMaxDatagram)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(chunks) != 1 {
+		t.Fatalf("small message split into %d chunks", len(chunks))
+	}
+}
+
+func TestEncodeChunksRejectsUnsplittableEvent(t *testing.T) {
+	c := DefaultCodec()
+	m := &gossip.Message{From: "a", Events: []gossip.Event{
+		{ID: gossip.EventID{Origin: "b", Seq: 1}, Payload: bytes.Repeat([]byte{1}, 4096)},
+	}}
+	if _, err := c.EncodeChunks(m, 1024); err == nil {
+		t.Fatal("unsplittable event accepted")
+	}
+}
+
+func TestCodecReflectDeepEqualGuard(t *testing.T) {
+	// msgEqual must agree with reflect.DeepEqual on the sample message
+	// round trip (guards against msgEqual drifting from the struct).
+	c := DefaultCodec()
+	m := sampleMessage()
+	data, _ := c.Encode(m)
+	got, err := c.Decode(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(m, got) {
+		t.Fatalf("DeepEqual mismatch:\n in: %#v\nout: %#v", m, got)
+	}
+}

@@ -1,0 +1,222 @@
+package transport
+
+import (
+	"fmt"
+	"math/rand/v2"
+	"sync"
+	"time"
+
+	"adaptivegossip/internal/gossip"
+)
+
+// MemStats counts in-memory fabric traffic.
+type MemStats struct {
+	Sent        uint64
+	Delivered   uint64
+	LossDropped uint64
+	NoRoute     uint64
+	NoHandler   uint64
+	ClosedDrops uint64
+}
+
+// MemNetwork is an in-process message fabric connecting MemEndpoints,
+// with optional uniform latency and iid loss. It lets a full cluster of
+// runtime nodes run inside one process — the harness for the prototype
+// validation experiments, replacing the paper's Ethernet LAN.
+type MemNetwork struct {
+	mu        sync.Mutex
+	rng       *rand.Rand
+	latMin    time.Duration
+	latMax    time.Duration
+	loss      float64
+	endpoints map[gossip.NodeID]*MemEndpoint
+	stats     MemStats
+	closed    bool
+	inflight  sync.WaitGroup
+}
+
+// MemOption configures a MemNetwork.
+type MemOption func(*MemNetwork) error
+
+// WithMemLatency sets uniform delivery latency bounds.
+func WithMemLatency(min, max time.Duration) MemOption {
+	return func(n *MemNetwork) error {
+		if min < 0 || max < min {
+			return fmt.Errorf("transport: invalid latency bounds [%v, %v]", min, max)
+		}
+		n.latMin, n.latMax = min, max
+		return nil
+	}
+}
+
+// WithMemLoss sets the iid loss probability.
+func WithMemLoss(p float64) MemOption {
+	return func(n *MemNetwork) error {
+		if p < 0 || p > 1 {
+			return fmt.Errorf("transport: loss probability %v out of [0,1]", p)
+		}
+		n.loss = p
+		return nil
+	}
+}
+
+// WithMemSeed seeds the fabric's randomness (loss and latency draws).
+func WithMemSeed(seed uint64) MemOption {
+	return func(n *MemNetwork) error {
+		n.rng = rand.New(rand.NewPCG(seed, seed^0x9E3779B97F4A7C15))
+		return nil
+	}
+}
+
+// NewMemNetwork creates an empty fabric.
+func NewMemNetwork(opts ...MemOption) (*MemNetwork, error) {
+	n := &MemNetwork{
+		rng:       rand.New(rand.NewPCG(1, 2)),
+		endpoints: make(map[gossip.NodeID]*MemEndpoint),
+	}
+	for _, opt := range opts {
+		if err := opt(n); err != nil {
+			return nil, err
+		}
+	}
+	return n, nil
+}
+
+// Endpoint creates (or returns an error for a duplicate) the transport
+// endpoint for a node.
+func (n *MemNetwork) Endpoint(id gossip.NodeID) (*MemEndpoint, error) {
+	if id == "" {
+		return nil, fmt.Errorf("transport: endpoint id must not be empty")
+	}
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	if n.closed {
+		return nil, fmt.Errorf("transport: network closed")
+	}
+	if _, dup := n.endpoints[id]; dup {
+		return nil, fmt.Errorf("transport: duplicate endpoint %s", id)
+	}
+	ep := &MemEndpoint{net: n, id: id}
+	n.endpoints[id] = ep
+	return ep, nil
+}
+
+// Stats returns a copy of the traffic counters.
+func (n *MemNetwork) Stats() MemStats {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	return n.stats
+}
+
+// Close shuts the fabric down and waits for in-flight deliveries to
+// settle.
+func (n *MemNetwork) Close() {
+	n.mu.Lock()
+	n.closed = true
+	n.mu.Unlock()
+	n.inflight.Wait()
+}
+
+func (n *MemNetwork) send(from, to gossip.NodeID, msg *gossip.Message) error {
+	n.mu.Lock()
+	if n.closed {
+		n.stats.ClosedDrops++
+		n.mu.Unlock()
+		return fmt.Errorf("transport: network closed")
+	}
+	n.stats.Sent++
+	if _, ok := n.endpoints[to]; !ok {
+		n.stats.NoRoute++
+		n.mu.Unlock()
+		return fmt.Errorf("transport: no endpoint %s", to)
+	}
+	if n.loss > 0 && n.rng.Float64() < n.loss {
+		n.stats.LossDropped++
+		n.mu.Unlock()
+		return nil
+	}
+	var lat time.Duration
+	if n.latMax > 0 {
+		lat = n.latMin
+		if n.latMax > n.latMin {
+			lat += time.Duration(n.rng.Int64N(int64(n.latMax - n.latMin + 1)))
+		}
+	}
+	n.inflight.Add(1)
+	n.mu.Unlock()
+
+	deliver := func() {
+		defer n.inflight.Done()
+		n.mu.Lock()
+		ep, ok := n.endpoints[to]
+		closed := n.closed
+		n.mu.Unlock()
+		if closed || !ok {
+			n.bump(func(s *MemStats) { s.ClosedDrops++ })
+			return
+		}
+		h := ep.handler()
+		if h == nil {
+			n.bump(func(s *MemStats) { s.NoHandler++ })
+			return
+		}
+		n.bump(func(s *MemStats) { s.Delivered++ })
+		h(msg)
+	}
+	if lat == 0 {
+		go deliver()
+	} else {
+		time.AfterFunc(lat, deliver)
+	}
+	return nil
+}
+
+func (n *MemNetwork) bump(f func(*MemStats)) {
+	n.mu.Lock()
+	f(&n.stats)
+	n.mu.Unlock()
+}
+
+func (n *MemNetwork) detach(id gossip.NodeID) {
+	n.mu.Lock()
+	delete(n.endpoints, id)
+	n.mu.Unlock()
+}
+
+// MemEndpoint is one node's attachment to a MemNetwork.
+type MemEndpoint struct {
+	net *MemNetwork
+	id  gossip.NodeID
+
+	mu sync.RWMutex
+	h  Handler
+}
+
+// LocalID returns the endpoint's node id.
+func (e *MemEndpoint) LocalID() gossip.NodeID { return e.id }
+
+// SetHandler installs the receive callback.
+func (e *MemEndpoint) SetHandler(h Handler) {
+	e.mu.Lock()
+	e.h = h
+	e.mu.Unlock()
+}
+
+func (e *MemEndpoint) handler() Handler {
+	e.mu.RLock()
+	defer e.mu.RUnlock()
+	return e.h
+}
+
+// Send transmits msg through the fabric.
+func (e *MemEndpoint) Send(to gossip.NodeID, msg *gossip.Message) error {
+	return e.net.send(e.id, to, msg)
+}
+
+// Close detaches the endpoint from the fabric.
+func (e *MemEndpoint) Close() error {
+	e.net.detach(e.id)
+	return nil
+}
+
+var _ Transport = (*MemEndpoint)(nil)

@@ -1,0 +1,24 @@
+package transport
+
+import "adaptivegossip/internal/gossip"
+
+// Handler consumes an incoming gossip message. Handlers must be fast or
+// hand off: transports call them from their delivery goroutines.
+type Handler func(*gossip.Message)
+
+// Transport moves gossip messages between nodes. Implementations:
+// MemEndpoint (in-process fabric with latency/loss injection) and
+// UDPTransport (real datagrams).
+type Transport interface {
+	// LocalID returns the node this endpoint belongs to.
+	LocalID() gossip.NodeID
+	// Send transmits msg to the named peer. Messages are treated as
+	// read-only after Send.
+	Send(to gossip.NodeID, msg *gossip.Message) error
+	// SetHandler installs the receive callback. Must be called before
+	// traffic is expected; messages arriving with no handler are
+	// dropped.
+	SetHandler(h Handler)
+	// Close releases resources and stops delivery.
+	Close() error
+}

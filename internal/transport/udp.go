@@ -1,0 +1,227 @@
+package transport
+
+import (
+	"errors"
+	"fmt"
+	"net"
+	"sync"
+	"sync/atomic"
+
+	"adaptivegossip/internal/gossip"
+)
+
+// DefaultMaxDatagram bounds UDP datagram sizes. Gossip messages above
+// it are split into standalone chunks (see Codec.EncodeChunks).
+const DefaultMaxDatagram = 60 * 1024
+
+// UDPStats counts UDP transport activity.
+type UDPStats struct {
+	Sent         uint64
+	SentBytes    uint64
+	SplitChunks  uint64
+	Received     uint64
+	RecvBytes    uint64
+	DecodeErrors uint64
+	NoHandler    uint64
+	SendErrors   uint64
+}
+
+// UDPTransport carries gossip messages as UDP datagrams — the role the
+// Ethernet LAN plays in the paper's prototype experiments. Peers are
+// registered explicitly in an address book (the examples and cmd tools
+// wire this from configuration).
+type UDPTransport struct {
+	id    gossip.NodeID
+	conn  *net.UDPConn
+	codec Codec
+	maxDg int
+
+	mu      sync.RWMutex
+	book    map[gossip.NodeID]*net.UDPAddr
+	handler Handler
+
+	started atomic.Bool
+	closed  atomic.Bool
+	wg      sync.WaitGroup
+
+	sent         atomic.Uint64
+	sentBytes    atomic.Uint64
+	splitChunks  atomic.Uint64
+	received     atomic.Uint64
+	recvBytes    atomic.Uint64
+	decodeErrors atomic.Uint64
+	noHandler    atomic.Uint64
+	sendErrors   atomic.Uint64
+}
+
+// UDPOption configures a UDPTransport.
+type UDPOption func(*UDPTransport) error
+
+// WithUDPCodec overrides the wire codec limits.
+func WithUDPCodec(c Codec) UDPOption {
+	return func(t *UDPTransport) error {
+		t.codec = c
+		return nil
+	}
+}
+
+// WithMaxDatagram overrides the datagram split threshold.
+func WithMaxDatagram(n int) UDPOption {
+	return func(t *UDPTransport) error {
+		if n < 512 {
+			return fmt.Errorf("transport: max datagram %d too small", n)
+		}
+		t.maxDg = n
+		return nil
+	}
+}
+
+// NewUDPTransport binds a UDP socket at bind (e.g. "127.0.0.1:0").
+// Call SetHandler then Start before expecting traffic.
+func NewUDPTransport(id gossip.NodeID, bind string, opts ...UDPOption) (*UDPTransport, error) {
+	if id == "" {
+		return nil, fmt.Errorf("transport: node id must not be empty")
+	}
+	addr, err := net.ResolveUDPAddr("udp", bind)
+	if err != nil {
+		return nil, fmt.Errorf("transport: resolve %q: %w", bind, err)
+	}
+	conn, err := net.ListenUDP("udp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("transport: listen %q: %w", bind, err)
+	}
+	t := &UDPTransport{
+		id:    id,
+		conn:  conn,
+		codec: DefaultCodec(),
+		maxDg: DefaultMaxDatagram,
+		book:  make(map[gossip.NodeID]*net.UDPAddr),
+	}
+	for _, opt := range opts {
+		if err := opt(t); err != nil {
+			conn.Close()
+			return nil, err
+		}
+	}
+	return t, nil
+}
+
+// LocalID returns the transport's node id.
+func (t *UDPTransport) LocalID() gossip.NodeID { return t.id }
+
+// Addr returns the bound local address.
+func (t *UDPTransport) Addr() *net.UDPAddr { return t.conn.LocalAddr().(*net.UDPAddr) }
+
+// Register maps a peer id to its UDP address.
+func (t *UDPTransport) Register(id gossip.NodeID, addr string) error {
+	ua, err := net.ResolveUDPAddr("udp", addr)
+	if err != nil {
+		return fmt.Errorf("transport: resolve %q: %w", addr, err)
+	}
+	t.mu.Lock()
+	t.book[id] = ua
+	t.mu.Unlock()
+	return nil
+}
+
+// SetHandler installs the receive callback.
+func (t *UDPTransport) SetHandler(h Handler) {
+	t.mu.Lock()
+	t.handler = h
+	t.mu.Unlock()
+}
+
+// Start launches the read loop. It must be called exactly once.
+func (t *UDPTransport) Start() error {
+	if !t.started.CompareAndSwap(false, true) {
+		return fmt.Errorf("transport: already started")
+	}
+	t.wg.Add(1)
+	go t.readLoop()
+	return nil
+}
+
+func (t *UDPTransport) readLoop() {
+	defer t.wg.Done()
+	buf := make([]byte, 1<<16)
+	for {
+		n, _, err := t.conn.ReadFromUDP(buf)
+		if err != nil {
+			if t.closed.Load() || errors.Is(err, net.ErrClosed) {
+				return
+			}
+			continue
+		}
+		t.received.Add(1)
+		t.recvBytes.Add(uint64(n))
+		msg, err := t.codec.Decode(buf[:n])
+		if err != nil {
+			t.decodeErrors.Add(1)
+			continue
+		}
+		t.mu.RLock()
+		h := t.handler
+		t.mu.RUnlock()
+		if h == nil {
+			t.noHandler.Add(1)
+			continue
+		}
+		h(msg)
+	}
+}
+
+// Send encodes and transmits msg, splitting into multiple datagrams
+// when it exceeds the datagram bound.
+func (t *UDPTransport) Send(to gossip.NodeID, msg *gossip.Message) error {
+	t.mu.RLock()
+	addr, ok := t.book[to]
+	t.mu.RUnlock()
+	if !ok {
+		t.sendErrors.Add(1)
+		return fmt.Errorf("transport: unknown peer %s", to)
+	}
+	chunks, err := t.codec.EncodeChunks(msg, t.maxDg)
+	if err != nil {
+		t.sendErrors.Add(1)
+		return err
+	}
+	if len(chunks) > 1 {
+		t.splitChunks.Add(uint64(len(chunks)))
+	}
+	for _, chunk := range chunks {
+		n, err := t.conn.WriteToUDP(chunk, addr)
+		if err != nil {
+			t.sendErrors.Add(1)
+			return fmt.Errorf("transport: send to %s: %w", to, err)
+		}
+		t.sent.Add(1)
+		t.sentBytes.Add(uint64(n))
+	}
+	return nil
+}
+
+// Stats returns a snapshot of the counters.
+func (t *UDPTransport) Stats() UDPStats {
+	return UDPStats{
+		Sent:         t.sent.Load(),
+		SentBytes:    t.sentBytes.Load(),
+		SplitChunks:  t.splitChunks.Load(),
+		Received:     t.received.Load(),
+		RecvBytes:    t.recvBytes.Load(),
+		DecodeErrors: t.decodeErrors.Load(),
+		NoHandler:    t.noHandler.Load(),
+		SendErrors:   t.sendErrors.Load(),
+	}
+}
+
+// Close stops the read loop and releases the socket.
+func (t *UDPTransport) Close() error {
+	if !t.closed.CompareAndSwap(false, true) {
+		return nil
+	}
+	err := t.conn.Close()
+	t.wg.Wait()
+	return err
+}
+
+var _ Transport = (*UDPTransport)(nil)

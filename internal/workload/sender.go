@@ -1,0 +1,279 @@
+// Package workload generates the offered load of the paper's
+// experiments: constant-rate or Poisson publishers driven either by the
+// discrete-event scheduler (simulation runs) or by real-time goroutines
+// (prototype runs), plus buffer-resize schedules for the
+// dynamic-resource scenario of §4.
+package workload
+
+import (
+	"fmt"
+	"math/rand/v2"
+	"sync"
+	"time"
+
+	"adaptivegossip/internal/sim"
+)
+
+// PublishFunc submits one message and reports whether it was admitted
+// (token-bucket gated senders reject above-allowance messages).
+type PublishFunc func(payload []byte) bool
+
+// SenderConfig describes one publisher.
+type SenderConfig struct {
+	// Rate is the offered load in msg/s. Zero disables the sender.
+	Rate float64
+	// PayloadSize is the event payload length in bytes.
+	PayloadSize int
+	// Poisson selects exponential inter-arrival times; false means
+	// strictly periodic emission.
+	Poisson bool
+}
+
+// Validate reports the first configuration error.
+func (c SenderConfig) Validate() error {
+	if c.Rate < 0 {
+		return fmt.Errorf("workload: rate must be non-negative, got %v", c.Rate)
+	}
+	if c.PayloadSize < 0 {
+		return fmt.Errorf("workload: payload size must be non-negative, got %d", c.PayloadSize)
+	}
+	return nil
+}
+
+// SenderStats counts offered and admitted messages.
+type SenderStats struct {
+	Offered  uint64
+	Admitted uint64
+}
+
+// SimSender emits on a discrete-event scheduler.
+type SimSender struct {
+	cfg     SenderConfig
+	sched   *sim.Scheduler
+	publish PublishFunc
+	rng     *rand.Rand
+	payload []byte
+	stats   SenderStats
+	stopped bool
+}
+
+// StartSimSender schedules a publisher on sched. The first emission is
+// phase-randomized within one inter-arrival interval so a cluster of
+// senders does not emit in lockstep.
+func StartSimSender(sched *sim.Scheduler, cfg SenderConfig, publish PublishFunc, rng *rand.Rand) (*SimSender, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	if sched == nil || publish == nil || rng == nil {
+		return nil, fmt.Errorf("workload: scheduler, publish and rng must not be nil")
+	}
+	s := &SimSender{
+		cfg:     cfg,
+		sched:   sched,
+		publish: publish,
+		rng:     rng,
+		payload: make([]byte, cfg.PayloadSize),
+	}
+	if cfg.Rate > 0 {
+		interval := time.Duration(float64(time.Second) / cfg.Rate)
+		phase := time.Duration(rng.Float64() * float64(interval))
+		sched.After(phase, s.emit)
+	}
+	return s, nil
+}
+
+// Stop halts future emissions.
+func (s *SimSender) Stop() { s.stopped = true }
+
+// Stats returns the offered/admitted counters.
+func (s *SimSender) Stats() SenderStats { return s.stats }
+
+func (s *SimSender) emit() {
+	if s.stopped {
+		return
+	}
+	s.stats.Offered++
+	if s.publish(s.payload) {
+		s.stats.Admitted++
+	}
+	var next time.Duration
+	if s.cfg.Poisson {
+		next = time.Duration(s.rng.ExpFloat64() / s.cfg.Rate * float64(time.Second))
+	} else {
+		next = time.Duration(float64(time.Second) / s.cfg.Rate)
+	}
+	if next <= 0 {
+		next = time.Nanosecond
+	}
+	s.sched.After(next, s.emit)
+}
+
+// TimedSender emits in real time from its own goroutine; the
+// counterpart of SimSender for prototype (runtime) experiments.
+type TimedSender struct {
+	cfg     SenderConfig
+	publish PublishFunc
+	rng     *rand.Rand
+	payload []byte
+
+	mu    sync.Mutex
+	stats SenderStats
+
+	stop chan struct{}
+	done chan struct{}
+	once sync.Once
+}
+
+// StartTimedSender launches the publisher goroutine. Call Stop to halt
+// it; Stop waits for the goroutine to exit.
+func StartTimedSender(cfg SenderConfig, publish PublishFunc, seed uint64) (*TimedSender, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	if publish == nil {
+		return nil, fmt.Errorf("workload: publish must not be nil")
+	}
+	s := &TimedSender{
+		cfg:     cfg,
+		publish: publish,
+		rng:     rand.New(rand.NewPCG(seed, seed^0xDEADBEEF)),
+		payload: make([]byte, cfg.PayloadSize),
+		stop:    make(chan struct{}),
+		done:    make(chan struct{}),
+	}
+	go s.loop()
+	return s, nil
+}
+
+func (s *TimedSender) loop() {
+	defer close(s.done)
+	if s.cfg.Rate <= 0 {
+		<-s.stop
+		return
+	}
+	interval := func() time.Duration {
+		if s.cfg.Poisson {
+			return time.Duration(s.rng.ExpFloat64() / s.cfg.Rate * float64(time.Second))
+		}
+		return time.Duration(float64(time.Second) / s.cfg.Rate)
+	}
+	timer := time.NewTimer(time.Duration(s.rng.Float64() * float64(interval())))
+	defer timer.Stop()
+	for {
+		select {
+		case <-s.stop:
+			return
+		case <-timer.C:
+			admitted := s.publish(s.payload)
+			s.mu.Lock()
+			s.stats.Offered++
+			if admitted {
+				s.stats.Admitted++
+			}
+			s.mu.Unlock()
+			timer.Reset(interval())
+		}
+	}
+}
+
+// Stop halts the publisher and waits for its goroutine.
+func (s *TimedSender) Stop() {
+	s.once.Do(func() { close(s.stop) })
+	<-s.done
+}
+
+// Stats returns the offered/admitted counters.
+func (s *TimedSender) Stats() SenderStats {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.stats
+}
+
+// Resize is one step of a buffer-resize schedule: at offset At from the
+// experiment start, the nodes with the given indexes set their buffer
+// capacity to Capacity. This encodes the paper's §4 dynamic scenario
+// (20% of nodes shrink 90→45, later grow 45→60).
+type Resize struct {
+	At       time.Duration
+	Nodes    []int
+	Capacity int
+}
+
+// Validate reports the first schedule error given the group size.
+func (r Resize) Validate(groupSize int) error {
+	if r.At < 0 {
+		return fmt.Errorf("workload: resize offset must be non-negative, got %v", r.At)
+	}
+	if r.Capacity <= 0 {
+		return fmt.Errorf("workload: resize capacity must be positive, got %d", r.Capacity)
+	}
+	for _, idx := range r.Nodes {
+		if idx < 0 || idx >= groupSize {
+			return fmt.Errorf("workload: resize node index %d out of range [0,%d)", idx, groupSize)
+		}
+	}
+	return nil
+}
+
+// Crash is one step of a failure schedule: at offset At the nodes with
+// the given indexes become unreachable (their messages are dropped in
+// both directions). Gossip's probabilistic guarantees should degrade
+// only marginally — the resilience property the paper's §2 background
+// relies on.
+type Crash struct {
+	At    time.Duration
+	Nodes []int
+}
+
+// Validate reports the first schedule error given the group size.
+func (c Crash) Validate(groupSize int) error {
+	if c.At < 0 {
+		return fmt.Errorf("workload: crash offset must be non-negative, got %v", c.At)
+	}
+	for _, idx := range c.Nodes {
+		if idx < 0 || idx >= groupSize {
+			return fmt.Errorf("workload: crash node index %d out of range [0,%d)", idx, groupSize)
+		}
+	}
+	return nil
+}
+
+// Join is one step of a membership-growth schedule: at offset At the
+// nodes with the given indexes enter the group — they become gossip
+// targets, start ticking and (if publishers) start offering load. The
+// paper's §2.2 names dynamic joins as one reason resources change at
+// run time.
+type Join struct {
+	At    time.Duration
+	Nodes []int
+}
+
+// Validate reports the first schedule error given the group size.
+func (j Join) Validate(groupSize int) error {
+	if j.At < 0 {
+		return fmt.Errorf("workload: join offset must be non-negative, got %v", j.At)
+	}
+	for _, idx := range j.Nodes {
+		if idx < 0 || idx >= groupSize {
+			return fmt.Errorf("workload: join node index %d out of range [0,%d)", idx, groupSize)
+		}
+	}
+	return nil
+}
+
+// FirstFraction returns the indexes of the first fraction×n nodes — the
+// paper's "20% of the nodes" selection.
+func FirstFraction(n int, fraction float64) []int {
+	k := int(fraction * float64(n))
+	if k < 0 {
+		k = 0
+	}
+	if k > n {
+		k = n
+	}
+	out := make([]int, k)
+	for i := range out {
+		out[i] = i
+	}
+	return out
+}

@@ -1,0 +1,220 @@
+package workload
+
+import (
+	"testing"
+	"time"
+
+	"adaptivegossip/internal/sim"
+)
+
+func TestSenderConfigValidate(t *testing.T) {
+	if err := (SenderConfig{Rate: -1}).Validate(); err == nil {
+		t.Fatal("negative rate accepted")
+	}
+	if err := (SenderConfig{PayloadSize: -1}).Validate(); err == nil {
+		t.Fatal("negative payload accepted")
+	}
+	if err := (SenderConfig{Rate: 5, PayloadSize: 8}).Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSimSenderEmitsAtRate(t *testing.T) {
+	sched := sim.NewScheduler(sim.Epoch)
+	var got int
+	s, err := StartSimSender(sched, SenderConfig{Rate: 10, PayloadSize: 4},
+		func(p []byte) bool {
+			if len(p) != 4 {
+				t.Fatalf("payload size %d", len(p))
+			}
+			got++
+			return true
+		}, sim.DeriveRNG(1, 1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	sched.RunUntil(sim.Epoch.Add(10 * time.Second))
+	// 10 msg/s for 10s ⇒ ~100 emissions (±1 for phase).
+	if got < 98 || got > 101 {
+		t.Fatalf("emitted %d, want ≈100", got)
+	}
+	st := s.Stats()
+	if st.Offered != uint64(got) || st.Admitted != uint64(got) {
+		t.Fatalf("stats %+v", st)
+	}
+}
+
+func TestSimSenderCountsRejections(t *testing.T) {
+	sched := sim.NewScheduler(sim.Epoch)
+	admit := false
+	s, err := StartSimSender(sched, SenderConfig{Rate: 5},
+		func([]byte) bool {
+			admit = !admit
+			return admit
+		}, sim.DeriveRNG(2, 2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	sched.RunUntil(sim.Epoch.Add(10 * time.Second))
+	st := s.Stats()
+	if st.Offered == 0 || st.Admitted*2 < st.Offered-1 || st.Admitted*2 > st.Offered+1 {
+		t.Fatalf("stats %+v, want ≈half admitted", st)
+	}
+}
+
+func TestSimSenderPoissonApproximatesRate(t *testing.T) {
+	sched := sim.NewScheduler(sim.Epoch)
+	var got int
+	_, err := StartSimSender(sched, SenderConfig{Rate: 20, Poisson: true},
+		func([]byte) bool { got++; return true }, sim.DeriveRNG(3, 3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	sched.RunUntil(sim.Epoch.Add(60 * time.Second))
+	// 20 msg/s × 60 s = 1200 expected; Poisson std ≈ 35.
+	if got < 1050 || got > 1350 {
+		t.Fatalf("emitted %d, want ≈1200", got)
+	}
+}
+
+func TestSimSenderStop(t *testing.T) {
+	sched := sim.NewScheduler(sim.Epoch)
+	var got int
+	s, err := StartSimSender(sched, SenderConfig{Rate: 10},
+		func([]byte) bool { got++; return true }, sim.DeriveRNG(4, 4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	sched.RunUntil(sim.Epoch.Add(time.Second))
+	s.Stop()
+	before := got
+	sched.RunUntil(sim.Epoch.Add(10 * time.Second))
+	if got != before {
+		t.Fatalf("sender emitted after Stop: %d -> %d", before, got)
+	}
+}
+
+func TestSimSenderZeroRateNeverEmits(t *testing.T) {
+	sched := sim.NewScheduler(sim.Epoch)
+	_, err := StartSimSender(sched, SenderConfig{Rate: 0},
+		func([]byte) bool { t.Fatal("emitted"); return true }, sim.DeriveRNG(5, 5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	sched.RunUntil(sim.Epoch.Add(time.Minute))
+}
+
+func TestSimSenderValidation(t *testing.T) {
+	sched := sim.NewScheduler(sim.Epoch)
+	if _, err := StartSimSender(nil, SenderConfig{Rate: 1}, func([]byte) bool { return true }, sim.DeriveRNG(1, 1)); err == nil {
+		t.Fatal("nil scheduler accepted")
+	}
+	if _, err := StartSimSender(sched, SenderConfig{Rate: 1}, nil, sim.DeriveRNG(1, 1)); err == nil {
+		t.Fatal("nil publish accepted")
+	}
+	if _, err := StartSimSender(sched, SenderConfig{Rate: -2}, func([]byte) bool { return true }, sim.DeriveRNG(1, 1)); err == nil {
+		t.Fatal("bad config accepted")
+	}
+}
+
+func TestTimedSenderEmitsAndStops(t *testing.T) {
+	got := make(chan struct{}, 1000)
+	s, err := StartTimedSender(SenderConfig{Rate: 200},
+		func([]byte) bool {
+			select {
+			case got <- struct{}{}:
+			default:
+			}
+			return true
+		}, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	deadline := time.After(3 * time.Second)
+	for i := 0; i < 5; i++ {
+		select {
+		case <-got:
+		case <-deadline:
+			t.Fatal("sender too slow")
+		}
+	}
+	s.Stop()
+	s.Stop() // idempotent
+	st := s.Stats()
+	if st.Offered < 5 || st.Admitted < 5 {
+		t.Fatalf("stats %+v", st)
+	}
+}
+
+func TestTimedSenderValidation(t *testing.T) {
+	if _, err := StartTimedSender(SenderConfig{Rate: 1}, nil, 1); err == nil {
+		t.Fatal("nil publish accepted")
+	}
+	if _, err := StartTimedSender(SenderConfig{Rate: -1}, func([]byte) bool { return true }, 1); err == nil {
+		t.Fatal("bad config accepted")
+	}
+	// Zero rate: starts and stops cleanly without emitting.
+	s, err := StartTimedSender(SenderConfig{Rate: 0}, func([]byte) bool {
+		t.Error("zero-rate sender emitted")
+		return true
+	}, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	time.Sleep(20 * time.Millisecond)
+	s.Stop()
+}
+
+func TestResizeValidate(t *testing.T) {
+	ok := Resize{At: time.Second, Nodes: []int{0, 5}, Capacity: 10}
+	if err := ok.Validate(10); err != nil {
+		t.Fatal(err)
+	}
+	cases := []Resize{
+		{At: -time.Second, Capacity: 10},
+		{At: 0, Capacity: 0},
+		{At: 0, Capacity: 5, Nodes: []int{-1}},
+		{At: 0, Capacity: 5, Nodes: []int{10}},
+	}
+	for i, r := range cases {
+		if err := r.Validate(10); err == nil {
+			t.Errorf("case %d accepted: %+v", i, r)
+		}
+	}
+}
+
+func TestCrashAndJoinValidate(t *testing.T) {
+	if err := (Crash{At: time.Second, Nodes: []int{0}}).Validate(4); err != nil {
+		t.Fatal(err)
+	}
+	if err := (Crash{At: -1, Nodes: []int{0}}).Validate(4); err == nil {
+		t.Fatal("negative crash offset accepted")
+	}
+	if err := (Crash{Nodes: []int{4}}).Validate(4); err == nil {
+		t.Fatal("out-of-range crash index accepted")
+	}
+	if err := (Join{At: time.Second, Nodes: []int{3}}).Validate(4); err != nil {
+		t.Fatal(err)
+	}
+	if err := (Join{At: -1}).Validate(4); err == nil {
+		t.Fatal("negative join offset accepted")
+	}
+	if err := (Join{Nodes: []int{-1}}).Validate(4); err == nil {
+		t.Fatal("negative join index accepted")
+	}
+}
+
+func TestFirstFraction(t *testing.T) {
+	if got := FirstFraction(60, 0.2); len(got) != 12 || got[0] != 0 || got[11] != 11 {
+		t.Fatalf("FirstFraction(60, 0.2) = %v", got)
+	}
+	if got := FirstFraction(10, 0); len(got) != 0 {
+		t.Fatalf("zero fraction: %v", got)
+	}
+	if got := FirstFraction(10, 2.0); len(got) != 10 {
+		t.Fatalf("overshoot fraction: %v", got)
+	}
+	if got := FirstFraction(10, -1); len(got) != 0 {
+		t.Fatalf("negative fraction: %v", got)
+	}
+}

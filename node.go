@@ -1,0 +1,192 @@
+package adaptivegossip
+
+import (
+	"fmt"
+	"math/rand/v2"
+	"sync"
+	"time"
+
+	"adaptivegossip/internal/core"
+	"adaptivegossip/internal/gossip"
+	"adaptivegossip/internal/membership"
+	"adaptivegossip/internal/runtime"
+	"adaptivegossip/internal/transport"
+)
+
+// NodeOptions configures a network-facing broadcast node.
+type NodeOptions struct {
+	// ID is this node's name in the group. Required.
+	ID string
+	// Bind is the UDP listen address, e.g. "127.0.0.1:7946" or
+	// "0.0.0.0:0". Required.
+	Bind string
+	// Peers maps known member names to their UDP addresses. Peers can
+	// also be added later with AddPeer.
+	Peers map[string]string
+	// Config is the protocol configuration (DefaultConfig if zero).
+	Config Config
+	// Deliver receives each broadcast exactly once (optional).
+	Deliver func(Event)
+	// Seed fixes protocol randomness; 0 derives one from the ID.
+	Seed int64
+	// MaxDatagram overrides the UDP datagram split threshold.
+	MaxDatagram int
+}
+
+// Node is a single broadcast group member bound to a UDP socket — the
+// deployment shape of the paper's prototype (one process per
+// workstation). Create with NewUDPNode, then Start; Stop tears the
+// socket and the gossip loop down.
+type Node struct {
+	id     NodeID
+	tr     *transport.UDPTransport
+	reg    *membership.Registry
+	runner *runtime.Runner
+
+	mu      sync.Mutex
+	started bool
+	stopped bool
+}
+
+// NewUDPNode builds a node from opts.
+func NewUDPNode(opts NodeOptions) (*Node, error) {
+	if opts.ID == "" {
+		return nil, fmt.Errorf("adaptivegossip: node id is required")
+	}
+	if opts.Bind == "" {
+		return nil, fmt.Errorf("adaptivegossip: bind address is required")
+	}
+	cfg := opts.Config
+	if cfg == (Config{}) {
+		cfg = DefaultConfig()
+	}
+	cfg = cfg.withDefaults()
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	seed := opts.Seed
+	if seed == 0 {
+		for _, b := range []byte(opts.ID) {
+			seed = seed*131 + int64(b)
+		}
+		seed++
+	}
+
+	udpOpts := []transport.UDPOption{}
+	if opts.MaxDatagram > 0 {
+		udpOpts = append(udpOpts, transport.WithMaxDatagram(opts.MaxDatagram))
+	}
+	tr, err := transport.NewUDPTransport(NodeID(opts.ID), opts.Bind, udpOpts...)
+	if err != nil {
+		return nil, err
+	}
+
+	members := []NodeID{NodeID(opts.ID)}
+	for peer, addr := range opts.Peers {
+		if err := tr.Register(NodeID(peer), addr); err != nil {
+			tr.Close()
+			return nil, err
+		}
+		members = append(members, NodeID(peer))
+	}
+	reg := membership.NewRegistry(members...)
+
+	var deliver gossip.DeliverFunc
+	if opts.Deliver != nil {
+		deliver = opts.Deliver
+	}
+	node, err := core.NewAdaptiveNode(core.NodeConfig{
+		ID:       NodeID(opts.ID),
+		Gossip:   cfg.gossipParams(),
+		Adaptive: cfg.Adaptive,
+		Core:     cfg.Adaptation,
+		Peers:    reg,
+		RNG:      rand.New(rand.NewPCG(uint64(seed), uint64(seed)^0xABCDEF)),
+		Deliver:  deliver,
+		Start:    time.Now(),
+	})
+	if err != nil {
+		tr.Close()
+		return nil, err
+	}
+	runner, err := runtime.NewRunner(runtime.Config{
+		Node:      node,
+		Transport: tr,
+		Period:    cfg.Period,
+		PhaseSeed: uint64(seed) + 7,
+	})
+	if err != nil {
+		tr.Close()
+		return nil, err
+	}
+	return &Node{id: NodeID(opts.ID), tr: tr, reg: reg, runner: runner}, nil
+}
+
+// ID returns the node's name.
+func (n *Node) ID() NodeID { return n.id }
+
+// Addr returns the bound UDP address (useful with ":0" binds).
+func (n *Node) Addr() string { return n.tr.Addr().String() }
+
+// AddPeer registers a member discovered after startup.
+func (n *Node) AddPeer(id, addr string) error {
+	if err := n.tr.Register(NodeID(id), addr); err != nil {
+		return err
+	}
+	n.reg.Add(NodeID(id))
+	return nil
+}
+
+// RemovePeer drops a member from the gossip target set.
+func (n *Node) RemovePeer(id string) {
+	n.reg.Remove(NodeID(id))
+}
+
+// Start begins gossiping. Idempotent.
+func (n *Node) Start() error {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	if n.started {
+		return nil
+	}
+	if err := n.tr.Start(); err != nil {
+		return err
+	}
+	n.runner.Start()
+	n.started = true
+	return nil
+}
+
+// Stop halts gossip and closes the socket. Idempotent.
+func (n *Node) Stop() {
+	n.mu.Lock()
+	if n.stopped {
+		n.mu.Unlock()
+		return
+	}
+	n.stopped = true
+	n.mu.Unlock()
+	n.runner.Stop()
+	n.tr.Close()
+}
+
+// Publish broadcasts payload, reporting whether it was admitted by the
+// node's rate allowance.
+func (n *Node) Publish(payload []byte) bool {
+	return n.runner.Publish(payload)
+}
+
+// SetBufferCapacity resizes the local events buffer at runtime.
+func (n *Node) SetBufferCapacity(capacity int) error {
+	return n.runner.SetBufferCapacity(capacity)
+}
+
+// Snapshot captures the node's protocol state.
+func (n *Node) Snapshot() NodeSnapshot {
+	return n.runner.Snapshot()
+}
+
+// TransportStats returns UDP-level counters.
+func (n *Node) TransportStats() transport.UDPStats {
+	return n.tr.Stats()
+}

@@ -1,0 +1,235 @@
+package adaptivegossip
+
+import (
+	"fmt"
+	"math/rand/v2"
+	"sync"
+	"time"
+
+	"adaptivegossip/internal/membership"
+	"adaptivegossip/internal/pubsub"
+	"adaptivegossip/internal/transport"
+)
+
+// Pub/sub re-exports.
+type (
+	// Topic names a broadcast group in the pub/sub layer.
+	Topic = pubsub.Topic
+	// TopicState is a per-subscription snapshot.
+	TopicState = pubsub.TopicState
+)
+
+// TopicDeliverFunc observes pub/sub deliveries across a cluster.
+type TopicDeliverFunc func(node NodeID, topic Topic, ev Event)
+
+// PubSubCluster is an in-process publish/subscribe group — the paper's
+// motivating scenario as an API. Each topic is an independent adaptive
+// broadcast group whose members are exactly the current subscribers;
+// each member splits one buffer budget across its subscriptions, so
+// every subscribe/unsubscribe shifts the resources the adaptation
+// mechanism sees.
+type PubSubCluster struct {
+	names   []NodeID
+	net     *transport.MemNetwork
+	runners []*pubsub.Runner
+
+	mu      sync.Mutex
+	started bool
+	stopped bool
+	regs    map[Topic]*membership.Registry
+}
+
+// PubSubOption configures NewPubSubCluster.
+type PubSubOption func(*pubSubOptions) error
+
+type pubSubOptions struct {
+	seed    int64
+	deliver TopicDeliverFunc
+	prefix  string
+}
+
+// WithPubSubSeed fixes the cluster's randomness.
+func WithPubSubSeed(seed int64) PubSubOption {
+	return func(o *pubSubOptions) error {
+		o.seed = seed
+		return nil
+	}
+}
+
+// WithTopicDeliver observes every delivery (callback must be fast and
+// thread-safe).
+func WithTopicDeliver(fn TopicDeliverFunc) PubSubOption {
+	return func(o *pubSubOptions) error {
+		o.deliver = fn
+		return nil
+	}
+}
+
+// NewPubSubCluster builds n peers, each with the given total buffer
+// budget, connected by an in-memory fabric. No peer is subscribed to
+// anything initially.
+func NewPubSubCluster(n, bufferBudget int, cfg Config, opts ...PubSubOption) (*PubSubCluster, error) {
+	if n < 2 {
+		return nil, fmt.Errorf("adaptivegossip: pub/sub cluster needs at least 2 peers, got %d", n)
+	}
+	cfg = cfg.withDefaults()
+	gp := cfg.gossipParams()
+	gp.MaxEvents = bufferBudget
+	if err := gp.Validate(); err != nil {
+		return nil, fmt.Errorf("adaptivegossip: %w", err)
+	}
+	o := pubSubOptions{seed: 1, prefix: "peer-"}
+	for _, opt := range opts {
+		if err := opt(&o); err != nil {
+			return nil, err
+		}
+	}
+	net, err := transport.NewMemNetwork(transport.WithMemSeed(uint64(o.seed) + 0x9A9A))
+	if err != nil {
+		return nil, err
+	}
+	c := &PubSubCluster{net: net, regs: make(map[Topic]*membership.Registry)}
+	for i := 0; i < n; i++ {
+		name := NodeID(fmt.Sprintf("%s%02d", o.prefix, i))
+		c.names = append(c.names, name)
+		var deliver pubsub.DeliverFunc
+		if o.deliver != nil {
+			fn := o.deliver
+			deliver = func(topic Topic, ev Event) { fn(name, topic, ev) }
+		}
+		gpPeer := cfg.gossipParams()
+		gpPeer.MaxEvents = 0 // the budget drives per-topic capacity
+		peer, err := pubsub.NewPeer(pubsub.PeerConfig{
+			ID:           name,
+			BufferBudget: bufferBudget,
+			Gossip:       gpPeer,
+			Adaptive:     cfg.Adaptive,
+			Core:         cfg.Adaptation,
+			RNG:          rand.New(rand.NewPCG(uint64(o.seed), uint64(i)+1)),
+			Deliver:      deliver,
+			Start:        time.Now(),
+		})
+		if err != nil {
+			net.Close()
+			return nil, err
+		}
+		ep, err := net.Endpoint(name)
+		if err != nil {
+			net.Close()
+			return nil, err
+		}
+		r, err := pubsub.NewRunner(pubsub.RunnerConfig{
+			Peer:      peer,
+			Transport: ep,
+			Period:    cfg.Period,
+			PhaseSeed: uint64(o.seed)*48271 + uint64(i) + 1,
+		})
+		if err != nil {
+			net.Close()
+			return nil, err
+		}
+		c.runners = append(c.runners, r)
+	}
+	return c, nil
+}
+
+// Len reports the number of peers.
+func (c *PubSubCluster) Len() int { return len(c.runners) }
+
+// Peers returns the peer names in index order.
+func (c *PubSubCluster) Peers() []NodeID {
+	return append([]NodeID(nil), c.names...)
+}
+
+// Start launches every peer. Idempotent.
+func (c *PubSubCluster) Start() {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.started {
+		return
+	}
+	c.started = true
+	for _, r := range c.runners {
+		r.Start()
+	}
+}
+
+// Stop terminates every peer and the fabric. Idempotent.
+func (c *PubSubCluster) Stop() {
+	c.mu.Lock()
+	if c.stopped {
+		c.mu.Unlock()
+		return
+	}
+	c.stopped = true
+	c.mu.Unlock()
+	for _, r := range c.runners {
+		r.Stop()
+	}
+	c.net.Close()
+}
+
+func (c *PubSubCluster) runner(i int) (*pubsub.Runner, error) {
+	if i < 0 || i >= len(c.runners) {
+		return nil, fmt.Errorf("adaptivegossip: peer index %d out of range [0,%d)", i, len(c.runners))
+	}
+	return c.runners[i], nil
+}
+
+func (c *PubSubCluster) registry(topic Topic) *membership.Registry {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	reg, ok := c.regs[topic]
+	if !ok {
+		reg = membership.NewRegistry()
+		c.regs[topic] = reg
+	}
+	return reg
+}
+
+// Subscribe joins peer i to a topic: the peer becomes a gossip target
+// for the topic's other subscribers and re-splits its buffer budget.
+func (c *PubSubCluster) Subscribe(i int, topic Topic) error {
+	r, err := c.runner(i)
+	if err != nil {
+		return err
+	}
+	reg := c.registry(topic)
+	if err := r.Subscribe(topic, reg); err != nil {
+		return err
+	}
+	reg.Add(c.names[i])
+	return nil
+}
+
+// Unsubscribe removes peer i from a topic, returning its budget share
+// to the remaining subscriptions.
+func (c *PubSubCluster) Unsubscribe(i int, topic Topic) error {
+	r, err := c.runner(i)
+	if err != nil {
+		return err
+	}
+	if err := r.Unsubscribe(topic); err != nil {
+		return err
+	}
+	c.registry(topic).Remove(c.names[i])
+	return nil
+}
+
+// Publish broadcasts payload from peer i on topic, reporting admission.
+func (c *PubSubCluster) Publish(i int, topic Topic, payload []byte) (bool, error) {
+	r, err := c.runner(i)
+	if err != nil {
+		return false, err
+	}
+	return r.Publish(topic, payload)
+}
+
+// State snapshots peer i's subscriptions.
+func (c *PubSubCluster) State(i int) ([]TopicState, error) {
+	r, err := c.runner(i)
+	if err != nil {
+		return nil, err
+	}
+	return r.State(), nil
+}

@@ -1,0 +1,166 @@
+package adaptivegossip
+
+import (
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestPubSubClusterTopicsAndBudgets(t *testing.T) {
+	cfg := fastConfig()
+	var mu sync.Mutex
+	delivered := map[NodeID]map[Topic]int{}
+
+	cluster, err := NewPubSubCluster(6, 40, cfg,
+		WithPubSubSeed(3),
+		WithTopicDeliver(func(node NodeID, topic Topic, ev Event) {
+			mu.Lock()
+			if delivered[node] == nil {
+				delivered[node] = map[Topic]int{}
+			}
+			delivered[node][topic]++
+			mu.Unlock()
+		}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	cluster.Start()
+	defer cluster.Stop()
+
+	if cluster.Len() != 6 || len(cluster.Peers()) != 6 {
+		t.Fatalf("cluster size %d", cluster.Len())
+	}
+
+	// Everyone on "all"; the first three also on "sub".
+	for i := 0; i < 6; i++ {
+		if err := cluster.Subscribe(i, "all"); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i := 0; i < 3; i++ {
+		if err := cluster.Subscribe(i, "sub"); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	// Budget split visible in state.
+	st, err := cluster.State(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(st) != 2 || st[0].BufferCap != 20 || st[1].BufferCap != 20 {
+		t.Fatalf("split state %+v", st)
+	}
+	st, err = cluster.State(5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(st) != 1 || st[0].BufferCap != 40 {
+		t.Fatalf("unsplit state %+v", st)
+	}
+
+	// Topic isolation end to end.
+	if ok, err := cluster.Publish(0, "all", []byte("wide")); err != nil || !ok {
+		t.Fatalf("publish all: %v %v", ok, err)
+	}
+	if ok, err := cluster.Publish(1, "sub", []byte("narrow")); err != nil || !ok {
+		t.Fatalf("publish sub: %v %v", ok, err)
+	}
+	deadline := time.Now().Add(5 * time.Second)
+	for time.Now().Before(deadline) {
+		mu.Lock()
+		all, sub := 0, 0
+		for _, byTopic := range delivered {
+			if byTopic["all"] > 0 {
+				all++
+			}
+			if byTopic["sub"] > 0 {
+				sub++
+			}
+		}
+		mu.Unlock()
+		if all == 6 && sub == 3 {
+			break
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	mu.Lock()
+	defer mu.Unlock()
+	for node, byTopic := range delivered {
+		if byTopic["sub"] > 0 {
+			found := false
+			for i := 0; i < 3; i++ {
+				if node == cluster.Peers()[i] {
+					found = true
+				}
+			}
+			if !found {
+				t.Fatalf("non-subscriber %s delivered on sub", node)
+			}
+		}
+	}
+	allCount := 0
+	for _, byTopic := range delivered {
+		if byTopic["all"] == 1 {
+			allCount++
+		}
+	}
+	if allCount != 6 {
+		t.Fatalf("all-topic reached %d/6", allCount)
+	}
+}
+
+func TestPubSubClusterErrors(t *testing.T) {
+	cfg := fastConfig()
+	if _, err := NewPubSubCluster(1, 40, cfg); err == nil {
+		t.Fatal("1-peer cluster accepted")
+	}
+	if _, err := NewPubSubCluster(4, 0, cfg); err == nil {
+		t.Fatal("zero budget accepted")
+	}
+	cluster, err := NewPubSubCluster(4, 40, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cluster.Start()
+	defer cluster.Stop()
+	if err := cluster.Subscribe(99, "t"); err == nil {
+		t.Fatal("out-of-range subscribe accepted")
+	}
+	if err := cluster.Unsubscribe(0, "ghost"); err == nil {
+		t.Fatal("unsubscribe from unknown topic accepted")
+	}
+	if _, err := cluster.Publish(0, "ghost", nil); err == nil {
+		t.Fatal("publish on unsubscribed topic accepted")
+	}
+	if _, err := cluster.State(-1); err == nil {
+		t.Fatal("out-of-range state accepted")
+	}
+	cluster.Stop()
+	cluster.Stop() // idempotent
+}
+
+func TestPubSubClusterUnsubscribeRebalancesLive(t *testing.T) {
+	cluster, err := NewPubSubCluster(4, 30, fastConfig(), WithPubSubSeed(5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	cluster.Start()
+	defer cluster.Stop()
+	for _, topic := range []Topic{"a", "b", "c"} {
+		if err := cluster.Subscribe(0, topic); err != nil {
+			t.Fatal(err)
+		}
+	}
+	st, _ := cluster.State(0)
+	if len(st) != 3 || st[0].BufferCap != 10 {
+		t.Fatalf("state %+v", st)
+	}
+	if err := cluster.Unsubscribe(0, "b"); err != nil {
+		t.Fatal(err)
+	}
+	st, _ = cluster.State(0)
+	if len(st) != 2 || st[0].BufferCap != 15 {
+		t.Fatalf("state after unsubscribe %+v", st)
+	}
+}
