@@ -19,6 +19,7 @@ import (
 	"adaptivegossip/internal/membership"
 	"adaptivegossip/internal/pubsub"
 	"adaptivegossip/internal/ratelimit"
+	"adaptivegossip/internal/recovery"
 	"adaptivegossip/internal/sim"
 	"adaptivegossip/internal/transport"
 )
@@ -336,6 +337,60 @@ func benchMessage() *gossip.Message {
 		})
 	}
 	return msg
+}
+
+// BenchmarkCodecRoundTrip measures a full encode+decode of a gossip
+// message including a recovery digest — the per-message wire cost with
+// the anti-entropy subsystem on.
+func BenchmarkCodecRoundTrip(b *testing.B) {
+	msg := benchMessage()
+	for i := 0; i < recovery.DefaultDigestLen; i++ {
+		msg.Digest = append(msg.Digest, gossip.EventID{Origin: "origin", Seq: uint64(i)})
+	}
+	c := transport.DefaultCodec()
+	data, err := c.Encode(msg)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.SetBytes(int64(len(data)))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		data, err := c.Encode(msg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, err := c.Decode(data); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkRecoveryDigestDiff measures the receiver-side hot path of
+// the anti-entropy subsystem: diffing an incoming digest against the
+// node's seen set. Half the digest is known, half missing — the
+// steady-state shape under loss.
+func BenchmarkRecoveryDigestDiff(b *testing.B) {
+	reg := membership.NewRegistry("a", "b")
+	node, err := gossip.NewNode("a",
+		gossip.Params{Fanout: 4, Period: time.Second, MaxEvents: 120, MaxAge: 10},
+		reg, rand.New(rand.NewPCG(21, 22)))
+	if err != nil {
+		b.Fatal(err)
+	}
+	digest := make([]gossip.EventID, recovery.DefaultDigestLen)
+	for i := range digest {
+		digest[i] = gossip.EventID{Origin: "b", Seq: uint64(i)}
+		if i%2 == 0 {
+			node.Receive(&gossip.Message{From: "b", Events: []gossip.Event{{ID: digest[i]}}})
+		}
+	}
+	b.ReportMetric(float64(len(digest)), "ids/op")
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if missing := recovery.DiffDigest(node, digest); len(missing) != len(digest)/2 {
+			b.Fatalf("expected %d missing, got %d", len(digest)/2, len(missing))
+		}
+	}
 }
 
 // BenchmarkRegistrySample measures fanout target selection from a

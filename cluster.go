@@ -142,6 +142,7 @@ func NewCluster(n int, cfg Config, opts ...ClusterOption) (*Cluster, error) {
 			Gossip:   cfg.gossipParams(),
 			Adaptive: cfg.Adaptive,
 			Core:     cfg.Adaptation,
+			Recovery: cfg.recoveryParams(),
 			Peers:    reg,
 			RNG:      rand.New(rand.NewPCG(uint64(o.seed), uint64(i)+1)),
 			Deliver:  deliver,

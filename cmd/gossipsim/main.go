@@ -13,6 +13,7 @@
 //	gossipsim -figure 9              # dynamic buffers (simulation)
 //	gossipsim -figure 9rt            # dynamic buffers (real-time prototype)
 //	gossipsim -figure ablations      # A1–A4 design-choice studies
+//	gossipsim -figure recovery       # delivery vs loss, anti-entropy off/on
 //	gossipsim -figure 2 -fast        # reduced duration for a quick look
 package main
 
@@ -35,7 +36,7 @@ func main() {
 func run(args []string) error {
 	fs := flag.NewFlagSet("gossipsim", flag.ContinueOnError)
 	var (
-		figure = fs.String("figure", "all", "2|4|6|7|8|9|9rt|t1|ablations|all")
+		figure = fs.String("figure", "all", "2|4|6|7|8|9|9rt|t1|ablations|recovery|all")
 		seed   = fs.Int64("seed", 1, "base random seed")
 		seeds  = fs.Int("seeds", 1, "seeds to average per data point")
 		n      = fs.Int("n", 60, "group size")
@@ -78,6 +79,8 @@ func run(args []string) error {
 		return figure9rt(base, buffers, *seeds, *scale)
 	case "ablations":
 		return ablations(base, *seeds)
+	case "recovery":
+		return recoverySweep(base, *seeds)
 	case "all":
 		if err := figure2(base, *seeds); err != nil {
 			return err
@@ -99,6 +102,9 @@ func run(args []string) error {
 			return err
 		}
 		if err := ablations(base, *seeds); err != nil {
+			return err
+		}
+		if err := recoverySweep(base, *seeds); err != nil {
 			return err
 		}
 		fmt.Printf("\n# total wall time: %v\n", time.Since(started).Round(time.Second))
@@ -219,6 +225,17 @@ func figure9rtWithFit(base experiments.Config, fig4 []experiments.Figure4Row, sc
 		return err
 	}
 	experiments.RenderFigure9(os.Stdout, res)
+	fmt.Println()
+	return nil
+}
+
+func recoverySweep(base experiments.Config, seeds int) error {
+	losses := []float64{0, 0.05, 0.10, 0.20, 0.30}
+	rows, err := experiments.RunRecovery(experiments.DefaultRecoveryConfig(base), losses, seeds)
+	if err != nil {
+		return err
+	}
+	experiments.RenderRecovery(os.Stdout, rows)
 	fmt.Println()
 	return nil
 }

@@ -7,6 +7,7 @@ import (
 	"adaptivegossip/internal/core"
 	"adaptivegossip/internal/experiments"
 	"adaptivegossip/internal/gossip"
+	"adaptivegossip/internal/recovery"
 )
 
 // Re-exported protocol types. The aliases keep a single definition in
@@ -47,6 +48,19 @@ type Config struct {
 	// Adaptation parametrizes the mechanism. The zero value means
 	// DefaultConfig's calibrated defaults.
 	Adaptation AdaptationConfig
+
+	// RecoveryEnabled turns on the digest-based anti-entropy subsystem
+	// (internal/recovery): every gossip round piggybacks a digest of
+	// recently-seen event IDs, and receivers pull events they missed —
+	// repairing losses that pure push gossip cannot. Orthogonal to
+	// Adaptive.
+	RecoveryEnabled bool
+	// RecoveryDigestLength is the number of event IDs advertised per
+	// gossip message. Zero means the subsystem default.
+	RecoveryDigestLength int
+	// RecoveryRequestBudget caps the missing events pulled per round.
+	// Zero means the subsystem default.
+	RecoveryRequestBudget int
 }
 
 // DefaultConfig returns the paper's protocol configuration with a
@@ -80,6 +94,14 @@ func (c Config) gossipParams() gossip.Params {
 	}
 }
 
+func (c Config) recoveryParams() recovery.Params {
+	return recovery.Params{
+		Enabled:       c.RecoveryEnabled,
+		DigestLen:     c.RecoveryDigestLength,
+		RequestBudget: c.RecoveryRequestBudget,
+	}
+}
+
 // Validate reports the first configuration error.
 func (c Config) Validate() error {
 	c = c.withDefaults()
@@ -88,6 +110,11 @@ func (c Config) Validate() error {
 	}
 	if c.Adaptive {
 		if err := c.Adaptation.Validate(); err != nil {
+			return fmt.Errorf("adaptivegossip: %w", err)
+		}
+	}
+	if c.RecoveryEnabled {
+		if err := c.recoveryParams().Validate(); err != nil {
 			return fmt.Errorf("adaptivegossip: %w", err)
 		}
 	}

@@ -22,21 +22,30 @@
 // A node on a real network uses NewUDPNode with an address book of
 // peers; see examples/udpcluster.
 //
+// # Loss recovery
+//
+// Setting Config.RecoveryEnabled turns on a digest-based anti-entropy
+// subsystem (internal/recovery): every gossip round piggybacks a
+// compact digest of recently-seen event IDs, receivers pull the events
+// they missed from the digest's sender, and senders serve the
+// retransmissions from a bounded store that outlives the events
+// buffer. This repairs losses that pure push gossip cannot — see
+// examples/udpcluster's -loss flag and gossipsim -figure recovery.
+//
 // # Evaluation
 //
 // The Simulate and SimulateRealtime functions expose the paper's
 // experiment harness (internal/experiments): deterministic
 // discrete-event simulation and real-time prototype runs of the same
 // protocol state machine. cmd/gossipsim regenerates every figure of
-// the paper; EXPERIMENTS.md records the measured results next to the
-// published ones.
+// the paper and prints each as an aligned text table.
 //
 // # Architecture
 //
 // The protocol is a single-threaded state machine (internal/gossip for
-// the lpbcast substrate, internal/core for the adaptation mechanism)
-// owned by a driver: the discrete-event scheduler (internal/sim) for
-// simulations, or one goroutine per node (internal/runtime) for real
-// deployments. DESIGN.md documents the full system inventory and the
-// paper-to-module mapping.
+// the lpbcast substrate, internal/core for the adaptation mechanism,
+// internal/recovery for anti-entropy repair) owned by a driver: the
+// discrete-event scheduler (internal/sim) for simulations, or one
+// goroutine per node (internal/runtime) for real deployments. README.md
+// documents the full package map.
 package adaptivegossip

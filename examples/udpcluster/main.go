@@ -3,12 +3,20 @@
 // eight nodes on loopback sockets inside one process, broadcasts from
 // two of them, and prints delivery and wire statistics.
 //
+// With -loss, every node drops that fraction of its outgoing datagrams
+// — a lossy LAN in miniature. The anti-entropy recovery subsystem
+// (enabled by default here) pulls the missing events back, keeping the
+// delivery ratio near 1.0 where plain push gossip would fall short.
+//
 // Run with:
 //
-//	go run ./examples/udpcluster
+//	go run ./examples/udpcluster                  # clean network
+//	go run ./examples/udpcluster -loss 0.25       # 25% datagram loss
+//	go run ./examples/udpcluster -loss 0.25 -recovery=false
 package main
 
 import (
+	"flag"
 	"fmt"
 	"log"
 	"sync/atomic"
@@ -20,18 +28,26 @@ import (
 const nodes = 8
 
 func main() {
-	if err := run(); err != nil {
+	loss := flag.Float64("loss", 0, "iid outgoing-datagram loss probability in [0,1]")
+	recovery := flag.Bool("recovery", true, "enable digest-based anti-entropy recovery")
+	flag.Parse()
+	if err := run(*loss, *recovery); err != nil {
 		log.SetFlags(0)
 		log.Fatal(err)
 	}
 }
 
-func run() error {
+func run(loss float64, recovery bool) error {
 	cfg := adaptivegossip.DefaultConfig()
 	cfg.Period = 50 * time.Millisecond
 	cfg.BufferCapacity = 60
-	cfg.MaxAge = 8
+	// A deliberately skinny push: fanout 1 and a 3-round lifetime leave
+	// each event only a handful of transmissions, so injected loss
+	// actually starves receivers — the regime recovery exists for.
+	cfg.Fanout = 1
+	cfg.MaxAge = 3
 	cfg.Adaptation.InitialRate = 40 // admit the demo's publish burst
+	cfg.RecoveryEnabled = recovery
 
 	var delivered atomic.Int64
 	members := make([]*adaptivegossip.Node, 0, nodes)
@@ -40,10 +56,11 @@ func run() error {
 	// gossip starts.
 	for i := 0; i < nodes; i++ {
 		node, err := adaptivegossip.NewUDPNode(adaptivegossip.NodeOptions{
-			ID:     fmt.Sprintf("host-%d", i),
-			Bind:   "127.0.0.1:0",
-			Config: cfg,
-			Seed:   int64(i) + 1,
+			ID:       fmt.Sprintf("host-%d", i),
+			Bind:     "127.0.0.1:0",
+			Config:   cfg,
+			Seed:     int64(i) + 1,
+			SendLoss: loss,
 			Deliver: func(ev adaptivegossip.Event) {
 				delivered.Add(1)
 			},
@@ -75,8 +92,8 @@ func run() error {
 			return err
 		}
 	}
-	fmt.Printf("%d UDP nodes gossiping on loopback (e.g. %s at %s)\n",
-		nodes, members[0].ID(), members[0].Addr())
+	fmt.Printf("%d UDP nodes gossiping on loopback (e.g. %s at %s), loss %.0f%%, recovery %v\n",
+		nodes, members[0].ID(), members[0].Addr(), 100*loss, recovery)
 
 	const toSend = 20
 	sent := 0
@@ -88,16 +105,32 @@ func run() error {
 		time.Sleep(15 * time.Millisecond)
 	}
 
-	// Drain: a few age-bounds of rounds.
-	time.Sleep(time.Duration(cfg.MaxAge+2) * cfg.Period)
+	// Drain: well past the push window, so pull repair has time to
+	// notice gaps (digest), request and receive retransmissions.
+	time.Sleep(40 * cfg.Period)
 
-	fmt.Printf("published %d/%d; total deliveries %d (max possible %d)\n",
-		sent, toSend, delivered.Load(), sent*nodes)
+	possible := sent * nodes
+	ratio := 0.0
+	if possible > 0 {
+		ratio = float64(delivered.Load()) / float64(possible)
+	}
+	fmt.Printf("published %d/%d; total deliveries %d of %d possible — delivery ratio %.3f\n",
+		sent, toSend, delivered.Load(), possible, ratio)
 	st := members[0].TransportStats()
-	fmt.Printf("%s wire stats: sent %d datagrams (%d bytes), received %d (%d bytes), decode errors %d\n",
-		members[0].ID(), st.Sent, st.SentBytes, st.Received, st.RecvBytes, st.DecodeErrors)
+	fmt.Printf("%s wire stats: sent %d datagrams (%d bytes), dropped %d to injected loss, received %d (%d bytes), decode errors %d\n",
+		members[0].ID(), st.Sent, st.SentBytes, st.LossDropped, st.Received, st.RecvBytes, st.DecodeErrors)
 	snap := members[0].Snapshot()
 	fmt.Printf("%s: allowed %.2f msg/s, minBuff %d, avgAge %.2f\n",
 		members[0].ID(), snap.AllowedRate, snap.MinBuff, snap.AvgAge)
+	if recovery {
+		var recovered, requested uint64
+		for _, n := range members {
+			rs := n.Snapshot().Recovery
+			recovered += rs.EventsRecovered
+			requested += rs.IDsRequested
+		}
+		fmt.Printf("recovery: %d events recovered across the cluster (%d ids requested)\n",
+			recovered, requested)
+	}
 	return nil
 }

@@ -1,0 +1,3 @@
+module adaptivegossip
+
+go 1.24

@@ -7,6 +7,7 @@ import (
 
 	"adaptivegossip/internal/gossip"
 	"adaptivegossip/internal/ratelimit"
+	"adaptivegossip/internal/recovery"
 )
 
 // NodeConfig assembles a complete broadcast node.
@@ -21,6 +22,10 @@ type NodeConfig struct {
 	Adaptive bool
 	// Core configures the adaptation mechanism (used when Adaptive).
 	Core Params
+	// Recovery configures the anti-entropy pull-repair subsystem; the
+	// engine is built when Recovery.Enabled is set. Recovery is
+	// orthogonal to Adaptive: either, both or neither may be on.
+	Recovery recovery.Params
 	// Peers supplies gossip targets.
 	Peers gossip.PeerSampler
 	// RNG drives all protocol randomness; inject a seeded generator for
@@ -52,11 +57,12 @@ type AdaptiveStats struct {
 // AdaptiveNode is not safe for concurrent use; a driver serializes
 // Publish, Tick and Receive, passing the current time in.
 type AdaptiveNode struct {
-	node    *gossip.Node
-	adaptor *Adaptor        // nil when not adaptive
-	ctrl    *RateController // nil when not adaptive
-	bucket  *ratelimit.Bucket
-	params  Params
+	node     *gossip.Node
+	adaptor  *Adaptor        // nil when not adaptive
+	ctrl     *RateController // nil when not adaptive
+	bucket   *ratelimit.Bucket
+	recovery *recovery.Engine // nil when recovery is disabled
+	params   Params
 
 	avgTokens float64
 	published uint64
@@ -66,7 +72,7 @@ type AdaptiveNode struct {
 // NewAdaptiveNode builds a node from cfg.
 func NewAdaptiveNode(cfg NodeConfig) (*AdaptiveNode, error) {
 	a := &AdaptiveNode{params: cfg.Core}
-	exts := make([]gossip.Extension, 0, len(cfg.Extensions)+1)
+	exts := make([]gossip.Extension, 0, len(cfg.Extensions)+2)
 	if cfg.Adaptive {
 		adaptor, err := NewAdaptor(cfg.ID, cfg.Core, cfg.Gossip.MaxEvents)
 		if err != nil {
@@ -82,6 +88,14 @@ func NewAdaptiveNode(cfg NodeConfig) (*AdaptiveNode, error) {
 		}
 		a.adaptor, a.ctrl, a.bucket = adaptor, ctrl, bucket
 		exts = append(exts, adaptor)
+	}
+	if cfg.Recovery.Enabled {
+		engine, err := recovery.NewEngine(cfg.Recovery)
+		if err != nil {
+			return nil, err
+		}
+		a.recovery = engine
+		exts = append(exts, engine)
 	}
 	exts = append(exts, cfg.Extensions...)
 
@@ -117,7 +131,9 @@ func (a *AdaptiveNode) Publish(payload []byte, now time.Time) (gossip.Event, boo
 }
 
 // Tick runs one gossip round at time now: the rate-adaptation step of
-// Figure 5(c) followed by the Figure 1 gossip emission.
+// Figure 5(c) followed by the Figure 1 gossip emission. With recovery
+// enabled, the returned slice also carries this round's anti-entropy
+// pull requests; drivers transmit every entry alike.
 func (a *AdaptiveNode) Tick(now time.Time) []gossip.Outgoing {
 	if a.adaptor != nil {
 		// avgTokens: EMA of bucket occupancy, sampled once per round.
@@ -133,12 +149,22 @@ func (a *AdaptiveNode) Tick(now time.Time) []gossip.Outgoing {
 	if a.adaptor != nil {
 		a.adaptor.onRoundEnd(a.node.Params().MaxAge)
 	}
+	if a.recovery != nil {
+		outs = append(outs, a.recovery.TakeOutgoing()...)
+	}
 	return outs
 }
 
-// Receive processes an incoming gossip message at time now.
-func (a *AdaptiveNode) Receive(msg *gossip.Message, now time.Time) {
+// Receive processes an incoming gossip message at time now. The
+// returned messages are recovery control traffic (retransmission
+// responses, mainly) that the driver must transmit; it is nil when
+// recovery is disabled.
+func (a *AdaptiveNode) Receive(msg *gossip.Message, now time.Time) []gossip.Outgoing {
 	a.node.Receive(msg)
+	if a.recovery != nil {
+		return a.recovery.TakeOutgoing()
+	}
+	return nil
 }
 
 // SetBufferCapacity resizes the local events buffer at runtime,
@@ -198,6 +224,18 @@ func (a *AdaptiveNode) BufferCapacity() int { return a.node.BufferCapacity() }
 
 // GossipStats returns the substrate's counters.
 func (a *AdaptiveNode) GossipStats() gossip.NodeStats { return a.node.Stats() }
+
+// RecoveryEnabled reports whether the anti-entropy subsystem is active.
+func (a *AdaptiveNode) RecoveryEnabled() bool { return a.recovery != nil }
+
+// RecoveryStats returns the anti-entropy counters (zero when recovery
+// is disabled).
+func (a *AdaptiveNode) RecoveryStats() recovery.Stats {
+	if a.recovery == nil {
+		return recovery.Stats{}
+	}
+	return a.recovery.Stats()
+}
 
 // Stats returns the adaptation counters.
 func (a *AdaptiveNode) Stats() AdaptiveStats {

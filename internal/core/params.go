@@ -5,9 +5,9 @@ import (
 	"fmt"
 )
 
-// Default adaptation parameters. Provenance for each choice — including
-// reconstruction of values garbled in the paper's text — is documented
-// in DESIGN.md §3.
+// Default adaptation parameters, reconstructed from paper §3.3–§3.4
+// (including values garbled in the paper's text) and calibrated against
+// the regenerated figures.
 const (
 	// DefaultCriticalAge is the measured critical age ta of our system:
 	// the average age of dropped messages at the maximum rate that still
@@ -24,7 +24,7 @@ const (
 	// age: ta guarantees 95% *mean* coverage, but the atomicity target
 	// (each message to >95% of members) needs margin, so the neutral
 	// zone [tl, th] straddles ta+0.6. Calibrated to reproduce the
-	// paper's ≈87% atomicity at buffer 60 (EXPERIMENTS.md).
+	// paper's ≈87% atomicity at buffer 60.
 	DefaultTargetAge = 6.0 // operating point
 	DefaultLowAge    = 5.6 // tl
 	DefaultHighAge   = 6.6 // th
@@ -89,7 +89,6 @@ type Params struct {
 	// OptimisticDrift controls recovery from a frozen congestion
 	// signal: in rounds with no overflow samples, avgAge drifts toward
 	// the age bound so an idle system does not stay throttled forever.
-	// DESIGN.md §6 motivates this choice.
 	OptimisticDrift bool
 	// DisableTokenCheck removes the avgTokens conditions (ablation A2).
 	DisableTokenCheck bool
@@ -104,7 +103,7 @@ type Params struct {
 }
 
 // DefaultParams returns the configuration reconstructed from paper
-// §3.4; see DESIGN.md §3 for provenance.
+// §3.4.
 func DefaultParams() Params {
 	return Params{
 		SamplePeriodRounds: DefaultSamplePeriodRounds,

@@ -10,8 +10,8 @@ import (
 	"adaptivegossip/internal/workload"
 )
 
-// AblationRow is one measurement of an ablation study (DESIGN.md §4,
-// A1–A4): the design-choice knobs the paper argues for in §3.3–§3.4.
+// AblationRow is one measurement of an ablation study (A1–A4): the
+// design-choice knobs the paper argues for in §3.3–§3.4.
 type AblationRow struct {
 	Study   string
 	Variant string
@@ -206,7 +206,7 @@ func RunAblations(base Config, seeds int) ([]AblationRow, error) {
 
 // RenderAblations prints the ablation battery.
 func RenderAblations(w io.Writer, rows []AblationRow) {
-	fmt.Fprintln(w, "# Ablations — design-choice studies (DESIGN.md §4)")
+	fmt.Fprintln(w, "# Ablations — design-choice studies")
 	fmt.Fprintln(w, "# study                    variant        allowed(msg/s)  std     atomic(%)  input(msg/s)  note")
 	for _, r := range rows {
 		fmt.Fprintf(w, "%-24s  %-12s  %13.2f  %6.2f  %8.1f  %11.2f  %s\n",

@@ -1,9 +1,9 @@
 // Package experiments regenerates every figure of the paper's
-// evaluation (§2 and §4). Each RunFigureN function sweeps the same
-// parameter axes as the paper and returns rows/series shaped like the
-// published plots; Render methods print them as aligned text tables.
-// The per-experiment index lives in DESIGN.md §4 and the measured
-// outcomes in EXPERIMENTS.md.
+// evaluation (§2 and §4) plus this repository's own studies (the
+// ablations and the anti-entropy loss sweep). Each RunFigureN function
+// sweeps the same parameter axes as the paper and returns rows/series
+// shaped like the published plots; Render methods print them as
+// aligned text tables. cmd/gossipsim is the command-line front end.
 package experiments
 
 import (
@@ -14,6 +14,7 @@ import (
 	"adaptivegossip/internal/gossip"
 	"adaptivegossip/internal/membership"
 	"adaptivegossip/internal/metrics"
+	"adaptivegossip/internal/recovery"
 	"adaptivegossip/internal/sim"
 	"adaptivegossip/internal/workload"
 )
@@ -63,6 +64,14 @@ type Config struct {
 	LatencyMax time.Duration
 	// Loss is the iid message loss probability.
 	Loss float64
+	// Recovery enables the digest-based anti-entropy pull-repair
+	// subsystem (internal/recovery) at every node.
+	Recovery bool
+	// RecoveryDigestLen overrides the digest length (0 = default).
+	RecoveryDigestLen int
+	// RecoveryBudget overrides the per-round request budget (0 =
+	// default).
+	RecoveryBudget int
 	// Resizes is the buffer-resize schedule (offsets relative to run
 	// start, i.e. before the warmup window ends or after — caller's
 	// choice).
@@ -125,6 +134,15 @@ func (c Config) withDefaults() Config {
 		c.Core = DefaultExperimentCore(c.OfferedRate / float64(c.Senders))
 	}
 	return c
+}
+
+// recoveryParams maps the experiment knobs onto the subsystem's config.
+func (c Config) recoveryParams() recovery.Params {
+	return recovery.Params{
+		Enabled:       c.Recovery,
+		DigestLen:     c.RecoveryDigestLen,
+		RequestBudget: c.RecoveryBudget,
+	}
 }
 
 // Validate reports the first configuration error.
@@ -191,6 +209,11 @@ type RunResult struct {
 	// MinBuffFinal is the minimum over nodes of the final minBuff
 	// estimate (adaptive only) — convergence diagnostic.
 	MinBuffFinal int
+	// Recovery aggregates the anti-entropy counters across all nodes
+	// (zero when the subsystem is disabled).
+	Recovery metrics.RecoverySummary
+	// Network counts fabric traffic by kind (simulation runs only).
+	Network sim.NetworkStats
 }
 
 // Run executes one simulated experiment.
@@ -253,6 +276,7 @@ func Run(cfg Config) (RunResult, error) {
 			Gossip:   gp,
 			Adaptive: cfg.Adaptive,
 			Core:     cfg.Core,
+			Recovery: cfg.recoveryParams(),
 			Peers:    registry,
 			RNG:      sim.DeriveRNG(cfg.Seed, uint64(i)+1),
 			Deliver: func(ev gossip.Event) {
@@ -264,8 +288,8 @@ func Run(cfg Config) (RunResult, error) {
 			return RunResult{}, err
 		}
 		nodes[i] = node
-		network.Attach(name, func(m *gossip.Message) {
-			node.Receive(m, sched.Now())
+		network.AttachNode(name, func(m *gossip.Message) []gossip.Outgoing {
+			return node.Receive(m, sched.Now())
 		})
 	}
 
@@ -424,6 +448,12 @@ func Run(cfg Config) (RunResult, error) {
 			}
 		}
 	}
+	if cfg.Recovery {
+		for _, n := range nodes {
+			res.Recovery.Add(n.RecoveryStats())
+		}
+	}
+	res.Network = network.Stats()
 	res.AtomicitySeries = tracker.Series(epoch, end, cfg.Bucket, metrics.DefaultAtomicityThreshold)
 	return res, nil
 }
@@ -438,7 +468,9 @@ func scaleGauge(points []metrics.GaugePoint, factor float64) []metrics.GaugePoin
 }
 
 // RunSeeds runs cfg with consecutive seeds and averages the scalar
-// results (series come from the first seed).
+// results. Series come from the first seed; the recovery and network
+// counter blocks are pooled (summed) across seeds, so ratios derived
+// from them are pooled estimates.
 func RunSeeds(cfg Config, seeds int) (RunResult, error) {
 	if seeds <= 0 {
 		seeds = 1
@@ -463,6 +495,8 @@ func RunSeeds(cfg Config, seeds int) (RunResult, error) {
 		agg.AtomicRate += res.AtomicRate
 		agg.AvgDroppedAge += res.AvgDroppedAge
 		agg.AllowedRate += res.AllowedRate
+		agg.Recovery.Merge(res.Recovery)
+		agg.Network.Merge(res.Network)
 	}
 	k := float64(seeds)
 	agg.Summary.Messages /= seeds

@@ -1,0 +1,102 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+)
+
+// RecoveryRow is one loss-rate point of the anti-entropy experiment:
+// the same workload run twice, with the recovery subsystem off and on.
+type RecoveryRow struct {
+	Loss float64 // iid message loss probability
+	// Delivery ratio (mean % of members reached per message).
+	OffCoveragePct float64
+	OnCoveragePct  float64
+	// Atomicity (messages reaching >95% of members).
+	OffAtomicityPct float64
+	OnAtomicityPct  float64
+	// Recovery activity in the on-run.
+	EventsRecovered uint64
+	IDsRequested    uint64
+	ServeRatio      float64
+	// OverheadPct is the on-run's recovery control traffic (requests +
+	// responses) as a percentage of its push-gossip messages.
+	OverheadPct float64
+}
+
+// DefaultRecoveryConfig stresses base so that pure push gossip actually
+// loses events under iid loss: the buffer is sized well below one
+// round's event births, so each event's push window is only a couple of
+// rounds and a lost transmission is frequently the event's last chance.
+// This is the regime the recovery subsystem exists for — with the
+// paper's roomy defaults, gossip redundancy alone absorbs 20% loss and
+// both curves sit at 100%.
+func DefaultRecoveryConfig(base Config) Config {
+	cfg := base
+	cfg.Adaptive = false // isolate the repair mechanism from rate adaptation
+	// Buffer ≈ one round of event births: each event is pushed for
+	// about one round before capacity eviction ends its window, the
+	// knee of the reliability curve (paper Figure 4).
+	if births := int(cfg.OfferedRate * cfg.Period.Seconds()); births > 0 {
+		cfg.Buffer = births
+	}
+	cfg.MaxAge = 8
+	// Digest and budget sized to the per-round event volume so repair
+	// keeps up with loss at the sweep's upper end.
+	cfg.RecoveryDigestLen = 256
+	cfg.RecoveryBudget = 128
+	return cfg
+}
+
+// RunRecovery sweeps the loss rate and measures delivery with the
+// anti-entropy subsystem disabled and enabled. Everything else —
+// workload, seeds, membership — is identical between the paired runs.
+func RunRecovery(base Config, losses []float64, seeds int) ([]RecoveryRow, error) {
+	rows := make([]RecoveryRow, 0, len(losses))
+	for _, loss := range losses {
+		cfg := base
+		cfg.Loss = loss
+
+		off := cfg
+		off.Recovery = false
+		offRes, err := RunSeeds(off, seeds)
+		if err != nil {
+			return nil, fmt.Errorf("recovery experiment loss %v (off): %w", loss, err)
+		}
+
+		on := cfg
+		on.Recovery = true
+		onRes, err := RunSeeds(on, seeds)
+		if err != nil {
+			return nil, fmt.Errorf("recovery experiment loss %v (on): %w", loss, err)
+		}
+
+		row := RecoveryRow{
+			Loss:            loss,
+			OffCoveragePct:  offRes.Summary.MeanReceiversPct,
+			OnCoveragePct:   onRes.Summary.MeanReceiversPct,
+			OffAtomicityPct: offRes.Summary.AtomicityPct,
+			OnAtomicityPct:  onRes.Summary.AtomicityPct,
+			EventsRecovered: onRes.Recovery.EventsRecovered,
+			IDsRequested:    onRes.Recovery.IDsRequested,
+			ServeRatio:      onRes.Recovery.ServeRatio(),
+		}
+		if g := onRes.Network.GossipSent; g > 0 {
+			ctrl := onRes.Network.RecoveryRequestSent + onRes.Network.RecoveryResponseSent
+			row.OverheadPct = 100 * float64(ctrl) / float64(g)
+		}
+		rows = append(rows, row)
+	}
+	return rows, nil
+}
+
+// RenderRecovery prints the loss-sweep table.
+func RenderRecovery(w io.Writer, rows []RecoveryRow) {
+	fmt.Fprintln(w, "# Recovery — Delivery ratio vs loss rate, anti-entropy off/on")
+	fmt.Fprintln(w, "# loss(%)  coverage-off(%)  coverage-on(%)  atomic-off(%)  atomic-on(%)  recovered  requested  served(%)  overhead(%)")
+	for _, r := range rows {
+		fmt.Fprintf(w, "%8.1f  %15.2f  %14.2f  %13.1f  %12.1f  %9d  %9d  %9.1f  %11.2f\n",
+			100*r.Loss, r.OffCoveragePct, r.OnCoveragePct, r.OffAtomicityPct, r.OnAtomicityPct,
+			r.EventsRecovered, r.IDsRequested, 100*r.ServeRatio, r.OverheadPct)
+	}
+}

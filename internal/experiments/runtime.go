@@ -21,7 +21,7 @@ import (
 // implementation" half of the paper's evaluation. All durations in cfg
 // are wall-clock here, so callers scale the paper's 5-second period
 // down (e.g. to 50ms) to keep runs short; the protocol depends on
-// rounds, not on wall seconds (DESIGN.md §2).
+// rounds, not on wall seconds.
 func RunRuntime(cfg Config) (RunResult, error) {
 	cfg = cfg.withDefaults()
 	if err := cfg.Validate(); err != nil {
@@ -68,6 +68,7 @@ func RunRuntime(cfg Config) (RunResult, error) {
 			Gossip:   gp,
 			Adaptive: cfg.Adaptive,
 			Core:     cfg.Core,
+			Recovery: cfg.recoveryParams(),
 			Peers:    registry,
 			RNG:      rand.New(rand.NewPCG(uint64(cfg.Seed), uint64(i)+1)),
 			Deliver: func(ev gossip.Event) {
@@ -228,6 +229,11 @@ func RunRuntime(cfg Config) (RunResult, error) {
 			if mb := r.Snapshot().MinBuff; mb < res.MinBuffFinal {
 				res.MinBuffFinal = mb
 			}
+		}
+	}
+	if cfg.Recovery {
+		for _, r := range runners {
+			res.Recovery.Add(r.Snapshot().Recovery)
 		}
 	}
 	res.AtomicitySeries = tracker.Series(epoch, end, cfg.Bucket, metrics.DefaultAtomicityThreshold)

@@ -87,11 +87,16 @@ func (c *IDCache) SetCapacity(capacity int) error {
 	return nil
 }
 
-// oldest returns the identifiers from oldest to newest. Test helper.
-func (c *IDCache) oldest() []EventID {
+// IDs returns the remembered identifiers from oldest to newest. The
+// recovery subsystem builds its gossip digests from a small IDCache via
+// this accessor.
+func (c *IDCache) IDs() []EventID {
 	out := make([]EventID, 0, c.size)
 	for i := 0; i < c.size; i++ {
 		out = append(out, c.ring[(c.head+i)%c.capacity])
 	}
 	return out
 }
+
+// oldest returns the identifiers from oldest to newest. Test helper.
+func (c *IDCache) oldest() []EventID { return c.IDs() }

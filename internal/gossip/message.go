@@ -1,5 +1,38 @@
 package gossip
 
+import "fmt"
+
+// MessageKind discriminates the message types on the wire. The zero
+// value is a regular gossip exchange; the recovery kinds carry the
+// anti-entropy pull-repair traffic (internal/recovery).
+type MessageKind uint8
+
+const (
+	// KindGossip is a regular push-gossip round message (Figure 1),
+	// optionally piggybacking a recovery digest.
+	KindGossip MessageKind = iota
+	// KindRecoveryRequest asks the receiver to retransmit the events
+	// listed in Request.
+	KindRecoveryRequest
+	// KindRecoveryResponse carries retransmitted events answering a
+	// request; Events holds the payloads.
+	KindRecoveryResponse
+)
+
+// String returns a short kind name.
+func (k MessageKind) String() string {
+	switch k {
+	case KindGossip:
+		return "gossip"
+	case KindRecoveryRequest:
+		return "recovery-request"
+	case KindRecoveryResponse:
+		return "recovery-response"
+	default:
+		return fmt.Sprintf("MessageKind(%d)", uint8(k))
+	}
+}
+
 // Message is one gossip exchange: the sender's buffered events plus the
 // small control headers that ride along with them. Per the paper, the
 // adaptation mechanism adds no messages of its own — the SamplePeriod
@@ -11,6 +44,9 @@ package gossip
 // targets; receivers copy event values into their own buffers and must
 // not mutate the message.
 type Message struct {
+	// Kind discriminates gossip from recovery control traffic. The zero
+	// value is a regular gossip message.
+	Kind MessageKind
 	// From is the sending node.
 	From NodeID
 	// Group tags the broadcast group (topic) this gossip belongs to.
@@ -42,6 +78,14 @@ type Message struct {
 	// (subscriptions and unsubscriptions) on data gossip.
 	Subs   []NodeID
 	Unsubs []NodeID
+
+	// Digest piggybacks the identifiers of events the sender has seen
+	// recently and can retransmit — the anti-entropy advertisement
+	// (internal/recovery). Empty when recovery is disabled.
+	Digest []EventID
+	// Request lists the event identifiers a KindRecoveryRequest asks
+	// the receiver to retransmit.
+	Request []EventID
 }
 
 // BuffCap is one (node, buffer capacity) observation, the unit of the
@@ -65,5 +109,7 @@ func (m *Message) Clone() *Message {
 	c.KMin = append([]BuffCap(nil), m.KMin...)
 	c.Subs = append([]NodeID(nil), m.Subs...)
 	c.Unsubs = append([]NodeID(nil), m.Unsubs...)
+	c.Digest = append([]EventID(nil), m.Digest...)
+	c.Request = append([]EventID(nil), m.Request...)
 	return &c
 }

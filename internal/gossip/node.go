@@ -176,6 +176,12 @@ func (n *Node) Round() uint64 { return n.round }
 // Stats returns a copy of the activity counters.
 func (n *Node) Stats() NodeStats { return n.stats }
 
+// Seen reports whether the event identifier is in the eventIds
+// duplicate-suppression set — i.e. the node has delivered (or
+// originated) the event within the cache's memory horizon. The recovery
+// subsystem diffs incoming digests against this set.
+func (n *Node) Seen(id EventID) bool { return n.seen.Contains(id) }
+
 // BufferLen reports the current number of buffered events.
 func (n *Node) BufferLen() int { return n.buf.Len() }
 

@@ -8,7 +8,7 @@ import (
 
 // Default protocol parameters. Fanout, period and the 60-node group size
 // come from the paper's experimental settings (§4); MaxAge and the
-// eventIds sizing are reconstructed in DESIGN.md §3.
+// eventIds sizing are reconstructed from the paper's constraints.
 const (
 	DefaultFanout      = 4
 	DefaultPeriod      = 5 * time.Second

@@ -1,0 +1,46 @@
+package metrics
+
+import (
+	"testing"
+
+	"adaptivegossip/internal/recovery"
+)
+
+func TestRecoverySummaryAdd(t *testing.T) {
+	var s RecoverySummary
+	s.Add(recovery.Stats{EventsRecovered: 5, IDsRequested: 8, EventsServed: 3, EventsUnserved: 1})
+	s.Add(recovery.Stats{EventsRecovered: 2, IDsRequested: 4, EventsServed: 6})
+	s.Add(recovery.Stats{EventsRecovered: 9, RequestsSent: 1, DigestsSent: 7})
+
+	if s.Nodes != 3 {
+		t.Errorf("Nodes = %d, want 3", s.Nodes)
+	}
+	if s.EventsRecovered != 16 {
+		t.Errorf("EventsRecovered = %d, want 16", s.EventsRecovered)
+	}
+	if s.IDsRequested != 12 {
+		t.Errorf("IDsRequested = %d, want 12", s.IDsRequested)
+	}
+	if s.MinRecovered != 2 || s.MaxRecovered != 9 {
+		t.Errorf("recovered spread = [%d, %d], want [2, 9]", s.MinRecovered, s.MaxRecovered)
+	}
+	if got, want := s.ServeRatio(), 9.0/10.0; got != want {
+		t.Errorf("ServeRatio = %v, want %v", got, want)
+	}
+}
+
+func TestRecoverySummaryServeRatioEmpty(t *testing.T) {
+	var s RecoverySummary
+	if got := s.ServeRatio(); got != 1 {
+		t.Errorf("empty ServeRatio = %v, want 1", got)
+	}
+}
+
+func TestRecoverySummaryMinTracksFirstNode(t *testing.T) {
+	var s RecoverySummary
+	s.Add(recovery.Stats{EventsRecovered: 0})
+	s.Add(recovery.Stats{EventsRecovered: 10})
+	if s.MinRecovered != 0 || s.MaxRecovered != 10 {
+		t.Errorf("spread = [%d, %d], want [0, 10]", s.MinRecovered, s.MaxRecovered)
+	}
+}

@@ -208,6 +208,12 @@ func (p *Peer) Tick(now time.Time) []gossip.Outgoing {
 
 // Receive routes an incoming gossip message to its topic's node.
 // Messages for topics the peer no longer subscribes to are dropped.
+//
+// Anti-entropy recovery is not wired into the pub/sub layer:
+// PeerConfig offers no recovery knob, so the per-topic nodes never
+// produce control traffic and the discarded Receive return is always
+// nil. Wiring recovery here would require forwarding that return (and
+// Group-tagging the distinct request messages Tick would emit).
 func (p *Peer) Receive(msg *gossip.Message, now time.Time) {
 	node, ok := p.topics[Topic(msg.Group)]
 	if !ok {

@@ -1,0 +1,483 @@
+// Package recovery implements digest-based anti-entropy pull repair on
+// top of the push-gossip substrate (internal/gossip).
+//
+// Pure push gossip loses events for good when every copy of a
+// transmission window is dropped — the iid-loss and partition scenarios
+// internal/sim models. The adaptation mechanism of the paper can only
+// slow senders down; it cannot repair. Push-pull hybrids close exactly
+// this gap with low overhead (Haeupler, "Simple, Fast and Deterministic
+// Gossip and Rumor Spreading"): each gossip round piggybacks a compact
+// digest of recently-seen event identifiers, receivers diff the digest
+// against their own delivered set and pull the missing events from the
+// digest's sender, and senders serve retransmissions from a bounded,
+// age-GC'd store that outlives the events buffer.
+//
+// The Engine is a gossip.Extension plus a queue of outgoing control
+// messages (requests and responses). Drivers must drain the queue —
+// core.AdaptiveNode does this from Tick and Receive — and transmit the
+// returned messages; the engine itself never touches a transport.
+//
+// Like the rest of the protocol stack, an Engine is single-threaded:
+// the owning driver serializes all hook and drain calls. All internal
+// iteration is in deterministic order so simulation runs stay
+// reproducible under a seeded RNG.
+package recovery
+
+import (
+	"fmt"
+
+	"adaptivegossip/internal/gossip"
+)
+
+// Defaults for Params. DigestLen and RequestBudget bound the per-round
+// wire overhead; RetainRounds and StoreCapacity bound the repair
+// memory.
+const (
+	DefaultDigestLen     = 128
+	DefaultRequestBudget = 64
+	DefaultRetainRounds  = 30
+	DefaultStoreCapacity = 1024
+	DefaultRetryRounds   = 2
+	DefaultGiveUpRounds  = 20
+	DefaultMaxMissing    = 512
+)
+
+// Params configures the recovery engine. The zero value of every field
+// except Enabled means "use the default".
+type Params struct {
+	// Enabled turns the subsystem on. A disabled engine is never built;
+	// the flag exists so configurations can carry recovery settings
+	// alongside the protocol's.
+	Enabled bool
+	// DigestLen is the number of recently-seen event identifiers
+	// advertised in each outgoing gossip message.
+	DigestLen int
+	// RequestBudget caps the missing identifiers requested per round
+	// across all targets — the pull bandwidth bound.
+	RequestBudget int
+	// RetainRounds is the retransmission store's GC horizon: events
+	// observed more than this many rounds ago are dropped.
+	RetainRounds int
+	// StoreCapacity bounds the retransmission store (events). When
+	// full, the oldest stored event is evicted.
+	StoreCapacity int
+	// RetryRounds is the number of rounds to wait for a response before
+	// re-requesting a missing event from its latest advertiser.
+	RetryRounds int
+	// GiveUpRounds bounds how long a missing event is chased; beyond
+	// it the identifier is dropped from the missing set.
+	GiveUpRounds int
+	// MaxMissing bounds the missing-event tracking set.
+	MaxMissing int
+}
+
+// withDefaults fills zero-valued fields.
+func (p Params) withDefaults() Params {
+	if p.DigestLen == 0 {
+		p.DigestLen = DefaultDigestLen
+	}
+	if p.RequestBudget == 0 {
+		p.RequestBudget = DefaultRequestBudget
+	}
+	if p.RetainRounds == 0 {
+		p.RetainRounds = DefaultRetainRounds
+	}
+	if p.StoreCapacity == 0 {
+		p.StoreCapacity = DefaultStoreCapacity
+	}
+	if p.RetryRounds == 0 {
+		p.RetryRounds = DefaultRetryRounds
+	}
+	if p.GiveUpRounds == 0 {
+		p.GiveUpRounds = DefaultGiveUpRounds
+	}
+	if p.MaxMissing == 0 {
+		p.MaxMissing = DefaultMaxMissing
+	}
+	return p
+}
+
+// Validate reports the first configuration error.
+func (p Params) Validate() error {
+	p = p.withDefaults()
+	if p.DigestLen < 0 {
+		return fmt.Errorf("recovery: digest length must be non-negative, got %d", p.DigestLen)
+	}
+	if p.RequestBudget < 0 {
+		return fmt.Errorf("recovery: request budget must be non-negative, got %d", p.RequestBudget)
+	}
+	if p.RetainRounds < 0 || p.StoreCapacity < 0 || p.RetryRounds < 0 ||
+		p.GiveUpRounds < 0 || p.MaxMissing < 0 {
+		return fmt.Errorf("recovery: bounds must be non-negative")
+	}
+	return nil
+}
+
+// Stats counts recovery activity since the engine was created.
+type Stats struct {
+	DigestsSent       uint64 // digests piggybacked on outgoing gossip (one per tick)
+	DigestsReceived   uint64 // gossip messages carrying a digest
+	RequestsSent      uint64 // request messages emitted
+	IDsRequested      uint64 // identifiers requested (≤ budget per round)
+	RequestsReceived  uint64 // request messages handled
+	ResponsesSent     uint64 // response messages emitted
+	ResponsesReceived uint64 // response messages handled
+	EventsServed      uint64 // events retransmitted to requesters
+	EventsUnserved    uint64 // requested identifiers not in the store
+	EventsRecovered   uint64 // tracked-missing events obtained via responses
+	MissingGaveUp     uint64 // missing identifiers dropped after GiveUpRounds
+	MissingOverflow   uint64 // advertisements ignored because MaxMissing was hit
+	StoreEvicted      uint64 // store evictions (capacity and GC)
+}
+
+// storeEntry pairs a retained event with the round it was observed.
+type storeEntry struct {
+	ev    gossip.Event
+	round uint64
+}
+
+// store is the bounded retransmission store: a FIFO over observation
+// order with capacity- and age-based eviction. Re-observing a stored
+// event is a no-op, so the FIFO order is also round order.
+type store struct {
+	capacity int
+	entries  map[gossip.EventID]gossip.Event
+	order    []storeEntry
+	head     int // index of the oldest live entry in order
+}
+
+func newStore(capacity int) *store {
+	return &store{
+		capacity: capacity,
+		entries:  make(map[gossip.EventID]gossip.Event, capacity),
+	}
+}
+
+func (s *store) len() int { return len(s.entries) }
+
+// add retains ev, evicting the oldest entry when full. It reports
+// whether the event was new and how many entries were evicted.
+func (s *store) add(ev gossip.Event, round uint64) (added bool, evicted int) {
+	if s.capacity <= 0 {
+		return false, 0
+	}
+	if _, ok := s.entries[ev.ID]; ok {
+		return false, 0
+	}
+	for len(s.entries) >= s.capacity {
+		s.popOldest()
+		evicted++
+	}
+	s.entries[ev.ID] = ev
+	s.order = append(s.order, storeEntry{ev: ev, round: round})
+	return true, evicted
+}
+
+func (s *store) get(id gossip.EventID) (gossip.Event, bool) {
+	ev, ok := s.entries[id]
+	return ev, ok
+}
+
+// popOldest removes the oldest live entry.
+func (s *store) popOldest() {
+	for s.head < len(s.order) {
+		e := s.order[s.head]
+		s.head++
+		if _, ok := s.entries[e.ev.ID]; ok {
+			delete(s.entries, e.ev.ID)
+			break
+		}
+	}
+	s.compact()
+}
+
+// gc drops entries observed more than retain rounds before now.
+func (s *store) gc(now uint64, retain int) (evicted int) {
+	for s.head < len(s.order) {
+		e := s.order[s.head]
+		if e.round+uint64(retain) >= now {
+			break
+		}
+		s.head++
+		if _, ok := s.entries[e.ev.ID]; ok {
+			delete(s.entries, e.ev.ID)
+			evicted++
+		}
+	}
+	s.compact()
+	return evicted
+}
+
+// compact reclaims the consumed prefix of order once it dominates.
+func (s *store) compact() {
+	if s.head > len(s.order)/2 && s.head > 32 {
+		s.order = append(s.order[:0], s.order[s.head:]...)
+		s.head = 0
+	}
+}
+
+// missingEntry tracks one event known to exist but not yet delivered.
+type missingEntry struct {
+	source     gossip.NodeID // latest advertiser, the pull target
+	firstRound uint64        // round the id was first advertised to us
+	lastReq    uint64        // round of the last request, 0 = never
+}
+
+// Engine is the per-node anti-entropy state machine. It implements
+// gossip.Extension (digest piggybacking, digest diffing, store
+// maintenance) and queues the control messages drivers must send.
+type Engine struct {
+	params Params
+	digest *gossip.IDCache // recently-seen ids, digest source
+	store  *store
+	round  uint64
+
+	missing   map[gossip.EventID]*missingEntry
+	missOrder []gossip.EventID // FIFO of advertisement order; may hold stale ids
+
+	pending []gossip.Outgoing
+	stats   Stats
+}
+
+// NewEngine builds an engine from params (defaults applied).
+func NewEngine(params Params) (*Engine, error) {
+	params = params.withDefaults()
+	if err := params.Validate(); err != nil {
+		return nil, err
+	}
+	digest, err := gossip.NewIDCache(params.DigestLen)
+	if err != nil {
+		return nil, fmt.Errorf("recovery: %w", err)
+	}
+	return &Engine{
+		params:  params,
+		digest:  digest,
+		store:   newStore(params.StoreCapacity),
+		missing: make(map[gossip.EventID]*missingEntry),
+	}, nil
+}
+
+// Params returns the engine's effective parameters.
+func (e *Engine) Params() Params { return e.params }
+
+// Stats returns a copy of the activity counters.
+func (e *Engine) Stats() Stats { return e.stats }
+
+// StoreLen reports the number of retained events.
+func (e *Engine) StoreLen() int { return e.store.len() }
+
+// MissingLen reports the number of tracked missing events.
+func (e *Engine) MissingLen() int { return len(e.missing) }
+
+// observe retains an event for retransmission and records its id in
+// the digest source.
+func (e *Engine) observe(ev gossip.Event) {
+	_, evicted := e.store.add(ev, e.round)
+	e.stats.StoreEvicted += uint64(evicted)
+	e.digest.Add(ev.ID)
+}
+
+// OnTick advances the engine round, GCs the store, piggybacks the
+// digest on the outgoing gossip message and queues this round's pull
+// requests (subject to RequestBudget).
+func (e *Engine) OnTick(n *gossip.Node, out *gossip.Message) {
+	e.round++
+	e.stats.StoreEvicted += uint64(e.store.gc(e.round, e.params.RetainRounds))
+	// The buffer snapshot passes through here every round, which is how
+	// locally-broadcast events (no OnReceive hook) enter the store.
+	for _, ev := range out.Events {
+		e.observe(ev)
+	}
+	if ids := e.digest.IDs(); len(ids) > 0 {
+		out.Digest = ids
+		e.stats.DigestsSent++
+	}
+	e.buildRequests(n)
+}
+
+// OnReceive handles the three message kinds: gossip (store events,
+// diff the digest), requests (queue a response from the store) and
+// responses (settle the missing set; the events themselves were
+// already delivered by the node's normal receive path).
+func (e *Engine) OnReceive(n *gossip.Node, in *gossip.Message) {
+	switch in.Kind {
+	case gossip.KindGossip:
+		for _, ev := range in.Events {
+			e.observe(ev)
+		}
+		if len(in.Digest) > 0 {
+			e.stats.DigestsReceived++
+			e.diffDigest(n, in.From, in.Digest)
+		}
+	case gossip.KindRecoveryRequest:
+		e.stats.RequestsReceived++
+		e.serveRequest(n, in)
+	case gossip.KindRecoveryResponse:
+		e.stats.ResponsesReceived++
+		for _, ev := range in.Events {
+			if _, tracked := e.missing[ev.ID]; tracked {
+				delete(e.missing, ev.ID)
+				e.stats.EventsRecovered++
+			}
+			e.observe(ev)
+		}
+	}
+}
+
+// OnEvicted retains buffer eviction victims: an event pushed out of the
+// events buffer is exactly the kind of event that may still need to be
+// served to a peer that lost every push copy.
+func (e *Engine) OnEvicted(n *gossip.Node, evicted []gossip.Event, reason gossip.EvictReason) {
+	for _, ev := range evicted {
+		e.observe(ev)
+	}
+}
+
+// diffDigest records advertised ids the node has not seen.
+func (e *Engine) diffDigest(n *gossip.Node, from gossip.NodeID, digest []gossip.EventID) {
+	for _, id := range digest {
+		if n.Seen(id) {
+			continue
+		}
+		if m, ok := e.missing[id]; ok {
+			m.source = from // prefer the freshest advertiser
+			continue
+		}
+		if len(e.missing) >= e.params.MaxMissing {
+			e.stats.MissingOverflow++
+			continue
+		}
+		e.missing[id] = &missingEntry{source: from, firstRound: e.round}
+		e.missOrder = append(e.missOrder, id)
+	}
+}
+
+// serveRequest answers a retransmission request from the store.
+func (e *Engine) serveRequest(n *gossip.Node, in *gossip.Message) {
+	var events []gossip.Event
+	for _, id := range in.Request {
+		ev, ok := e.store.get(id)
+		if !ok {
+			e.stats.EventsUnserved++
+			continue
+		}
+		events = append(events, ev)
+	}
+	if len(events) == 0 {
+		return
+	}
+	e.stats.ResponsesSent++
+	e.stats.EventsServed += uint64(len(events))
+	e.pending = append(e.pending, gossip.Outgoing{
+		To: in.From,
+		Msg: &gossip.Message{
+			Kind:   gossip.KindRecoveryResponse,
+			From:   n.ID(),
+			Round:  e.round,
+			Events: events,
+		},
+	})
+}
+
+// buildRequests walks the missing set in advertisement order and queues
+// up to RequestBudget identifiers as request messages, batched per
+// target peer. Ids delivered in the meantime are dropped; ids chased
+// longer than GiveUpRounds are abandoned.
+func (e *Engine) buildRequests(n *gossip.Node) {
+	if len(e.missing) == 0 {
+		e.compactMissOrder()
+		return
+	}
+	var (
+		budget   = e.params.RequestBudget
+		targets  []gossip.NodeID
+		batches  = make(map[gossip.NodeID][]gossip.EventID)
+		selected int
+	)
+	for _, id := range e.missOrder {
+		if selected >= budget {
+			break
+		}
+		m, ok := e.missing[id]
+		if !ok {
+			continue // stale order entry: recovered, given up, or re-added later
+		}
+		if m.lastReq == e.round {
+			continue // duplicate order entry already handled this round
+		}
+		if n.Seen(id) {
+			delete(e.missing, id) // arrived through normal push gossip
+			continue
+		}
+		if e.round-m.firstRound >= uint64(e.params.GiveUpRounds) {
+			delete(e.missing, id)
+			e.stats.MissingGaveUp++
+			continue
+		}
+		if m.lastReq != 0 && e.round-m.lastReq < uint64(e.params.RetryRounds) {
+			continue // request outstanding, give the response time to arrive
+		}
+		m.lastReq = e.round
+		if _, known := batches[m.source]; !known {
+			targets = append(targets, m.source)
+		}
+		batches[m.source] = append(batches[m.source], id)
+		selected++
+	}
+	e.compactMissOrder()
+	for _, target := range targets {
+		ids := batches[target]
+		e.stats.RequestsSent++
+		e.stats.IDsRequested += uint64(len(ids))
+		e.pending = append(e.pending, gossip.Outgoing{
+			To: target,
+			Msg: &gossip.Message{
+				Kind:    gossip.KindRecoveryRequest,
+				From:    n.ID(),
+				Round:   e.round,
+				Request: ids,
+			},
+		})
+	}
+}
+
+// compactMissOrder drops stale order entries once they dominate.
+func (e *Engine) compactMissOrder() {
+	if len(e.missOrder) < 64 || len(e.missOrder) < 2*len(e.missing) {
+		return
+	}
+	live := e.missOrder[:0]
+	for _, id := range e.missOrder {
+		if _, ok := e.missing[id]; ok {
+			live = append(live, id)
+		}
+	}
+	e.missOrder = live
+}
+
+// TakeOutgoing drains the queued control messages (requests and
+// responses). Drivers call it after every Tick and Receive and transmit
+// the returned messages.
+func (e *Engine) TakeOutgoing() []gossip.Outgoing {
+	if len(e.pending) == 0 {
+		return nil
+	}
+	out := e.pending
+	e.pending = nil
+	return out
+}
+
+// DiffDigest reports which of the advertised identifiers the node has
+// not seen. It is the read-only core of the receiver-side digest path,
+// exposed for tests and benchmarks.
+func DiffDigest(n *gossip.Node, digest []gossip.EventID) []gossip.EventID {
+	var missing []gossip.EventID
+	for _, id := range digest {
+		if !n.Seen(id) {
+			missing = append(missing, id)
+		}
+	}
+	return missing
+}
+
+var _ gossip.Extension = (*Engine)(nil)

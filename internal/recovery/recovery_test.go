@@ -1,0 +1,341 @@
+package recovery
+
+import (
+	"fmt"
+	"math/rand/v2"
+	"testing"
+	"time"
+
+	"adaptivegossip/internal/gossip"
+	"adaptivegossip/internal/membership"
+)
+
+func newTestNode(t *testing.T, id gossip.NodeID, peers gossip.PeerSampler, eng *Engine) *gossip.Node {
+	t.Helper()
+	n, err := gossip.NewNode(id,
+		gossip.Params{Fanout: 2, Period: time.Second, MaxEvents: 8, MaxAge: 5},
+		peers, rand.New(rand.NewPCG(1, uint64(len(id)))),
+		gossip.WithExtensions(eng))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return n
+}
+
+func newTestEngine(t *testing.T, p Params) *Engine {
+	t.Helper()
+	p.Enabled = true
+	eng, err := NewEngine(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return eng
+}
+
+func TestParamsValidate(t *testing.T) {
+	if err := (Params{}).Validate(); err != nil {
+		t.Errorf("zero params should validate via defaults, got %v", err)
+	}
+	if err := (Params{DigestLen: -1}).Validate(); err == nil {
+		t.Error("negative digest length should fail validation")
+	}
+	if err := (Params{RequestBudget: -2}).Validate(); err == nil {
+		t.Error("negative budget should fail validation")
+	}
+	p := Params{}.withDefaults()
+	if p.DigestLen != DefaultDigestLen || p.RequestBudget != DefaultRequestBudget {
+		t.Errorf("defaults not applied: %+v", p)
+	}
+}
+
+// TestDigestPiggyback: a ticking node with the engine advertises its
+// buffered events in the outgoing digest.
+func TestDigestPiggyback(t *testing.T) {
+	reg := membership.NewRegistry("a", "b")
+	eng := newTestEngine(t, Params{})
+	n := newTestNode(t, "a", reg, eng)
+
+	ev := n.Broadcast([]byte("x"))
+	outs := n.Tick()
+	if len(outs) == 0 {
+		t.Fatal("expected fanout targets")
+	}
+	digest := outs[0].Msg.Digest
+	found := false
+	for _, id := range digest {
+		if id == ev.ID {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("digest %v does not advertise broadcast event %s", digest, ev.ID)
+	}
+	if eng.Stats().DigestsSent != 1 {
+		t.Errorf("DigestsSent = %d, want 1", eng.Stats().DigestsSent)
+	}
+}
+
+// TestPullRepair drives the full request/response exchange by hand:
+// node b learns of an event only via a's digest, pulls it, and a serves
+// it from the store.
+func TestPullRepair(t *testing.T) {
+	reg := membership.NewRegistry("a", "b")
+	engA := newTestEngine(t, Params{})
+	engB := newTestEngine(t, Params{})
+	a := newTestNode(t, "a", reg, engA)
+	b := newTestNode(t, "b", reg, engB)
+
+	ev := a.Broadcast([]byte("lost-event"))
+	outs := a.Tick()
+	if len(outs) == 0 {
+		t.Fatal("expected outgoing gossip")
+	}
+	// Deliver only the digest to b — the event list is "lost".
+	stripped := outs[0].Msg.Clone()
+	stripped.Events = nil
+	b.Receive(stripped)
+	if b.Seen(ev.ID) {
+		t.Fatal("b should not have the event yet")
+	}
+	if engB.MissingLen() != 1 {
+		t.Fatalf("b should track 1 missing event, has %d", engB.MissingLen())
+	}
+
+	// b's next tick emits the pull request.
+	b.Tick()
+	reqs := engB.TakeOutgoing()
+	if len(reqs) != 1 {
+		t.Fatalf("expected 1 request message, got %d", len(reqs))
+	}
+	req := reqs[0]
+	if req.To != "a" || req.Msg.Kind != gossip.KindRecoveryRequest {
+		t.Fatalf("bad request: to=%s kind=%v", req.To, req.Msg.Kind)
+	}
+	if len(req.Msg.Request) != 1 || req.Msg.Request[0] != ev.ID {
+		t.Fatalf("request ids = %v, want [%s]", req.Msg.Request, ev.ID)
+	}
+
+	// a serves the request from its store.
+	a.Receive(req.Msg)
+	resps := engA.TakeOutgoing()
+	if len(resps) != 1 {
+		t.Fatalf("expected 1 response message, got %d", len(resps))
+	}
+	resp := resps[0]
+	if resp.To != "b" || resp.Msg.Kind != gossip.KindRecoveryResponse {
+		t.Fatalf("bad response: to=%s kind=%v", resp.To, resp.Msg.Kind)
+	}
+
+	// b receives the response: the event is delivered and settled.
+	b.Receive(resp.Msg)
+	if !b.Seen(ev.ID) {
+		t.Error("b did not deliver the recovered event")
+	}
+	if engB.MissingLen() != 0 {
+		t.Errorf("missing set should be empty, has %d", engB.MissingLen())
+	}
+	if st := engB.Stats(); st.EventsRecovered != 1 {
+		t.Errorf("EventsRecovered = %d, want 1", st.EventsRecovered)
+	}
+	if st := engA.Stats(); st.EventsServed != 1 || st.RequestsReceived != 1 {
+		t.Errorf("server stats = %+v, want 1 served / 1 request", st)
+	}
+}
+
+// TestRequestBudget bounds the identifiers requested per round.
+func TestRequestBudget(t *testing.T) {
+	reg := membership.NewRegistry("a", "b")
+	eng := newTestEngine(t, Params{RequestBudget: 3, DigestLen: 64})
+	b := newTestNode(t, "b", reg, eng)
+
+	digest := make([]gossip.EventID, 10)
+	for i := range digest {
+		digest[i] = gossip.EventID{Origin: "a", Seq: uint64(i)}
+	}
+	b.Receive(&gossip.Message{From: "a", Digest: digest})
+	b.Tick()
+	outs := eng.TakeOutgoing()
+	total := 0
+	for _, out := range outs {
+		total += len(out.Msg.Request)
+	}
+	if total != 3 {
+		t.Errorf("requested %d ids, want budget 3", total)
+	}
+	if eng.Stats().IDsRequested != 3 {
+		t.Errorf("IDsRequested = %d, want 3", eng.Stats().IDsRequested)
+	}
+}
+
+// TestRetryAndGiveUp: un-answered requests are retried after
+// RetryRounds and abandoned after GiveUpRounds.
+func TestRetryAndGiveUp(t *testing.T) {
+	reg := membership.NewRegistry("a", "b")
+	eng := newTestEngine(t, Params{RetryRounds: 2, GiveUpRounds: 5})
+	b := newTestNode(t, "b", reg, eng)
+
+	id := gossip.EventID{Origin: "a", Seq: 99}
+	b.Receive(&gossip.Message{From: "a", Digest: []gossip.EventID{id}})
+
+	requests := 0
+	for i := 0; i < 10; i++ {
+		b.Tick()
+		for _, out := range eng.TakeOutgoing() {
+			if out.Msg.Kind == gossip.KindRecoveryRequest {
+				requests += len(out.Msg.Request)
+			}
+		}
+	}
+	// Advertised at round 0: rounds 1 and 3 request (retry cadence 2),
+	// round 5 gives up before a third try.
+	if requests != 2 {
+		t.Errorf("sent %d requests, want 2 (retry cadence 2, give up after 5 rounds)", requests)
+	}
+	if eng.MissingLen() != 0 {
+		t.Errorf("missing set should be empty after give-up, has %d", eng.MissingLen())
+	}
+	if eng.Stats().MissingGaveUp != 1 {
+		t.Errorf("MissingGaveUp = %d, want 1", eng.Stats().MissingGaveUp)
+	}
+}
+
+// TestMissingSettledByPush: an event that arrives through normal push
+// gossip before the pull fires is dropped from the missing set without
+// a request.
+func TestMissingSettledByPush(t *testing.T) {
+	reg := membership.NewRegistry("a", "b")
+	eng := newTestEngine(t, Params{})
+	b := newTestNode(t, "b", reg, eng)
+
+	id := gossip.EventID{Origin: "a", Seq: 7}
+	b.Receive(&gossip.Message{From: "a", Digest: []gossip.EventID{id}})
+	// The event arrives via push before b's next tick.
+	b.Receive(&gossip.Message{From: "a", Events: []gossip.Event{{ID: id}}})
+	b.Tick()
+	if outs := eng.TakeOutgoing(); len(outs) != 0 {
+		t.Errorf("expected no requests, got %d messages", len(outs))
+	}
+	if eng.MissingLen() != 0 {
+		t.Errorf("missing set should be empty, has %d", eng.MissingLen())
+	}
+}
+
+// TestStoreServesEvictedEvents: events pushed out of the events buffer
+// remain servable — the repair window outlives the push window.
+func TestStoreServesEvictedEvents(t *testing.T) {
+	reg := membership.NewRegistry("a", "b")
+	eng := newTestEngine(t, Params{StoreCapacity: 64})
+	a := newTestNode(t, "a", reg, eng) // MaxEvents = 8
+
+	first := a.Broadcast([]byte("old"))
+	for i := 0; i < 20; i++ { // overflow the 8-slot buffer
+		a.Broadcast(nil)
+	}
+	if a.BufferLen() > 8 {
+		t.Fatalf("buffer overflowed: %d", a.BufferLen())
+	}
+	a.Receive(&gossip.Message{Kind: gossip.KindRecoveryRequest, From: "b",
+		Request: []gossip.EventID{first.ID}})
+	resps := eng.TakeOutgoing()
+	if len(resps) != 1 || len(resps[0].Msg.Events) != 1 || resps[0].Msg.Events[0].ID != first.ID {
+		t.Fatalf("evicted event not served: %+v", resps)
+	}
+}
+
+// TestStoreGC: events older than RetainRounds are dropped and no longer
+// served.
+func TestStoreGC(t *testing.T) {
+	reg := membership.NewRegistry("a", "b")
+	eng := newTestEngine(t, Params{RetainRounds: 3})
+	a := newTestNode(t, "a", reg, eng)
+
+	ev := a.Broadcast([]byte("x"))
+	for i := 0; i < 12; i++ { // age the event far past RetainRounds + MaxAge
+		a.Tick()
+		eng.TakeOutgoing()
+	}
+	a.Receive(&gossip.Message{Kind: gossip.KindRecoveryRequest, From: "b",
+		Request: []gossip.EventID{ev.ID}})
+	if resps := eng.TakeOutgoing(); len(resps) != 0 {
+		t.Errorf("GC'd event should not be served, got %d responses", len(resps))
+	}
+	if eng.Stats().EventsUnserved != 1 {
+		t.Errorf("EventsUnserved = %d, want 1", eng.Stats().EventsUnserved)
+	}
+}
+
+// TestStoreCapacityBound: the store never exceeds its capacity.
+func TestStoreCapacityBound(t *testing.T) {
+	s := newStore(4)
+	for i := 0; i < 100; i++ {
+		s.add(gossip.Event{ID: gossip.EventID{Origin: "a", Seq: uint64(i)}}, uint64(i))
+		if s.len() > 4 {
+			t.Fatalf("store grew to %d, capacity 4", s.len())
+		}
+	}
+	// The newest 4 survive.
+	for i := 96; i < 100; i++ {
+		if _, ok := s.get(gossip.EventID{Origin: "a", Seq: uint64(i)}); !ok {
+			t.Errorf("newest event %d missing from store", i)
+		}
+	}
+}
+
+// TestMaxMissingBound: advertisement flooding cannot grow the missing
+// set beyond MaxMissing.
+func TestMaxMissingBound(t *testing.T) {
+	reg := membership.NewRegistry("a", "b")
+	eng := newTestEngine(t, Params{MaxMissing: 5})
+	b := newTestNode(t, "b", reg, eng)
+
+	digest := make([]gossip.EventID, 50)
+	for i := range digest {
+		digest[i] = gossip.EventID{Origin: "a", Seq: uint64(i)}
+	}
+	b.Receive(&gossip.Message{From: "a", Digest: digest})
+	if eng.MissingLen() != 5 {
+		t.Errorf("missing set = %d, want MaxMissing 5", eng.MissingLen())
+	}
+	if eng.Stats().MissingOverflow != 45 {
+		t.Errorf("MissingOverflow = %d, want 45", eng.Stats().MissingOverflow)
+	}
+}
+
+// TestDeterministicRequests: identical advertisement sequences produce
+// identical request batches (map iteration must not leak in).
+func TestDeterministicRequests(t *testing.T) {
+	run := func() string {
+		reg := membership.NewRegistry("a", "b", "c", "x")
+		eng := newTestEngine(t, Params{RequestBudget: 8})
+		x := newTestNode(t, "x", reg, eng)
+		for round := 0; round < 4; round++ {
+			for _, from := range []gossip.NodeID{"a", "b", "c"} {
+				digest := make([]gossip.EventID, 6)
+				for i := range digest {
+					digest[i] = gossip.EventID{Origin: from, Seq: uint64(round*6 + i)}
+				}
+				x.Receive(&gossip.Message{From: from, Digest: digest})
+			}
+			x.Tick()
+		}
+		var trace string
+		for _, out := range eng.TakeOutgoing() {
+			trace += fmt.Sprintf("%s:%v;", out.To, out.Msg.Request)
+		}
+		return trace
+	}
+	if a, b := run(), run(); a != b {
+		t.Errorf("request building not deterministic:\n  %s\n  %s", a, b)
+	}
+}
+
+func TestDiffDigest(t *testing.T) {
+	reg := membership.NewRegistry("a", "b")
+	n := newTestNode(t, "a", reg, newTestEngine(t, Params{}))
+	have := n.Broadcast(nil)
+	want := gossip.EventID{Origin: "b", Seq: 1}
+	missing := DiffDigest(n, []gossip.EventID{have.ID, want})
+	if len(missing) != 1 || missing[0] != want {
+		t.Errorf("DiffDigest = %v, want [%v]", missing, want)
+	}
+}

@@ -15,6 +15,7 @@ import (
 
 	"adaptivegossip/internal/core"
 	"adaptivegossip/internal/gossip"
+	"adaptivegossip/internal/recovery"
 	"adaptivegossip/internal/transport"
 )
 
@@ -177,7 +178,16 @@ waitPhase:
 
 func (r *Runner) tick() {
 	r.ticks.Add(1)
-	outs := r.node.Tick(time.Now())
+	r.send(r.node.Tick(time.Now()))
+}
+
+// receive processes one inbound message and transmits any recovery
+// control traffic (retransmission responses) it triggered.
+func (r *Runner) receive(msg *gossip.Message) {
+	r.send(r.node.Receive(msg, time.Now()))
+}
+
+func (r *Runner) send(outs []gossip.Outgoing) {
 	for _, out := range outs {
 		if err := r.tr.Send(out.To, out.Msg); err != nil {
 			r.sendErrors.Add(1)
@@ -185,10 +195,6 @@ func (r *Runner) tick() {
 			r.moved.Add(1)
 		}
 	}
-}
-
-func (r *Runner) receive(msg *gossip.Message) {
-	r.node.Receive(msg, time.Now())
 }
 
 // Do runs fn inside the node loop, serialized with ticks and receives,
@@ -244,6 +250,7 @@ type NodeSnapshot struct {
 	BufferCap   int
 	Gossip      gossip.NodeStats
 	Adaptive    core.AdaptiveStats
+	Recovery    recovery.Stats
 }
 
 // Snapshot captures the node state, serialized with the loop. The zero
@@ -259,6 +266,7 @@ func (r *Runner) Snapshot() NodeSnapshot {
 			BufferCap:   n.BufferCapacity(),
 			Gossip:      n.GossipStats(),
 			Adaptive:    n.Stats(),
+			Recovery:    n.RecoveryStats(),
 		}
 	})
 	return snap

@@ -16,6 +16,24 @@ type NetworkStats struct {
 	DownDropped uint64
 	Filtered    uint64
 	Unrouted    uint64
+	// Per-kind send counts, for measuring the anti-entropy subsystem's
+	// wire overhead against the push-gossip baseline traffic.
+	GossipSent           uint64
+	RecoveryRequestSent  uint64
+	RecoveryResponseSent uint64
+}
+
+// Merge adds another run's counters into s (seed-sweep pooling).
+func (s *NetworkStats) Merge(o NetworkStats) {
+	s.Sent += o.Sent
+	s.Delivered += o.Delivered
+	s.LossDropped += o.LossDropped
+	s.DownDropped += o.DownDropped
+	s.Filtered += o.Filtered
+	s.Unrouted += o.Unrouted
+	s.GossipSent += o.GossipSent
+	s.RecoveryRequestSent += o.RecoveryRequestSent
+	s.RecoveryResponseSent += o.RecoveryResponseSent
 }
 
 // Network is the simulated message fabric: point-to-point delivery with
@@ -109,10 +127,30 @@ func (n *Network) SetLinkFilter(filter func(from, to gossip.NodeID) bool) {
 // Stats returns a copy of the traffic counters.
 func (n *Network) Stats() NetworkStats { return n.stats }
 
+// Attach registers a node as the delivery handler: incoming messages
+// are fed to receive, and any control messages it returns (recovery
+// requests and responses) are routed back through the network. This is
+// the standard way to wire a protocol node into the fabric.
+func (n *Network) AttachNode(id gossip.NodeID, receive func(*gossip.Message) []gossip.Outgoing) {
+	n.Attach(id, func(m *gossip.Message) {
+		for _, out := range receive(m) {
+			n.Send(id, out.To, out.Msg)
+		}
+	})
+}
+
 // Send routes a message, applying down state, the link filter, loss and
 // latency. Delivery re-checks the destination's state at arrival time.
 func (n *Network) Send(from, to gossip.NodeID, msg *gossip.Message) {
 	n.stats.Sent++
+	switch msg.Kind {
+	case gossip.KindRecoveryRequest:
+		n.stats.RecoveryRequestSent++
+	case gossip.KindRecoveryResponse:
+		n.stats.RecoveryResponseSent++
+	default:
+		n.stats.GossipSent++
+	}
 	if n.down[from] || n.down[to] {
 		n.stats.DownDropped++
 		return

@@ -16,20 +16,26 @@ import (
 // Wire format (big endian):
 //
 //	magic   [3]byte "AGB"
-//	version u8      = 1
+//	version u8      = 2
 //	flags   u8      bit0: adaptation header present
 //	                bit1: group tag present
+//	kind    u8      message kind (gossip | recovery request/response)
 //	from    u16 len + bytes
 //	[if group] group u16 len + bytes
 //	round   u64
 //	[if adaptive] samplePeriod u64, minBuff i32
 //	kmin    u16 count, each: node u16 len + bytes, cap i32
+//	digest  u16 count, each: origin u16 len + bytes, seq u64
+//	request u16 count, each: origin u16 len + bytes, seq u64
 //	events  u32 count, each: origin u16 len + bytes, seq u64, age u32,
 //	        payload u32 len + bytes
 //	subs    u16 count, each: u16 len + bytes
 //	unsubs  u16 count, each: u16 len + bytes
+//
+// Version 2 added the kind byte and the digest/request id lists (the
+// anti-entropy recovery traffic). Version 1 payloads are rejected.
 const (
-	codecVersion = 1
+	codecVersion = 2
 	flagAdaptive = 1 << 0
 	flagGroup    = 1 << 1
 	maxUint16    = 1<<16 - 1
@@ -96,6 +102,7 @@ func (c Codec) Encode(m *gossip.Message) ([]byte, error) {
 		flags |= flagGroup
 	}
 	buf = append(buf, flags)
+	buf = append(buf, byte(m.Kind))
 	buf = appendString(buf, string(m.From))
 	if m.Group != "" {
 		buf = appendString(buf, m.Group)
@@ -109,6 +116,13 @@ func (c Codec) Encode(m *gossip.Message) ([]byte, error) {
 	for _, e := range m.KMin {
 		buf = appendString(buf, string(e.Node))
 		buf = binary.BigEndian.AppendUint32(buf, uint32(int32(e.Cap)))
+	}
+	for _, ids := range [][]gossip.EventID{m.Digest, m.Request} {
+		buf = binary.BigEndian.AppendUint16(buf, uint16(len(ids)))
+		for _, id := range ids {
+			buf = appendString(buf, string(id.Origin))
+			buf = binary.BigEndian.AppendUint64(buf, id.Seq)
+		}
 	}
 	buf = binary.BigEndian.AppendUint32(buf, uint32(len(m.Events)))
 	for _, ev := range m.Events {
@@ -142,8 +156,19 @@ func (c Codec) validateForEncode(m *gossip.Message) error {
 	if len(m.Events) > c.MaxEvents {
 		return fmt.Errorf("%w: %d events", ErrTooLarge, len(m.Events))
 	}
-	if len(m.KMin) > maxUint16 || len(m.Subs) > maxUint16 || len(m.Unsubs) > maxUint16 {
+	if len(m.KMin) > maxUint16 || len(m.Subs) > maxUint16 || len(m.Unsubs) > maxUint16 ||
+		len(m.Digest) > maxUint16 || len(m.Request) > maxUint16 {
 		return fmt.Errorf("%w: header list too long", ErrTooLarge)
+	}
+	if m.Kind > gossip.KindRecoveryResponse {
+		return fmt.Errorf("transport: unknown message kind %d", m.Kind)
+	}
+	for _, ids := range [][]gossip.EventID{m.Digest, m.Request} {
+		for _, id := range ids {
+			if len(id.Origin) > c.MaxIDLen {
+				return fmt.Errorf("%w: digest id %d bytes", ErrTooLarge, len(id.Origin))
+			}
+		}
 	}
 	for _, ev := range m.Events {
 		if len(ev.ID.Origin) > c.MaxIDLen {
@@ -171,7 +196,7 @@ func (c Codec) validateForEncode(m *gossip.Message) error {
 
 // encodedSize returns the exact encoding size of m.
 func (c Codec) encodedSize(m *gossip.Message) int {
-	n := 3 + 1 + 1 + 2 + len(m.From) + 8
+	n := 3 + 1 + 1 + 1 + 2 + len(m.From) + 8
 	if m.Group != "" {
 		n += 2 + len(m.Group)
 	}
@@ -181,6 +206,12 @@ func (c Codec) encodedSize(m *gossip.Message) int {
 	n += 2
 	for _, e := range m.KMin {
 		n += 2 + len(e.Node) + 4
+	}
+	n += 2 + 2
+	for _, ids := range [][]gossip.EventID{m.Digest, m.Request} {
+		for _, id := range ids {
+			n += 2 + len(id.Origin) + 8
+		}
 	}
 	n += 4
 	for _, ev := range m.Events {
@@ -203,8 +234,9 @@ func eventWireSize(ev gossip.Event) int {
 
 // EncodeChunks encodes m into one or more datagrams of at most maxSize
 // bytes each, splitting the event list when necessary. Control headers
-// (adaptation, κ-entries, membership) ride on the first chunk only;
-// every chunk is a valid standalone message.
+// (adaptation, κ-entries, membership, recovery digest/request lists)
+// ride on the first chunk only; every chunk is a valid standalone
+// message carrying the same kind.
 func (c Codec) EncodeChunks(m *gossip.Message, maxSize int) ([][]byte, error) {
 	c = c.limits()
 	full, err := c.Encode(m)
@@ -216,8 +248,19 @@ func (c Codec) EncodeChunks(m *gossip.Message, maxSize int) ([][]byte, error) {
 	}
 	head := *m
 	head.Events = nil
-	rest := gossip.Message{From: m.From, Group: m.Group, Round: m.Round, Adaptive: m.Adaptive,
-		SamplePeriod: m.SamplePeriod, MinBuff: m.MinBuff}
+	// The digest is advisory (a repair hint, rebroadcast every round):
+	// trim it rather than fail when the fixed headers alone would leave
+	// no room for events — e.g. MTU-sized datagram bounds with a large
+	// recovery digest.
+	for len(head.Digest) > 0 && c.encodedSize(&head) > maxSize/2 {
+		head.Digest = head.Digest[:len(head.Digest)-1]
+	}
+	if hb := c.encodedSize(&head); hb > maxSize {
+		return nil, fmt.Errorf("%w: %d-byte message header cannot fit a %d-byte datagram",
+			ErrTooLarge, hb, maxSize)
+	}
+	rest := gossip.Message{Kind: m.Kind, From: m.From, Group: m.Group, Round: m.Round,
+		Adaptive: m.Adaptive, SamplePeriod: m.SamplePeriod, MinBuff: m.MinBuff}
 	headBase := c.encodedSize(&head)
 	restBase := c.encodedSize(&rest)
 
@@ -333,6 +376,14 @@ func (c Codec) Decode(data []byte) (*gossip.Message, error) {
 		return nil, err
 	}
 	m := &gossip.Message{Adaptive: flags&flagAdaptive != 0}
+	kind, err := r.u8()
+	if err != nil {
+		return nil, err
+	}
+	if gossip.MessageKind(kind) > gossip.KindRecoveryResponse {
+		return nil, fmt.Errorf("transport: unknown message kind %d", kind)
+	}
+	m.Kind = gossip.MessageKind(kind)
 	from, err := r.str(c.MaxIDLen)
 	if err != nil {
 		return nil, err
@@ -377,6 +428,34 @@ func (c Codec) Decode(data []byte) (*gossip.Message, error) {
 				return nil, err
 			}
 			m.KMin = append(m.KMin, gossip.BuffCap{Node: gossip.NodeID(node), Cap: int(int32(cp))})
+		}
+	}
+	for _, dst := range []*[]gossip.EventID{&m.Digest, &m.Request} {
+		nd, err := r.u16()
+		if err != nil {
+			return nil, err
+		}
+		if nd > 0 {
+			// Cap the preallocation by what the remaining input could
+			// possibly hold (≥10 bytes per id), so a spoofed count in a
+			// tiny datagram cannot force a large allocation.
+			capN := int(nd)
+			if maxN := (len(r.data) - r.off) / 10; capN > maxN {
+				capN = maxN
+			}
+			ids := make([]gossip.EventID, 0, capN)
+			for i := 0; i < int(nd); i++ {
+				origin, err := r.str(c.MaxIDLen)
+				if err != nil {
+					return nil, err
+				}
+				seq, err := r.u64()
+				if err != nil {
+					return nil, err
+				}
+				ids = append(ids, gossip.EventID{Origin: gossip.NodeID(origin), Seq: seq})
+			}
+			*dst = ids
 		}
 	}
 	ne, err := r.u32()

@@ -29,6 +29,11 @@ func sampleMessage() *gossip.Message {
 		},
 		Subs:   []gossip.NodeID{"node-5"},
 		Unsubs: []gossip.NodeID{"node-6", "node-7"},
+		Digest: []gossip.EventID{
+			{Origin: "node-2", Seq: 1},
+			{Origin: "node-9", Seq: 1 << 33},
+		},
+		Request: []gossip.EventID{{Origin: "node-8", Seq: 17}},
 	}
 }
 

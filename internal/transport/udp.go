@@ -3,6 +3,7 @@ package transport
 import (
 	"errors"
 	"fmt"
+	"math/rand/v2"
 	"net"
 	"sync"
 	"sync/atomic"
@@ -24,6 +25,7 @@ type UDPStats struct {
 	DecodeErrors uint64
 	NoHandler    uint64
 	SendErrors   uint64
+	LossDropped  uint64 // datagrams dropped by injected send loss
 }
 
 // UDPTransport carries gossip messages as UDP datagrams — the role the
@@ -40,6 +42,10 @@ type UDPTransport struct {
 	book    map[gossip.NodeID]*net.UDPAddr
 	handler Handler
 
+	lossMu   sync.Mutex
+	lossRate float64
+	lossRNG  *rand.Rand
+
 	started atomic.Bool
 	closed  atomic.Bool
 	wg      sync.WaitGroup
@@ -52,6 +58,7 @@ type UDPTransport struct {
 	decodeErrors atomic.Uint64
 	noHandler    atomic.Uint64
 	sendErrors   atomic.Uint64
+	lossDropped  atomic.Uint64
 }
 
 // UDPOption configures a UDPTransport.
@@ -61,6 +68,20 @@ type UDPOption func(*UDPTransport) error
 func WithUDPCodec(c Codec) UDPOption {
 	return func(t *UDPTransport) error {
 		t.codec = c
+		return nil
+	}
+}
+
+// WithUDPSendLoss drops outgoing datagrams with probability p — iid
+// loss injection for demos and tests on loopback, where the real
+// network never drops. Dropped datagrams are counted in LossDropped.
+func WithUDPSendLoss(p float64, seed uint64) UDPOption {
+	return func(t *UDPTransport) error {
+		if p < 0 || p > 1 {
+			return fmt.Errorf("transport: loss probability %v out of [0,1]", p)
+		}
+		t.lossRate = p
+		t.lossRNG = rand.New(rand.NewPCG(seed, seed^0x10551055))
 		return nil
 	}
 }
@@ -189,6 +210,10 @@ func (t *UDPTransport) Send(to gossip.NodeID, msg *gossip.Message) error {
 		t.splitChunks.Add(uint64(len(chunks)))
 	}
 	for _, chunk := range chunks {
+		if t.dropForLoss() {
+			t.lossDropped.Add(1)
+			continue
+		}
 		n, err := t.conn.WriteToUDP(chunk, addr)
 		if err != nil {
 			t.sendErrors.Add(1)
@@ -198,6 +223,16 @@ func (t *UDPTransport) Send(to gossip.NodeID, msg *gossip.Message) error {
 		t.sentBytes.Add(uint64(n))
 	}
 	return nil
+}
+
+// dropForLoss rolls the injected-loss dice (false when disabled).
+func (t *UDPTransport) dropForLoss() bool {
+	if t.lossRate <= 0 {
+		return false
+	}
+	t.lossMu.Lock()
+	defer t.lossMu.Unlock()
+	return t.lossRNG.Float64() < t.lossRate
 }
 
 // Stats returns a snapshot of the counters.
@@ -211,6 +246,7 @@ func (t *UDPTransport) Stats() UDPStats {
 		DecodeErrors: t.decodeErrors.Load(),
 		NoHandler:    t.noHandler.Load(),
 		SendErrors:   t.sendErrors.Load(),
+		LossDropped:  t.lossDropped.Load(),
 	}
 }
 

@@ -31,6 +31,10 @@ type NodeOptions struct {
 	Seed int64
 	// MaxDatagram overrides the UDP datagram split threshold.
 	MaxDatagram int
+	// SendLoss injects iid loss on outgoing datagrams (probability in
+	// [0,1]) — for demos and tests on loopback, where the real network
+	// never drops. See examples/udpcluster's -loss flag.
+	SendLoss float64
 }
 
 // Node is a single broadcast group member bound to a UDP socket — the
@@ -76,6 +80,9 @@ func NewUDPNode(opts NodeOptions) (*Node, error) {
 	if opts.MaxDatagram > 0 {
 		udpOpts = append(udpOpts, transport.WithMaxDatagram(opts.MaxDatagram))
 	}
+	if opts.SendLoss > 0 {
+		udpOpts = append(udpOpts, transport.WithUDPSendLoss(opts.SendLoss, uint64(seed)+0x1055))
+	}
 	tr, err := transport.NewUDPTransport(NodeID(opts.ID), opts.Bind, udpOpts...)
 	if err != nil {
 		return nil, err
@@ -100,6 +107,7 @@ func NewUDPNode(opts NodeOptions) (*Node, error) {
 		Gossip:   cfg.gossipParams(),
 		Adaptive: cfg.Adaptive,
 		Core:     cfg.Adaptation,
+		Recovery: cfg.recoveryParams(),
 		Peers:    reg,
 		RNG:      rand.New(rand.NewPCG(uint64(seed), uint64(seed)^0xABCDEF)),
 		Deliver:  deliver,
