@@ -27,7 +27,7 @@ type Cluster struct {
 	cfg     Config
 	names   []NodeID
 	net     *transport.MemNetwork
-	reg     *membership.Registry
+	regs    []*membership.Registry // one per node: detector verdicts are per-observer
 	runners []*runtime.Runner
 
 	mu      sync.Mutex
@@ -127,8 +127,11 @@ func NewCluster(n int, cfg Config, opts ...ClusterOption) (*Cluster, error) {
 	for i := range names {
 		names[i] = NodeID(fmt.Sprintf("%s%02d", o.prefix, i))
 	}
-	reg := membership.NewRegistry(names...)
-	c := &Cluster{cfg: cfg, names: names, net: net, reg: reg}
+	c := &Cluster{cfg: cfg, names: names, net: net}
+	var shared *membership.Registry
+	if !cfg.FailureDetectionEnabled {
+		shared = membership.NewRegistry(names...)
+	}
 
 	for i := range names {
 		name := names[i]
@@ -137,16 +140,34 @@ func NewCluster(n int, cfg Config, opts ...ClusterOption) (*Cluster, error) {
 			fn := o.deliver
 			deliver = func(ev Event) { fn(name, ev) }
 		}
+		// With failure detection, each node owns its membership view so
+		// a detector's verdicts evict from (and re-admit to) that
+		// node's gossip targets only. Without it the views never
+		// diverge, so all nodes share one registry.
+		reg := shared
+		if cfg.FailureDetectionEnabled {
+			reg = membership.NewRegistry(names...)
+		}
+		c.regs = append(c.regs, reg)
 		node, err := core.NewAdaptiveNode(core.NodeConfig{
 			ID:       name,
 			Gossip:   cfg.gossipParams(),
 			Adaptive: cfg.Adaptive,
 			Core:     cfg.Adaptation,
 			Recovery: cfg.recoveryParams(),
-			Peers:    reg,
-			RNG:      rand.New(rand.NewPCG(uint64(o.seed), uint64(i)+1)),
-			Deliver:  deliver,
-			Start:    time.Now(),
+			Failure:  cfg.failureParams(),
+			OnMembership: func(id gossip.NodeID, status gossip.MemberStatus) {
+				switch status {
+				case gossip.MemberConfirmed:
+					reg.Remove(id)
+				case gossip.MemberAlive:
+					reg.Add(id)
+				}
+			},
+			Peers:   reg,
+			RNG:     rand.New(rand.NewPCG(uint64(o.seed), uint64(i)+1)),
+			Deliver: deliver,
+			Start:   time.Now(),
 		})
 		if err != nil {
 			net.Close()
@@ -242,6 +263,17 @@ func (c *Cluster) Snapshot(i int) (NodeSnapshot, error) {
 		return NodeSnapshot{}, err
 	}
 	return r.Snapshot(), nil
+}
+
+// Members returns node i's current gossip target set (itself
+// included). With FailureDetectionEnabled, confirmed-crashed members
+// disappear from the node's view and rejoining members return to it;
+// otherwise all nodes share one static view.
+func (c *Cluster) Members(i int) ([]NodeID, error) {
+	if i < 0 || i >= len(c.regs) {
+		return nil, fmt.Errorf("adaptivegossip: node index %d out of range [0,%d)", i, len(c.regs))
+	}
+	return c.regs[i].IDs(), nil
 }
 
 // ClusterStats aggregates per-node counters.

@@ -14,6 +14,8 @@
 //	gossipsim -figure 9rt            # dynamic buffers (real-time prototype)
 //	gossipsim -figure ablations      # A1–A4 design-choice studies
 //	gossipsim -figure recovery       # delivery vs loss, anti-entropy off/on
+//	gossipsim -figure churn          # delivery and view accuracy vs churn
+//	                                 # rate, failure detection off/on
 //	gossipsim -figure 2 -fast        # reduced duration for a quick look
 package main
 
@@ -36,7 +38,7 @@ func main() {
 func run(args []string) error {
 	fs := flag.NewFlagSet("gossipsim", flag.ContinueOnError)
 	var (
-		figure = fs.String("figure", "all", "2|4|6|7|8|9|9rt|t1|ablations|recovery|all")
+		figure = fs.String("figure", "all", "2|4|6|7|8|9|9rt|t1|ablations|recovery|churn|all")
 		seed   = fs.Int64("seed", 1, "base random seed")
 		seeds  = fs.Int("seeds", 1, "seeds to average per data point")
 		n      = fs.Int("n", 60, "group size")
@@ -81,6 +83,8 @@ func run(args []string) error {
 		return ablations(base, *seeds)
 	case "recovery":
 		return recoverySweep(base, *seeds)
+	case "churn":
+		return churnSweep(base, *seeds)
 	case "all":
 		if err := figure2(base, *seeds); err != nil {
 			return err
@@ -105,6 +109,9 @@ func run(args []string) error {
 			return err
 		}
 		if err := recoverySweep(base, *seeds); err != nil {
+			return err
+		}
+		if err := churnSweep(base, *seeds); err != nil {
 			return err
 		}
 		fmt.Printf("\n# total wall time: %v\n", time.Since(started).Round(time.Second))
@@ -236,6 +243,17 @@ func recoverySweep(base experiments.Config, seeds int) error {
 		return err
 	}
 	experiments.RenderRecovery(os.Stdout, rows)
+	fmt.Println()
+	return nil
+}
+
+func churnSweep(base experiments.Config, seeds int) error {
+	rates := []float64{1, 2, 4, 8}
+	rows, err := experiments.RunChurn(experiments.DefaultChurnConfig(base), rates, seeds)
+	if err != nil {
+		return err
+	}
+	experiments.RenderChurn(os.Stdout, rows)
 	fmt.Println()
 	return nil
 }

@@ -6,6 +6,7 @@ import (
 
 	"adaptivegossip/internal/core"
 	"adaptivegossip/internal/experiments"
+	"adaptivegossip/internal/failure"
 	"adaptivegossip/internal/gossip"
 	"adaptivegossip/internal/recovery"
 )
@@ -26,6 +27,16 @@ type (
 	SimConfig = experiments.Config
 	// SimResult is an experiment run's measurements.
 	SimResult = experiments.RunResult
+	// MemberStatus is a failure detector's opinion of a group member
+	// (alive, suspect or confirmed crashed).
+	MemberStatus = gossip.MemberStatus
+)
+
+// Re-exported member statuses.
+const (
+	MemberAlive     = gossip.MemberAlive
+	MemberSuspect   = gossip.MemberSuspect
+	MemberConfirmed = gossip.MemberConfirmed
 )
 
 // Config configures a broadcast node or cluster.
@@ -61,6 +72,24 @@ type Config struct {
 	// RecoveryRequestBudget caps the missing events pulled per round.
 	// Zero means the subsystem default.
 	RecoveryRequestBudget int
+
+	// FailureDetectionEnabled turns on the SWIM-style failure detector
+	// (internal/failure): each gossip round the node pings one random
+	// view member, escalates unanswered probes through indirect
+	// ping-reqs to a suspect→confirm state machine, and piggybacks the
+	// resulting alive/suspect/confirm rumors on gossip. Confirmed
+	// members are evicted from the node's membership so fanout stops
+	// being wasted on the dead. Orthogonal to Adaptive and Recovery.
+	FailureDetectionEnabled bool
+	// FailureProbePeriod is how often a probe is launched, in gossip
+	// rounds. Zero means the subsystem default (every round).
+	FailureProbePeriod int
+	// FailureSuspicionTimeout is how many rounds a suspect may refute
+	// before being confirmed crashed. Zero means the subsystem default.
+	FailureSuspicionTimeout int
+	// FailureIndirectProbes is k, the number of proxies asked to probe
+	// an unresponsive target. Zero means the subsystem default.
+	FailureIndirectProbes int
 }
 
 // DefaultConfig returns the paper's protocol configuration with a
@@ -102,6 +131,15 @@ func (c Config) recoveryParams() recovery.Params {
 	}
 }
 
+func (c Config) failureParams() failure.Params {
+	return failure.Params{
+		Enabled:                c.FailureDetectionEnabled,
+		ProbePeriodRounds:      c.FailureProbePeriod,
+		SuspicionTimeoutRounds: c.FailureSuspicionTimeout,
+		IndirectProbes:         c.FailureIndirectProbes,
+	}
+}
+
 // Validate reports the first configuration error.
 func (c Config) Validate() error {
 	c = c.withDefaults()
@@ -115,6 +153,11 @@ func (c Config) Validate() error {
 	}
 	if c.RecoveryEnabled {
 		if err := c.recoveryParams().Validate(); err != nil {
+			return fmt.Errorf("adaptivegossip: %w", err)
+		}
+	}
+	if c.FailureDetectionEnabled {
+		if err := c.failureParams().Validate(); err != nil {
 			return fmt.Errorf("adaptivegossip: %w", err)
 		}
 	}

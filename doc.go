@@ -32,6 +32,19 @@
 // buffer. This repairs losses that pure push gossip cannot — see
 // examples/udpcluster's -loss flag and gossipsim -figure recovery.
 //
+// # Failure detection
+//
+// Setting Config.FailureDetectionEnabled turns on a SWIM-style failure
+// detector (internal/failure): each gossip round the node pings one
+// random member, escalates unanswered probes through indirect
+// ping-reqs to a suspect→confirm state machine, and piggybacks the
+// alive/suspect/confirm verdicts on gossip — O(1) extra messages per
+// node per round. Confirmed-crashed members are evicted from the
+// node's gossip targets so fanout stops being wasted on the dead, and
+// re-admitted when they prove alive again (incarnation-numbered
+// refutations prevent stale rumors from burying live members). See
+// examples/udpcluster's -churn flag and gossipsim -figure churn.
+//
 // # Evaluation
 //
 // The Simulate and SimulateRealtime functions expose the paper's
@@ -44,7 +57,8 @@
 //
 // The protocol is a single-threaded state machine (internal/gossip for
 // the lpbcast substrate, internal/core for the adaptation mechanism,
-// internal/recovery for anti-entropy repair) owned by a driver: the
+// internal/recovery for anti-entropy repair, internal/failure for
+// failure detection) owned by a driver: the
 // discrete-event scheduler (internal/sim) for simulations, or one
 // goroutine per node (internal/runtime) for real deployments. README.md
 // documents the full package map.

@@ -8,11 +8,19 @@
 // (enabled by default here) pulls the missing events back, keeping the
 // delivery ratio near 1.0 where plain push gossip would fall short.
 //
+// With -churn, the demo kills one member node every interval and
+// restarts it (same identity, same port) after a few rounds — live
+// churn over real UDP. The SWIM-style failure detector (enabled by
+// default with -churn) suspects and confirms the dead member, evicts
+// it from every survivor's gossip targets, and re-admits it when it
+// comes back; the demo prints each transition as it happens.
+//
 // Run with:
 //
 //	go run ./examples/udpcluster                  # clean network
 //	go run ./examples/udpcluster -loss 0.25       # 25% datagram loss
 //	go run ./examples/udpcluster -loss 0.25 -recovery=false
+//	go run ./examples/udpcluster -churn 500ms     # kill/restart cycle
 package main
 
 import (
@@ -30,41 +38,60 @@ const nodes = 8
 func main() {
 	loss := flag.Float64("loss", 0, "iid outgoing-datagram loss probability in [0,1]")
 	recovery := flag.Bool("recovery", true, "enable digest-based anti-entropy recovery")
+	churn := flag.Duration("churn", 0, "kill and restart one member this often (0 disables churn)")
 	flag.Parse()
-	if err := run(*loss, *recovery); err != nil {
+	if err := run(*loss, *recovery, *churn); err != nil {
 		log.SetFlags(0)
 		log.Fatal(err)
 	}
 }
 
-func run(loss float64, recovery bool) error {
+// nodeConfig is the shared protocol configuration: a deliberately
+// skinny push (fanout 1, 3-round lifetime) so injected loss actually
+// starves receivers, plus failure detection when churn is on.
+func nodeConfig(recovery, detect bool) adaptivegossip.Config {
 	cfg := adaptivegossip.DefaultConfig()
 	cfg.Period = 50 * time.Millisecond
 	cfg.BufferCapacity = 60
-	// A deliberately skinny push: fanout 1 and a 3-round lifetime leave
-	// each event only a handful of transmissions, so injected loss
-	// actually starves receivers — the regime recovery exists for.
 	cfg.Fanout = 1
 	cfg.MaxAge = 3
 	cfg.Adaptation.InitialRate = 40 // admit the demo's publish burst
 	cfg.RecoveryEnabled = recovery
+	cfg.FailureDetectionEnabled = detect
+	cfg.FailureSuspicionTimeout = 3
+	return cfg
+}
+
+func run(loss float64, recovery bool, churn time.Duration) error {
+	detect := churn > 0
+	cfg := nodeConfig(recovery, detect)
 
 	var delivered atomic.Int64
 	members := make([]*adaptivegossip.Node, 0, nodes)
 
-	// Bind everyone first so the address book can be completed before
-	// gossip starts.
-	for i := 0; i < nodes; i++ {
-		node, err := adaptivegossip.NewUDPNode(adaptivegossip.NodeOptions{
-			ID:       fmt.Sprintf("host-%d", i),
-			Bind:     "127.0.0.1:0",
+	newNode := func(i int, bind string) (*adaptivegossip.Node, error) {
+		id := fmt.Sprintf("host-%d", i)
+		return adaptivegossip.NewUDPNode(adaptivegossip.NodeOptions{
+			ID:       id,
+			Bind:     bind,
 			Config:   cfg,
 			Seed:     int64(i) + 1,
 			SendLoss: loss,
 			Deliver: func(ev adaptivegossip.Event) {
 				delivered.Add(1)
 			},
+			OnMemberChange: func(peer adaptivegossip.NodeID, status adaptivegossip.MemberStatus) {
+				if detect {
+					fmt.Printf("  [%s] sees %s: %s\n", id, peer, status)
+				}
+			},
 		})
+	}
+
+	// Bind everyone first so the address book can be completed before
+	// gossip starts.
+	for i := 0; i < nodes; i++ {
+		node, err := newNode(i, "127.0.0.1:0")
 		if err != nil {
 			return err
 		}
@@ -92,8 +119,52 @@ func run(loss float64, recovery bool) error {
 			return err
 		}
 	}
-	fmt.Printf("%d UDP nodes gossiping on loopback (e.g. %s at %s), loss %.0f%%, recovery %v\n",
-		nodes, members[0].ID(), members[0].Addr(), 100*loss, recovery)
+	fmt.Printf("%d UDP nodes gossiping on loopback (e.g. %s at %s), loss %.0f%%, recovery %v, churn %v\n",
+		nodes, members[0].ID(), members[0].Addr(), 100*loss, recovery, churn)
+
+	// Churn loop: kill the highest-indexed member (its socket closes —
+	// a real process death as far as the others can tell), let the
+	// detector confirm and evict it, then restart it on the same
+	// address and watch it get re-admitted.
+	churnDone := make(chan struct{})
+	if detect {
+		go func() {
+			defer close(churnDone)
+			victimIdx := nodes - 1
+			for cycle := 0; cycle < 2; cycle++ {
+				time.Sleep(churn)
+				victim := members[victimIdx]
+				addr := victim.Addr()
+				fmt.Printf("churn: killing %s (%s)\n", victim.ID(), addr)
+				victim.Stop()
+
+				// Down long enough for probe→suspect→confirm to play out.
+				time.Sleep(time.Duration(8+int(cfg.FailureSuspicionTimeout)) * cfg.Period)
+
+				fmt.Printf("churn: restarting %s on %s\n", victim.ID(), addr)
+				reborn, err := newNode(victimIdx, addr)
+				if err != nil {
+					fmt.Printf("churn: restart failed: %v\n", err)
+					return
+				}
+				for j, peer := range members {
+					if j == victimIdx {
+						continue
+					}
+					if err := reborn.AddPeer(string(peer.ID()), peer.Addr()); err != nil {
+						fmt.Printf("churn: %v\n", err)
+					}
+				}
+				if err := reborn.Start(); err != nil {
+					fmt.Printf("churn: %v\n", err)
+					return
+				}
+				members[victimIdx] = reborn
+			}
+		}()
+	} else {
+		close(churnDone)
+	}
 
 	const toSend = 20
 	sent := 0
@@ -108,6 +179,7 @@ func run(loss float64, recovery bool) error {
 	// Drain: well past the push window, so pull repair has time to
 	// notice gaps (digest), request and receive retransmissions.
 	time.Sleep(40 * cfg.Period)
+	<-churnDone
 
 	possible := sent * nodes
 	ratio := 0.0
@@ -131,6 +203,18 @@ func run(loss float64, recovery bool) error {
 		}
 		fmt.Printf("recovery: %d events recovered across the cluster (%d ids requested)\n",
 			recovered, requested)
+	}
+	if detect {
+		var probes, suspects, confirms, revivals uint64
+		for _, n := range members {
+			fs := n.Snapshot().Failure
+			probes += fs.ProbesSent
+			suspects += fs.Suspects
+			confirms += fs.Confirms
+			revivals += fs.Revivals
+		}
+		fmt.Printf("failure detection: %d probes, %d suspicions, %d confirms, %d revivals; %s now tracks %d members\n",
+			probes, suspects, confirms, revivals, members[0].ID(), len(members[0].Members()))
 	}
 	return nil
 }

@@ -5,6 +5,7 @@ import (
 	"math/rand/v2"
 	"time"
 
+	"adaptivegossip/internal/failure"
 	"adaptivegossip/internal/gossip"
 	"adaptivegossip/internal/ratelimit"
 	"adaptivegossip/internal/recovery"
@@ -26,6 +27,15 @@ type NodeConfig struct {
 	// engine is built when Recovery.Enabled is set. Recovery is
 	// orthogonal to Adaptive: either, both or neither may be on.
 	Recovery recovery.Params
+	// Failure configures the SWIM-style failure detector; the engine is
+	// built when Failure.Enabled is set. Orthogonal to Adaptive and
+	// Recovery.
+	Failure failure.Params
+	// OnMembership observes the detector's status transitions (used
+	// when Failure.Enabled). Drivers typically evict confirmed members
+	// from their registries and partial views here and re-admit members
+	// that prove alive. Runs synchronously on the node's driver.
+	OnMembership failure.OnChangeFunc
 	// Peers supplies gossip targets.
 	Peers gossip.PeerSampler
 	// RNG drives all protocol randomness; inject a seeded generator for
@@ -62,6 +72,7 @@ type AdaptiveNode struct {
 	ctrl     *RateController // nil when not adaptive
 	bucket   *ratelimit.Bucket
 	recovery *recovery.Engine // nil when recovery is disabled
+	failure  *failure.Engine  // nil when failure detection is disabled
 	params   Params
 
 	avgTokens float64
@@ -95,6 +106,15 @@ func NewAdaptiveNode(cfg NodeConfig) (*AdaptiveNode, error) {
 			return nil, err
 		}
 		a.recovery = engine
+		exts = append(exts, engine)
+	}
+	if cfg.Failure.Enabled {
+		engine, err := failure.NewEngine(cfg.ID, cfg.Failure, cfg.Peers, cfg.RNG)
+		if err != nil {
+			return nil, err
+		}
+		engine.SetOnChange(cfg.OnMembership)
+		a.failure = engine
 		exts = append(exts, engine)
 	}
 	exts = append(exts, cfg.Extensions...)
@@ -152,19 +172,26 @@ func (a *AdaptiveNode) Tick(now time.Time) []gossip.Outgoing {
 	if a.recovery != nil {
 		outs = append(outs, a.recovery.TakeOutgoing()...)
 	}
+	if a.failure != nil {
+		outs = append(outs, a.failure.TakeOutgoing()...)
+	}
 	return outs
 }
 
 // Receive processes an incoming gossip message at time now. The
-// returned messages are recovery control traffic (retransmission
-// responses, mainly) that the driver must transmit; it is nil when
-// recovery is disabled.
+// returned messages are subsystem control traffic (recovery
+// retransmission responses, failure-detector acks and relays) that the
+// driver must transmit; it is nil when both subsystems are disabled.
 func (a *AdaptiveNode) Receive(msg *gossip.Message, now time.Time) []gossip.Outgoing {
 	a.node.Receive(msg)
+	var outs []gossip.Outgoing
 	if a.recovery != nil {
-		return a.recovery.TakeOutgoing()
+		outs = a.recovery.TakeOutgoing()
 	}
-	return nil
+	if a.failure != nil {
+		outs = append(outs, a.failure.TakeOutgoing()...)
+	}
+	return outs
 }
 
 // SetBufferCapacity resizes the local events buffer at runtime,
@@ -235,6 +262,37 @@ func (a *AdaptiveNode) RecoveryStats() recovery.Stats {
 		return recovery.Stats{}
 	}
 	return a.recovery.Stats()
+}
+
+// FailureEnabled reports whether the failure detector is active.
+func (a *AdaptiveNode) FailureEnabled() bool { return a.failure != nil }
+
+// FailureStats returns the detector counters (zero when failure
+// detection is disabled).
+func (a *AdaptiveNode) FailureStats() failure.Stats {
+	if a.failure == nil {
+		return failure.Stats{}
+	}
+	return a.failure.Stats()
+}
+
+// MemberStatus reports the detector's opinion of a member (MemberAlive
+// when detection is disabled or the member is unknown).
+func (a *AdaptiveNode) MemberStatus(id gossip.NodeID) gossip.MemberStatus {
+	if a.failure == nil {
+		return gossip.MemberAlive
+	}
+	return a.failure.Status(id)
+}
+
+// FailureRejoin resets the detector to freshly-restarted state: remote
+// opinions are dropped and the node reannounces itself with a bumped
+// incarnation. Drivers call it when a stopped process rejoins the
+// group. No-op when detection is disabled.
+func (a *AdaptiveNode) FailureRejoin() {
+	if a.failure != nil {
+		a.failure.Rejoin()
+	}
 }
 
 // Stats returns the adaptation counters.

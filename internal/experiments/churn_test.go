@@ -1,0 +1,151 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"adaptivegossip/internal/workload"
+)
+
+// churnTestConfig is the churn experiment shrunk to test scale: 30
+// nodes, 1-second virtual rounds.
+func churnTestConfig() Config {
+	cfg := DefaultChurnConfig(Config{
+		N:           30,
+		Fanout:      3,
+		Period:      time.Second,
+		MaxAge:      10,
+		Buffer:      30,
+		OfferedRate: 6,
+		PayloadSize: 8,
+		Warmup:      60 * time.Second,
+		Duration:    240 * time.Second,
+		Seed:        3,
+	})
+	return cfg
+}
+
+// TestRunChurnDetectorDominates is the subsystem's acceptance check:
+// across a churn-rate sweep, the detector-on arm must deliver at least
+// as well as the detector-off arm at every rate, and mean view accuracy
+// must improve measurably.
+func TestRunChurnDetectorDominates(t *testing.T) {
+	rates := []float64{2, 6}
+	rows, err := RunChurn(churnTestConfig(), rates, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != len(rates) {
+		t.Fatalf("got %d rows, want %d", len(rows), len(rates))
+	}
+	for _, r := range rows {
+		if r.OnCoveragePct < r.OffCoveragePct {
+			t.Errorf("rate %.1f/min: detector-on coverage %.2f%% below detector-off %.2f%%",
+				r.Rate, r.OnCoveragePct, r.OffCoveragePct)
+		}
+		if r.OnViewAccPct < r.OffViewAccPct+1 {
+			t.Errorf("rate %.1f/min: view accuracy %.2f%% (on) vs %.2f%% (off): no measurable improvement",
+				r.Rate, r.OnViewAccPct, r.OffViewAccPct)
+		}
+		if r.Confirms == 0 {
+			t.Errorf("rate %.1f/min: detector confirmed nothing under churn", r.Rate)
+		}
+		if r.DetectionRounds <= 0 || r.DetectionRounds > float64(ChurnDowntime) {
+			t.Errorf("rate %.1f/min: detection latency %.1f rounds out of (0,%d]",
+				r.Rate, r.DetectionRounds, ChurnDowntime)
+		}
+		if r.OverheadPct <= 0 {
+			t.Errorf("rate %.1f/min: probe overhead not measured", r.Rate)
+		}
+	}
+}
+
+// TestRunChurnStaleViewsWithoutDetector pins the problem the subsystem
+// fixes: with per-node views and no detector, crashed members linger in
+// every view for the whole outage, dragging accuracy down.
+func TestRunChurnStaleViewsWithoutDetector(t *testing.T) {
+	cfg := churnTestConfig()
+	downFor := time.Duration(ChurnDowntime) * cfg.Period
+	cfg.Crashes, cfg.Restarts = workload.ChurnTrace(
+		cfg.N, 4.0/60, downFor, cfg.Warmup/2, cfg.Warmup/2+cfg.Duration, cfg.Seed)
+	if len(cfg.Crashes) == 0 {
+		t.Fatal("trace empty")
+	}
+	cfg.FailureDetection = false
+	res, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.ViewAccuracyPct >= 99 {
+		t.Fatalf("view accuracy %.2f%% without a detector under churn — dead members should linger",
+			res.ViewAccuracyPct)
+	}
+	if res.Failure.Confirms != 0 || res.DetectionLatencyRounds != 0 {
+		t.Fatalf("detector metrics nonzero with detection off: %+v", res.Failure)
+	}
+}
+
+// TestRunRestartScheduleRevivesNode: a crashed-then-restarted node
+// resumes receiving; coverage recovers past the crash-only level.
+func TestRunRestartScheduleRevivesNode(t *testing.T) {
+	cfg := smallConfig()
+	cfg.Warmup = 0
+	cfg.Duration = 200 * time.Second
+	crashOnly := cfg
+	crashOnly.Crashes = []workload.Crash{{At: 20 * time.Second, Nodes: []int{5, 6}}}
+	a, err := Run(crashOnly)
+	if err != nil {
+		t.Fatal(err)
+	}
+	restarted := crashOnly
+	restarted.Restarts = []workload.Restart{{At: 60 * time.Second, Nodes: []int{5, 6}}}
+	b, err := Run(restarted)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if b.Summary.MeanReceiversPct <= a.Summary.MeanReceiversPct+3 {
+		t.Fatalf("restart did not recover coverage: crash-only %.1f%%, with restarts %.1f%%",
+			a.Summary.MeanReceiversPct, b.Summary.MeanReceiversPct)
+	}
+}
+
+// TestRunChurnDeterministic: the churn machinery preserves the
+// simulator's reproducibility.
+func TestRunChurnDeterministic(t *testing.T) {
+	cfg := churnTestConfig()
+	cfg.Duration = 120 * time.Second
+	downFor := time.Duration(ChurnDowntime) * cfg.Period
+	cfg.Crashes, cfg.Restarts = workload.ChurnTrace(
+		cfg.N, 4.0/60, downFor, cfg.Warmup/2, cfg.Warmup/2+cfg.Duration, cfg.Seed)
+	cfg.FailureDetection = true
+	a, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Summary != b.Summary || a.Failure != b.Failure ||
+		a.ViewAccuracyPct != b.ViewAccuracyPct ||
+		a.DetectionLatencyRounds != b.DetectionLatencyRounds {
+		t.Fatalf("same seed diverged:\n a=%+v %+v\n b=%+v %+v",
+			a.Summary, a.Failure, b.Summary, b.Failure)
+	}
+}
+
+func TestRenderChurn(t *testing.T) {
+	var sb strings.Builder
+	RenderChurn(&sb, []ChurnRow{{
+		Rate: 2, OffCoveragePct: 80, OnCoveragePct: 85,
+		OffViewAccPct: 90, OnViewAccPct: 97,
+		DetectionRounds: 7.5, Confirms: 42, FalseConfirms: 1, OverheadPct: 70,
+	}})
+	out := sb.String()
+	for _, want := range []string{"churn(/min)", "2.0", "85.00", "97.00", "42"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("render missing %q:\n%s", want, out)
+		}
+	}
+}

@@ -11,6 +11,7 @@ import (
 	"time"
 
 	"adaptivegossip/internal/core"
+	"adaptivegossip/internal/failure"
 	"adaptivegossip/internal/gossip"
 	"adaptivegossip/internal/membership"
 	"adaptivegossip/internal/metrics"
@@ -85,6 +86,30 @@ type Config struct {
 	// crashed nodes, late joiners count in the delivery denominator
 	// from the start.
 	Joins []workload.Join
+	// Restarts is the rejoin schedule: listed crashed nodes come back
+	// up at the given offsets (simulation runs only). A restarted node
+	// resumes ticking and publishing with a fresh detector state, as a
+	// real process restart would.
+	Restarts []workload.Restart
+	// PerNodeViews gives every node its own membership registry and
+	// disables the omniscient registry maintenance on crash: dead
+	// members linger in each node's view, wasting fanout, until a
+	// failure detector (if enabled) evicts them — the realistic regime
+	// the churn experiment measures. Without it (the default) a single
+	// shared registry is magically updated at crash instants, as in the
+	// paper's experiments.
+	PerNodeViews bool
+	// FailureDetection enables the SWIM-style failure detector
+	// (internal/failure) at every node. With PerNodeViews, confirmed
+	// members are evicted from the observer's own registry and members
+	// that prove alive again are re-admitted.
+	FailureDetection bool
+	// FailureSuspicionRounds overrides the suspect→confirm timeout in
+	// rounds (0 = subsystem default).
+	FailureSuspicionRounds int
+	// FailureIndirectProbes overrides k, the indirect probe count (0 =
+	// subsystem default).
+	FailureIndirectProbes int
 	// Bucket is the series granularity. Zero means Period.
 	Bucket time.Duration
 }
@@ -145,6 +170,15 @@ func (c Config) recoveryParams() recovery.Params {
 	}
 }
 
+// failureParams maps the experiment knobs onto the detector's config.
+func (c Config) failureParams() failure.Params {
+	return failure.Params{
+		Enabled:                c.FailureDetection,
+		SuspicionTimeoutRounds: c.FailureSuspicionRounds,
+		IndirectProbes:         c.FailureIndirectProbes,
+	}
+}
+
 // Validate reports the first configuration error.
 func (c Config) Validate() error {
 	if c.N < 2 {
@@ -171,6 +205,11 @@ func (c Config) Validate() error {
 	}
 	for _, j := range c.Joins {
 		if err := j.Validate(c.N); err != nil {
+			return err
+		}
+	}
+	for _, r := range c.Restarts {
+		if err := r.Validate(c.N); err != nil {
 			return err
 		}
 	}
@@ -212,6 +251,20 @@ type RunResult struct {
 	// Recovery aggregates the anti-entropy counters across all nodes
 	// (zero when the subsystem is disabled).
 	Recovery metrics.RecoverySummary
+	// Failure aggregates the failure-detector counters across all nodes
+	// (zero when the subsystem is disabled).
+	Failure metrics.FailureSummary
+	// ViewAccuracyPct is the mean over samples and live nodes of the
+	// fraction of each node's view that points at live members
+	// (PerNodeViews runs only; 0 otherwise).
+	ViewAccuracyPct float64
+	// DetectionLatencyRounds is the mean per-observer latency from a
+	// crash instant to the observer's confirm, in gossip rounds
+	// (FailureDetection runs with crashes only).
+	DetectionLatencyRounds float64
+	// FalseConfirms counts confirms of nodes that were actually up —
+	// ground-truth false positives (FailureDetection runs only).
+	FalseConfirms uint64
 	// Network counts fabric traffic by kind (simulation runs only).
 	Network sim.NetworkStats
 }
@@ -238,8 +291,10 @@ func Run(cfg Config) (RunResult, error) {
 	}
 
 	names := make([]gossip.NodeID, cfg.N)
+	nameIdx := make(map[gossip.NodeID]int, cfg.N)
 	for i := range names {
 		names[i] = gossip.NodeID(fmt.Sprintf("n%03d", i))
+		nameIdx[names[i]] = i
 	}
 	// Late joiners stay out of the membership (and idle) until their
 	// scheduled join instant.
@@ -249,10 +304,28 @@ func Run(cfg Config) (RunResult, error) {
 			joinAt[idx] = j.At
 		}
 	}
-	registry := membership.NewRegistry()
-	for i, name := range names {
-		if _, late := joinAt[i]; !late {
-			registry.Add(name)
+	seedMembers := func(r *membership.Registry) {
+		for i, name := range names {
+			if _, late := joinAt[i]; !late {
+				r.Add(name)
+			}
+		}
+	}
+	// Membership: one omniscient shared registry (the paper's model),
+	// or one registry per node so views degrade realistically under
+	// churn and failure detection has something to repair.
+	var registry *membership.Registry
+	regs := make([]*membership.Registry, cfg.N)
+	if cfg.PerNodeViews {
+		for i := range regs {
+			regs[i] = membership.NewRegistry()
+			seedMembers(regs[i])
+		}
+	} else {
+		registry = membership.NewRegistry()
+		seedMembers(registry)
+		for i := range regs {
+			regs[i] = registry
 		}
 	}
 	tracker, err := metrics.NewDeliveryTracker(names)
@@ -260,6 +333,16 @@ func Run(cfg Config) (RunResult, error) {
 		return RunResult{}, err
 	}
 	allowed := metrics.NewGaugeMeter(epoch, cfg.Bucket)
+
+	// Ground truth for the detector metrics: which nodes are down, and
+	// since when.
+	downNode := make([]bool, cfg.N)
+	downSince := make(map[gossip.NodeID]time.Time, cfg.N)
+	var (
+		latencySum    time.Duration
+		latencyN      int
+		falseConfirms uint64
+	)
 
 	gp := gossip.Params{
 		Fanout:      cfg.Fanout,
@@ -271,14 +354,41 @@ func Run(cfg Config) (RunResult, error) {
 	nodes := make([]*core.AdaptiveNode, cfg.N)
 	for i := range nodes {
 		name := names[i]
+		ownReg := regs[i]
+		// Detector verdicts: with per-node views the observer maintains
+		// its own registry; either way, confirms are scored against the
+		// ground-truth down set for latency and false positives.
+		var onMembership failure.OnChangeFunc
+		if cfg.FailureDetection {
+			onMembership = func(id gossip.NodeID, status gossip.MemberStatus) {
+				switch status {
+				case gossip.MemberConfirmed:
+					if since, isDown := downSince[id]; isDown {
+						latencySum += sched.Now().Sub(since)
+						latencyN++
+					} else {
+						falseConfirms++
+					}
+					if cfg.PerNodeViews {
+						ownReg.Remove(id)
+					}
+				case gossip.MemberAlive:
+					if cfg.PerNodeViews {
+						ownReg.Add(id)
+					}
+				}
+			}
+		}
 		node, err := core.NewAdaptiveNode(core.NodeConfig{
-			ID:       name,
-			Gossip:   gp,
-			Adaptive: cfg.Adaptive,
-			Core:     cfg.Core,
-			Recovery: cfg.recoveryParams(),
-			Peers:    registry,
-			RNG:      sim.DeriveRNG(cfg.Seed, uint64(i)+1),
+			ID:           name,
+			Gossip:       gp,
+			Adaptive:     cfg.Adaptive,
+			Core:         cfg.Core,
+			Recovery:     cfg.recoveryParams(),
+			Failure:      cfg.failureParams(),
+			OnMembership: onMembership,
+			Peers:        ownReg,
+			RNG:          sim.DeriveRNG(cfg.Seed, uint64(i)+1),
 			Deliver: func(ev gossip.Event) {
 				tracker.Deliver(ev.ID, name, sched.Now())
 			},
@@ -300,6 +410,13 @@ func Run(cfg Config) (RunResult, error) {
 		phaseRNG := sim.DeriveRNG(cfg.Seed, 10_000+uint64(i))
 		var tick func()
 		tick = func() {
+			// A crashed process executes nothing: the timer keeps
+			// running so the node resumes at its old phase on restart,
+			// but the state machine is not driven while down.
+			if downNode[i] {
+				sched.After(cfg.Period, tick)
+				return
+			}
 			node := nodes[i]
 			for _, out := range node.Tick(sched.Now()) {
 				network.Send(names[i], out.To, out.Msg)
@@ -348,13 +465,21 @@ func Run(cfg Config) (RunResult, error) {
 		}
 	}
 
+	// addMemberAll introduces a member to every view (a no-op beyond the
+	// first call in shared-registry mode, where all regs alias one).
+	addMemberAll := func(name gossip.NodeID) {
+		for _, r := range regs {
+			r.Add(name)
+		}
+	}
+
 	// Join schedule: at the join instant a node enters the membership,
 	// starts ticking and starts offering load.
 	for _, j := range cfg.Joins {
 		j := j
 		sched.At(epoch.Add(j.At), func() {
 			for _, idx := range j.Nodes {
-				registry.Add(names[idx])
+				addMemberAll(names[idx])
 				startTicks(idx)
 				if idx < cfg.Senders && senders[idx] == nil {
 					if err := startSender(idx); err != nil {
@@ -377,19 +502,88 @@ func Run(cfg Config) (RunResult, error) {
 		})
 	}
 
-	// Failure schedule: crashed nodes drop all traffic and stop
-	// publishing from then on.
+	// Failure schedule: crashed nodes stop executing, drop all traffic
+	// and stop publishing. In shared-registry mode the registry is
+	// omnisciently updated (the paper's model); with PerNodeViews the
+	// dead member lingers in every view until a detector evicts it.
 	for _, cr := range cfg.Crashes {
 		cr := cr
 		sched.At(epoch.Add(cr.At), func() {
 			for _, idx := range cr.Nodes {
 				network.SetDown(names[idx], true)
-				registry.Remove(names[idx])
+				downNode[idx] = true
+				downSince[names[idx]] = sched.Now()
+				if !cfg.PerNodeViews {
+					registry.Remove(names[idx])
+				}
 				if idx < len(senders) && senders[idx] != nil {
 					senders[idx].Stop()
 				}
 			}
 		})
+	}
+
+	// Restart schedule: a crashed node comes back as a fresh process —
+	// reachable again, detector state reset with a bumped incarnation,
+	// its own view re-seeded from the static member list, and its
+	// publisher resumed.
+	for _, rs := range cfg.Restarts {
+		rs := rs
+		sched.At(epoch.Add(rs.At), func() {
+			for _, idx := range rs.Nodes {
+				if !downNode[idx] {
+					continue
+				}
+				network.SetDown(names[idx], false)
+				downNode[idx] = false
+				delete(downSince, names[idx])
+				nodes[idx].FailureRejoin()
+				if cfg.PerNodeViews {
+					seedMembers(regs[idx])
+				} else {
+					registry.Add(names[idx])
+				}
+				if idx < cfg.Senders {
+					if err := startSender(idx); err != nil {
+						panic(fmt.Sprintf("experiments: restart: %v", err))
+					}
+				}
+			}
+		})
+	}
+
+	// View accuracy: with per-node views, sample each live node's
+	// registry once per bucket inside the measurement window and score
+	// the fraction of non-self entries that point at live members.
+	var accSum float64
+	var accN int
+	if cfg.PerNodeViews {
+		var sampleAcc func()
+		sampleAcc = func() {
+			for i, r := range regs {
+				if downNode[i] {
+					continue
+				}
+				live, total := 0, 0
+				for _, id := range r.IDs() {
+					if id == names[i] {
+						continue
+					}
+					total++
+					if !downNode[nameIdx[id]] {
+						live++
+					}
+				}
+				if total > 0 {
+					accSum += float64(live) / float64(total)
+					accN++
+				}
+			}
+			if next := sched.Now().Add(cfg.Bucket); next.Before(epoch.Add(cfg.Warmup + cfg.Duration)) {
+				sched.At(next, sampleAcc)
+			}
+		}
+		sched.At(epoch.Add(cfg.Warmup), sampleAcc)
 	}
 
 	// Capture dropped-age counters at the window edges so the measured
@@ -453,6 +647,18 @@ func Run(cfg Config) (RunResult, error) {
 			res.Recovery.Add(n.RecoveryStats())
 		}
 	}
+	if cfg.FailureDetection {
+		for _, n := range nodes {
+			res.Failure.Add(n.FailureStats())
+		}
+		if latencyN > 0 {
+			res.DetectionLatencyRounds = latencySum.Seconds() / float64(latencyN) / cfg.Period.Seconds()
+		}
+		res.FalseConfirms = falseConfirms
+	}
+	if accN > 0 {
+		res.ViewAccuracyPct = 100 * accSum / float64(accN)
+	}
 	res.Network = network.Stats()
 	res.AtomicitySeries = tracker.Series(epoch, end, cfg.Bucket, metrics.DefaultAtomicityThreshold)
 	return res, nil
@@ -496,6 +702,10 @@ func RunSeeds(cfg Config, seeds int) (RunResult, error) {
 		agg.AvgDroppedAge += res.AvgDroppedAge
 		agg.AllowedRate += res.AllowedRate
 		agg.Recovery.Merge(res.Recovery)
+		agg.Failure.Merge(res.Failure)
+		agg.ViewAccuracyPct += res.ViewAccuracyPct
+		agg.DetectionLatencyRounds += res.DetectionLatencyRounds
+		agg.FalseConfirms += res.FalseConfirms
 		agg.Network.Merge(res.Network)
 	}
 	k := float64(seeds)
@@ -507,5 +717,7 @@ func RunSeeds(cfg Config, seeds int) (RunResult, error) {
 	agg.AtomicRate /= k
 	agg.AvgDroppedAge /= k
 	agg.AllowedRate /= k
+	agg.ViewAccuracyPct /= k
+	agg.DetectionLatencyRounds /= k
 	return agg, nil
 }

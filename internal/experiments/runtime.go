@@ -8,6 +8,7 @@ import (
 	"time"
 
 	"adaptivegossip/internal/core"
+	"adaptivegossip/internal/failure"
 	"adaptivegossip/internal/gossip"
 	"adaptivegossip/internal/membership"
 	"adaptivegossip/internal/metrics"
@@ -63,14 +64,35 @@ func RunRuntime(cfg Config) (RunResult, error) {
 	runners := make([]*runtime.Runner, cfg.N)
 	for i := range runners {
 		name := names[i]
+		// Like the simulation driver: with PerNodeViews each node owns
+		// its membership so detector verdicts evict per-observer;
+		// otherwise all nodes share the omniscient registry.
+		ownReg := registry
+		if cfg.PerNodeViews {
+			ownReg = membership.NewRegistry(names...)
+		}
+		var onMembership failure.OnChangeFunc
+		if cfg.FailureDetection && cfg.PerNodeViews {
+			reg := ownReg
+			onMembership = func(id gossip.NodeID, status gossip.MemberStatus) {
+				switch status {
+				case gossip.MemberConfirmed:
+					reg.Remove(id)
+				case gossip.MemberAlive:
+					reg.Add(id)
+				}
+			}
+		}
 		node, err := core.NewAdaptiveNode(core.NodeConfig{
-			ID:       name,
-			Gossip:   gp,
-			Adaptive: cfg.Adaptive,
-			Core:     cfg.Core,
-			Recovery: cfg.recoveryParams(),
-			Peers:    registry,
-			RNG:      rand.New(rand.NewPCG(uint64(cfg.Seed), uint64(i)+1)),
+			ID:           name,
+			Gossip:       gp,
+			Adaptive:     cfg.Adaptive,
+			Core:         cfg.Core,
+			Recovery:     cfg.recoveryParams(),
+			Failure:      cfg.failureParams(),
+			OnMembership: onMembership,
+			Peers:        ownReg,
+			RNG:          rand.New(rand.NewPCG(uint64(cfg.Seed), uint64(i)+1)),
 			Deliver: func(ev gossip.Event) {
 				tracker.Deliver(ev.ID, name, time.Now())
 			},
@@ -234,6 +256,11 @@ func RunRuntime(cfg Config) (RunResult, error) {
 	if cfg.Recovery {
 		for _, r := range runners {
 			res.Recovery.Add(r.Snapshot().Recovery)
+		}
+	}
+	if cfg.FailureDetection {
+		for _, r := range runners {
+			res.Failure.Add(r.Snapshot().Failure)
 		}
 	}
 	res.AtomicitySeries = tracker.Series(epoch, end, cfg.Bucket, metrics.DefaultAtomicityThreshold)

@@ -106,3 +106,32 @@ func TestRunFigure9RuntimeScaled(t *testing.T) {
 		t.Fatal("render missing header")
 	}
 }
+
+func TestRunRuntimeFailureDetectionSmoke(t *testing.T) {
+	cfg := runtimeConfig()
+	cfg.PerNodeViews = true
+	cfg.FailureDetection = true
+	// Generous suspicion window so a goroutine stalled by a loaded CI
+	// runner (-race slowdown) is not falsely confirmed at 30ms rounds.
+	cfg.FailureSuspicionRounds = 40
+	res, err := RunRuntime(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Failure.Nodes != cfg.N {
+		t.Fatalf("failure stats cover %d nodes, want %d", res.Failure.Nodes, cfg.N)
+	}
+	if res.Failure.ProbesSent == 0 {
+		t.Fatal("no probes sent over the goroutine runtime")
+	}
+	// Everyone is up: probing must not bury live members.
+	if res.Failure.Confirms != 0 {
+		t.Fatalf("%d confirms in a healthy runtime cluster", res.Failure.Confirms)
+	}
+	if ratio := res.Failure.AckRatio(); ratio < 0.5 {
+		t.Fatalf("ack ratio %.2f in a healthy cluster, want most probes answered", ratio)
+	}
+	if res.Summary.MeanReceiversPct < 90 {
+		t.Fatalf("mean receivers %.1f%% with detector on, healthy cluster", res.Summary.MeanReceiversPct)
+	}
+}

@@ -4,7 +4,9 @@ import "fmt"
 
 // MessageKind discriminates the message types on the wire. The zero
 // value is a regular gossip exchange; the recovery kinds carry the
-// anti-entropy pull-repair traffic (internal/recovery).
+// anti-entropy pull-repair traffic (internal/recovery) and the probe
+// kinds carry the SWIM-style failure-detection traffic
+// (internal/failure).
 type MessageKind uint8
 
 const (
@@ -17,6 +19,19 @@ const (
 	// KindRecoveryResponse carries retransmitted events answering a
 	// request; Events holds the payloads.
 	KindRecoveryResponse
+	// KindPing is a failure-detector liveness probe; the receiver
+	// answers with KindPingAck. Probe names the probed subject when the
+	// ping is sent by a proxy on another node's behalf.
+	KindPing
+	// KindPingAck answers a ping, echoing ProbeSeq. Probe carries the
+	// subject when the ack is relayed through a proxy.
+	KindPingAck
+	// KindPingReq asks the receiver to probe Probe on the sender's
+	// behalf (SWIM's indirect probe) and relay the ack back.
+	KindPingReq
+
+	// maxMessageKind is the highest defined kind; codecs reject beyond.
+	maxMessageKind = KindPingReq
 )
 
 // String returns a short kind name.
@@ -28,9 +43,57 @@ func (k MessageKind) String() string {
 		return "recovery-request"
 	case KindRecoveryResponse:
 		return "recovery-response"
+	case KindPing:
+		return "ping"
+	case KindPingAck:
+		return "ping-ack"
+	case KindPingReq:
+		return "ping-req"
 	default:
 		return fmt.Sprintf("MessageKind(%d)", uint8(k))
 	}
+}
+
+// Valid reports whether the kind is one of the defined wire kinds.
+func (k MessageKind) Valid() bool { return k <= maxMessageKind }
+
+// MemberStatus is a failure detector's opinion of a group member,
+// disseminated in MemberUpdate entries piggybacked on gossip.
+type MemberStatus uint8
+
+const (
+	// MemberAlive: the member is (again) reachable.
+	MemberAlive MemberStatus = iota
+	// MemberSuspect: probes failed; the member may have crashed.
+	MemberSuspect
+	// MemberConfirmed: the suspicion timeout elapsed unrefuted — the
+	// member is declared crashed and should leave views.
+	MemberConfirmed
+)
+
+// String names the status.
+func (s MemberStatus) String() string {
+	switch s {
+	case MemberAlive:
+		return "alive"
+	case MemberSuspect:
+		return "suspect"
+	case MemberConfirmed:
+		return "confirmed"
+	default:
+		return fmt.Sprintf("MemberStatus(%d)", uint8(s))
+	}
+}
+
+// MemberUpdate is one failure-detection rumor: a (node, status,
+// incarnation) triple. Incarnations totally order updates about the
+// same node: an alive update refutes suspicion only with a strictly
+// higher incarnation, which only the subject itself can issue (SWIM's
+// refutation rule).
+type MemberUpdate struct {
+	Node        NodeID
+	Status      MemberStatus
+	Incarnation uint64
 }
 
 // Message is one gossip exchange: the sender's buffered events plus the
@@ -86,6 +149,18 @@ type Message struct {
 	// Request lists the event identifiers a KindRecoveryRequest asks
 	// the receiver to retransmit.
 	Request []EventID
+
+	// Probe is the failure-detection subject: the node a KindPingReq
+	// asks the receiver to probe, or the node a relayed KindPing /
+	// KindPingAck is about. Empty for direct probes and non-probe
+	// traffic.
+	Probe NodeID
+	// ProbeSeq correlates an ack with the probe that solicited it.
+	ProbeSeq uint64
+	// Updates piggybacks failure-detection rumors (alive / suspect /
+	// confirmed transitions) on gossip and probe traffic — the SWIM
+	// dissemination component. Empty when failure detection is off.
+	Updates []MemberUpdate
 }
 
 // BuffCap is one (node, buffer capacity) observation, the unit of the
@@ -111,5 +186,6 @@ func (m *Message) Clone() *Message {
 	c.Unsubs = append([]NodeID(nil), m.Unsubs...)
 	c.Digest = append([]EventID(nil), m.Digest...)
 	c.Request = append([]EventID(nil), m.Request...)
+	c.Updates = append([]MemberUpdate(nil), m.Updates...)
 	return &c
 }

@@ -181,6 +181,42 @@ func (v *PartialView) Unsubscribe() {
 	v.addToPool(&v.unsubs, v.unsubsSet, v.self, v.cfg.MaxUnsubs)
 }
 
+// RemovePeer evicts a peer from the view and the subs pool — the
+// eviction entry point for failure-detector confirm events, which
+// otherwise have no voice in lpbcast's subscription-driven membership
+// (a crashed node would linger in the view forever). The removed peer
+// also enters the unsubs pool so the death propagates lpbcast-style on
+// subsequent gossip, and so the peer is not immediately resurrected by
+// stale subscriptions still circulating.
+func (v *PartialView) RemovePeer(id gossip.NodeID) {
+	if id == v.self {
+		return
+	}
+	v.removeFromView(id)
+	v.removeFromSubs(id)
+	v.addToPool(&v.unsubs, v.unsubsSet, id, v.cfg.MaxUnsubs)
+}
+
+// ReadmitPeer clears a peer's unsubscribed state and returns it to the
+// view — the counterpart of RemovePeer for members that prove to be
+// alive after all (detector false positives, rejoins).
+func (v *PartialView) ReadmitPeer(id gossip.NodeID) {
+	if id == v.self {
+		return
+	}
+	if _, gone := v.unsubsSet[id]; gone {
+		for i, cand := range v.unsubs {
+			if cand == id {
+				v.unsubs[i] = v.unsubs[len(v.unsubs)-1]
+				v.unsubs = v.unsubs[:len(v.unsubs)-1]
+				break
+			}
+		}
+		delete(v.unsubsSet, id)
+	}
+	v.addToView(id)
+}
+
 // samplePool draws up to k distinct elements from a pool.
 func (v *PartialView) samplePool(pool []gossip.NodeID, k int) []gossip.NodeID {
 	if k <= 0 || len(pool) == 0 {

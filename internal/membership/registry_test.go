@@ -1,7 +1,9 @@
 package membership
 
 import (
+	"fmt"
 	"math/rand/v2"
+	"sync"
 	"testing"
 
 	"adaptivegossip/internal/gossip"
@@ -129,4 +131,73 @@ func TestRegistryConcurrentUse(t *testing.T) {
 		r.Len()
 	}
 	<-done
+}
+
+// TestRegistryConcurrentJoinLeaveSample hammers the registry from many
+// goroutines — the detector-driven eviction path (Remove from a node's
+// gossip goroutine) racing joins, re-admissions and samplers. Run under
+// -race; the invariant checks catch index corruption.
+func TestRegistryConcurrentJoinLeaveSample(t *testing.T) {
+	reg := NewRegistry()
+	for i := 0; i < 32; i++ {
+		reg.Add(gossip.NodeID(fmt.Sprintf("base-%02d", i)))
+	}
+	var wg sync.WaitGroup
+	const workers = 8
+	for w := 0; w < workers; w++ {
+		w := w
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			rng := rand.New(rand.NewPCG(uint64(w)+1, 77))
+			churn := gossip.NodeID(fmt.Sprintf("churn-%d", w))
+			for i := 0; i < 2000; i++ {
+				switch i % 4 {
+				case 0:
+					reg.Add(churn)
+				case 1:
+					reg.Remove(churn)
+				case 2:
+					// Detector-style eviction/readmission of a shared member.
+					shared := gossip.NodeID(fmt.Sprintf("base-%02d", rng.IntN(8)))
+					if i%8 == 2 {
+						reg.Remove(shared)
+					} else {
+						reg.Add(shared)
+					}
+				case 3:
+					got := reg.SamplePeers(churn, 4, rng)
+					seen := make(map[gossip.NodeID]bool, len(got))
+					for _, id := range got {
+						if id == churn {
+							t.Errorf("sample returned self")
+							return
+						}
+						if seen[id] {
+							t.Errorf("sample returned duplicate %s", id)
+							return
+						}
+						seen[id] = true
+					}
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	// Index invariant: every listed id resolves through Contains, and
+	// the stable members all survived.
+	ids := reg.IDs()
+	if len(ids) != reg.Len() {
+		t.Fatalf("IDs()=%d but Len()=%d", len(ids), reg.Len())
+	}
+	for _, id := range ids {
+		if !reg.Contains(id) {
+			t.Fatalf("listed member %s not found by Contains", id)
+		}
+	}
+	for i := 8; i < 32; i++ {
+		if !reg.Contains(gossip.NodeID(fmt.Sprintf("base-%02d", i))) {
+			t.Fatalf("untouched member base-%02d lost", i)
+		}
+	}
 }

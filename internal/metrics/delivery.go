@@ -129,11 +129,15 @@ func (t *DeliveryTracker) Results(from, to time.Time, threshold float64) Summary
 	defer t.mu.Unlock()
 
 	var (
-		total   float64
-		atomics int
-		count   int
-		full    int
-		minPct  = 100.0
+		// receivers accumulates integer delivery counts so the mean is
+		// exact and independent of map iteration order — float
+		// accumulation here would make otherwise-deterministic
+		// simulations diverge in the last ulp.
+		receivers int
+		atomics   int
+		count     int
+		full      int
+		minCount  = t.n
 	)
 	need := int(threshold*float64(t.n)) + 1 // strictly more than threshold
 	if need > t.n {
@@ -147,10 +151,9 @@ func (t *DeliveryTracker) Results(from, to time.Time, threshold float64) Summary
 			continue
 		}
 		count++
-		pct := 100 * float64(rec.count) / float64(t.n)
-		total += pct
-		if pct < minPct {
-			minPct = pct
+		receivers += rec.count
+		if rec.count < minCount {
+			minCount = rec.count
 		}
 		if rec.count >= need {
 			atomics++
@@ -164,10 +167,10 @@ func (t *DeliveryTracker) Results(from, to time.Time, threshold float64) Summary
 	}
 	return Summary{
 		Messages:         count,
-		MeanReceiversPct: total / float64(count),
+		MeanReceiversPct: 100 * float64(receivers) / (float64(t.n) * float64(count)),
 		AtomicityPct:     100 * float64(atomics) / float64(count),
 		FullyDelivered:   full,
-		MinReceiversPct:  minPct,
+		MinReceiversPct:  100 * float64(minCount) / float64(t.n),
 	}
 }
 
@@ -193,9 +196,9 @@ func (t *DeliveryTracker) Series(start, end time.Time, bucket time.Duration, thr
 
 	buckets := int(end.Sub(start)/bucket) + 1
 	type acc struct {
-		msgs    int
-		pctSum  float64
-		atomics int
+		msgs      int
+		receivers int // integer sum: exact, iteration-order independent
+		atomics   int
 	}
 	accs := make([]acc, buckets)
 	need := int(threshold*float64(t.n)) + 1
@@ -208,7 +211,7 @@ func (t *DeliveryTracker) Series(start, end time.Time, bucket time.Duration, thr
 		}
 		b := int(rec.born.Sub(start) / bucket)
 		accs[b].msgs++
-		accs[b].pctSum += 100 * float64(rec.count) / float64(t.n)
+		accs[b].receivers += rec.count
 		if rec.count >= need {
 			accs[b].atomics++
 		}
@@ -218,7 +221,7 @@ func (t *DeliveryTracker) Series(start, end time.Time, bucket time.Duration, thr
 		st := BucketStat{Start: start.Add(time.Duration(i) * bucket), Messages: a.msgs}
 		if a.msgs > 0 {
 			st.AtomicityPct = 100 * float64(a.atomics) / float64(a.msgs)
-			st.MeanReceiversPct = a.pctSum / float64(a.msgs)
+			st.MeanReceiversPct = 100 * float64(a.receivers) / (float64(t.n) * float64(a.msgs))
 		}
 		out = append(out, st)
 	}

@@ -14,6 +14,7 @@ import (
 	"time"
 
 	"adaptivegossip/internal/core"
+	"adaptivegossip/internal/failure"
 	"adaptivegossip/internal/gossip"
 	"adaptivegossip/internal/recovery"
 	"adaptivegossip/internal/transport"
@@ -251,6 +252,7 @@ type NodeSnapshot struct {
 	Gossip      gossip.NodeStats
 	Adaptive    core.AdaptiveStats
 	Recovery    recovery.Stats
+	Failure     failure.Stats
 }
 
 // Snapshot captures the node state, serialized with the loop. The zero
@@ -267,6 +269,7 @@ func (r *Runner) Snapshot() NodeSnapshot {
 			Gossip:      n.GossipStats(),
 			Adaptive:    n.Stats(),
 			Recovery:    n.RecoveryStats(),
+			Failure:     n.FailureStats(),
 		}
 	})
 	return snap

@@ -16,11 +16,15 @@ type NetworkStats struct {
 	DownDropped uint64
 	Filtered    uint64
 	Unrouted    uint64
-	// Per-kind send counts, for measuring the anti-entropy subsystem's
-	// wire overhead against the push-gossip baseline traffic.
+	// Per-kind send counts, for measuring the control-plane subsystems'
+	// wire overhead (anti-entropy recovery, failure detection) against
+	// the push-gossip baseline traffic.
 	GossipSent           uint64
 	RecoveryRequestSent  uint64
 	RecoveryResponseSent uint64
+	PingSent             uint64
+	PingAckSent          uint64
+	PingReqSent          uint64
 }
 
 // Merge adds another run's counters into s (seed-sweep pooling).
@@ -34,6 +38,14 @@ func (s *NetworkStats) Merge(o NetworkStats) {
 	s.GossipSent += o.GossipSent
 	s.RecoveryRequestSent += o.RecoveryRequestSent
 	s.RecoveryResponseSent += o.RecoveryResponseSent
+	s.PingSent += o.PingSent
+	s.PingAckSent += o.PingAckSent
+	s.PingReqSent += o.PingReqSent
+}
+
+// ProbeSent totals the failure-detection control messages.
+func (s NetworkStats) ProbeSent() uint64 {
+	return s.PingSent + s.PingAckSent + s.PingReqSent
 }
 
 // Network is the simulated message fabric: point-to-point delivery with
@@ -148,6 +160,12 @@ func (n *Network) Send(from, to gossip.NodeID, msg *gossip.Message) {
 		n.stats.RecoveryRequestSent++
 	case gossip.KindRecoveryResponse:
 		n.stats.RecoveryResponseSent++
+	case gossip.KindPing:
+		n.stats.PingSent++
+	case gossip.KindPingAck:
+		n.stats.PingAckSent++
+	case gossip.KindPingReq:
+		n.stats.PingReqSent++
 	default:
 		n.stats.GossipSent++
 	}

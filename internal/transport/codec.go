@@ -16,10 +16,11 @@ import (
 // Wire format (big endian):
 //
 //	magic   [3]byte "AGB"
-//	version u8      = 2
+//	version u8      = 3
 //	flags   u8      bit0: adaptation header present
 //	                bit1: group tag present
-//	kind    u8      message kind (gossip | recovery request/response)
+//	kind    u8      message kind (gossip | recovery request/response |
+//	                ping | ping-ack | ping-req)
 //	from    u16 len + bytes
 //	[if group] group u16 len + bytes
 //	round   u64
@@ -27,15 +28,21 @@ import (
 //	kmin    u16 count, each: node u16 len + bytes, cap i32
 //	digest  u16 count, each: origin u16 len + bytes, seq u64
 //	request u16 count, each: origin u16 len + bytes, seq u64
+//	probe   u16 len + bytes
+//	probeSeq u64
+//	updates u16 count, each: node u16 len + bytes, status u8,
+//	        incarnation u64
 //	events  u32 count, each: origin u16 len + bytes, seq u64, age u32,
 //	        payload u32 len + bytes
 //	subs    u16 count, each: u16 len + bytes
 //	unsubs  u16 count, each: u16 len + bytes
 //
 // Version 2 added the kind byte and the digest/request id lists (the
-// anti-entropy recovery traffic). Version 1 payloads are rejected.
+// anti-entropy recovery traffic). Version 3 added the probe kinds and
+// the probe/probeSeq/updates fields (SWIM-style failure detection).
+// Older versions' payloads are rejected.
 const (
-	codecVersion = 2
+	codecVersion = 3
 	flagAdaptive = 1 << 0
 	flagGroup    = 1 << 1
 	maxUint16    = 1<<16 - 1
@@ -124,6 +131,14 @@ func (c Codec) Encode(m *gossip.Message) ([]byte, error) {
 			buf = binary.BigEndian.AppendUint64(buf, id.Seq)
 		}
 	}
+	buf = appendString(buf, string(m.Probe))
+	buf = binary.BigEndian.AppendUint64(buf, m.ProbeSeq)
+	buf = binary.BigEndian.AppendUint16(buf, uint16(len(m.Updates)))
+	for _, u := range m.Updates {
+		buf = appendString(buf, string(u.Node))
+		buf = append(buf, byte(u.Status))
+		buf = binary.BigEndian.AppendUint64(buf, u.Incarnation)
+	}
 	buf = binary.BigEndian.AppendUint32(buf, uint32(len(m.Events)))
 	for _, ev := range m.Events {
 		buf = appendString(buf, string(ev.ID.Origin))
@@ -157,11 +172,22 @@ func (c Codec) validateForEncode(m *gossip.Message) error {
 		return fmt.Errorf("%w: %d events", ErrTooLarge, len(m.Events))
 	}
 	if len(m.KMin) > maxUint16 || len(m.Subs) > maxUint16 || len(m.Unsubs) > maxUint16 ||
-		len(m.Digest) > maxUint16 || len(m.Request) > maxUint16 {
+		len(m.Digest) > maxUint16 || len(m.Request) > maxUint16 || len(m.Updates) > maxUint16 {
 		return fmt.Errorf("%w: header list too long", ErrTooLarge)
 	}
-	if m.Kind > gossip.KindRecoveryResponse {
+	if !m.Kind.Valid() {
 		return fmt.Errorf("transport: unknown message kind %d", m.Kind)
+	}
+	if len(m.Probe) > c.MaxIDLen {
+		return fmt.Errorf("%w: probe id %d bytes", ErrTooLarge, len(m.Probe))
+	}
+	for _, u := range m.Updates {
+		if len(u.Node) > c.MaxIDLen {
+			return fmt.Errorf("%w: update id %d bytes", ErrTooLarge, len(u.Node))
+		}
+		if u.Status > gossip.MemberConfirmed {
+			return fmt.Errorf("transport: unknown member status %d", u.Status)
+		}
 	}
 	for _, ids := range [][]gossip.EventID{m.Digest, m.Request} {
 		for _, id := range ids {
@@ -213,6 +239,11 @@ func (c Codec) encodedSize(m *gossip.Message) int {
 			n += 2 + len(id.Origin) + 8
 		}
 	}
+	n += 2 + len(m.Probe) + 8
+	n += 2
+	for _, u := range m.Updates {
+		n += 2 + len(u.Node) + 1 + 8
+	}
 	n += 4
 	for _, ev := range m.Events {
 		n += eventWireSize(ev)
@@ -234,9 +265,10 @@ func eventWireSize(ev gossip.Event) int {
 
 // EncodeChunks encodes m into one or more datagrams of at most maxSize
 // bytes each, splitting the event list when necessary. Control headers
-// (adaptation, κ-entries, membership, recovery digest/request lists)
-// ride on the first chunk only; every chunk is a valid standalone
-// message carrying the same kind.
+// (adaptation, κ-entries, membership, recovery digest/request lists,
+// probe fields and failure-detection updates) ride on the first chunk
+// only; every chunk is a valid standalone message carrying the same
+// kind.
 func (c Codec) EncodeChunks(m *gossip.Message, maxSize int) ([][]byte, error) {
 	c = c.limits()
 	full, err := c.Encode(m)
@@ -380,7 +412,7 @@ func (c Codec) Decode(data []byte) (*gossip.Message, error) {
 	if err != nil {
 		return nil, err
 	}
-	if gossip.MessageKind(kind) > gossip.KindRecoveryResponse {
+	if !gossip.MessageKind(kind).Valid() {
 		return nil, fmt.Errorf("transport: unknown message kind %d", kind)
 	}
 	m.Kind = gossip.MessageKind(kind)
@@ -456,6 +488,49 @@ func (c Codec) Decode(data []byte) (*gossip.Message, error) {
 				ids = append(ids, gossip.EventID{Origin: gossip.NodeID(origin), Seq: seq})
 			}
 			*dst = ids
+		}
+	}
+	probe, err := r.str(c.MaxIDLen)
+	if err != nil {
+		return nil, err
+	}
+	m.Probe = gossip.NodeID(probe)
+	if m.ProbeSeq, err = r.u64(); err != nil {
+		return nil, err
+	}
+	nu, err := r.u16()
+	if err != nil {
+		return nil, err
+	}
+	if nu > 0 {
+		// Preallocation capped by what the remaining input could hold
+		// (≥11 bytes per update), as for the digest lists above.
+		capN := int(nu)
+		if maxN := (len(r.data) - r.off) / 11; capN > maxN {
+			capN = maxN
+		}
+		m.Updates = make([]gossip.MemberUpdate, 0, capN)
+		for i := 0; i < int(nu); i++ {
+			node, err := r.str(c.MaxIDLen)
+			if err != nil {
+				return nil, err
+			}
+			status, err := r.u8()
+			if err != nil {
+				return nil, err
+			}
+			if gossip.MemberStatus(status) > gossip.MemberConfirmed {
+				return nil, fmt.Errorf("transport: unknown member status %d", status)
+			}
+			inc, err := r.u64()
+			if err != nil {
+				return nil, err
+			}
+			m.Updates = append(m.Updates, gossip.MemberUpdate{
+				Node:        gossip.NodeID(node),
+				Status:      gossip.MemberStatus(status),
+				Incarnation: inc,
+			})
 		}
 	}
 	ne, err := r.u32()

@@ -30,6 +30,33 @@ func kindSamples() []*gossip.Message {
 				{ID: gossip.EventID{Origin: "origin-a", Seq: 3}, Age: 9, Payload: []byte("repaired")},
 			},
 		},
+		{
+			Kind:     gossip.KindPing,
+			From:     "prober",
+			Round:    20,
+			ProbeSeq: 41,
+			Updates: []gossip.MemberUpdate{
+				{Node: "m1", Status: gossip.MemberSuspect, Incarnation: 2},
+				{Node: "m2", Status: gossip.MemberAlive, Incarnation: 3},
+			},
+		},
+		{
+			Kind:     gossip.KindPingAck,
+			From:     "subject",
+			Round:    21,
+			Probe:    "subject",
+			ProbeSeq: 41,
+		},
+		{
+			Kind:     gossip.KindPingReq,
+			From:     "prober",
+			Round:    22,
+			Probe:    "silent-node",
+			ProbeSeq: 42,
+			Updates: []gossip.MemberUpdate{
+				{Node: "m3", Status: gossip.MemberConfirmed, Incarnation: 1 << 40},
+			},
+		},
 	}
 }
 

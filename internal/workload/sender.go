@@ -238,6 +238,70 @@ func (c Crash) Validate(groupSize int) error {
 	return nil
 }
 
+// Restart is one step of a churn schedule: at offset At the nodes with
+// the given indexes come back up after a crash — they become reachable
+// again, resume ticking and (if publishers) resume offering load. A
+// restarted process rejoins with a fresh detector state and a bumped
+// incarnation, like a real process restart with a static seed list.
+type Restart struct {
+	At    time.Duration
+	Nodes []int
+}
+
+// Validate reports the first schedule error given the group size.
+func (r Restart) Validate(groupSize int) error {
+	if r.At < 0 {
+		return fmt.Errorf("workload: restart offset must be non-negative, got %v", r.At)
+	}
+	for _, idx := range r.Nodes {
+		if idx < 0 || idx >= groupSize {
+			return fmt.Errorf("workload: restart node index %d out of range [0,%d)", idx, groupSize)
+		}
+	}
+	return nil
+}
+
+// ChurnTrace generates a deterministic crash/restart schedule: churn
+// events arrive at exponential intervals with the given rate (events
+// per second) over [start, start+window); each event crashes one
+// currently-up node chosen uniformly at random (node 0 is spared so at
+// least one publisher survives every trace) and schedules its restart
+// downFor later. The trace is reproducible from the seed.
+func ChurnTrace(n int, rate float64, downFor, start, window time.Duration, seed int64) ([]Crash, []Restart) {
+	if n < 2 || rate <= 0 || window <= 0 {
+		return nil, nil
+	}
+	rng := rand.New(rand.NewPCG(uint64(seed)^0xC0FFEE, uint64(seed)+0x51DE))
+	// downUntil[i] > t means node i is still down at event time t.
+	downUntil := make([]time.Duration, n)
+	var crashes []Crash
+	var restarts []Restart
+	t := start
+	for {
+		t += time.Duration(rng.ExpFloat64() / rate * float64(time.Second))
+		if t >= start+window {
+			break
+		}
+		// Pick a currently-up victim other than node 0; give up after a
+		// few draws if nearly everyone is already down.
+		victim := -1
+		for attempt := 0; attempt < 8; attempt++ {
+			cand := 1 + rng.IntN(n-1)
+			if downUntil[cand] <= t {
+				victim = cand
+				break
+			}
+		}
+		if victim < 0 {
+			continue
+		}
+		downUntil[victim] = t + downFor
+		crashes = append(crashes, Crash{At: t, Nodes: []int{victim}})
+		restarts = append(restarts, Restart{At: t + downFor, Nodes: []int{victim}})
+	}
+	return crashes, restarts
+}
+
 // Join is one step of a membership-growth schedule: at offset At the
 // nodes with the given indexes enter the group — they become gossip
 // targets, start ticking and (if publishers) start offering load. The

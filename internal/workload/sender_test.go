@@ -218,3 +218,82 @@ func TestFirstFraction(t *testing.T) {
 		t.Fatalf("negative fraction: %v", got)
 	}
 }
+
+func TestRestartValidate(t *testing.T) {
+	if err := (Restart{At: time.Second, Nodes: []int{1}}).Validate(4); err != nil {
+		t.Fatal(err)
+	}
+	if err := (Restart{At: -1}).Validate(4); err == nil {
+		t.Fatal("negative restart offset accepted")
+	}
+	if err := (Restart{Nodes: []int{4}}).Validate(4); err == nil {
+		t.Fatal("out-of-range restart index accepted")
+	}
+}
+
+func TestChurnTraceShape(t *testing.T) {
+	const n = 20
+	down := 60 * time.Second
+	crashes, restarts := ChurnTrace(n, 2.0/60, down, 30*time.Second, 300*time.Second, 7)
+	if len(crashes) == 0 {
+		t.Fatal("empty trace at 2 events/min over 5 minutes")
+	}
+	if len(crashes) != len(restarts) {
+		t.Fatalf("%d crashes but %d restarts", len(crashes), len(restarts))
+	}
+	downAt := make(map[int]time.Duration)
+	for i, c := range crashes {
+		if err := c.Validate(n); err != nil {
+			t.Fatal(err)
+		}
+		if len(c.Nodes) != 1 || c.Nodes[0] == 0 {
+			t.Fatalf("crash %d hits %v; node 0 must be spared", i, c.Nodes)
+		}
+		if i > 0 && c.At < crashes[i-1].At {
+			t.Fatal("crashes out of time order")
+		}
+		// No node is crashed while already down.
+		if until, isDown := downAt[c.Nodes[0]]; isDown && c.At < until {
+			t.Fatalf("node %d crashed at %v while down until %v", c.Nodes[0], c.At, until)
+		}
+		downAt[c.Nodes[0]] = c.At + down
+	}
+	for i, r := range restarts {
+		if r.At != crashes[i].At+down {
+			t.Fatalf("restart %d at %v, want crash+%v", i, r.At, down)
+		}
+	}
+	// Determinism: same seed, same trace.
+	c2, r2 := ChurnTrace(n, 2.0/60, down, 30*time.Second, 300*time.Second, 7)
+	if len(c2) != len(crashes) || len(r2) != len(restarts) {
+		t.Fatal("trace not deterministic")
+	}
+	for i := range c2 {
+		if c2[i].At != crashes[i].At || c2[i].Nodes[0] != crashes[i].Nodes[0] {
+			t.Fatal("trace not deterministic")
+		}
+	}
+	// A different seed should differ.
+	c3, _ := ChurnTrace(n, 2.0/60, down, 30*time.Second, 300*time.Second, 8)
+	same := len(c3) == len(crashes)
+	if same {
+		for i := range c3 {
+			if c3[i].At != crashes[i].At || c3[i].Nodes[0] != crashes[i].Nodes[0] {
+				same = false
+				break
+			}
+		}
+	}
+	if same {
+		t.Fatal("different seeds produced identical traces")
+	}
+}
+
+func TestChurnTraceDegenerate(t *testing.T) {
+	if c, r := ChurnTrace(1, 1, time.Second, 0, time.Minute, 1); c != nil || r != nil {
+		t.Fatal("n=1 should yield no trace")
+	}
+	if c, r := ChurnTrace(10, 0, time.Second, 0, time.Minute, 1); c != nil || r != nil {
+		t.Fatal("rate=0 should yield no trace")
+	}
+}

@@ -35,6 +35,13 @@ type NodeOptions struct {
 	// [0,1]) — for demos and tests on loopback, where the real network
 	// never drops. See examples/udpcluster's -loss flag.
 	SendLoss float64
+	// OnMemberChange observes failure-detector transitions (requires
+	// Config.FailureDetectionEnabled): suspect when probes go
+	// unanswered, confirmed when a member is declared crashed (it is
+	// evicted from this node's gossip targets automatically), alive
+	// when a member refutes or rejoins (it is re-admitted). The
+	// callback runs on the node's gossip goroutine and must be fast.
+	OnMemberChange func(id NodeID, status MemberStatus)
 }
 
 // Node is a single broadcast group member bound to a UDP socket — the
@@ -102,16 +109,32 @@ func NewUDPNode(opts NodeOptions) (*Node, error) {
 	if opts.Deliver != nil {
 		deliver = opts.Deliver
 	}
+	// Detector verdicts maintain the node's own gossip target set:
+	// confirmed members stop receiving fanout, members that prove alive
+	// again are re-admitted.
+	onMembership := func(id gossip.NodeID, status gossip.MemberStatus) {
+		switch status {
+		case gossip.MemberConfirmed:
+			reg.Remove(id)
+		case gossip.MemberAlive:
+			reg.Add(id)
+		}
+		if opts.OnMemberChange != nil {
+			opts.OnMemberChange(id, status)
+		}
+	}
 	node, err := core.NewAdaptiveNode(core.NodeConfig{
-		ID:       NodeID(opts.ID),
-		Gossip:   cfg.gossipParams(),
-		Adaptive: cfg.Adaptive,
-		Core:     cfg.Adaptation,
-		Recovery: cfg.recoveryParams(),
-		Peers:    reg,
-		RNG:      rand.New(rand.NewPCG(uint64(seed), uint64(seed)^0xABCDEF)),
-		Deliver:  deliver,
-		Start:    time.Now(),
+		ID:           NodeID(opts.ID),
+		Gossip:       cfg.gossipParams(),
+		Adaptive:     cfg.Adaptive,
+		Core:         cfg.Adaptation,
+		Recovery:     cfg.recoveryParams(),
+		Failure:      cfg.failureParams(),
+		OnMembership: onMembership,
+		Peers:        reg,
+		RNG:          rand.New(rand.NewPCG(uint64(seed), uint64(seed)^0xABCDEF)),
+		Deliver:      deliver,
+		Start:        time.Now(),
 	})
 	if err != nil {
 		tr.Close()
@@ -148,6 +171,13 @@ func (n *Node) AddPeer(id, addr string) error {
 // RemovePeer drops a member from the gossip target set.
 func (n *Node) RemovePeer(id string) {
 	n.reg.Remove(NodeID(id))
+}
+
+// Members returns the node's current gossip target set (itself
+// included). With failure detection enabled, confirmed-crashed members
+// disappear from this list and rejoining members return to it.
+func (n *Node) Members() []NodeID {
+	return n.reg.IDs()
 }
 
 // Start begins gossiping. Idempotent.
