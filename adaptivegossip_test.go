@@ -1,6 +1,8 @@
 package adaptivegossip
 
 import (
+	"context"
+	"fmt"
 	"sync"
 	"sync/atomic"
 	"testing"
@@ -20,9 +22,9 @@ func TestConfigValidate(t *testing.T) {
 		t.Fatalf("default config invalid: %v", err)
 	}
 	bad := DefaultConfig()
-	bad.Fanout = 0
+	bad.Fanout = -1
 	if err := bad.Validate(); err == nil {
-		t.Fatal("zero fanout accepted")
+		t.Fatal("negative fanout accepted")
 	}
 	bad = DefaultConfig()
 	bad.Adaptation.Window = -1
@@ -34,6 +36,50 @@ func TestConfigValidate(t *testing.T) {
 	if err := bad.Validate(); err != nil {
 		t.Fatalf("non-adaptive config rejected: %v", err)
 	}
+	bad = DefaultConfig()
+	bad.Recovery.Enabled = true
+	bad.Recovery.DigestLength = -1
+	if err := bad.Validate(); err == nil {
+		t.Fatal("bad recovery sub-config accepted")
+	}
+	bad = DefaultConfig()
+	bad.Failure.Enabled = true
+	bad.Failure.IndirectProbes = -1
+	if err := bad.Validate(); err == nil {
+		t.Fatal("bad failure sub-config accepted")
+	}
+}
+
+// TestConfigZeroValueNormalized covers the withDefaults migration away
+// from the old `cfg == (Config{})` comparison: the zero Config and
+// partially-filled configs normalize per field instead of being
+// rejected (or silently replaced wholesale).
+func TestConfigZeroValueNormalized(t *testing.T) {
+	if err := (Config{}).Validate(); err != nil {
+		t.Fatalf("zero config invalid: %v", err)
+	}
+	partial := Config{Period: 20 * time.Millisecond} // everything else zero
+	if err := partial.Validate(); err != nil {
+		t.Fatalf("partially-filled config invalid: %v", err)
+	}
+	norm := partial.withDefaults()
+	if norm.Period != 20*time.Millisecond {
+		t.Fatalf("explicit period overwritten: %v", norm.Period)
+	}
+	if norm.Fanout == 0 || norm.BufferCapacity == 0 || norm.MaxAge == 0 {
+		t.Fatalf("zero fields not normalized: %+v", norm)
+	}
+	node, err := NewNode("zero", Config{})
+	if err != nil {
+		t.Fatalf("zero config rejected by NewNode: %v", err)
+	}
+	defer node.Close()
+	if err := node.Start(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	if cap := node.Snapshot().BufferCap; cap == 0 {
+		t.Fatal("zero config produced zero-capacity buffer")
+	}
 }
 
 func TestClusterDisseminates(t *testing.T) {
@@ -42,17 +88,19 @@ func TestClusterDisseminates(t *testing.T) {
 	perNode := map[NodeID]int{}
 	cluster, err := NewCluster(10, fastConfig(),
 		WithSeed(42),
-		WithDeliver(func(node NodeID, ev Event) {
+		WithDeliver(func(d Delivery) {
 			delivered.Add(1)
 			mu.Lock()
-			perNode[node]++
+			perNode[d.Node]++
 			mu.Unlock()
 		}))
 	if err != nil {
 		t.Fatal(err)
 	}
-	cluster.Start()
-	defer cluster.Stop()
+	if err := cluster.Start(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	defer cluster.Close()
 
 	if !cluster.Publish(3, []byte("hello")) {
 		t.Fatal("publish rejected")
@@ -76,27 +124,235 @@ func TestClusterDisseminates(t *testing.T) {
 	}
 }
 
-// TestClusterRecoversUnderLoss exercises the public recovery knob end
-// to end: a lossy in-memory cluster with a deliberately skinny push
-// (fanout 1, short event lifetime) still reaches full delivery because
-// the anti-entropy subsystem pulls the missing events back.
+// disseminationScenario runs the same workload against a cluster over
+// any transport fabric: every node publishes once, every event must
+// reach every node exactly once.
+func disseminationScenario(t *testing.T, fabric Transport) {
+	t.Helper()
+	const nodes = 6
+	var mu sync.Mutex
+	perEvent := map[EventID]int{}
+	cluster, err := NewCluster(nodes, fastConfig(),
+		WithSeed(17),
+		WithTransport(fabric),
+		WithDeliver(func(d Delivery) {
+			mu.Lock()
+			perEvent[d.Event.ID]++
+			mu.Unlock()
+		}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := cluster.Start(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	defer cluster.Close()
+
+	sent := 0
+	for i := 0; i < nodes; i++ {
+		if cluster.Publish(i, []byte(fmt.Sprintf("scenario-%d", i))) {
+			sent++
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	if sent == 0 {
+		t.Fatal("no publishes admitted")
+	}
+	full := func() int {
+		mu.Lock()
+		defer mu.Unlock()
+		n := 0
+		for _, count := range perEvent {
+			if count == nodes {
+				n++
+			}
+		}
+		return n
+	}
+	deadline := time.Now().Add(10 * time.Second)
+	for time.Now().Before(deadline) && full() < sent {
+		time.Sleep(10 * time.Millisecond)
+	}
+	if got := full(); got != sent {
+		t.Fatalf("%d/%d events reached all %d nodes", got, sent, nodes)
+	}
+	mu.Lock()
+	defer mu.Unlock()
+	for id, count := range perEvent {
+		if count > nodes {
+			t.Fatalf("event %v delivered %d times across %d nodes", id, count, nodes)
+		}
+	}
+}
+
+// TestClusterOverMemoryAndUDPTransports is the tentpole acceptance
+// check: the identical cluster scenario runs over both built-in public
+// transports, exercising the pluggable Transport seam end to end.
+func TestClusterOverMemoryAndUDPTransports(t *testing.T) {
+	t.Run("memory", func(t *testing.T) {
+		fabric, err := NewMemTransport(WithTransportSeed(17))
+		if err != nil {
+			t.Fatal(err)
+		}
+		disseminationScenario(t, fabric)
+	})
+	t.Run("udp", func(t *testing.T) {
+		fabric, err := NewUDPTransport(WithTransportSeed(17))
+		if err != nil {
+			t.Fatal(err)
+		}
+		disseminationScenario(t, fabric)
+	})
+}
+
+// TestEventsStreamMatchesCallback asserts the acceptance criterion
+// that the Events stream delivers exactly what the callback path
+// delivers — same deliveries, per (node, event) multiplicity.
+func TestEventsStreamMatchesCallback(t *testing.T) {
+	type key struct {
+		node NodeID
+		id   EventID
+	}
+	var mu sync.Mutex
+	viaCallback := map[key]int{}
+	cluster, err := NewCluster(5, fastConfig(),
+		WithSeed(23),
+		WithDeliver(func(d Delivery) {
+			mu.Lock()
+			viaCallback[key{d.Node, d.Event.ID}]++
+			mu.Unlock()
+		}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx := context.Background()
+	events := cluster.Events(ctx)
+	viaStream := map[key]int{}
+	streamed := make(chan struct{})
+	go func() {
+		defer close(streamed)
+		for d := range events {
+			viaStream[key{d.Node, d.Event.ID}]++
+		}
+	}()
+	if err := cluster.Start(ctx); err != nil {
+		t.Fatal(err)
+	}
+
+	const toSend = 8
+	sent := 0
+	for i := 0; i < toSend; i++ {
+		if cluster.Publish(i%5, []byte{byte(i)}) {
+			sent++
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	want := sent * 5
+	count := func() int {
+		mu.Lock()
+		defer mu.Unlock()
+		n := 0
+		for _, c := range viaCallback {
+			n += c
+		}
+		return n
+	}
+	deadline := time.Now().Add(10 * time.Second)
+	for time.Now().Before(deadline) && count() < want {
+		time.Sleep(10 * time.Millisecond)
+	}
+	if got := count(); got != want {
+		t.Fatalf("callback saw %d/%d deliveries", got, want)
+	}
+	// Close ends the stream; the consumer drains whatever the callback
+	// saw.
+	cluster.Close()
+	<-streamed
+
+	if st := cluster.Stats(); st.StreamDropped != 0 {
+		t.Fatalf("stream dropped %d deliveries with a live consumer", st.StreamDropped)
+	}
+	mu.Lock()
+	defer mu.Unlock()
+	if len(viaStream) != len(viaCallback) {
+		t.Fatalf("stream saw %d distinct deliveries, callback %d", len(viaStream), len(viaCallback))
+	}
+	for k, c := range viaCallback {
+		if viaStream[k] != c {
+			t.Fatalf("delivery %v: callback %d, stream %d", k, c, viaStream[k])
+		}
+	}
+}
+
+// TestDeliverCallbackSerialized pins the documented DeliverFunc
+// contract: callbacks for one member run on that member's gossip
+// goroutine and are never concurrent with each other.
+func TestDeliverCallbackSerialized(t *testing.T) {
+	const nodes = 6
+	inFlight := make(map[NodeID]*atomic.Int32, nodes)
+	for i := 0; i < nodes; i++ {
+		inFlight[NodeID(fmt.Sprintf("node-%02d", i))] = new(atomic.Int32)
+	}
+	var overlaps, total atomic.Int64
+	cluster, err := NewCluster(nodes, fastConfig(),
+		WithSeed(31),
+		WithDeliver(func(d Delivery) {
+			ctr := inFlight[d.Node]
+			if ctr.Add(1) != 1 {
+				overlaps.Add(1)
+			}
+			time.Sleep(100 * time.Microsecond) // widen any race window
+			ctr.Add(-1)
+			total.Add(1)
+		}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := cluster.Start(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	defer cluster.Close()
+
+	for i := 0; i < 12; i++ {
+		cluster.Publish(i%nodes, []byte{byte(i)})
+		time.Sleep(2 * time.Millisecond)
+	}
+	deadline := time.Now().Add(10 * time.Second)
+	for time.Now().Before(deadline) && total.Load() < 40 {
+		time.Sleep(10 * time.Millisecond)
+	}
+	if total.Load() == 0 {
+		t.Fatal("no deliveries observed")
+	}
+	if n := overlaps.Load(); n != 0 {
+		t.Fatalf("%d concurrent callback invocations for a single member", n)
+	}
+}
+
 func TestClusterRecoversUnderLoss(t *testing.T) {
 	cfg := fastConfig()
 	cfg.Fanout = 1
 	cfg.MaxAge = 3
-	cfg.RecoveryEnabled = true
+	cfg.Recovery.Enabled = true
 
+	// Loss injection now lives on the transport, not the cluster.
+	fabric, err := NewMemTransport(WithTransportSeed(11), WithLoss(0.3))
+	if err != nil {
+		t.Fatal(err)
+	}
 	const nodes, events = 8, 10
 	var delivered atomic.Int64
 	cluster, err := NewCluster(nodes, cfg,
 		WithSeed(11),
-		WithLoss(0.3),
-		WithDeliver(func(node NodeID, ev Event) { delivered.Add(1) }))
+		WithTransport(fabric),
+		WithDeliver(func(d Delivery) { delivered.Add(1) }))
 	if err != nil {
 		t.Fatal(err)
 	}
-	cluster.Start()
-	defer cluster.Stop()
+	if err := cluster.Start(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	defer cluster.Close()
 
 	sent := 0
 	for i := 0; i < events; i++ {
@@ -116,18 +372,11 @@ func TestClusterRecoversUnderLoss(t *testing.T) {
 	if got := delivered.Load(); got != want {
 		t.Fatalf("delivered %d of %d under loss with recovery enabled", got, want)
 	}
-	var recovered uint64
-	for i := 0; i < nodes; i++ {
-		snap, err := cluster.Snapshot(i)
-		if err != nil {
-			t.Fatal(err)
-		}
-		recovered += snap.Recovery.EventsRecovered
-	}
-	if recovered == 0 {
+	st := cluster.Stats()
+	if st.EventsRecovered == 0 {
 		t.Error("full delivery but no events recovered — loss regime too soft to exercise recovery")
 	}
-	t.Logf("recovered %d events across %d nodes", recovered, nodes)
+	t.Logf("recovered %d events across %d nodes", st.EventsRecovered, nodes)
 }
 
 func TestClusterValidation(t *testing.T) {
@@ -135,15 +384,87 @@ func TestClusterValidation(t *testing.T) {
 		t.Fatal("1-node cluster accepted")
 	}
 	bad := fastConfig()
-	bad.Period = 0
+	bad.Period = -1
 	if _, err := NewCluster(4, bad); err == nil {
 		t.Fatal("invalid config accepted")
 	}
-	if _, err := NewCluster(4, fastConfig(), WithLoss(2)); err == nil {
+	if _, err := NewCluster(4, fastConfig(), WithTransport(nil)); err == nil {
+		t.Fatal("nil transport accepted")
+	}
+	if _, err := NewCluster(4, fastConfig(), WithPeers(map[string]string{"x": "y"})); err == nil {
+		t.Fatal("WithPeers accepted by NewCluster")
+	}
+	if _, err := NewCluster(4, fastConfig(), WithNamePrefix("")); err == nil {
+		t.Fatal("empty name prefix accepted")
+	}
+
+	// A transport handed over via WithTransport is owned by the group
+	// even when construction fails: the fabric must be closed, not
+	// leaked back to the caller.
+	tr, err := NewMemTransport()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := NewCluster(1, fastConfig(), WithTransport(tr)); err == nil {
+		t.Fatal("1-node cluster accepted")
+	}
+	if _, err := tr.Endpoint("probe"); err == nil {
+		t.Fatal("fabric still open after failed construction")
+	}
+	tr, err = NewMemTransport()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Option errors are no exception, regardless of option order.
+	if _, err := NewCluster(4, fastConfig(), WithNamePrefix(""), WithTransport(tr)); err == nil {
+		t.Fatal("empty name prefix accepted")
+	}
+	if _, err := tr.Endpoint("probe"); err == nil {
+		t.Fatal("fabric still open after failed option application")
+	}
+}
+
+func TestTransportOptionValidation(t *testing.T) {
+	if _, err := NewMemTransport(WithLoss(2)); err == nil {
 		t.Fatal("invalid loss accepted")
 	}
-	if _, err := NewCluster(4, fastConfig(), WithLatency(5, 1)); err == nil {
+	if _, err := NewMemTransport(WithLatency(5, 1)); err == nil {
 		t.Fatal("invalid latency accepted")
+	}
+	if _, err := NewMemTransport(WithBind("127.0.0.1:0")); err == nil {
+		t.Fatal("WithBind accepted by memory transport")
+	}
+	if _, err := NewMemTransport(WithMaxDatagram(4096)); err == nil {
+		t.Fatal("WithMaxDatagram accepted by memory transport")
+	}
+	if _, err := NewUDPTransport(WithLatency(0, time.Millisecond)); err == nil {
+		t.Fatal("WithLatency accepted by UDP transport")
+	}
+	if _, err := NewUDPTransport(WithMaxDatagram(16)); err == nil {
+		t.Fatal("tiny max datagram accepted")
+	}
+
+	// WithBind pins a single listen address: a second endpoint must be
+	// rejected, not silently double-bound.
+	tr, err := NewUDPTransport(WithBind("127.0.0.1:0"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer tr.Close()
+	if _, err := tr.Endpoint("a"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := tr.Endpoint("b"); err == nil {
+		t.Fatal("second endpoint accepted on a WithBind fabric")
+	}
+	if _, err := tr.Endpoint("a"); err == nil {
+		t.Fatal("duplicate endpoint accepted")
+	}
+	if got := tr.Addr("a"); got == "" {
+		t.Fatal("no address for bound endpoint")
+	}
+	if got := tr.Addr("ghost"); got != "" {
+		t.Fatalf("address %q for unknown endpoint", got)
 	}
 }
 
@@ -152,8 +473,10 @@ func TestClusterSnapshotAndResize(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	cluster.Start()
-	defer cluster.Stop()
+	if err := cluster.Start(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	defer cluster.Close()
 
 	snap, err := cluster.Snapshot(0)
 	if err != nil {
@@ -191,8 +514,10 @@ func TestClusterStatsAggregate(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	cluster.Start()
-	defer cluster.Stop()
+	if err := cluster.Start(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	defer cluster.Close()
 	for i := 0; i < 3; i++ {
 		cluster.Publish(i, []byte{byte(i)})
 	}
@@ -200,6 +525,9 @@ func TestClusterStatsAggregate(t *testing.T) {
 	for time.Now().Before(deadline) {
 		st := cluster.Stats()
 		if st.Delivered >= 18 && st.Published >= 3 {
+			if st.Nodes != 6 {
+				t.Fatalf("Stats.Nodes = %d, want 6", st.Nodes)
+			}
 			return
 		}
 		time.Sleep(20 * time.Millisecond)
@@ -207,35 +535,75 @@ func TestClusterStatsAggregate(t *testing.T) {
 	t.Fatalf("stats never converged: %+v", cluster.Stats())
 }
 
-func TestClusterStopIdempotent(t *testing.T) {
+func TestClusterCloseIdempotent(t *testing.T) {
 	cluster, err := NewCluster(3, fastConfig())
 	if err != nil {
 		t.Fatal(err)
 	}
-	cluster.Start()
-	cluster.Start()
-	cluster.Stop()
-	cluster.Stop()
+	ctx := context.Background()
+	if err := cluster.Start(ctx); err != nil {
+		t.Fatal(err)
+	}
+	if err := cluster.Start(ctx); err != nil { // idempotent while open
+		t.Fatal(err)
+	}
+	if err := cluster.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := cluster.Close(); err != nil {
+		t.Fatalf("second close: %v", err)
+	}
+	if err := cluster.Start(ctx); err == nil {
+		t.Fatal("start after close accepted")
+	}
+}
+
+// TestStartContextCancelClosesGroup: Start is context-aware — cancelling
+// the context tears the group down and ends the Events streams.
+func TestStartContextCancelClosesGroup(t *testing.T) {
+	cluster, err := NewCluster(3, fastConfig(), WithSeed(5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	events := cluster.Events(context.Background())
+	if err := cluster.Start(ctx); err != nil {
+		t.Fatal(err)
+	}
+	cancel()
+	deadline := time.NewTimer(10 * time.Second)
+	defer deadline.Stop()
+	for {
+		select {
+		case _, ok := <-events:
+			if !ok {
+				return // stream closed: the group shut down
+			}
+		case <-deadline.C:
+			t.Fatal("events stream never closed after context cancel")
+		}
+	}
 }
 
 func TestUDPNodePairDisseminates(t *testing.T) {
 	cfg := fastConfig()
+	a, err := NewNode("alpha", cfg, WithSeed(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer a.Close()
 	var got atomic.Int64
-	a, err := NewUDPNode(NodeOptions{
-		ID: "alpha", Bind: "127.0.0.1:0", Config: cfg, Seed: 1,
-	})
+	b, err := NewNode("beta", cfg, WithSeed(2),
+		WithDeliver(func(d Delivery) {
+			if d.Node != "beta" {
+				t.Errorf("delivery attributed to %s", d.Node)
+			}
+			got.Add(1)
+		}))
 	if err != nil {
 		t.Fatal(err)
 	}
-	defer a.Stop()
-	b, err := NewUDPNode(NodeOptions{
-		ID: "beta", Bind: "127.0.0.1:0", Config: cfg, Seed: 2,
-		Deliver: func(ev Event) { got.Add(1) },
-	})
-	if err != nil {
-		t.Fatal(err)
-	}
-	defer b.Stop()
+	defer b.Close()
 
 	// Wire the address book both ways.
 	if err := a.AddPeer("beta", b.Addr()); err != nil {
@@ -244,10 +612,11 @@ func TestUDPNodePairDisseminates(t *testing.T) {
 	if err := b.AddPeer("alpha", a.Addr()); err != nil {
 		t.Fatal(err)
 	}
-	if err := a.Start(); err != nil {
+	ctx := context.Background()
+	if err := a.Start(ctx); err != nil {
 		t.Fatal(err)
 	}
-	if err := b.Start(); err != nil {
+	if err := b.Start(ctx); err != nil {
 		t.Fatal(err)
 	}
 	if !a.Publish([]byte("over the wire")) {
@@ -261,34 +630,93 @@ func TestUDPNodePairDisseminates(t *testing.T) {
 		time.Sleep(10 * time.Millisecond)
 	}
 	if got.Load() < 1 {
-		t.Fatalf("event never crossed UDP; a=%+v b=%+v", a.TransportStats(), b.TransportStats())
+		t.Fatalf("event never crossed UDP; a=%+v b=%+v", a.Stats(), b.Stats())
 	}
 	if a.ID() != "alpha" {
 		t.Fatalf("ID = %s", a.ID())
 	}
+	if a.Addr() == "" {
+		t.Fatal("UDP node reports no address")
+	}
 	if a.Snapshot().BufferCap != cfg.BufferCapacity {
 		t.Fatal("snapshot wrong")
 	}
+	if st := a.Stats(); st.Nodes != 1 || st.Published == 0 {
+		t.Fatalf("node stats %+v", st)
+	}
 }
 
-func TestUDPNodeValidation(t *testing.T) {
-	if _, err := NewUDPNode(NodeOptions{Bind: "127.0.0.1:0"}); err == nil {
+func TestNodeValidation(t *testing.T) {
+	if _, err := NewNode("", Config{}); err == nil {
 		t.Fatal("missing id accepted")
 	}
-	if _, err := NewUDPNode(NodeOptions{ID: "x"}); err == nil {
-		t.Fatal("missing bind accepted")
+	badBind, err := NewUDPTransport(WithBind("nope:xyz"))
+	if err != nil {
+		t.Fatal(err)
 	}
-	if _, err := NewUDPNode(NodeOptions{ID: "x", Bind: "nope:xyz"}); err == nil {
+	if _, err := NewNode("x", Config{}, WithTransport(badBind)); err == nil {
 		t.Fatal("bad bind accepted")
 	}
 	bad := DefaultConfig()
 	bad.MaxAge = -1
-	if _, err := NewUDPNode(NodeOptions{ID: "x", Bind: "127.0.0.1:0", Config: bad}); err == nil {
+	if _, err := NewNode("x", bad); err == nil {
 		t.Fatal("bad config accepted")
 	}
-	if _, err := NewUDPNode(NodeOptions{ID: "x", Bind: "127.0.0.1:0",
-		Peers: map[string]string{"y": "not-valid:addr:xx"}}); err == nil {
+	if _, err := NewNode("x", Config{},
+		WithPeers(map[string]string{"y": "not-valid:addr:xx"})); err == nil {
 		t.Fatal("bad peer addr accepted")
+	}
+	if _, err := NewNode("x", Config{}, WithNamePrefix("n-")); err == nil {
+		t.Fatal("WithNamePrefix accepted by NewNode")
+	}
+	// WithPeers needs an address book; the memory fabric has none.
+	mem, err := NewMemTransport()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := NewNode("x", Config{}, WithTransport(mem),
+		WithPeers(map[string]string{"y": "127.0.0.1:1"})); err == nil {
+		t.Fatal("WithPeers accepted on a transport without an address book")
+	}
+}
+
+// TestNodeAddPeerValidatesAddresses: AddPeer must fail loudly instead
+// of admitting a member with no wire route.
+func TestNodeAddPeerValidatesAddresses(t *testing.T) {
+	udp, err := NewNode("udp-node", Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer udp.Close()
+	if err := udp.AddPeer("peer", ""); err == nil {
+		t.Fatal("empty address accepted by a UDP node")
+	}
+	if err := udp.AddPeer("peer", "not:valid:addr:xx"); err == nil {
+		t.Fatal("malformed address accepted by a UDP node")
+	}
+	if len(udp.Members()) != 1 {
+		t.Fatalf("failed AddPeer still grew the member set: %v", udp.Members())
+	}
+
+	// The memory fabric routes by id: no address book, so a non-empty
+	// address is an error and "" is the way to add members.
+	mem, err := NewMemTransport()
+	if err != nil {
+		t.Fatal(err)
+	}
+	node, err := NewNode("mem-node", Config{}, WithTransport(mem))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer node.Close()
+	if err := node.AddPeer("peer", "127.0.0.1:9"); err == nil {
+		t.Fatal("address accepted by a transport without an address book")
+	}
+	if err := node.AddPeer("peer", ""); err != nil {
+		t.Fatalf("id-routed AddPeer failed: %v", err)
+	}
+	if len(node.Members()) != 2 {
+		t.Fatalf("members %v", node.Members())
 	}
 }
 
@@ -339,21 +767,23 @@ func TestSimulateRealtimeFacade(t *testing.T) {
 func TestClusterFailureDetectionHealthy(t *testing.T) {
 	var delivered atomic.Int64
 	cfg := fastConfig()
-	cfg.FailureDetectionEnabled = true
+	cfg.Failure.Enabled = true
 	// Generous suspicion window: with 20ms rounds a node only has to
 	// stall ~8 rounds to be falsely confirmed, which slowed-down CI
 	// runs (-race, shared runners) can hit. 40 rounds of grace keeps
 	// the "no false confirms in a healthy cluster" property meaningful
 	// without making it a scheduler-latency test.
-	cfg.FailureSuspicionTimeout = 40
+	cfg.Failure.SuspicionTimeout = 40
 	cluster, err := NewCluster(8, cfg,
 		WithSeed(7),
-		WithDeliver(func(node NodeID, ev Event) { delivered.Add(1) }))
+		WithDeliver(func(d Delivery) { delivered.Add(1) }))
 	if err != nil {
 		t.Fatal(err)
 	}
-	cluster.Start()
-	defer cluster.Stop()
+	if err := cluster.Start(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	defer cluster.Close()
 
 	// Let a good number of probe rounds elapse.
 	time.Sleep(30 * cfg.Period)
@@ -367,59 +797,52 @@ func TestClusterFailureDetectionHealthy(t *testing.T) {
 	if got := delivered.Load(); got != 8 {
 		t.Fatalf("delivered to %d/8 nodes with detector on", got)
 	}
-	var probes, confirms uint64
-	for i := 0; i < cluster.Len(); i++ {
-		snap, err := cluster.Snapshot(i)
-		if err != nil {
-			t.Fatal(err)
-		}
-		probes += snap.Failure.ProbesSent
-		confirms += snap.Failure.Confirms
-	}
-	if probes == 0 {
+	st := cluster.Stats()
+	if st.ProbesSent == 0 {
 		t.Fatal("detector enabled but no probes sent")
 	}
-	if confirms != 0 {
-		t.Fatalf("%d live members confirmed dead in a healthy cluster", confirms)
+	if st.Confirms != 0 {
+		t.Fatalf("%d live members confirmed dead in a healthy cluster", st.Confirms)
 	}
 }
 
-// TestUDPNodeMembersEviction: the UDP facade evicts a stopped peer
+// TestUDPNodeMembersEviction: the node facade evicts a stopped peer
 // from the survivor's member list after detection and reports the
-// transitions through OnMemberChange.
+// transitions through WithOnMemberChange.
 func TestUDPNodeMembersEviction(t *testing.T) {
 	cfg := fastConfig()
-	cfg.FailureDetectionEnabled = true
+	cfg.Failure.Enabled = true
 	// Enough suspicion grace that a scheduler stall on a loaded CI
 	// runner cannot falsely bury a live peer, while still confirming
 	// the genuinely-dead one quickly at 20ms rounds.
-	cfg.FailureSuspicionTimeout = 8
+	cfg.Failure.SuspicionTimeout = 8
 
 	var transitions sync.Map
-	mk := func(id string, onChange func(NodeID, MemberStatus)) *Node {
-		n, err := NewUDPNode(NodeOptions{
-			ID: id, Bind: "127.0.0.1:0", Config: cfg, Seed: int64(len(id)) + 9,
-			OnMemberChange: onChange,
-		})
+	mk := func(id string, opts ...Option) *Node {
+		n, err := NewNode(id, cfg, append(opts, WithSeed(int64(len(id))+9))...)
 		if err != nil {
 			t.Fatal(err)
 		}
 		return n
 	}
-	a := mk("alpha", func(id NodeID, st MemberStatus) {
-		transitions.Store(string(id)+":"+st.String(), true)
-	})
-	b := mk("beta", nil)
-	c := mk("gamma", nil)
-	defer a.Stop()
-	defer c.Stop()
+	a := mk("alpha", WithOnMemberChange(func(node, peer NodeID, st MemberStatus) {
+		if node != "alpha" {
+			t.Errorf("transition attributed to %s", node)
+		}
+		transitions.Store(string(peer)+":"+st.String(), true)
+	}))
+	b := mk("beta")
+	c := mk("gamma")
+	defer a.Close()
+	defer c.Close()
 	for _, pair := range [][2]*Node{{a, b}, {b, a}, {a, c}, {c, a}, {b, c}, {c, b}} {
 		if err := pair[0].AddPeer(string(pair[1].ID()), pair[1].Addr()); err != nil {
 			t.Fatal(err)
 		}
 	}
+	ctx := context.Background()
 	for _, n := range []*Node{a, b, c} {
-		if err := n.Start(); err != nil {
+		if err := n.Start(ctx); err != nil {
 			t.Fatal(err)
 		}
 	}
@@ -430,7 +853,7 @@ func TestUDPNodeMembersEviction(t *testing.T) {
 	// Kill beta; alpha should confirm and evict it while keeping gamma
 	// (a transient false eviction of gamma self-heals via revival, so
 	// wait for the converged state rather than a member count).
-	b.Stop()
+	b.Close()
 	settled := func() bool {
 		hasBeta, hasGamma := false, false
 		for _, id := range a.Members() {

@@ -1,6 +1,7 @@
 package adaptivegossip
 
 import (
+	"context"
 	"fmt"
 	"math/rand/v2"
 	"sync"
@@ -10,142 +11,97 @@ import (
 	"adaptivegossip/internal/gossip"
 	"adaptivegossip/internal/membership"
 	"adaptivegossip/internal/runtime"
-	"adaptivegossip/internal/transport"
 )
-
-// DeliverFunc observes deliveries across a cluster.
-type DeliverFunc func(node NodeID, ev Event)
 
 // NodeSnapshot is a point-in-time view of one node's state.
 type NodeSnapshot = runtime.NodeSnapshot
 
 // Cluster is an in-process broadcast group: one goroutine-driven node
-// per member, connected by an in-memory message fabric with optional
-// latency and loss injection. It is the quickest way to exercise the
-// protocol and the backbone of the examples.
+// per member, connected by a pluggable message fabric — the in-memory
+// fabric by default, real loopback UDP (or any custom Transport) via
+// WithTransport. It is the quickest way to exercise the protocol and
+// the backbone of the examples.
 type Cluster struct {
 	cfg     Config
 	names   []NodeID
-	net     *transport.MemNetwork
+	fabric  Transport
+	eps     []Endpoint
 	regs    []*membership.Registry // one per node: detector verdicts are per-observer
 	runners []*runtime.Runner
+	hub     *streamHub
 
-	mu      sync.Mutex
-	started bool
-	stopped bool
+	mu        sync.Mutex
+	started   bool
+	epStarted int // endpoints [0, epStarted) have live receive loops
+	closed    bool
+	done      chan struct{}
 }
 
-type clusterOptions struct {
-	seed       int64
-	latencyMin time.Duration
-	latencyMax time.Duration
-	loss       float64
-	deliver    DeliverFunc
-	prefix     string
-}
-
-// ClusterOption configures NewCluster.
-type ClusterOption func(*clusterOptions) error
-
-// WithSeed fixes the cluster's randomness for reproducible runs.
-func WithSeed(seed int64) ClusterOption {
-	return func(o *clusterOptions) error {
-		o.seed = seed
-		return nil
-	}
-}
-
-// WithLatency injects uniform delivery latency into the fabric.
-func WithLatency(min, max time.Duration) ClusterOption {
-	return func(o *clusterOptions) error {
-		if min < 0 || max < min {
-			return fmt.Errorf("adaptivegossip: invalid latency bounds [%v, %v]", min, max)
+// NewCluster builds an n-node cluster with the given configuration and
+// the shared option set (WithSeed, WithDeliver, WithTransport,
+// WithOnMemberChange, WithNamePrefix). Call Start to begin gossiping
+// and Close to tear everything down.
+func NewCluster(n int, cfg Config, opts ...Option) (*Cluster, error) {
+	o, oerr := applyOptions(facadeCluster, groupOptions{seed: 1, prefix: "node-"}, opts)
+	// Any failure from here on closes a handed-over transport: the
+	// group owns it from the moment WithTransport is applied.
+	fail := func(err error) (*Cluster, error) {
+		if o.fabric != nil {
+			o.fabric.Close()
 		}
-		o.latencyMin, o.latencyMax = min, max
-		return nil
+		return nil, err
 	}
-}
-
-// WithLoss injects iid message loss into the fabric.
-func WithLoss(p float64) ClusterOption {
-	return func(o *clusterOptions) error {
-		if p < 0 || p > 1 {
-			return fmt.Errorf("adaptivegossip: loss probability %v out of [0,1]", p)
-		}
-		o.loss = p
-		return nil
+	if oerr != nil {
+		return fail(oerr)
 	}
-}
-
-// WithDeliver observes every delivery in the cluster. The callback
-// runs on node goroutines and must be fast and thread-safe.
-func WithDeliver(fn DeliverFunc) ClusterOption {
-	return func(o *clusterOptions) error {
-		o.deliver = fn
-		return nil
-	}
-}
-
-// WithNamePrefix sets the node name prefix (default "node-").
-func WithNamePrefix(prefix string) ClusterOption {
-	return func(o *clusterOptions) error {
-		o.prefix = prefix
-		return nil
-	}
-}
-
-// NewCluster builds an n-node cluster with the given configuration.
-// Call Start to begin gossiping and Stop to tear everything down.
-func NewCluster(n int, cfg Config, opts ...ClusterOption) (*Cluster, error) {
 	if n < 2 {
-		return nil, fmt.Errorf("adaptivegossip: cluster needs at least 2 nodes, got %d", n)
+		return fail(fmt.Errorf("adaptivegossip: cluster needs at least 2 nodes, got %d", n))
 	}
 	cfg = cfg.withDefaults()
 	if err := cfg.Validate(); err != nil {
-		return nil, err
-	}
-	o := clusterOptions{seed: 1, prefix: "node-"}
-	for _, opt := range opts {
-		if err := opt(&o); err != nil {
-			return nil, err
-		}
+		return fail(err)
 	}
 
-	memOpts := []transport.MemOption{transport.WithMemSeed(uint64(o.seed) + 0x5EED)}
-	if o.latencyMax > 0 {
-		memOpts = append(memOpts, transport.WithMemLatency(o.latencyMin, o.latencyMax))
+	if o.fabric == nil {
+		fabric, err := NewMemTransport(WithTransportSeed(o.seed))
+		if err != nil {
+			return fail(err)
+		}
+		o.fabric = fabric
 	}
-	if o.loss > 0 {
-		memOpts = append(memOpts, transport.WithMemLoss(o.loss))
-	}
-	net, err := transport.NewMemNetwork(memOpts...)
-	if err != nil {
-		return nil, err
-	}
+	fabric := o.fabric
 
 	names := make([]NodeID, n)
 	for i := range names {
 		names[i] = NodeID(fmt.Sprintf("%s%02d", o.prefix, i))
 	}
-	c := &Cluster{cfg: cfg, names: names, net: net}
+	c := &Cluster{
+		cfg:    cfg,
+		names:  names,
+		fabric: fabric,
+		hub:    newStreamHub(),
+		done:   make(chan struct{}),
+	}
 	var shared *membership.Registry
-	if !cfg.FailureDetectionEnabled {
+	if !cfg.Failure.Enabled {
 		shared = membership.NewRegistry(names...)
 	}
 
 	for i := range names {
 		name := names[i]
-		var deliver gossip.DeliverFunc
-		if o.deliver != nil {
-			fn := o.deliver
-			deliver = func(ev Event) { fn(name, ev) }
+		deliver := func(ev Event) {
+			d := Delivery{Node: name, Event: ev}
+			c.hub.publish(d)
+			if o.deliver != nil {
+				o.deliver(d)
+			}
 		}
 		// With failure detection, each node owns its membership view so
 		// a detector's verdicts evict from (and re-admit to) that
 		// node's gossip targets only. Without it the views never
 		// diverge, so all nodes share one registry.
 		reg := shared
-		if cfg.FailureDetectionEnabled {
+		if cfg.Failure.Enabled {
 			reg = membership.NewRegistry(names...)
 		}
 		c.regs = append(c.regs, reg)
@@ -154,14 +110,17 @@ func NewCluster(n int, cfg Config, opts ...ClusterOption) (*Cluster, error) {
 			Gossip:   cfg.gossipParams(),
 			Adaptive: cfg.Adaptive,
 			Core:     cfg.Adaptation,
-			Recovery: cfg.recoveryParams(),
-			Failure:  cfg.failureParams(),
-			OnMembership: func(id gossip.NodeID, status gossip.MemberStatus) {
+			Recovery: cfg.Recovery.params(),
+			Failure:  cfg.Failure.params(),
+			OnMembership: func(peer gossip.NodeID, status gossip.MemberStatus) {
 				switch status {
 				case gossip.MemberConfirmed:
-					reg.Remove(id)
+					reg.Remove(peer)
 				case gossip.MemberAlive:
-					reg.Add(id)
+					reg.Add(peer)
+				}
+				if o.onMember != nil {
+					o.onMember(name, peer, status)
 				}
 			},
 			Peers:   reg,
@@ -170,14 +129,13 @@ func NewCluster(n int, cfg Config, opts ...ClusterOption) (*Cluster, error) {
 			Start:   time.Now(),
 		})
 		if err != nil {
-			net.Close()
-			return nil, err
+			return fail(err)
 		}
-		ep, err := net.Endpoint(name)
+		ep, err := fabric.Endpoint(name)
 		if err != nil {
-			net.Close()
-			return nil, err
+			return fail(err)
 		}
+		c.eps = append(c.eps, ep)
 		r, err := runtime.NewRunner(runtime.Config{
 			Node:      node,
 			Transport: ep,
@@ -185,8 +143,7 @@ func NewCluster(n int, cfg Config, opts ...ClusterOption) (*Cluster, error) {
 			PhaseSeed: uint64(o.seed)*2_654_435_761 + uint64(i) + 1,
 		})
 		if err != nil {
-			net.Close()
-			return nil, err
+			return fail(err)
 		}
 		c.runners = append(c.runners, r)
 	}
@@ -201,32 +158,73 @@ func (c *Cluster) Nodes() []NodeID {
 	return append([]NodeID(nil), c.names...)
 }
 
-// Start launches every node. Idempotent.
-func (c *Cluster) Start() {
+// Start launches every node. Cancelling ctx closes the cluster; a
+// closed cluster cannot be restarted. Idempotent while open — every
+// context passed to Start is watched, so cancelling any of them closes
+// the cluster. A transient endpoint failure may be retried: already
+// started endpoints are not started twice.
+func (c *Cluster) Start(ctx context.Context) error {
+	if ctx == nil {
+		return fmt.Errorf("adaptivegossip: nil context")
+	}
 	c.mu.Lock()
 	defer c.mu.Unlock()
-	if c.started {
-		return
+	if c.closed {
+		return fmt.Errorf("adaptivegossip: cluster closed")
 	}
-	c.started = true
+	if c.started {
+		watchContext(ctx, c.done, c.Close)
+		return nil
+	}
+	for ; c.epStarted < len(c.eps); c.epStarted++ {
+		if s, ok := c.eps[c.epStarted].(starter); ok {
+			if err := s.Start(); err != nil {
+				return err
+			}
+		}
+	}
 	for _, r := range c.runners {
 		r.Start()
 	}
+	c.started = true
+	watchContext(ctx, c.done, c.Close)
+	return nil
 }
 
-// Stop terminates every node and the fabric. Idempotent.
-func (c *Cluster) Stop() {
+// Close terminates every node, the fabric and every Events stream.
+// Idempotent; later calls return nil.
+func (c *Cluster) Close() error {
 	c.mu.Lock()
-	if c.stopped {
+	if c.closed {
 		c.mu.Unlock()
-		return
+		return nil
 	}
-	c.stopped = true
+	c.closed = true
 	c.mu.Unlock()
+	close(c.done)
 	for _, r := range c.runners {
 		r.Stop()
 	}
-	c.net.Close()
+	var first error
+	for _, ep := range c.eps {
+		if err := ep.Close(); err != nil && first == nil {
+			first = err
+		}
+	}
+	if err := c.fabric.Close(); err != nil && first == nil {
+		first = err
+	}
+	c.hub.close()
+	return first
+}
+
+// Events returns a stream of every delivery in the cluster. From
+// subscription onward the stream sees every delivery the WithDeliver
+// callback sees; it is closed when ctx is cancelled or the cluster is
+// closed. A subscriber that falls more than DefaultEventStreamBuffer
+// behind loses deliveries (counted in Stats.StreamDropped).
+func (c *Cluster) Events(ctx context.Context) <-chan Delivery {
+	return c.hub.subscribe(ctx)
 }
 
 func (c *Cluster) runner(i int) (*runtime.Runner, error) {
@@ -266,7 +264,7 @@ func (c *Cluster) Snapshot(i int) (NodeSnapshot, error) {
 }
 
 // Members returns node i's current gossip target set (itself
-// included). With FailureDetectionEnabled, confirmed-crashed members
+// included). With Config.Failure.Enabled, confirmed-crashed members
 // disappear from the node's view and rejoining members return to it;
 // otherwise all nodes share one static view.
 func (c *Cluster) Members(i int) ([]NodeID, error) {
@@ -276,37 +274,12 @@ func (c *Cluster) Members(i int) ([]NodeID, error) {
 	return c.regs[i].IDs(), nil
 }
 
-// ClusterStats aggregates per-node counters.
-type ClusterStats struct {
-	Published       uint64
-	Delivered       uint64
-	DroppedCapacity uint64
-	DroppedExpired  uint64
-	MessagesSent    uint64
-	MinAllowedRate  float64
-	MaxAllowedRate  float64
-	SumAllowedRate  float64
-}
-
-// Stats aggregates counters across the cluster.
-func (c *Cluster) Stats() ClusterStats {
-	var st ClusterStats
-	first := true
+// Stats aggregates the unified counter snapshot across the cluster.
+func (c *Cluster) Stats() Stats {
+	var st Stats
 	for _, r := range c.runners {
-		snap := r.Snapshot()
-		st.Published += snap.Adaptive.Published
-		st.Delivered += snap.Gossip.Delivered
-		st.DroppedCapacity += snap.Gossip.DroppedCapacity
-		st.DroppedExpired += snap.Gossip.DroppedExpired
-		st.MessagesSent += snap.Gossip.MessagesSent
-		st.SumAllowedRate += snap.AllowedRate
-		if first || snap.AllowedRate < st.MinAllowedRate {
-			st.MinAllowedRate = snap.AllowedRate
-		}
-		if first || snap.AllowedRate > st.MaxAllowedRate {
-			st.MaxAllowedRate = snap.AllowedRate
-		}
-		first = false
+		st.add(r.Snapshot())
 	}
+	st.StreamDropped = c.hub.droppedCount()
 	return st
 }

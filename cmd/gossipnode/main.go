@@ -12,6 +12,7 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
@@ -73,21 +74,23 @@ func run(args []string) error {
 		cfg.Adaptation.MaxRate = 4 * *rate
 	}
 
-	var delivered atomic.Int64
-	node, err := adaptivegossip.NewUDPNode(adaptivegossip.NodeOptions{
-		ID:     *id,
-		Bind:   *bind,
-		Peers:  peerBook,
-		Config: cfg,
-		Deliver: func(ev adaptivegossip.Event) {
-			delivered.Add(1)
-		},
-	})
+	tr, err := adaptivegossip.NewUDPTransport(adaptivegossip.WithBind(*bind))
 	if err != nil {
 		return err
 	}
-	defer node.Stop()
-	if err := node.Start(); err != nil {
+	var delivered atomic.Int64
+	node, err := adaptivegossip.NewNode(*id, cfg,
+		adaptivegossip.WithTransport(tr),
+		adaptivegossip.WithPeers(peerBook),
+		adaptivegossip.WithDeliver(func(d adaptivegossip.Delivery) {
+			delivered.Add(1)
+		}))
+	if err != nil {
+		// NewNode owns tr from WithTransport on: it is closed on failure.
+		return err
+	}
+	defer node.Close()
+	if err := node.Start(context.Background()); err != nil {
 		return err
 	}
 	fmt.Printf("node %s listening on %s, %d peers, adaptive=%v\n",
@@ -123,9 +126,9 @@ func run(args []string) error {
 			return nil
 		case <-ticker.C:
 			snap := node.Snapshot()
-			tr := node.TransportStats()
+			wire := tr.Stats()
 			line := fmt.Sprintf("delivered=%d buffer=%d/%d sent=%dB recv=%dB",
-				delivered.Load(), snap.BufferLen, snap.BufferCap, tr.SentBytes, tr.RecvBytes)
+				delivered.Load(), snap.BufferLen, snap.BufferCap, wire.SentBytes, wire.RecvBytes)
 			if *adaptive {
 				line += fmt.Sprintf(" allowed=%.2f/s minBuff=%d avgAge=%.2f",
 					snap.AllowedRate, snap.MinBuff, snap.AvgAge)

@@ -39,19 +39,88 @@ const (
 	MemberConfirmed = gossip.MemberConfirmed
 )
 
-// Config configures a broadcast node or cluster.
+// DefaultPeriod is the gossip round interval applied when Config.Period
+// is zero — suited to in-process clusters; set 5s for paper-faithful
+// deployments.
+const DefaultPeriod = 250 * time.Millisecond
+
+// RecoveryConfig groups the anti-entropy subsystem's knobs
+// (internal/recovery): with Enabled set, every gossip round piggybacks
+// a digest of recently-seen event IDs and receivers pull events they
+// missed — repairing losses that pure push gossip cannot. Orthogonal to
+// Adaptive and Failure.
+type RecoveryConfig struct {
+	// Enabled turns the subsystem on.
+	Enabled bool
+	// DigestLength is the number of event IDs advertised per gossip
+	// message. Zero means the subsystem default.
+	DigestLength int
+	// RequestBudget caps the missing events pulled per round. Zero
+	// means the subsystem default.
+	RequestBudget int
+}
+
+func (c RecoveryConfig) params() recovery.Params {
+	return recovery.Params{
+		Enabled:       c.Enabled,
+		DigestLen:     c.DigestLength,
+		RequestBudget: c.RequestBudget,
+	}
+}
+
+// FailureConfig groups the SWIM-style failure detector's knobs
+// (internal/failure): with Enabled set, each gossip round the node
+// pings one random view member, escalates unanswered probes through
+// indirect ping-reqs to a suspect→confirm state machine, and
+// piggybacks the resulting alive/suspect/confirm rumors on gossip.
+// Confirmed members are evicted from the node's membership so fanout
+// stops being wasted on the dead. Orthogonal to Adaptive and Recovery.
+type FailureConfig struct {
+	// Enabled turns the detector on.
+	Enabled bool
+	// ProbePeriod is how often a probe is launched, in gossip rounds.
+	// Zero means the subsystem default (every round).
+	ProbePeriod int
+	// SuspicionTimeout is how many rounds a suspect may refute before
+	// being confirmed crashed. Zero means the subsystem default.
+	SuspicionTimeout int
+	// IndirectProbes is k, the number of proxies asked to probe an
+	// unresponsive target. Zero means the subsystem default.
+	IndirectProbes int
+}
+
+func (c FailureConfig) params() failure.Params {
+	return failure.Params{
+		Enabled:                c.Enabled,
+		ProbePeriodRounds:      c.ProbePeriod,
+		SuspicionTimeoutRounds: c.SuspicionTimeout,
+		IndirectProbes:         c.IndirectProbes,
+	}
+}
+
+// Config configures a broadcast node, cluster or pub/sub group. Knobs
+// are grouped per mechanism: the base protocol's parameters live at the
+// top level; each subsystem (Adaptation, Recovery, Failure) owns a
+// nested sub-config.
+//
+// The zero Config is usable: zero-valued protocol fields are normalized
+// to the paper's calibrated defaults at construction, and every
+// subsystem defaults to off. DefaultConfig additionally enables the
+// adaptation mechanism.
 type Config struct {
 	// Fanout is the number of gossip targets per round (paper: 4).
+	// Zero means the default.
 	Fanout int
-	// Period is the gossip round interval (paper: 5s; scale it down
-	// for in-process clusters).
+	// Period is the gossip round interval (paper: 5s). Zero means
+	// DefaultPeriod.
 	Period time.Duration
-	// BufferCapacity bounds the events buffer (|events|max).
+	// BufferCapacity bounds the events buffer (|events|max). Zero
+	// means the default.
 	BufferCapacity int
 	// IDCacheCapacity bounds the duplicate-suppression set. Zero
 	// derives it from BufferCapacity.
 	IDCacheCapacity int
-	// MaxAge is the age purge bound k.
+	// MaxAge is the age purge bound k. Zero means the default.
 	MaxAge int
 	// Adaptive enables the paper's adaptation mechanism. Disabled, the
 	// node is plain lpbcast with no input bound.
@@ -59,46 +128,18 @@ type Config struct {
 	// Adaptation parametrizes the mechanism. The zero value means
 	// DefaultConfig's calibrated defaults.
 	Adaptation AdaptationConfig
-
-	// RecoveryEnabled turns on the digest-based anti-entropy subsystem
-	// (internal/recovery): every gossip round piggybacks a digest of
-	// recently-seen event IDs, and receivers pull events they missed —
-	// repairing losses that pure push gossip cannot. Orthogonal to
-	// Adaptive.
-	RecoveryEnabled bool
-	// RecoveryDigestLength is the number of event IDs advertised per
-	// gossip message. Zero means the subsystem default.
-	RecoveryDigestLength int
-	// RecoveryRequestBudget caps the missing events pulled per round.
-	// Zero means the subsystem default.
-	RecoveryRequestBudget int
-
-	// FailureDetectionEnabled turns on the SWIM-style failure detector
-	// (internal/failure): each gossip round the node pings one random
-	// view member, escalates unanswered probes through indirect
-	// ping-reqs to a suspect→confirm state machine, and piggybacks the
-	// resulting alive/suspect/confirm rumors on gossip. Confirmed
-	// members are evicted from the node's membership so fanout stops
-	// being wasted on the dead. Orthogonal to Adaptive and Recovery.
-	FailureDetectionEnabled bool
-	// FailureProbePeriod is how often a probe is launched, in gossip
-	// rounds. Zero means the subsystem default (every round).
-	FailureProbePeriod int
-	// FailureSuspicionTimeout is how many rounds a suspect may refute
-	// before being confirmed crashed. Zero means the subsystem default.
-	FailureSuspicionTimeout int
-	// FailureIndirectProbes is k, the number of proxies asked to probe
-	// an unresponsive target. Zero means the subsystem default.
-	FailureIndirectProbes int
+	// Recovery configures the digest-based anti-entropy subsystem.
+	Recovery RecoveryConfig
+	// Failure configures the SWIM-style failure detector.
+	Failure FailureConfig
 }
 
 // DefaultConfig returns the paper's protocol configuration with a
-// 250 ms period (suited to in-process clusters; set Period to 5s for
-// paper-faithful deployments) and adaptation enabled.
+// DefaultPeriod round interval and adaptation enabled.
 func DefaultConfig() Config {
 	return Config{
 		Fanout:         gossip.DefaultFanout,
-		Period:         250 * time.Millisecond,
+		Period:         DefaultPeriod,
 		BufferCapacity: gossip.DefaultMaxEvents,
 		MaxAge:         gossip.DefaultMaxAge,
 		Adaptive:       true,
@@ -106,7 +147,24 @@ func DefaultConfig() Config {
 	}
 }
 
+// withDefaults normalizes the configuration: every zero-valued protocol
+// field takes its calibrated default. Explicit normalization (rather
+// than comparing against the zero Config) keeps partially-filled
+// configs predictable and survives Config gaining non-comparable
+// fields.
 func (c Config) withDefaults() Config {
+	if c.Fanout == 0 {
+		c.Fanout = gossip.DefaultFanout
+	}
+	if c.Period == 0 {
+		c.Period = DefaultPeriod
+	}
+	if c.BufferCapacity == 0 {
+		c.BufferCapacity = gossip.DefaultMaxEvents
+	}
+	if c.MaxAge == 0 {
+		c.MaxAge = gossip.DefaultMaxAge
+	}
 	if c.Adaptation == (AdaptationConfig{}) {
 		c.Adaptation = core.DefaultParams()
 	}
@@ -123,24 +181,9 @@ func (c Config) gossipParams() gossip.Params {
 	}
 }
 
-func (c Config) recoveryParams() recovery.Params {
-	return recovery.Params{
-		Enabled:       c.RecoveryEnabled,
-		DigestLen:     c.RecoveryDigestLength,
-		RequestBudget: c.RecoveryRequestBudget,
-	}
-}
-
-func (c Config) failureParams() failure.Params {
-	return failure.Params{
-		Enabled:                c.FailureDetectionEnabled,
-		ProbePeriodRounds:      c.FailureProbePeriod,
-		SuspicionTimeoutRounds: c.FailureSuspicionTimeout,
-		IndirectProbes:         c.FailureIndirectProbes,
-	}
-}
-
-// Validate reports the first configuration error.
+// Validate reports the first configuration error. Zero-valued fields
+// are normalized to their defaults before checking, so only explicitly
+// invalid values (negative bounds, out-of-range parameters) fail.
 func (c Config) Validate() error {
 	c = c.withDefaults()
 	if err := c.gossipParams().Validate(); err != nil {
@@ -151,13 +194,13 @@ func (c Config) Validate() error {
 			return fmt.Errorf("adaptivegossip: %w", err)
 		}
 	}
-	if c.RecoveryEnabled {
-		if err := c.recoveryParams().Validate(); err != nil {
+	if c.Recovery.Enabled {
+		if err := c.Recovery.params().Validate(); err != nil {
 			return fmt.Errorf("adaptivegossip: %w", err)
 		}
 	}
-	if c.FailureDetectionEnabled {
-		if err := c.failureParams().Validate(); err != nil {
+	if c.Failure.Enabled {
+		if err := c.Failure.params().Validate(); err != nil {
 			return fmt.Errorf("adaptivegossip: %w", err)
 		}
 	}

@@ -5,26 +5,58 @@
 // emission rate to the buffering resources of the most constrained
 // group member and to the global congestion level.
 //
-// # Quick start
+// # One construction path
+//
+// The protocol is one state machine deployed in three shapes, and all
+// three facades construct the same way: a Config (nested per-mechanism
+// sub-configs), a shared functional-option set (WithSeed, WithDeliver,
+// WithTransport, WithOnMemberChange, ...) and a pluggable Transport.
 //
 // An in-process cluster with adaptation enabled:
 //
 //	cfg := adaptivegossip.DefaultConfig()
 //	cluster, err := adaptivegossip.NewCluster(16, cfg,
-//		adaptivegossip.WithDeliver(func(node adaptivegossip.NodeID, ev adaptivegossip.Event) {
-//			fmt.Printf("%s delivered %s\n", node, ev.ID)
+//		adaptivegossip.WithDeliver(func(d adaptivegossip.Delivery) {
+//			fmt.Printf("%s delivered %s\n", d.Node, d.Event.ID)
 //		}))
 //	if err != nil { ... }
-//	cluster.Start()
-//	defer cluster.Stop()
+//	ctx := context.Background()
+//	if err := cluster.Start(ctx); err != nil { ... }
+//	defer cluster.Close()
 //	cluster.Publish(0, []byte("hello group"))
 //
-// A node on a real network uses NewUDPNode with an address book of
-// peers; see examples/udpcluster.
+// A node on a real network uses NewNode over a UDP transport with an
+// address book of peers; see ExampleNewNode and examples/udpcluster:
+//
+//	tr, err := adaptivegossip.NewUDPTransport(adaptivegossip.WithBind("0.0.0.0:7946"))
+//	node, err := adaptivegossip.NewNode("host-1", cfg,
+//		adaptivegossip.WithTransport(tr),
+//		adaptivegossip.WithPeers(map[string]string{"host-2": "10.0.0.2:7946"}))
+//
+// # Transports
+//
+// Transport is a public seam: the built-in fabrics are NewMemTransport
+// (in-process, with WithLoss/WithLatency injection) and NewUDPTransport
+// (real datagrams, with WithBind/WithLoss/WithMaxDatagram); any custom
+// fabric — TCP, QUIC, a deterministic mock — plugs in by implementing
+// the two-method Transport interface. The same cluster scenario runs
+// unchanged over memory and UDP.
+//
+// # Delivery streams and callbacks
+//
+// Deliveries surface two ways: the WithDeliver callback (invoked on
+// the delivering member's gossip goroutine — fast, non-blocking
+// observers) and the Events stream, a context-cancellable channel of
+// Delivery{Node, Topic, Event} for pull-based consumers. Both observe
+// the same delivery feed; a stream subscriber sees every delivery from
+// the moment it subscribes unless it falls more than
+// DefaultEventStreamBuffer behind (drops are counted in
+// Stats.StreamDropped). All facades also expose a unified Stats
+// snapshot with the same shape.
 //
 // # Loss recovery
 //
-// Setting Config.RecoveryEnabled turns on a digest-based anti-entropy
+// Setting Config.Recovery.Enabled turns on a digest-based anti-entropy
 // subsystem (internal/recovery): every gossip round piggybacks a
 // compact digest of recently-seen event IDs, receivers pull the events
 // they missed from the digest's sender, and senders serve the
@@ -34,7 +66,7 @@
 //
 // # Failure detection
 //
-// Setting Config.FailureDetectionEnabled turns on a SWIM-style failure
+// Setting Config.Failure.Enabled turns on a SWIM-style failure
 // detector (internal/failure): each gossip round the node pings one
 // random member, escalates unanswered probes through indirect
 // ping-reqs to a suspect→confirm state machine, and piggybacks the
@@ -61,5 +93,6 @@
 // failure detection) owned by a driver: the
 // discrete-event scheduler (internal/sim) for simulations, or one
 // goroutine per node (internal/runtime) for real deployments. README.md
-// documents the full package map.
+// documents the full package map; API_STABILITY.md states the
+// compatibility policy for this surface.
 package adaptivegossip

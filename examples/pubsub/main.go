@@ -1,5 +1,5 @@
 // Pub/sub with shared buffer budgets: the motivating scenario of the
-// paper's introduction, through the public PubSubCluster API. Topics
+// paper's introduction, through the public PubSub API. Topics
 // map to independent adaptive broadcast groups; a peer subscribed to
 // several topics splits its fixed buffer budget among them, so every
 // subscription wave shifts the resources each group's adaptation sees
@@ -17,6 +17,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"time"
@@ -47,13 +48,15 @@ func run() error {
 	cfg.Adaptation.InitialRate = 260
 	cfg.Adaptation.MaxRate = 400
 
-	cluster, err := adaptivegossip.NewPubSubCluster(peers, budget, cfg,
-		adaptivegossip.WithPubSubSeed(7))
+	cluster, err := adaptivegossip.NewPubSub(peers, budget, cfg,
+		adaptivegossip.WithSeed(7))
 	if err != nil {
 		return err
 	}
-	cluster.Start()
-	defer cluster.Stop()
+	if err := cluster.Start(context.Background()); err != nil {
+		return err
+	}
+	defer cluster.Close()
 
 	// Everyone subscribes to market-data.
 	for i := 0; i < peers; i++ {

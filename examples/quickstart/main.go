@@ -1,7 +1,7 @@
 // Quickstart: a 16-node in-process broadcast group with the adaptive
 // mechanism enabled. One node publishes a stream of messages; the
-// program reports how widely each spread and what rate the adaptation
-// allowed.
+// program consumes the cluster's delivery stream and reports how widely
+// each message spread and what rate the adaptation allowed.
 //
 // Run with:
 //
@@ -9,10 +9,10 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"os"
-	"sync"
 	"time"
 
 	"adaptivegossip"
@@ -32,25 +32,34 @@ func run() error {
 		messages = 40
 	)
 
-	var mu sync.Mutex
-	deliveries := map[adaptivegossip.EventID]int{}
-
 	cfg := adaptivegossip.DefaultConfig()
 	cfg.Period = 50 * time.Millisecond // fast rounds for a demo
 	cfg.BufferCapacity = 60
 
 	cluster, err := adaptivegossip.NewCluster(nodes, cfg,
-		adaptivegossip.WithSeed(2003),
-		adaptivegossip.WithDeliver(func(node adaptivegossip.NodeID, ev adaptivegossip.Event) {
-			mu.Lock()
-			deliveries[ev.ID]++
-			mu.Unlock()
-		}))
+		adaptivegossip.WithSeed(2003))
 	if err != nil {
 		return err
 	}
-	cluster.Start()
-	defer cluster.Stop()
+	ctx := context.Background()
+	if err := cluster.Start(ctx); err != nil {
+		return err
+	}
+	defer cluster.Close()
+
+	// First-class delivery stream: every delivery in the cluster, no
+	// callback plumbing. The channel closes when the cluster does.
+	streamCtx, stopStream := context.WithCancel(ctx)
+	defer stopStream()
+	events := cluster.Events(streamCtx)
+	counts := make(chan map[adaptivegossip.EventID]int, 1)
+	go func() {
+		deliveries := map[adaptivegossip.EventID]int{}
+		for d := range events {
+			deliveries[d.Event.ID]++
+		}
+		counts <- deliveries
+	}()
 
 	fmt.Printf("cluster of %d nodes, fanout %d, period %v\n", nodes, cfg.Fanout, cfg.Period)
 
@@ -66,7 +75,8 @@ func run() error {
 	// Let dissemination finish: a few age-bound worth of rounds.
 	time.Sleep(time.Duration(cfg.MaxAge+2) * cfg.Period)
 
-	mu.Lock()
+	stopStream()
+	deliveries := <-counts
 	full, partial := 0, 0
 	for _, count := range deliveries {
 		if count == nodes {
@@ -75,7 +85,6 @@ func run() error {
 			partial++
 		}
 	}
-	mu.Unlock()
 	fmt.Printf("delivered to all %d nodes: %d messages; partial: %d\n", nodes, full, partial)
 
 	st := cluster.Stats()

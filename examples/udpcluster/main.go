@@ -24,6 +24,7 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"log"
@@ -56,71 +57,91 @@ func nodeConfig(recovery, detect bool) adaptivegossip.Config {
 	cfg.Fanout = 1
 	cfg.MaxAge = 3
 	cfg.Adaptation.InitialRate = 40 // admit the demo's publish burst
-	cfg.RecoveryEnabled = recovery
-	cfg.FailureDetectionEnabled = detect
-	cfg.FailureSuspicionTimeout = 3
+	cfg.Recovery.Enabled = recovery
+	cfg.Failure.Enabled = detect
+	cfg.Failure.SuspicionTimeout = 3
 	return cfg
+}
+
+// member pairs a node with its UDP fabric, so the demo can read wire
+// counters after the run.
+type member struct {
+	node *adaptivegossip.Node
+	tr   *adaptivegossip.UDPTransport
 }
 
 func run(loss float64, recovery bool, churn time.Duration) error {
 	detect := churn > 0
 	cfg := nodeConfig(recovery, detect)
+	ctx := context.Background()
 
 	var delivered atomic.Int64
-	members := make([]*adaptivegossip.Node, 0, nodes)
+	members := make([]member, 0, nodes)
 
-	newNode := func(i int, bind string) (*adaptivegossip.Node, error) {
+	newMember := func(i int, bind string) (member, error) {
 		id := fmt.Sprintf("host-%d", i)
-		return adaptivegossip.NewUDPNode(adaptivegossip.NodeOptions{
-			ID:       id,
-			Bind:     bind,
-			Config:   cfg,
-			Seed:     int64(i) + 1,
-			SendLoss: loss,
-			Deliver: func(ev adaptivegossip.Event) {
+		trOpts := []adaptivegossip.TransportOption{
+			adaptivegossip.WithBind(bind),
+			adaptivegossip.WithTransportSeed(int64(i) + 1),
+		}
+		if loss > 0 {
+			trOpts = append(trOpts, adaptivegossip.WithLoss(loss))
+		}
+		tr, err := adaptivegossip.NewUDPTransport(trOpts...)
+		if err != nil {
+			return member{}, err
+		}
+		node, err := adaptivegossip.NewNode(id, cfg,
+			adaptivegossip.WithTransport(tr),
+			adaptivegossip.WithSeed(int64(i)+1),
+			adaptivegossip.WithDeliver(func(d adaptivegossip.Delivery) {
 				delivered.Add(1)
-			},
-			OnMemberChange: func(peer adaptivegossip.NodeID, status adaptivegossip.MemberStatus) {
+			}),
+			adaptivegossip.WithOnMemberChange(func(node, peer adaptivegossip.NodeID, status adaptivegossip.MemberStatus) {
 				if detect {
-					fmt.Printf("  [%s] sees %s: %s\n", id, peer, status)
+					fmt.Printf("  [%s] sees %s: %s\n", node, peer, status)
 				}
-			},
-		})
+			}))
+		if err != nil {
+			// NewNode owns tr from WithTransport on: closed on failure.
+			return member{}, err
+		}
+		return member{node: node, tr: tr}, nil
 	}
 
 	// Bind everyone first so the address book can be completed before
 	// gossip starts.
 	for i := 0; i < nodes; i++ {
-		node, err := newNode(i, "127.0.0.1:0")
+		m, err := newMember(i, "127.0.0.1:0")
 		if err != nil {
 			return err
 		}
-		members = append(members, node)
+		members = append(members, m)
 	}
 	defer func() {
-		for _, n := range members {
-			n.Stop()
+		for _, m := range members {
+			m.node.Close()
 		}
 	}()
 
 	// Full-mesh address book.
-	for i, n := range members {
+	for i, m := range members {
 		for j, peer := range members {
 			if i == j {
 				continue
 			}
-			if err := n.AddPeer(string(peer.ID()), peer.Addr()); err != nil {
+			if err := m.node.AddPeer(string(peer.node.ID()), peer.node.Addr()); err != nil {
 				return err
 			}
 		}
 	}
-	for _, n := range members {
-		if err := n.Start(); err != nil {
+	for _, m := range members {
+		if err := m.node.Start(ctx); err != nil {
 			return err
 		}
 	}
 	fmt.Printf("%d UDP nodes gossiping on loopback (e.g. %s at %s), loss %.0f%%, recovery %v, churn %v\n",
-		nodes, members[0].ID(), members[0].Addr(), 100*loss, recovery, churn)
+		nodes, members[0].node.ID(), members[0].node.Addr(), 100*loss, recovery, churn)
 
 	// Churn loop: kill the highest-indexed member (its socket closes —
 	// a real process death as far as the others can tell), let the
@@ -134,15 +155,15 @@ func run(loss float64, recovery bool, churn time.Duration) error {
 			for cycle := 0; cycle < 2; cycle++ {
 				time.Sleep(churn)
 				victim := members[victimIdx]
-				addr := victim.Addr()
-				fmt.Printf("churn: killing %s (%s)\n", victim.ID(), addr)
-				victim.Stop()
+				addr := victim.node.Addr()
+				fmt.Printf("churn: killing %s (%s)\n", victim.node.ID(), addr)
+				victim.node.Close()
 
 				// Down long enough for probe→suspect→confirm to play out.
-				time.Sleep(time.Duration(8+int(cfg.FailureSuspicionTimeout)) * cfg.Period)
+				time.Sleep(time.Duration(8+cfg.Failure.SuspicionTimeout) * cfg.Period)
 
-				fmt.Printf("churn: restarting %s on %s\n", victim.ID(), addr)
-				reborn, err := newNode(victimIdx, addr)
+				fmt.Printf("churn: restarting %s on %s\n", victim.node.ID(), addr)
+				reborn, err := newMember(victimIdx, addr)
 				if err != nil {
 					fmt.Printf("churn: restart failed: %v\n", err)
 					return
@@ -151,11 +172,11 @@ func run(loss float64, recovery bool, churn time.Duration) error {
 					if j == victimIdx {
 						continue
 					}
-					if err := reborn.AddPeer(string(peer.ID()), peer.Addr()); err != nil {
+					if err := reborn.node.AddPeer(string(peer.node.ID()), peer.node.Addr()); err != nil {
 						fmt.Printf("churn: %v\n", err)
 					}
 				}
-				if err := reborn.Start(); err != nil {
+				if err := reborn.node.Start(ctx); err != nil {
 					fmt.Printf("churn: %v\n", err)
 					return
 				}
@@ -170,7 +191,7 @@ func run(loss float64, recovery bool, churn time.Duration) error {
 	sent := 0
 	for i := 0; i < toSend; i++ {
 		publisher := members[i%2] // two publishers
-		if publisher.Publish([]byte(fmt.Sprintf("payload-%02d", i))) {
+		if publisher.node.Publish([]byte(fmt.Sprintf("payload-%02d", i))) {
 			sent++
 		}
 		time.Sleep(15 * time.Millisecond)
@@ -188,16 +209,16 @@ func run(loss float64, recovery bool, churn time.Duration) error {
 	}
 	fmt.Printf("published %d/%d; total deliveries %d of %d possible — delivery ratio %.3f\n",
 		sent, toSend, delivered.Load(), possible, ratio)
-	st := members[0].TransportStats()
+	st := members[0].tr.Stats()
 	fmt.Printf("%s wire stats: sent %d datagrams (%d bytes), dropped %d to injected loss, received %d (%d bytes), decode errors %d\n",
-		members[0].ID(), st.Sent, st.SentBytes, st.LossDropped, st.Received, st.RecvBytes, st.DecodeErrors)
-	snap := members[0].Snapshot()
+		members[0].node.ID(), st.Sent, st.SentBytes, st.LossDropped, st.Received, st.RecvBytes, st.DecodeErrors)
+	snap := members[0].node.Snapshot()
 	fmt.Printf("%s: allowed %.2f msg/s, minBuff %d, avgAge %.2f\n",
-		members[0].ID(), snap.AllowedRate, snap.MinBuff, snap.AvgAge)
+		members[0].node.ID(), snap.AllowedRate, snap.MinBuff, snap.AvgAge)
 	if recovery {
 		var recovered, requested uint64
-		for _, n := range members {
-			rs := n.Snapshot().Recovery
+		for _, m := range members {
+			rs := m.node.Snapshot().Recovery
 			recovered += rs.EventsRecovered
 			requested += rs.IDsRequested
 		}
@@ -206,15 +227,15 @@ func run(loss float64, recovery bool, churn time.Duration) error {
 	}
 	if detect {
 		var probes, suspects, confirms, revivals uint64
-		for _, n := range members {
-			fs := n.Snapshot().Failure
+		for _, m := range members {
+			fs := m.node.Snapshot().Failure
 			probes += fs.ProbesSent
 			suspects += fs.Suspects
 			confirms += fs.Confirms
 			revivals += fs.Revivals
 		}
 		fmt.Printf("failure detection: %d probes, %d suspicions, %d confirms, %d revivals; %s now tracks %d members\n",
-			probes, suspects, confirms, revivals, members[0].ID(), len(members[0].Members()))
+			probes, suspects, confirms, revivals, members[0].node.ID(), len(members[0].node.Members()))
 	}
 	return nil
 }

@@ -1,6 +1,7 @@
 package adaptivegossip
 
 import (
+	"context"
 	"fmt"
 	"math/rand/v2"
 	"sync"
@@ -10,126 +11,125 @@ import (
 	"adaptivegossip/internal/gossip"
 	"adaptivegossip/internal/membership"
 	"adaptivegossip/internal/runtime"
-	"adaptivegossip/internal/transport"
 )
 
-// NodeOptions configures a network-facing broadcast node.
-type NodeOptions struct {
-	// ID is this node's name in the group. Required.
-	ID string
-	// Bind is the UDP listen address, e.g. "127.0.0.1:7946" or
-	// "0.0.0.0:0". Required.
-	Bind string
-	// Peers maps known member names to their UDP addresses. Peers can
-	// also be added later with AddPeer.
-	Peers map[string]string
-	// Config is the protocol configuration (DefaultConfig if zero).
-	Config Config
-	// Deliver receives each broadcast exactly once (optional).
-	Deliver func(Event)
-	// Seed fixes protocol randomness; 0 derives one from the ID.
-	Seed int64
-	// MaxDatagram overrides the UDP datagram split threshold.
-	MaxDatagram int
-	// SendLoss injects iid loss on outgoing datagrams (probability in
-	// [0,1]) — for demos and tests on loopback, where the real network
-	// never drops. See examples/udpcluster's -loss flag.
-	SendLoss float64
-	// OnMemberChange observes failure-detector transitions (requires
-	// Config.FailureDetectionEnabled): suspect when probes go
-	// unanswered, confirmed when a member is declared crashed (it is
-	// evicted from this node's gossip targets automatically), alive
-	// when a member refutes or rejoins (it is re-admitted). The
-	// callback runs on the node's gossip goroutine and must be fast.
-	OnMemberChange func(id NodeID, status MemberStatus)
-}
-
-// Node is a single broadcast group member bound to a UDP socket — the
-// deployment shape of the paper's prototype (one process per
-// workstation). Create with NewUDPNode, then Start; Stop tears the
-// socket and the gossip loop down.
+// Node is a single broadcast group member — the deployment shape of the
+// paper's prototype (one process per workstation). By default it
+// gossips over a UDP fabric; plug any Transport with WithTransport.
+// Create with NewNode, launch with Start, tear down with Close.
 type Node struct {
 	id     NodeID
-	tr     *transport.UDPTransport
+	fabric Transport
+	ep     Endpoint
 	reg    *membership.Registry
 	runner *runtime.Runner
+	hub    *streamHub
 
-	mu      sync.Mutex
-	started bool
-	stopped bool
+	mu        sync.Mutex
+	started   bool
+	epStarted bool
+	closed    bool
+	done      chan struct{}
 }
 
-// NewUDPNode builds a node from opts.
-func NewUDPNode(opts NodeOptions) (*Node, error) {
-	if opts.ID == "" {
-		return nil, fmt.Errorf("adaptivegossip: node id is required")
+// NewNode builds a group member named id with the shared option set
+// (WithTransport, WithPeers, WithSeed, WithDeliver, WithOnMemberChange).
+// Without WithTransport it binds a UDP fabric on an ephemeral loopback
+// port; pass NewUDPTransport(WithBind(...)) for a production listen
+// address.
+func NewNode(id string, cfg Config, opts ...Option) (*Node, error) {
+	o, oerr := applyOptions(facadeNode, groupOptions{}, opts)
+	// Any failure from here on closes a handed-over transport: the
+	// group owns it from the moment WithTransport is applied.
+	fail := func(err error) (*Node, error) {
+		if o.fabric != nil {
+			o.fabric.Close()
+		}
+		return nil, err
 	}
-	if opts.Bind == "" {
-		return nil, fmt.Errorf("adaptivegossip: bind address is required")
+	if oerr != nil {
+		return fail(oerr)
 	}
-	cfg := opts.Config
-	if cfg == (Config{}) {
-		cfg = DefaultConfig()
+	if id == "" {
+		return fail(fmt.Errorf("adaptivegossip: node id is required"))
 	}
 	cfg = cfg.withDefaults()
 	if err := cfg.Validate(); err != nil {
-		return nil, err
+		return fail(err)
 	}
-	seed := opts.Seed
+	seed := o.seed
 	if seed == 0 {
-		for _, b := range []byte(opts.ID) {
+		for _, b := range []byte(id) {
 			seed = seed*131 + int64(b)
 		}
 		seed++
 	}
 
-	udpOpts := []transport.UDPOption{}
-	if opts.MaxDatagram > 0 {
-		udpOpts = append(udpOpts, transport.WithMaxDatagram(opts.MaxDatagram))
+	if o.fabric == nil {
+		fabric, err := NewUDPTransport(WithTransportSeed(seed))
+		if err != nil {
+			return fail(err)
+		}
+		o.fabric = fabric
 	}
-	if opts.SendLoss > 0 {
-		udpOpts = append(udpOpts, transport.WithUDPSendLoss(opts.SendLoss, uint64(seed)+0x1055))
-	}
-	tr, err := transport.NewUDPTransport(NodeID(opts.ID), opts.Bind, udpOpts...)
+	fabric := o.fabric
+	ep, err := fabric.Endpoint(NodeID(id))
 	if err != nil {
-		return nil, err
+		return fail(err)
 	}
 
-	members := []NodeID{NodeID(opts.ID)}
-	for peer, addr := range opts.Peers {
-		if err := tr.Register(NodeID(peer), addr); err != nil {
-			tr.Close()
-			return nil, err
+	members := []NodeID{NodeID(id)}
+	if len(o.peers) > 0 {
+		registrar, ok := fabric.(PeerRegistrar)
+		if !ok {
+			return fail(fmt.Errorf("adaptivegossip: WithPeers needs a transport with an address book (PeerRegistrar)"))
 		}
-		members = append(members, NodeID(peer))
+		for peer, addr := range o.peers {
+			if err := registrar.Register(NodeID(peer), addr); err != nil {
+				return fail(err)
+			}
+			members = append(members, NodeID(peer))
+		}
 	}
 	reg := membership.NewRegistry(members...)
 
-	var deliver gossip.DeliverFunc
-	if opts.Deliver != nil {
-		deliver = opts.Deliver
+	n := &Node{
+		id:     NodeID(id),
+		fabric: fabric,
+		ep:     ep,
+		reg:    reg,
+		hub:    newStreamHub(),
+		done:   make(chan struct{}),
+	}
+
+	deliver := func(ev Event) {
+		d := Delivery{Node: n.id, Event: ev}
+		n.hub.publish(d)
+		if o.deliver != nil {
+			o.deliver(d)
+		}
 	}
 	// Detector verdicts maintain the node's own gossip target set:
 	// confirmed members stop receiving fanout, members that prove alive
 	// again are re-admitted.
-	onMembership := func(id gossip.NodeID, status gossip.MemberStatus) {
+	onMembership := func(peer gossip.NodeID, status gossip.MemberStatus) {
 		switch status {
 		case gossip.MemberConfirmed:
-			reg.Remove(id)
+			reg.Remove(peer)
 		case gossip.MemberAlive:
-			reg.Add(id)
+			reg.Add(peer)
 		}
-		if opts.OnMemberChange != nil {
-			opts.OnMemberChange(id, status)
+		if o.onMember != nil {
+			o.onMember(n.id, peer, status)
 		}
 	}
 	node, err := core.NewAdaptiveNode(core.NodeConfig{
-		ID:           NodeID(opts.ID),
+		ID:           n.id,
 		Gossip:       cfg.gossipParams(),
 		Adaptive:     cfg.Adaptive,
 		Core:         cfg.Adaptation,
-		Recovery:     cfg.recoveryParams(),
-		Failure:      cfg.failureParams(),
+		Recovery:     cfg.Recovery.params(),
+		Failure:      cfg.Failure.params(),
 		OnMembership: onMembership,
 		Peers:        reg,
 		RNG:          rand.New(rand.NewPCG(uint64(seed), uint64(seed)^0xABCDEF)),
@@ -137,32 +137,49 @@ func NewUDPNode(opts NodeOptions) (*Node, error) {
 		Start:        time.Now(),
 	})
 	if err != nil {
-		tr.Close()
-		return nil, err
+		return fail(err)
 	}
 	runner, err := runtime.NewRunner(runtime.Config{
 		Node:      node,
-		Transport: tr,
+		Transport: ep,
 		Period:    cfg.Period,
 		PhaseSeed: uint64(seed) + 7,
 	})
 	if err != nil {
-		tr.Close()
-		return nil, err
+		return fail(err)
 	}
-	return &Node{id: NodeID(opts.ID), tr: tr, reg: reg, runner: runner}, nil
+	n.runner = runner
+	return n, nil
 }
 
 // ID returns the node's name.
 func (n *Node) ID() NodeID { return n.id }
 
-// Addr returns the bound UDP address (useful with ":0" binds).
-func (n *Node) Addr() string { return n.tr.Addr().String() }
+// Addr returns the node's bound wire address (useful with ":0" binds),
+// or "" when the transport has no address to report.
+func (n *Node) Addr() string {
+	if a, ok := n.ep.(udpAddrer); ok {
+		return a.Addr().String()
+	}
+	return ""
+}
 
-// AddPeer registers a member discovered after startup.
+// AddPeer registers a member discovered after startup: its address is
+// registered with the transport's address book and the member joins
+// the gossip target set. On transports without an address book
+// (PeerRegistrar) — such as the memory fabric, which routes by id —
+// pass addr == ""; a non-empty address there is an error, and an
+// invalid address on a book-keeping transport fails rather than
+// leaving a member unreachable.
 func (n *Node) AddPeer(id, addr string) error {
-	if err := n.tr.Register(NodeID(id), addr); err != nil {
-		return err
+	registrar, ok := n.fabric.(PeerRegistrar)
+	switch {
+	case ok:
+		if err := registrar.Register(NodeID(id), addr); err != nil {
+			return err
+		}
+	case addr != "":
+		return fmt.Errorf("adaptivegossip: transport has no address book to register %q with", addr)
 	}
 	n.reg.Add(NodeID(id))
 	return nil
@@ -174,38 +191,68 @@ func (n *Node) RemovePeer(id string) {
 }
 
 // Members returns the node's current gossip target set (itself
-// included). With failure detection enabled, confirmed-crashed members
+// included). With Config.Failure.Enabled, confirmed-crashed members
 // disappear from this list and rejoining members return to it.
 func (n *Node) Members() []NodeID {
 	return n.reg.IDs()
 }
 
-// Start begins gossiping. Idempotent.
-func (n *Node) Start() error {
+// Start begins gossiping. Cancelling ctx closes the node; a node that
+// has been closed cannot be restarted. Idempotent while open — every
+// context passed to Start is watched, so cancelling any of them closes
+// the node. A transient endpoint failure may be retried.
+func (n *Node) Start(ctx context.Context) error {
+	if ctx == nil {
+		return fmt.Errorf("adaptivegossip: nil context")
+	}
 	n.mu.Lock()
 	defer n.mu.Unlock()
+	if n.closed {
+		return fmt.Errorf("adaptivegossip: node closed")
+	}
 	if n.started {
+		watchContext(ctx, n.done, n.Close)
 		return nil
 	}
-	if err := n.tr.Start(); err != nil {
-		return err
+	if s, ok := n.ep.(starter); ok && !n.epStarted {
+		if err := s.Start(); err != nil {
+			return err
+		}
 	}
+	n.epStarted = true
 	n.runner.Start()
 	n.started = true
+	watchContext(ctx, n.done, n.Close)
 	return nil
 }
 
-// Stop halts gossip and closes the socket. Idempotent.
-func (n *Node) Stop() {
+// Close halts gossip, closes the transport and ends every Events
+// stream. Idempotent; later calls return nil.
+func (n *Node) Close() error {
 	n.mu.Lock()
-	if n.stopped {
+	if n.closed {
 		n.mu.Unlock()
-		return
+		return nil
 	}
-	n.stopped = true
+	n.closed = true
 	n.mu.Unlock()
+	close(n.done)
 	n.runner.Stop()
-	n.tr.Close()
+	err := n.ep.Close()
+	if ferr := n.fabric.Close(); err == nil {
+		err = ferr
+	}
+	n.hub.close()
+	return err
+}
+
+// Events returns a stream of this node's deliveries. From
+// subscription onward the stream sees every delivery the WithDeliver
+// callback sees; it is closed when ctx is cancelled or the node is
+// closed. A subscriber that falls more than DefaultEventStreamBuffer
+// behind loses deliveries (counted in Stats.StreamDropped).
+func (n *Node) Events(ctx context.Context) <-chan Delivery {
+	return n.hub.subscribe(ctx)
 }
 
 // Publish broadcasts payload, reporting whether it was admitted by the
@@ -224,7 +271,26 @@ func (n *Node) Snapshot() NodeSnapshot {
 	return n.runner.Snapshot()
 }
 
-// TransportStats returns UDP-level counters.
-func (n *Node) TransportStats() transport.UDPStats {
-	return n.tr.Stats()
+// Stats returns the unified counter snapshot (Nodes == 1).
+func (n *Node) Stats() Stats {
+	var st Stats
+	st.add(n.runner.Snapshot())
+	st.StreamDropped = n.hub.droppedCount()
+	return st
+}
+
+// watchContext closes the group when ctx is cancelled, releasing the
+// watcher when the group closes first.
+func watchContext(ctx context.Context, done <-chan struct{}, closeFn func() error) {
+	stop := ctx.Done()
+	if stop == nil {
+		return
+	}
+	go func() {
+		select {
+		case <-stop:
+			closeFn()
+		case <-done:
+		}
+	}()
 }

@@ -1,0 +1,166 @@
+package adaptivegossip
+
+import "fmt"
+
+// Delivery is one delivered broadcast, as observed by both the
+// WithDeliver callback and the Events stream. Topic is empty outside
+// the pub/sub facade.
+type Delivery struct {
+	// Node is the group member that delivered the event.
+	Node NodeID
+	// Topic is the pub/sub topic the event was published on (empty for
+	// single-group nodes and clusters).
+	Topic Topic
+	// Event is the delivered broadcast.
+	Event Event
+}
+
+// DeliverFunc observes deliveries. It is invoked on the delivering
+// member's gossip goroutine: calls for one member are serialized with
+// that member's protocol processing (never concurrent with each other),
+// while different members' callbacks may run concurrently. Callbacks
+// must be fast and must not block — for a pull-based consumer use the
+// Events stream instead.
+type DeliverFunc func(d Delivery)
+
+// MemberChangeFunc observes failure-detector transitions (requires
+// Config.Failure.Enabled): suspect when probes go unanswered, confirmed
+// when a member is declared crashed (it is evicted from the observer's
+// gossip targets automatically), alive when a member refutes or rejoins
+// (it is re-admitted). Like DeliverFunc it runs on the observing
+// member's gossip goroutine and must be fast.
+type MemberChangeFunc func(node, peer NodeID, status MemberStatus)
+
+// facadeKind names the constructor applying an option, so options can
+// reject facades they do not apply to instead of being silently
+// ignored.
+type facadeKind int
+
+const (
+	facadeNode facadeKind = iota
+	facadeCluster
+	facadePubSub
+)
+
+func (k facadeKind) String() string {
+	switch k {
+	case facadeNode:
+		return "NewNode"
+	case facadeCluster:
+		return "NewCluster"
+	default:
+		return "NewPubSub"
+	}
+}
+
+// groupOptions is the option state shared by all three facades.
+type groupOptions struct {
+	kind     facadeKind
+	seed     int64
+	deliver  DeliverFunc
+	onMember MemberChangeFunc
+	fabric   Transport
+	prefix   string
+	peers    map[string]string
+}
+
+// Option configures a group constructor. The same option set serves
+// NewNode, NewCluster and NewPubSub; options that make no sense for a
+// facade (WithPeers outside NewNode, WithNamePrefix on NewNode, ...)
+// return a construction error.
+type Option func(*groupOptions) error
+
+// WithSeed fixes the group's protocol randomness (gossip target
+// selection, adaptation jitter, tick phases) for reproducible runs.
+// Zero — and, for NewNode, an omitted option — derives a seed from the
+// member name.
+func WithSeed(seed int64) Option {
+	return func(o *groupOptions) error {
+		o.seed = seed
+		return nil
+	}
+}
+
+// WithDeliver observes every delivery in the group through fn. See
+// DeliverFunc for the threading contract. An Events stream observes
+// the same delivery feed from the moment it subscribes.
+func WithDeliver(fn DeliverFunc) Option {
+	return func(o *groupOptions) error {
+		o.deliver = fn
+		return nil
+	}
+}
+
+// WithTransport plugs a message fabric into the group: one of the
+// built-ins (NewMemTransport, NewUDPTransport) or any custom Transport.
+// The group takes ownership immediately: the fabric is closed on Close
+// and also when the constructor fails. Default: a UDP fabric for
+// NewNode, a memory fabric for NewCluster and NewPubSub.
+func WithTransport(tr Transport) Option {
+	return func(o *groupOptions) error {
+		if tr == nil {
+			return fmt.Errorf("adaptivegossip: transport must not be nil")
+		}
+		o.fabric = tr
+		return nil
+	}
+}
+
+// WithOnMemberChange observes failure-detector transitions. Requires
+// Config.Failure.Enabled; not available on NewPubSub (the pub/sub layer
+// has no detector).
+func WithOnMemberChange(fn MemberChangeFunc) Option {
+	return func(o *groupOptions) error {
+		if o.kind == facadePubSub {
+			return fmt.Errorf("adaptivegossip: WithOnMemberChange does not apply to %s", o.kind)
+		}
+		o.onMember = fn
+		return nil
+	}
+}
+
+// WithNamePrefix sets the generated member-name prefix ("node-" for
+// clusters, "peer-" for pub/sub). Not available on NewNode, whose name
+// is explicit.
+func WithNamePrefix(prefix string) Option {
+	return func(o *groupOptions) error {
+		if o.kind == facadeNode {
+			return fmt.Errorf("adaptivegossip: WithNamePrefix does not apply to %s", o.kind)
+		}
+		if prefix == "" {
+			return fmt.Errorf("adaptivegossip: name prefix must not be empty")
+		}
+		o.prefix = prefix
+		return nil
+	}
+}
+
+// WithPeers seeds a NewNode's address book with known members
+// (name → wire address). Requires a transport with an address book
+// (PeerRegistrar — the UDP fabric). Peers can also be added later with
+// Node.AddPeer.
+func WithPeers(peers map[string]string) Option {
+	return func(o *groupOptions) error {
+		if o.kind != facadeNode {
+			return fmt.Errorf("adaptivegossip: WithPeers does not apply to %s", o.kind)
+		}
+		o.peers = peers
+		return nil
+	}
+}
+
+// applyOptions folds opts over the facade's defaults. Every option is
+// applied even after an error, so a transport handed over via
+// WithTransport is always recorded in the result — constructors close
+// it on any failure path, keeping ownership unambiguous.
+func applyOptions(kind facadeKind, defaults groupOptions, opts []Option) (groupOptions, error) {
+	o := defaults
+	o.kind = kind
+	var first error
+	for _, opt := range opts {
+		if err := opt(&o); err != nil && first == nil {
+			first = err
+		}
+	}
+	return o, first
+}

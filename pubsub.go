@@ -1,6 +1,7 @@
 package adaptivegossip
 
 import (
+	"context"
 	"fmt"
 	"math/rand/v2"
 	"sync"
@@ -8,7 +9,6 @@ import (
 
 	"adaptivegossip/internal/membership"
 	"adaptivegossip/internal/pubsub"
-	"adaptivegossip/internal/transport"
 )
 
 // Pub/sub re-exports.
@@ -19,83 +19,80 @@ type (
 	TopicState = pubsub.TopicState
 )
 
-// TopicDeliverFunc observes pub/sub deliveries across a cluster.
-type TopicDeliverFunc func(node NodeID, topic Topic, ev Event)
-
-// PubSubCluster is an in-process publish/subscribe group — the paper's
+// PubSub is an in-process publish/subscribe group — the paper's
 // motivating scenario as an API. Each topic is an independent adaptive
 // broadcast group whose members are exactly the current subscribers;
 // each member splits one buffer budget across its subscriptions, so
 // every subscribe/unsubscribe shifts the resources the adaptation
-// mechanism sees.
-type PubSubCluster struct {
+// mechanism sees. Deliveries carry the Topic in both the WithDeliver
+// callback and the Events stream.
+type PubSub struct {
 	names   []NodeID
-	net     *transport.MemNetwork
+	fabric  Transport
+	eps     []Endpoint
 	runners []*pubsub.Runner
+	hub     *streamHub
 
-	mu      sync.Mutex
-	started bool
-	stopped bool
-	regs    map[Topic]*membership.Registry
+	mu        sync.Mutex
+	started   bool
+	epStarted int // endpoints [0, epStarted) have live receive loops
+	closed    bool
+	done      chan struct{}
+	regs      map[Topic]*membership.Registry
 }
 
-// PubSubOption configures NewPubSubCluster.
-type PubSubOption func(*pubSubOptions) error
-
-type pubSubOptions struct {
-	seed    int64
-	deliver TopicDeliverFunc
-	prefix  string
-}
-
-// WithPubSubSeed fixes the cluster's randomness.
-func WithPubSubSeed(seed int64) PubSubOption {
-	return func(o *pubSubOptions) error {
-		o.seed = seed
-		return nil
+// NewPubSub builds n peers, each with the given total buffer budget,
+// with the shared option set (WithSeed, WithDeliver, WithTransport,
+// WithNamePrefix). No peer is subscribed to anything initially.
+func NewPubSub(n, bufferBudget int, cfg Config, opts ...Option) (*PubSub, error) {
+	o, oerr := applyOptions(facadePubSub, groupOptions{seed: 1, prefix: "peer-"}, opts)
+	// Any failure from here on closes a handed-over transport: the
+	// group owns it from the moment WithTransport is applied.
+	failEarly := func(err error) (*PubSub, error) {
+		if o.fabric != nil {
+			o.fabric.Close()
+		}
+		return nil, err
 	}
-}
-
-// WithTopicDeliver observes every delivery (callback must be fast and
-// thread-safe).
-func WithTopicDeliver(fn TopicDeliverFunc) PubSubOption {
-	return func(o *pubSubOptions) error {
-		o.deliver = fn
-		return nil
+	if oerr != nil {
+		return failEarly(oerr)
 	}
-}
-
-// NewPubSubCluster builds n peers, each with the given total buffer
-// budget, connected by an in-memory fabric. No peer is subscribed to
-// anything initially.
-func NewPubSubCluster(n, bufferBudget int, cfg Config, opts ...PubSubOption) (*PubSubCluster, error) {
 	if n < 2 {
-		return nil, fmt.Errorf("adaptivegossip: pub/sub cluster needs at least 2 peers, got %d", n)
+		return failEarly(fmt.Errorf("adaptivegossip: pub/sub group needs at least 2 peers, got %d", n))
 	}
 	cfg = cfg.withDefaults()
 	gp := cfg.gossipParams()
 	gp.MaxEvents = bufferBudget
 	if err := gp.Validate(); err != nil {
-		return nil, fmt.Errorf("adaptivegossip: %w", err)
+		return failEarly(fmt.Errorf("adaptivegossip: %w", err))
 	}
-	o := pubSubOptions{seed: 1, prefix: "peer-"}
-	for _, opt := range opts {
-		if err := opt(&o); err != nil {
-			return nil, err
+	if o.fabric == nil {
+		fabric, err := NewMemTransport(WithTransportSeed(o.seed + 0x9A9A))
+		if err != nil {
+			return failEarly(err)
 		}
+		o.fabric = fabric
 	}
-	net, err := transport.NewMemNetwork(transport.WithMemSeed(uint64(o.seed) + 0x9A9A))
-	if err != nil {
+	fabric := o.fabric
+	c := &PubSub{
+		fabric: fabric,
+		hub:    newStreamHub(),
+		done:   make(chan struct{}),
+		regs:   make(map[Topic]*membership.Registry),
+	}
+	fail := func(err error) (*PubSub, error) {
+		fabric.Close()
 		return nil, err
 	}
-	c := &PubSubCluster{net: net, regs: make(map[Topic]*membership.Registry)}
 	for i := 0; i < n; i++ {
 		name := NodeID(fmt.Sprintf("%s%02d", o.prefix, i))
 		c.names = append(c.names, name)
-		var deliver pubsub.DeliverFunc
-		if o.deliver != nil {
-			fn := o.deliver
-			deliver = func(topic Topic, ev Event) { fn(name, topic, ev) }
+		deliver := func(topic Topic, ev Event) {
+			d := Delivery{Node: name, Topic: topic, Event: ev}
+			c.hub.publish(d)
+			if o.deliver != nil {
+				o.deliver(d)
+			}
 		}
 		gpPeer := cfg.gossipParams()
 		gpPeer.MaxEvents = 0 // the budget drives per-topic capacity
@@ -110,14 +107,13 @@ func NewPubSubCluster(n, bufferBudget int, cfg Config, opts ...PubSubOption) (*P
 			Start:        time.Now(),
 		})
 		if err != nil {
-			net.Close()
-			return nil, err
+			return fail(err)
 		}
-		ep, err := net.Endpoint(name)
+		ep, err := fabric.Endpoint(name)
 		if err != nil {
-			net.Close()
-			return nil, err
+			return fail(err)
 		}
+		c.eps = append(c.eps, ep)
 		r, err := pubsub.NewRunner(pubsub.RunnerConfig{
 			Peer:      peer,
 			Transport: ep,
@@ -125,8 +121,7 @@ func NewPubSubCluster(n, bufferBudget int, cfg Config, opts ...PubSubOption) (*P
 			PhaseSeed: uint64(o.seed)*48271 + uint64(i) + 1,
 		})
 		if err != nil {
-			net.Close()
-			return nil, err
+			return fail(err)
 		}
 		c.runners = append(c.runners, r)
 	}
@@ -134,49 +129,91 @@ func NewPubSubCluster(n, bufferBudget int, cfg Config, opts ...PubSubOption) (*P
 }
 
 // Len reports the number of peers.
-func (c *PubSubCluster) Len() int { return len(c.runners) }
+func (c *PubSub) Len() int { return len(c.runners) }
 
 // Peers returns the peer names in index order.
-func (c *PubSubCluster) Peers() []NodeID {
+func (c *PubSub) Peers() []NodeID {
 	return append([]NodeID(nil), c.names...)
 }
 
-// Start launches every peer. Idempotent.
-func (c *PubSubCluster) Start() {
+// Start launches every peer. Cancelling ctx closes the group; a closed
+// group cannot be restarted. Idempotent while open — every context
+// passed to Start is watched, so cancelling any of them closes the
+// group. A transient endpoint failure may be retried: already started
+// endpoints are not started twice.
+func (c *PubSub) Start(ctx context.Context) error {
+	if ctx == nil {
+		return fmt.Errorf("adaptivegossip: nil context")
+	}
 	c.mu.Lock()
 	defer c.mu.Unlock()
-	if c.started {
-		return
+	if c.closed {
+		return fmt.Errorf("adaptivegossip: pub/sub group closed")
 	}
-	c.started = true
+	if c.started {
+		watchContext(ctx, c.done, c.Close)
+		return nil
+	}
+	for ; c.epStarted < len(c.eps); c.epStarted++ {
+		if s, ok := c.eps[c.epStarted].(starter); ok {
+			if err := s.Start(); err != nil {
+				return err
+			}
+		}
+	}
 	for _, r := range c.runners {
 		r.Start()
 	}
+	c.started = true
+	watchContext(ctx, c.done, c.Close)
+	return nil
 }
 
-// Stop terminates every peer and the fabric. Idempotent.
-func (c *PubSubCluster) Stop() {
+// Close terminates every peer, the fabric and every Events stream.
+// Idempotent; later calls return nil.
+func (c *PubSub) Close() error {
 	c.mu.Lock()
-	if c.stopped {
+	if c.closed {
 		c.mu.Unlock()
-		return
+		return nil
 	}
-	c.stopped = true
+	c.closed = true
 	c.mu.Unlock()
+	close(c.done)
 	for _, r := range c.runners {
 		r.Stop()
 	}
-	c.net.Close()
+	var first error
+	for _, ep := range c.eps {
+		if err := ep.Close(); err != nil && first == nil {
+			first = err
+		}
+	}
+	if err := c.fabric.Close(); err != nil && first == nil {
+		first = err
+	}
+	c.hub.close()
+	return first
 }
 
-func (c *PubSubCluster) runner(i int) (*pubsub.Runner, error) {
+// Events returns a stream of every delivery in the group, with Topic
+// set. From subscription onward the stream sees every delivery the
+// WithDeliver callback sees; it is closed when ctx is cancelled or
+// the group is closed. A subscriber that falls more than
+// DefaultEventStreamBuffer behind loses deliveries (counted in
+// Stats.StreamDropped).
+func (c *PubSub) Events(ctx context.Context) <-chan Delivery {
+	return c.hub.subscribe(ctx)
+}
+
+func (c *PubSub) runner(i int) (*pubsub.Runner, error) {
 	if i < 0 || i >= len(c.runners) {
 		return nil, fmt.Errorf("adaptivegossip: peer index %d out of range [0,%d)", i, len(c.runners))
 	}
 	return c.runners[i], nil
 }
 
-func (c *PubSubCluster) registry(topic Topic) *membership.Registry {
+func (c *PubSub) registry(topic Topic) *membership.Registry {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	reg, ok := c.regs[topic]
@@ -189,7 +226,7 @@ func (c *PubSubCluster) registry(topic Topic) *membership.Registry {
 
 // Subscribe joins peer i to a topic: the peer becomes a gossip target
 // for the topic's other subscribers and re-splits its buffer budget.
-func (c *PubSubCluster) Subscribe(i int, topic Topic) error {
+func (c *PubSub) Subscribe(i int, topic Topic) error {
 	r, err := c.runner(i)
 	if err != nil {
 		return err
@@ -204,7 +241,7 @@ func (c *PubSubCluster) Subscribe(i int, topic Topic) error {
 
 // Unsubscribe removes peer i from a topic, returning its budget share
 // to the remaining subscriptions.
-func (c *PubSubCluster) Unsubscribe(i int, topic Topic) error {
+func (c *PubSub) Unsubscribe(i int, topic Topic) error {
 	r, err := c.runner(i)
 	if err != nil {
 		return err
@@ -217,7 +254,7 @@ func (c *PubSubCluster) Unsubscribe(i int, topic Topic) error {
 }
 
 // Publish broadcasts payload from peer i on topic, reporting admission.
-func (c *PubSubCluster) Publish(i int, topic Topic, payload []byte) (bool, error) {
+func (c *PubSub) Publish(i int, topic Topic, payload []byte) (bool, error) {
 	r, err := c.runner(i)
 	if err != nil {
 		return false, err
@@ -226,10 +263,30 @@ func (c *PubSubCluster) Publish(i int, topic Topic, payload []byte) (bool, error
 }
 
 // State snapshots peer i's subscriptions.
-func (c *PubSubCluster) State(i int) ([]TopicState, error) {
+func (c *PubSub) State(i int) ([]TopicState, error) {
 	r, err := c.runner(i)
 	if err != nil {
 		return nil, err
 	}
 	return r.State(), nil
+}
+
+// Stats aggregates the unified counter snapshot across all peers and
+// topics: Nodes counts peers, the rate triple summarizes per-topic
+// allowances.
+func (c *PubSub) Stats() Stats {
+	var st Stats
+	for _, r := range c.runners {
+		for _, ts := range r.State() {
+			st.addRates(ts.AllowedRate)
+			st.Published += ts.Adaptive.Published
+			st.Delivered += ts.Gossip.Delivered
+			st.DroppedCapacity += ts.Gossip.DroppedCapacity
+			st.DroppedExpired += ts.Gossip.DroppedExpired
+			st.MessagesSent += ts.Gossip.MessagesSent
+		}
+	}
+	st.Nodes = len(c.runners)
+	st.StreamDropped = c.hub.droppedCount()
+	return st
 }

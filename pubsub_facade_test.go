@@ -1,31 +1,34 @@
 package adaptivegossip
 
 import (
+	"context"
 	"sync"
 	"testing"
 	"time"
 )
 
-func TestPubSubClusterTopicsAndBudgets(t *testing.T) {
+func TestPubSubTopicsAndBudgets(t *testing.T) {
 	cfg := fastConfig()
 	var mu sync.Mutex
 	delivered := map[NodeID]map[Topic]int{}
 
-	cluster, err := NewPubSubCluster(6, 40, cfg,
-		WithPubSubSeed(3),
-		WithTopicDeliver(func(node NodeID, topic Topic, ev Event) {
+	cluster, err := NewPubSub(6, 40, cfg,
+		WithSeed(3),
+		WithDeliver(func(d Delivery) {
 			mu.Lock()
-			if delivered[node] == nil {
-				delivered[node] = map[Topic]int{}
+			if delivered[d.Node] == nil {
+				delivered[d.Node] = map[Topic]int{}
 			}
-			delivered[node][topic]++
+			delivered[d.Node][d.Topic]++
 			mu.Unlock()
 		}))
 	if err != nil {
 		t.Fatal(err)
 	}
-	cluster.Start()
-	defer cluster.Stop()
+	if err := cluster.Start(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	defer cluster.Close()
 
 	if cluster.Len() != 6 || len(cluster.Peers()) != 6 {
 		t.Fatalf("cluster size %d", cluster.Len())
@@ -110,20 +113,69 @@ func TestPubSubClusterTopicsAndBudgets(t *testing.T) {
 	}
 }
 
-func TestPubSubClusterErrors(t *testing.T) {
-	cfg := fastConfig()
-	if _, err := NewPubSubCluster(1, 40, cfg); err == nil {
-		t.Fatal("1-peer cluster accepted")
-	}
-	if _, err := NewPubSubCluster(4, 0, cfg); err == nil {
-		t.Fatal("zero budget accepted")
-	}
-	cluster, err := NewPubSubCluster(4, 40, cfg)
+// TestPubSubEventsStreamCarriesTopics: the Events stream is shared
+// across all facades; on the pub/sub facade every delivery carries its
+// topic, matching the callback contract.
+func TestPubSubEventsStreamCarriesTopics(t *testing.T) {
+	cluster, err := NewPubSub(4, 40, fastConfig(), WithSeed(13))
 	if err != nil {
 		t.Fatal(err)
 	}
-	cluster.Start()
-	defer cluster.Stop()
+	ctx := context.Background()
+	events := cluster.Events(ctx)
+	seen := make(chan map[Topic]int, 1)
+	go func() {
+		byTopic := map[Topic]int{}
+		for d := range events {
+			byTopic[d.Topic]++
+		}
+		seen <- byTopic
+	}()
+	if err := cluster.Start(ctx); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 4; i++ {
+		if err := cluster.Subscribe(i, "ticks"); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if ok, err := cluster.Publish(0, "ticks", []byte("t0")); err != nil || !ok {
+		t.Fatalf("publish: %v %v", ok, err)
+	}
+	deadline := time.Now().Add(5 * time.Second)
+	for time.Now().Before(deadline) && cluster.Stats().Delivered < 4 {
+		time.Sleep(10 * time.Millisecond)
+	}
+	st := cluster.Stats()
+	cluster.Close()
+	byTopic := <-seen
+	if byTopic["ticks"] != 4 {
+		t.Fatalf("stream saw %d ticks deliveries, want 4 (stats %+v)", byTopic["ticks"], st)
+	}
+	if st.Nodes != 4 || st.Published == 0 {
+		t.Fatalf("unified stats %+v", st)
+	}
+}
+
+func TestPubSubErrors(t *testing.T) {
+	cfg := fastConfig()
+	if _, err := NewPubSub(1, 40, cfg); err == nil {
+		t.Fatal("1-peer group accepted")
+	}
+	if _, err := NewPubSub(4, 0, cfg); err == nil {
+		t.Fatal("zero budget accepted")
+	}
+	if _, err := NewPubSub(4, 40, cfg, WithOnMemberChange(func(node, peer NodeID, st MemberStatus) {})); err == nil {
+		t.Fatal("WithOnMemberChange accepted by NewPubSub")
+	}
+	cluster, err := NewPubSub(4, 40, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := cluster.Start(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	defer cluster.Close()
 	if err := cluster.Subscribe(99, "t"); err == nil {
 		t.Fatal("out-of-range subscribe accepted")
 	}
@@ -136,17 +188,23 @@ func TestPubSubClusterErrors(t *testing.T) {
 	if _, err := cluster.State(-1); err == nil {
 		t.Fatal("out-of-range state accepted")
 	}
-	cluster.Stop()
-	cluster.Stop() // idempotent
+	if err := cluster.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := cluster.Close(); err != nil { // idempotent
+		t.Fatal(err)
+	}
 }
 
-func TestPubSubClusterUnsubscribeRebalancesLive(t *testing.T) {
-	cluster, err := NewPubSubCluster(4, 30, fastConfig(), WithPubSubSeed(5))
+func TestPubSubUnsubscribeRebalancesLive(t *testing.T) {
+	cluster, err := NewPubSub(4, 30, fastConfig(), WithSeed(5))
 	if err != nil {
 		t.Fatal(err)
 	}
-	cluster.Start()
-	defer cluster.Stop()
+	if err := cluster.Start(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	defer cluster.Close()
 	for _, topic := range []Topic{"a", "b", "c"} {
 		if err := cluster.Subscribe(0, topic); err != nil {
 			t.Fatal(err)

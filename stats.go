@@ -1,0 +1,66 @@
+package adaptivegossip
+
+import "adaptivegossip/internal/runtime"
+
+// Stats is the unified counter snapshot shared by all three facades:
+// Node.Stats, Cluster.Stats and PubSub.Stats return the same shape, so
+// monitoring code works against any deployment of the protocol. Rates
+// are aggregated per member (Nodes = 1 for a single Node); the
+// Min/Max/Sum triple summarizes the adaptation allowances across the
+// group.
+type Stats struct {
+	// Nodes is the number of local members aggregated into this
+	// snapshot.
+	Nodes int
+	// Published counts admitted local broadcasts.
+	Published uint64
+	// Delivered counts events delivered to the application.
+	Delivered uint64
+	// DroppedCapacity counts events evicted by buffer pressure.
+	DroppedCapacity uint64
+	// DroppedExpired counts events purged by the age bound.
+	DroppedExpired uint64
+	// MessagesSent counts outgoing gossip messages.
+	MessagesSent uint64
+	// MinAllowedRate / MaxAllowedRate / SumAllowedRate summarize the
+	// adaptation mechanism's current per-member allowances (msg/s).
+	MinAllowedRate float64
+	MaxAllowedRate float64
+	SumAllowedRate float64
+	// EventsRecovered counts events repaired by the anti-entropy
+	// subsystem (zero unless Config.Recovery.Enabled).
+	EventsRecovered uint64
+	// ProbesSent and Confirms count failure-detector activity (zero
+	// unless Config.Failure.Enabled).
+	ProbesSent uint64
+	Confirms   uint64
+	// StreamDropped counts deliveries lost to Events subscribers that
+	// fell more than DefaultEventStreamBuffer behind.
+	StreamDropped uint64
+}
+
+// add folds one member's runtime snapshot into the aggregate.
+func (s *Stats) add(snap runtime.NodeSnapshot) {
+	s.addRates(snap.AllowedRate)
+	s.Published += snap.Adaptive.Published
+	s.Delivered += snap.Gossip.Delivered
+	s.DroppedCapacity += snap.Gossip.DroppedCapacity
+	s.DroppedExpired += snap.Gossip.DroppedExpired
+	s.MessagesSent += snap.Gossip.MessagesSent
+	s.EventsRecovered += snap.Recovery.EventsRecovered
+	s.ProbesSent += snap.Failure.ProbesSent
+	s.Confirms += snap.Failure.Confirms
+}
+
+// addRates folds one member's allowance into the Min/Max/Sum triple and
+// bumps Nodes.
+func (s *Stats) addRates(allowed float64) {
+	if s.Nodes == 0 || allowed < s.MinAllowedRate {
+		s.MinAllowedRate = allowed
+	}
+	if s.Nodes == 0 || allowed > s.MaxAllowedRate {
+		s.MaxAllowedRate = allowed
+	}
+	s.SumAllowedRate += allowed
+	s.Nodes++
+}

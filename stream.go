@@ -1,0 +1,119 @@
+package adaptivegossip
+
+import (
+	"context"
+	"sync"
+	"sync/atomic"
+)
+
+// DefaultEventStreamBuffer is the channel capacity of each Events
+// subscription. A subscriber that falls further behind than this loses
+// deliveries (counted in Stats.StreamDropped) rather than stalling the
+// gossip goroutines.
+const DefaultEventStreamBuffer = 1024
+
+// streamHub fans deliveries out to Events subscribers. publish runs on
+// gossip goroutines, so sends never block: a full subscriber drops the
+// delivery and counts it.
+type streamHub struct {
+	mu      sync.Mutex
+	subs    map[*streamSub]struct{}
+	closed  bool
+	done    chan struct{} // closed with the hub; releases ctx watchers
+	nsubs   atomic.Int32
+	dropped atomic.Uint64
+}
+
+type streamSub struct {
+	ch   chan Delivery
+	once sync.Once
+}
+
+func newStreamHub() *streamHub {
+	return &streamHub{
+		subs: make(map[*streamSub]struct{}),
+		done: make(chan struct{}),
+	}
+}
+
+// publish offers d to every live subscriber without blocking. With no
+// subscribers it is a single atomic load, so the always-installed
+// deliver closure costs the gossip hot path nothing.
+func (h *streamHub) publish(d Delivery) {
+	if h.nsubs.Load() == 0 {
+		return
+	}
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	for sub := range h.subs {
+		select {
+		case sub.ch <- d:
+		default:
+			h.dropped.Add(1)
+		}
+	}
+}
+
+// subscribe registers a stream that lives until ctx is cancelled or the
+// hub closes; either way the returned channel is closed and the ctx
+// watcher goroutine is released.
+func (h *streamHub) subscribe(ctx context.Context) <-chan Delivery {
+	sub := &streamSub{ch: make(chan Delivery, DefaultEventStreamBuffer)}
+	h.mu.Lock()
+	if h.closed {
+		h.mu.Unlock()
+		close(sub.ch)
+		return sub.ch
+	}
+	h.subs[sub] = struct{}{}
+	h.nsubs.Add(1)
+	h.mu.Unlock()
+
+	stop := ctx.Done()
+	if stop != nil {
+		go func() {
+			select {
+			case <-stop:
+				h.unsubscribe(sub)
+			case <-h.done:
+			}
+		}()
+	}
+	return sub.ch
+}
+
+func (h *streamHub) unsubscribe(sub *streamSub) {
+	h.mu.Lock()
+	_, live := h.subs[sub]
+	delete(h.subs, sub)
+	if live {
+		h.nsubs.Add(-1)
+	}
+	h.mu.Unlock()
+	if live {
+		sub.once.Do(func() { close(sub.ch) })
+	}
+}
+
+// close ends every subscription. Idempotent.
+func (h *streamHub) close() {
+	h.mu.Lock()
+	if h.closed {
+		h.mu.Unlock()
+		return
+	}
+	h.closed = true
+	subs := make([]*streamSub, 0, len(h.subs))
+	for sub := range h.subs {
+		subs = append(subs, sub)
+	}
+	h.subs = make(map[*streamSub]struct{})
+	h.nsubs.Store(0)
+	h.mu.Unlock()
+	close(h.done)
+	for _, sub := range subs {
+		sub.once.Do(func() { close(sub.ch) })
+	}
+}
+
+func (h *streamHub) droppedCount() uint64 { return h.dropped.Load() }
