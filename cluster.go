@@ -281,5 +281,6 @@ func (c *Cluster) Stats() Stats {
 		st.add(r.Snapshot())
 	}
 	st.StreamDropped = c.hub.droppedCount()
+	st.RecvQueueDrops = recvQueueDrops(c.fabric)
 	return st
 }

@@ -16,6 +16,7 @@
 //	gossipsim -figure recovery       # delivery vs loss, anti-entropy off/on
 //	gossipsim -figure churn          # delivery and view accuracy vs churn
 //	                                 # rate, failure detection off/on
+//	gossipsim -figure wirecost       # bytes and allocs per round vs fanout
 //	gossipsim -figure 2 -fast        # reduced duration for a quick look
 package main
 
@@ -38,7 +39,7 @@ func main() {
 func run(args []string) error {
 	fs := flag.NewFlagSet("gossipsim", flag.ContinueOnError)
 	var (
-		figure = fs.String("figure", "all", "2|4|6|7|8|9|9rt|t1|ablations|recovery|churn|all")
+		figure = fs.String("figure", "all", "2|4|6|7|8|9|9rt|t1|ablations|recovery|churn|wirecost|all")
 		seed   = fs.Int64("seed", 1, "base random seed")
 		seeds  = fs.Int("seeds", 1, "seeds to average per data point")
 		n      = fs.Int("n", 60, "group size")
@@ -85,6 +86,8 @@ func run(args []string) error {
 		return recoverySweep(base, *seeds)
 	case "churn":
 		return churnSweep(base, *seeds)
+	case "wirecost":
+		return wirecostSweep(*fast)
 	case "all":
 		if err := figure2(base, *seeds); err != nil {
 			return err
@@ -112,6 +115,9 @@ func run(args []string) error {
 			return err
 		}
 		if err := churnSweep(base, *seeds); err != nil {
+			return err
+		}
+		if err := wirecostSweep(*fast); err != nil {
 			return err
 		}
 		fmt.Printf("\n# total wall time: %v\n", time.Since(started).Round(time.Second))
@@ -254,6 +260,20 @@ func churnSweep(base experiments.Config, seeds int) error {
 		return err
 	}
 	experiments.RenderChurn(os.Stdout, rows)
+	fmt.Println()
+	return nil
+}
+
+func wirecostSweep(fast bool) error {
+	cfg := experiments.DefaultWirecostConfig()
+	if fast {
+		cfg.Rounds = 50
+	}
+	rows, err := experiments.RunWirecost(cfg)
+	if err != nil {
+		return err
+	}
+	experiments.RenderWirecost(os.Stdout, cfg, rows)
 	fmt.Println()
 	return nil
 }

@@ -68,6 +68,41 @@ type Outgoing struct {
 	Msg *Message
 }
 
+// Fanout pairs one read-only message with every destination of a round:
+// the shape of Figure 1's emission, where the identical gossip message
+// reaches F targets. Transports with an encode-once fast path
+// (transport.ManySender) consume it directly.
+type Fanout struct {
+	Targets []NodeID
+	Msg     *Message
+}
+
+// GroupOutgoing coalesces consecutive Outgoing entries that share one
+// message into Fanouts, preserving order. Tick addresses its round
+// message to all fanout targets back to back, so the per-round gossip
+// collapses to a single Fanout; subsystem control traffic (recovery
+// pulls, failure probes) stays one entry each. Messages are not copied.
+func GroupOutgoing(outs []Outgoing) []Fanout {
+	if len(outs) == 0 {
+		return nil
+	}
+	fans := make([]Fanout, 0, 1)
+	start := 0
+	targets := make([]NodeID, 0, len(outs))
+	for i := 1; i <= len(outs); i++ {
+		if i < len(outs) && outs[i].Msg == outs[start].Msg {
+			continue
+		}
+		first := len(targets)
+		for _, o := range outs[start:i] {
+			targets = append(targets, o.To)
+		}
+		fans = append(fans, Fanout{Targets: targets[first:len(targets):len(targets)], Msg: outs[start].Msg})
+		start = i
+	}
+	return fans
+}
+
 // NodeStats counts protocol activity since the node was created.
 type NodeStats struct {
 	Broadcasts        uint64 // events originated locally

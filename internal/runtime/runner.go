@@ -188,12 +188,16 @@ func (r *Runner) receive(msg *gossip.Message) {
 	r.send(r.node.Receive(msg, time.Now()))
 }
 
+// send transmits a batch of outgoings, coalescing the round's shared
+// gossip message into one SendMany so transports with an encode-once
+// fast path pay the serialization cost once per round, not once per
+// fanout target.
 func (r *Runner) send(outs []gossip.Outgoing) {
-	for _, out := range outs {
-		if err := r.tr.Send(out.To, out.Msg); err != nil {
-			r.sendErrors.Add(1)
-		} else {
-			r.moved.Add(1)
+	for _, f := range gossip.GroupOutgoing(outs) {
+		sent, _ := transport.SendMany(r.tr, f.Targets, f.Msg)
+		r.moved.Add(uint64(sent))
+		if failed := len(f.Targets) - sent; failed > 0 {
+			r.sendErrors.Add(uint64(failed))
 		}
 	}
 }

@@ -92,13 +92,31 @@ func appendString(buf []byte, s string) []byte {
 	return append(buf, s...)
 }
 
-// Encode serializes the message.
+// Encode serializes the message into a freshly allocated buffer.
 func (c Codec) Encode(m *gossip.Message) ([]byte, error) {
 	c = c.limits()
 	if err := c.validateForEncode(m); err != nil {
 		return nil, err
 	}
-	buf := make([]byte, 0, c.encodedSize(m))
+	return c.appendEncode(make([]byte, 0, c.encodedSize(m)), m), nil
+}
+
+// AppendEncode serializes the message, appending its wire encoding to
+// buf and returning the extended slice (like append, the result may
+// share backing storage with buf). When buf has at least EncodedSize(m)
+// spare capacity the call performs no allocation — the hot-path
+// contract the UDP transport's pooled send buffers rely on.
+func (c Codec) AppendEncode(buf []byte, m *gossip.Message) ([]byte, error) {
+	c = c.limits()
+	if err := c.validateForEncode(m); err != nil {
+		return nil, err
+	}
+	return c.appendEncode(buf, m), nil
+}
+
+// appendEncode writes the wire encoding of an already-validated
+// message.
+func (c Codec) appendEncode(buf []byte, m *gossip.Message) []byte {
 	buf = append(buf, codecMagic[:]...)
 	buf = append(buf, codecVersion)
 	var flags byte
@@ -124,7 +142,7 @@ func (c Codec) Encode(m *gossip.Message) ([]byte, error) {
 		buf = appendString(buf, string(e.Node))
 		buf = binary.BigEndian.AppendUint32(buf, uint32(int32(e.Cap)))
 	}
-	for _, ids := range [][]gossip.EventID{m.Digest, m.Request} {
+	for _, ids := range [2][]gossip.EventID{m.Digest, m.Request} {
 		buf = binary.BigEndian.AppendUint16(buf, uint16(len(ids)))
 		for _, id := range ids {
 			buf = appendString(buf, string(id.Origin))
@@ -155,7 +173,7 @@ func (c Codec) Encode(m *gossip.Message) ([]byte, error) {
 	for _, s := range m.Unsubs {
 		buf = appendString(buf, string(s))
 	}
-	return buf, nil
+	return buf
 }
 
 func (c Codec) validateForEncode(m *gossip.Message) error {
@@ -189,7 +207,7 @@ func (c Codec) validateForEncode(m *gossip.Message) error {
 			return fmt.Errorf("transport: unknown member status %d", u.Status)
 		}
 	}
-	for _, ids := range [][]gossip.EventID{m.Digest, m.Request} {
+	for _, ids := range [2][]gossip.EventID{m.Digest, m.Request} {
 		for _, id := range ids {
 			if len(id.Origin) > c.MaxIDLen {
 				return fmt.Errorf("%w: digest id %d bytes", ErrTooLarge, len(id.Origin))
@@ -212,13 +230,19 @@ func (c Codec) validateForEncode(m *gossip.Message) error {
 			return fmt.Errorf("%w: kmin id %d bytes", ErrTooLarge, len(e.Node))
 		}
 	}
-	for _, s := range append(append([]gossip.NodeID{}, m.Subs...), m.Unsubs...) {
-		if len(s) > c.MaxIDLen {
-			return fmt.Errorf("%w: membership id %d bytes", ErrTooLarge, len(s))
+	for _, list := range [2][]gossip.NodeID{m.Subs, m.Unsubs} {
+		for _, s := range list {
+			if len(s) > c.MaxIDLen {
+				return fmt.Errorf("%w: membership id %d bytes", ErrTooLarge, len(s))
+			}
 		}
 	}
 	return nil
 }
+
+// EncodedSize returns the exact wire size of m's encoding — the
+// capacity AppendEncode needs to stay allocation-free.
+func (c Codec) EncodedSize(m *gossip.Message) int { return c.encodedSize(m) }
 
 // encodedSize returns the exact encoding size of m.
 func (c Codec) encodedSize(m *gossip.Message) int {
@@ -234,7 +258,7 @@ func (c Codec) encodedSize(m *gossip.Message) int {
 		n += 2 + len(e.Node) + 4
 	}
 	n += 2 + 2
-	for _, ids := range [][]gossip.EventID{m.Digest, m.Request} {
+	for _, ids := range [2][]gossip.EventID{m.Digest, m.Request} {
 		for _, id := range ids {
 			n += 2 + len(id.Origin) + 8
 		}

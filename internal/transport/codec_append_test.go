@@ -1,0 +1,82 @@
+package transport
+
+import (
+	"bytes"
+	"testing"
+
+	"adaptivegossip/internal/gossip"
+)
+
+func TestAppendEncodeMatchesEncode(t *testing.T) {
+	c := DefaultCodec()
+	msg := sampleMessage()
+	want, err := c.Encode(msg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	prefix := []byte("prefix-bytes")
+	got, err := c.AppendEncode(append([]byte(nil), prefix...), msg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.HasPrefix(got, prefix) {
+		t.Fatal("AppendEncode clobbered the existing buffer contents")
+	}
+	if !bytes.Equal(got[len(prefix):], want) {
+		t.Fatal("AppendEncode produced different bytes than Encode")
+	}
+	dec, err := c.Decode(got[len(prefix):])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !msgEqual(msg, dec) {
+		t.Fatalf("round trip mismatch:\n in %+v\nout %+v", msg, dec)
+	}
+}
+
+func TestAppendEncodeRejectsInvalid(t *testing.T) {
+	c := DefaultCodec()
+	if _, err := c.AppendEncode(nil, nil); err == nil {
+		t.Fatal("nil message accepted")
+	}
+	bad := &gossip.Message{From: gossip.NodeID(bytes.Repeat([]byte{'x'}, 300))}
+	if _, err := c.AppendEncode(nil, bad); err == nil {
+		t.Fatal("oversized from id accepted")
+	}
+}
+
+func TestEncodedSizeExact(t *testing.T) {
+	c := DefaultCodec()
+	for _, msg := range []*gossip.Message{
+		sampleMessage(),
+		{From: "a"},
+		{From: "a", Kind: gossip.KindPing, Probe: "b", ProbeSeq: 9},
+	} {
+		enc, err := c.Encode(msg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got, want := c.EncodedSize(msg), len(enc); got != want {
+			t.Fatalf("EncodedSize = %d, encoding is %d bytes", got, want)
+		}
+	}
+}
+
+// TestAppendEncodeZeroAlloc asserts the steady-state contract the
+// pooled wire path depends on: encoding into a buffer with enough
+// capacity allocates nothing.
+func TestAppendEncodeZeroAlloc(t *testing.T) {
+	c := DefaultCodec()
+	msg := sampleMessage()
+	buf := make([]byte, 0, c.EncodedSize(msg))
+	allocs := testing.AllocsPerRun(200, func() {
+		out, err := c.AppendEncode(buf[:0], msg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		_ = out
+	})
+	if allocs != 0 {
+		t.Fatalf("AppendEncode allocated %v times per run with sufficient capacity", allocs)
+	}
+}

@@ -33,6 +33,10 @@ type MemNetwork struct {
 	stats     MemStats
 	closed    bool
 	inflight  sync.WaitGroup
+	// timers tracks pending latency-delayed deliveries so Close can
+	// cancel them instead of letting them fire into torn-down nodes (or
+	// waiting a full latency bound for them to expire).
+	timers map[*time.Timer]struct{}
 }
 
 // MemOption configures a MemNetwork.
@@ -73,6 +77,7 @@ func NewMemNetwork(opts ...MemOption) (*MemNetwork, error) {
 	n := &MemNetwork{
 		rng:       rand.New(rand.NewPCG(1, 2)),
 		endpoints: make(map[gossip.NodeID]*MemEndpoint),
+		timers:    make(map[*time.Timer]struct{}),
 	}
 	for _, opt := range opts {
 		if err := opt(n); err != nil {
@@ -108,11 +113,20 @@ func (n *MemNetwork) Stats() MemStats {
 	return n.stats
 }
 
-// Close shuts the fabric down and waits for in-flight deliveries to
-// settle.
+// Close shuts the fabric down: pending latency timers are cancelled
+// (counted as ClosedDrops), then in-flight deliveries are waited for.
+// No delivery callback runs after Close returns.
 func (n *MemNetwork) Close() {
 	n.mu.Lock()
 	n.closed = true
+	for tm := range n.timers {
+		if tm.Stop() {
+			// The delivery will never run; settle its in-flight slot.
+			n.stats.ClosedDrops++
+			n.inflight.Done()
+		}
+		delete(n.timers, tm)
+	}
 	n.mu.Unlock()
 	n.inflight.Wait()
 }
@@ -143,8 +157,6 @@ func (n *MemNetwork) send(from, to gossip.NodeID, msg *gossip.Message) error {
 		}
 	}
 	n.inflight.Add(1)
-	n.mu.Unlock()
-
 	deliver := func() {
 		defer n.inflight.Done()
 		n.mu.Lock()
@@ -164,10 +176,23 @@ func (n *MemNetwork) send(from, to gossip.NodeID, msg *gossip.Message) error {
 		h(msg)
 	}
 	if lat == 0 {
+		n.mu.Unlock()
 		go deliver()
-	} else {
-		time.AfterFunc(lat, deliver)
+		return nil
 	}
+	// The timer is created and registered while mu is held, and its
+	// callback reads the tm variable only after re-acquiring mu — that
+	// lock ordering is what makes the handoff race-free and lets Close
+	// cancel the timer under the same lock.
+	var tm *time.Timer
+	tm = time.AfterFunc(lat, func() {
+		n.mu.Lock()
+		delete(n.timers, tm)
+		n.mu.Unlock()
+		deliver()
+	})
+	n.timers[tm] = struct{}{}
+	n.mu.Unlock()
 	return nil
 }
 
@@ -213,10 +238,33 @@ func (e *MemEndpoint) Send(to gossip.NodeID, msg *gossip.Message) error {
 	return e.net.send(e.id, to, msg)
 }
 
+// SendMany transmits msg to every target through the fabric. There is
+// no wire encoding in process, so the fast path is just a loop; it
+// exists so the ManySender seam behaves uniformly across the built-in
+// transports. Targets are attempted independently; SendMany returns the
+// number accepted and the first error.
+func (e *MemEndpoint) SendMany(targets []gossip.NodeID, msg *gossip.Message) (int, error) {
+	sent := 0
+	var first error
+	for _, to := range targets {
+		if err := e.net.send(e.id, to, msg); err != nil {
+			if first == nil {
+				first = err
+			}
+			continue
+		}
+		sent++
+	}
+	return sent, first
+}
+
 // Close detaches the endpoint from the fabric.
 func (e *MemEndpoint) Close() error {
 	e.net.detach(e.id)
 	return nil
 }
 
-var _ Transport = (*MemEndpoint)(nil)
+var (
+	_ Transport  = (*MemEndpoint)(nil)
+	_ ManySender = (*MemEndpoint)(nil)
+)

@@ -1,0 +1,128 @@
+package transport
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"adaptivegossip/internal/gossip"
+)
+
+// TestMemCloseCancelsLatentDeliveries is the shutdown regression for
+// the latency-injection path: deliveries still waiting on their latency
+// timer when Close runs must be cancelled, not fired into a torn-down
+// node, and Close must not have to sit out the full latency bound.
+func TestMemCloseCancelsLatentDeliveries(t *testing.T) {
+	n, err := NewMemNetwork(WithMemLatency(500*time.Millisecond, 600*time.Millisecond))
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, _ := n.Endpoint("a")
+	b, _ := n.Endpoint("b")
+	var delivered atomic.Uint64
+	b.SetHandler(func(*gossip.Message) { delivered.Add(1) })
+	const sends = 16
+	for i := 0; i < sends; i++ {
+		if err := a.Send("b", &gossip.Message{From: "a"}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	start := time.Now()
+	n.Close()
+	if d := time.Since(start); d > 250*time.Millisecond {
+		t.Fatalf("Close waited %v for latency timers instead of cancelling them", d)
+	}
+	after := delivered.Load()
+	if after != 0 {
+		t.Fatalf("%d deliveries fired before their 500ms latency elapsed", after)
+	}
+	// Nothing may fire after Close returns, even once the latency
+	// bound passes.
+	time.Sleep(700 * time.Millisecond)
+	if got := delivered.Load(); got != after {
+		t.Fatalf("%d deliveries fired after Close", got-after)
+	}
+	if st := n.Stats(); st.ClosedDrops != sends {
+		t.Fatalf("cancelled deliveries not accounted: %+v", st)
+	}
+}
+
+func TestMemSendMany(t *testing.T) {
+	n, err := NewMemNetwork()
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer n.Close()
+	a, _ := n.Endpoint("a")
+	var got atomic.Uint64
+	targets := make([]gossip.NodeID, 0, 3)
+	for i := 0; i < 3; i++ {
+		id := gossip.NodeID(fmt.Sprintf("peer-%d", i))
+		ep, err := n.Endpoint(id)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ep.SetHandler(func(*gossip.Message) { got.Add(1) })
+		targets = append(targets, id)
+	}
+	sent, err := a.SendMany(append(targets, "ghost"), &gossip.Message{From: "a"})
+	if err == nil {
+		t.Fatal("unknown peer not reported")
+	}
+	if sent != len(targets) {
+		t.Fatalf("sent = %d, want %d", sent, len(targets))
+	}
+	deadline := time.Now().Add(3 * time.Second)
+	for got.Load() < uint64(len(targets)) && time.Now().Before(deadline) {
+		time.Sleep(5 * time.Millisecond)
+	}
+	if got.Load() != uint64(len(targets)) {
+		t.Fatalf("delivered %d of %d", got.Load(), len(targets))
+	}
+}
+
+// TestMemConcurrentSendClose drives the fabric under the race detector:
+// senders (with latency timers in flight) racing registration and
+// Close.
+func TestMemConcurrentSendClose(t *testing.T) {
+	n, err := NewMemNetwork(WithMemLatency(0, 2*time.Millisecond))
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, _ := n.Endpoint("a")
+	b, _ := n.Endpoint("b")
+	b.SetHandler(func(*gossip.Message) {})
+	var wg sync.WaitGroup
+	stop := make(chan struct{})
+	for i := 0; i < 4; i++ {
+		wg.Add(2)
+		go func() {
+			defer wg.Done()
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+					a.Send("b", &gossip.Message{From: "a"})
+				}
+			}
+		}()
+		go func(i int) {
+			defer wg.Done()
+			for j := 0; ; j++ {
+				select {
+				case <-stop:
+					return
+				default:
+					n.Endpoint(gossip.NodeID(fmt.Sprintf("ep-%d-%d", i, j)))
+				}
+			}
+		}(i)
+	}
+	time.Sleep(20 * time.Millisecond)
+	n.Close()
+	close(stop)
+	wg.Wait()
+}

@@ -22,3 +22,37 @@ type Transport interface {
 	// Close releases resources and stops delivery.
 	Close() error
 }
+
+// ManySender is the optional fanout fast path of a Transport: one
+// message addressed to many peers in a single call, letting the
+// implementation pay the encode cost once instead of once per target
+// (both built-in transports implement it). Delivery is best effort per
+// target — a failing target does not stop the others. SendMany returns
+// how many targets were sent to and the first error encountered.
+type ManySender interface {
+	SendMany(targets []gossip.NodeID, msg *gossip.Message) (int, error)
+}
+
+// SendMany transmits msg to every target through t, using the
+// ManySender fast path when t implements it and falling back to one
+// encode-per-peer Send per target otherwise — the shim that keeps
+// external Transport implementations working unchanged. Like the fast
+// path, the fallback is best effort per target: it attempts every
+// target and returns the number sent plus the first error.
+func SendMany(t Transport, targets []gossip.NodeID, msg *gossip.Message) (int, error) {
+	if ms, ok := t.(ManySender); ok {
+		return ms.SendMany(targets, msg)
+	}
+	sent := 0
+	var first error
+	for _, to := range targets {
+		if err := t.Send(to, msg); err != nil {
+			if first == nil {
+				first = err
+			}
+			continue
+		}
+		sent++
+	}
+	return sent, first
+}

@@ -7,6 +7,7 @@ import (
 	"net"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"adaptivegossip/internal/gossip"
 )
@@ -15,10 +16,28 @@ import (
 // it are split into standalone chunks (see Codec.EncodeChunks).
 const DefaultMaxDatagram = 60 * 1024
 
+// DefaultRecvQueue is the depth of the queue between the socket read
+// loop and the handler dispatch goroutine. Overflow is dropped and
+// counted in RecvQueueDrops — gossip tolerates loss by design, and a
+// slow handler must never stall the socket into kernel-buffer drops
+// that no counter sees.
+const DefaultRecvQueue = 1024
+
+// Read-error backoff bounds: a persistent non-ErrClosed read failure
+// backs off exponentially between these instead of spinning the CPU.
+const (
+	initialReadBackoff = time.Millisecond
+	maxReadBackoff     = 100 * time.Millisecond
+)
+
 // UDPStats counts UDP transport activity.
 type UDPStats struct {
-	Sent         uint64
-	SentBytes    uint64
+	Sent      uint64
+	SentBytes uint64
+	// SplitChunks counts continuation fragments actually written to the
+	// wire: a message sent in n datagrams adds n-1, single-datagram
+	// sends add nothing, and fragments dropped by injected loss are not
+	// counted.
 	SplitChunks  uint64
 	Received     uint64
 	RecvBytes    uint64
@@ -26,15 +45,62 @@ type UDPStats struct {
 	NoHandler    uint64
 	SendErrors   uint64
 	LossDropped  uint64 // datagrams dropped by injected send loss
+	// ReadErrors counts transient socket read failures (the read loop
+	// backs off and retries; net.ErrClosed terminates it instead).
+	ReadErrors uint64
+	// RecvQueueDrops counts inbound datagrams discarded undelivered:
+	// either the dispatch queue was full (the consumer fell behind the
+	// wire) or they were still queued when Close ran.
+	RecvQueueDrops uint64
+}
+
+// udpConn is the socket surface the transport uses, satisfied by
+// *net.UDPConn; tests inject failing implementations.
+type udpConn interface {
+	ReadFromUDP(b []byte) (int, *net.UDPAddr, error)
+	WriteToUDP(b []byte, addr *net.UDPAddr) (int, error)
+	LocalAddr() net.Addr
+	Close() error
+}
+
+// recvPacket is one queued datagram: a pooled buffer and the number of
+// bytes the read filled in.
+type recvPacket struct {
+	buf *[]byte
+	n   int
+}
+
+// sendBufPool recycles encode buffers across sends: with AppendEncode
+// the steady-state hot path allocates nothing once the pooled buffers
+// have grown to the working message size.
+var sendBufPool = sync.Pool{
+	New: func() any {
+		b := make([]byte, 0, 2048)
+		return &b
+	},
+}
+
+// recvBufPool recycles datagram read buffers between the read loop and
+// the dispatch goroutine.
+var recvBufPool = sync.Pool{
+	New: func() any {
+		b := make([]byte, 1<<16)
+		return &b
+	},
 }
 
 // UDPTransport carries gossip messages as UDP datagrams — the role the
 // Ethernet LAN plays in the paper's prototype experiments. Peers are
 // registered explicitly in an address book (the examples and cmd tools
 // wire this from configuration).
+//
+// Receives are asynchronous: the read loop only moves datagrams into a
+// bounded dispatch queue, a separate goroutine decodes and runs the
+// handler, and overflow is counted in RecvQueueDrops rather than
+// stalling the socket.
 type UDPTransport struct {
 	id    gossip.NodeID
-	conn  *net.UDPConn
+	conn  udpConn
 	codec Codec
 	maxDg int
 
@@ -46,19 +112,23 @@ type UDPTransport struct {
 	lossRate float64
 	lossRNG  *rand.Rand
 
+	recvQ   chan recvPacket
 	started atomic.Bool
 	closed  atomic.Bool
+	stopCh  chan struct{}
 	wg      sync.WaitGroup
 
-	sent         atomic.Uint64
-	sentBytes    atomic.Uint64
-	splitChunks  atomic.Uint64
-	received     atomic.Uint64
-	recvBytes    atomic.Uint64
-	decodeErrors atomic.Uint64
-	noHandler    atomic.Uint64
-	sendErrors   atomic.Uint64
-	lossDropped  atomic.Uint64
+	sent           atomic.Uint64
+	sentBytes      atomic.Uint64
+	splitChunks    atomic.Uint64
+	received       atomic.Uint64
+	recvBytes      atomic.Uint64
+	decodeErrors   atomic.Uint64
+	noHandler      atomic.Uint64
+	sendErrors     atomic.Uint64
+	lossDropped    atomic.Uint64
+	readErrors     atomic.Uint64
+	recvQueueDrops atomic.Uint64
 }
 
 // UDPOption configures a UDPTransport.
@@ -97,6 +167,19 @@ func WithMaxDatagram(n int) UDPOption {
 	}
 }
 
+// WithUDPRecvQueue overrides the dispatch queue depth
+// (DefaultRecvQueue). Deeper queues absorb longer handler stalls;
+// overflow is dropped and counted either way.
+func WithUDPRecvQueue(depth int) UDPOption {
+	return func(t *UDPTransport) error {
+		if depth < 1 {
+			return fmt.Errorf("transport: recv queue depth %d must be at least 1", depth)
+		}
+		t.recvQ = make(chan recvPacket, depth)
+		return nil
+	}
+}
+
 // NewUDPTransport binds a UDP socket at bind (e.g. "127.0.0.1:0").
 // Call SetHandler then Start before expecting traffic.
 func NewUDPTransport(id gossip.NodeID, bind string, opts ...UDPOption) (*UDPTransport, error) {
@@ -111,18 +194,28 @@ func NewUDPTransport(id gossip.NodeID, bind string, opts ...UDPOption) (*UDPTran
 	if err != nil {
 		return nil, fmt.Errorf("transport: listen %q: %w", bind, err)
 	}
+	return newUDPTransport(id, conn, opts...)
+}
+
+// newUDPTransport assembles a transport around an existing socket;
+// tests inject failing conns here.
+func newUDPTransport(id gossip.NodeID, conn udpConn, opts ...UDPOption) (*UDPTransport, error) {
 	t := &UDPTransport{
-		id:    id,
-		conn:  conn,
-		codec: DefaultCodec(),
-		maxDg: DefaultMaxDatagram,
-		book:  make(map[gossip.NodeID]*net.UDPAddr),
+		id:     id,
+		conn:   conn,
+		codec:  DefaultCodec(),
+		maxDg:  DefaultMaxDatagram,
+		book:   make(map[gossip.NodeID]*net.UDPAddr),
+		stopCh: make(chan struct{}),
 	}
 	for _, opt := range opts {
 		if err := opt(t); err != nil {
 			conn.Close()
 			return nil, err
 		}
+	}
+	if t.recvQ == nil {
+		t.recvQ = make(chan recvPacket, DefaultRecvQueue)
 	}
 	return t, nil
 }
@@ -152,47 +245,99 @@ func (t *UDPTransport) SetHandler(h Handler) {
 	t.mu.Unlock()
 }
 
-// Start launches the read loop. It must be called exactly once.
+// Start launches the read and dispatch loops. It must be called exactly
+// once.
 func (t *UDPTransport) Start() error {
 	if !t.started.CompareAndSwap(false, true) {
 		return fmt.Errorf("transport: already started")
 	}
-	t.wg.Add(1)
+	t.wg.Add(2)
 	go t.readLoop()
+	go t.dispatchLoop()
 	return nil
 }
 
+// readLoop moves datagrams from the socket into the dispatch queue. It
+// never blocks on the consumer: a full queue drops the datagram
+// (counted), so kernel receive buffers keep draining no matter how slow
+// the handler is.
 func (t *UDPTransport) readLoop() {
 	defer t.wg.Done()
-	buf := make([]byte, 1<<16)
+	defer close(t.recvQ)
+	backoff := initialReadBackoff
 	for {
-		n, _, err := t.conn.ReadFromUDP(buf)
+		bp := recvBufPool.Get().(*[]byte)
+		n, _, err := t.conn.ReadFromUDP(*bp)
 		if err != nil {
+			recvBufPool.Put(bp)
 			if t.closed.Load() || errors.Is(err, net.ErrClosed) {
 				return
 			}
+			// Transient failure: back off instead of spinning. The stop
+			// channel cuts the wait short on Close.
+			t.readErrors.Add(1)
+			select {
+			case <-t.stopCh:
+				return
+			case <-time.After(backoff):
+			}
+			if backoff *= 2; backoff > maxReadBackoff {
+				backoff = maxReadBackoff
+			}
 			continue
 		}
+		backoff = initialReadBackoff
 		t.received.Add(1)
 		t.recvBytes.Add(uint64(n))
-		msg, err := t.codec.Decode(buf[:n])
-		if err != nil {
-			t.decodeErrors.Add(1)
-			continue
+		select {
+		case t.recvQ <- recvPacket{buf: bp, n: n}:
+		default:
+			t.recvQueueDrops.Add(1)
+			recvBufPool.Put(bp)
 		}
-		t.mu.RLock()
-		h := t.handler
-		t.mu.RUnlock()
-		if h == nil {
-			t.noHandler.Add(1)
-			continue
-		}
-		h(msg)
 	}
 }
 
-// Send encodes and transmits msg, splitting into multiple datagrams
-// when it exceeds the datagram bound.
+// dispatchLoop decodes queued datagrams and runs the handler, off the
+// socket goroutine. Once Close is underway the backlog is discarded
+// (counted in RecvQueueDrops) rather than dispatched — a slow handler
+// must not stretch shutdown by backlog × handler latency, nor keep
+// receiving messages into a node being torn down.
+func (t *UDPTransport) dispatchLoop() {
+	defer t.wg.Done()
+	for pkt := range t.recvQ {
+		if t.closed.Load() {
+			t.recvQueueDrops.Add(1)
+			recvBufPool.Put(pkt.buf)
+			continue
+		}
+		t.dispatch(pkt)
+	}
+}
+
+func (t *UDPTransport) dispatch(pkt recvPacket) {
+	// Decode copies everything it keeps, so the read buffer goes back to
+	// the pool before the handler runs.
+	msg, err := t.codec.Decode((*pkt.buf)[:pkt.n])
+	recvBufPool.Put(pkt.buf)
+	if err != nil {
+		t.decodeErrors.Add(1)
+		return
+	}
+	t.mu.RLock()
+	h := t.handler
+	t.mu.RUnlock()
+	if h == nil {
+		t.noHandler.Add(1)
+		return
+	}
+	h(msg)
+}
+
+// Send encodes and transmits msg to one peer, splitting into multiple
+// datagrams when it exceeds the datagram bound. Every call pays one
+// full encode; fanout traffic should go through SendMany, which
+// serializes once for all targets from a pooled buffer.
 func (t *UDPTransport) Send(to gossip.NodeID, msg *gossip.Message) error {
 	t.mu.RLock()
 	addr, ok := t.book[to]
@@ -206,21 +351,96 @@ func (t *UDPTransport) Send(to gossip.NodeID, msg *gossip.Message) error {
 		t.sendErrors.Add(1)
 		return err
 	}
-	if len(chunks) > 1 {
-		t.splitChunks.Add(uint64(len(chunks)))
+	return t.writeChunks(to, addr, chunks)
+}
+
+// SendMany transmits msg to every target, encoding once: the per-round
+// gossip message is read-only, so one Codec pass serves all F fanout
+// targets and the dissemination cost scales with message size, not
+// fanout. Targets are attempted independently (best effort); SendMany
+// returns the number of targets fully sent and the first error.
+func (t *UDPTransport) SendMany(targets []gossip.NodeID, msg *gossip.Message) (int, error) {
+	if len(targets) == 0 {
+		return 0, nil
 	}
-	for _, chunk := range chunks {
-		if t.dropForLoss() {
-			t.lossDropped.Add(1)
+	var chunks [][]byte
+	var single []byte
+	if t.codec.EncodedSize(msg) > t.maxDg {
+		var err error
+		chunks, err = t.codec.EncodeChunks(msg, t.maxDg)
+		if err != nil {
+			t.sendErrors.Add(uint64(len(targets)))
+			return 0, err
+		}
+	} else {
+		bp := sendBufPool.Get().(*[]byte)
+		defer sendBufPool.Put(bp)
+		buf, err := t.codec.AppendEncode((*bp)[:0], msg)
+		if err != nil {
+			t.sendErrors.Add(uint64(len(targets)))
+			return 0, err
+		}
+		*bp = buf
+		single = buf
+	}
+	sent := 0
+	var first error
+	for _, to := range targets {
+		t.mu.RLock()
+		addr, ok := t.book[to]
+		t.mu.RUnlock()
+		if !ok {
+			t.sendErrors.Add(1)
+			if first == nil {
+				first = fmt.Errorf("transport: unknown peer %s", to)
+			}
 			continue
 		}
-		n, err := t.conn.WriteToUDP(chunk, addr)
-		if err != nil {
-			t.sendErrors.Add(1)
-			return fmt.Errorf("transport: send to %s: %w", to, err)
+		var err error
+		if single != nil {
+			err = t.writeDatagram(to, addr, single, false)
+		} else {
+			err = t.writeChunks(to, addr, chunks)
 		}
-		t.sent.Add(1)
-		t.sentBytes.Add(uint64(n))
+		if err != nil {
+			if first == nil {
+				first = err
+			}
+			continue
+		}
+		sent++
+	}
+	return sent, first
+}
+
+// writeChunks transmits a split message, one datagram per chunk;
+// fragments after the first count toward SplitChunks.
+func (t *UDPTransport) writeChunks(to gossip.NodeID, addr *net.UDPAddr, chunks [][]byte) error {
+	for i, chunk := range chunks {
+		if err := t.writeDatagram(to, addr, chunk, i > 0); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// writeDatagram sends one already-encoded datagram, applying loss
+// injection and the wire counters. fragment marks a continuation chunk
+// of a split message (counted in SplitChunks when actually written).
+func (t *UDPTransport) writeDatagram(to gossip.NodeID, addr *net.UDPAddr, chunk []byte, fragment bool) error {
+	if t.dropForLoss() {
+		t.lossDropped.Add(1)
+		return nil
+	}
+	n, err := t.conn.WriteToUDP(chunk, addr)
+	if err != nil {
+		t.sendErrors.Add(1)
+		return fmt.Errorf("transport: send to %s: %w", to, err)
+	}
+	t.sent.Add(1)
+	t.sentBytes.Add(uint64(n))
+	if fragment {
+		t.splitChunks.Add(1)
 	}
 	return nil
 }
@@ -238,26 +458,34 @@ func (t *UDPTransport) dropForLoss() bool {
 // Stats returns a snapshot of the counters.
 func (t *UDPTransport) Stats() UDPStats {
 	return UDPStats{
-		Sent:         t.sent.Load(),
-		SentBytes:    t.sentBytes.Load(),
-		SplitChunks:  t.splitChunks.Load(),
-		Received:     t.received.Load(),
-		RecvBytes:    t.recvBytes.Load(),
-		DecodeErrors: t.decodeErrors.Load(),
-		NoHandler:    t.noHandler.Load(),
-		SendErrors:   t.sendErrors.Load(),
-		LossDropped:  t.lossDropped.Load(),
+		Sent:           t.sent.Load(),
+		SentBytes:      t.sentBytes.Load(),
+		SplitChunks:    t.splitChunks.Load(),
+		Received:       t.received.Load(),
+		RecvBytes:      t.recvBytes.Load(),
+		DecodeErrors:   t.decodeErrors.Load(),
+		NoHandler:      t.noHandler.Load(),
+		SendErrors:     t.sendErrors.Load(),
+		LossDropped:    t.lossDropped.Load(),
+		ReadErrors:     t.readErrors.Load(),
+		RecvQueueDrops: t.recvQueueDrops.Load(),
 	}
 }
 
-// Close stops the read loop and releases the socket.
+// Close stops the read and dispatch loops and releases the socket.
+// Datagrams still queued for dispatch are discarded (counted in
+// RecvQueueDrops); only a handler call already in flight is waited for.
 func (t *UDPTransport) Close() error {
 	if !t.closed.CompareAndSwap(false, true) {
 		return nil
 	}
+	close(t.stopCh)
 	err := t.conn.Close()
 	t.wg.Wait()
 	return err
 }
 
-var _ Transport = (*UDPTransport)(nil)
+var (
+	_ Transport  = (*UDPTransport)(nil)
+	_ ManySender = (*UDPTransport)(nil)
+)

@@ -1,0 +1,137 @@
+package transport
+
+import (
+	"fmt"
+	"testing"
+
+	"adaptivegossip/internal/gossip"
+)
+
+// benchMessage is a loaded round message: 30 events of 200 bytes, the
+// regime of the paper's Figure 4 experiments (~6.5 KB on the wire).
+func benchMessage() *gossip.Message {
+	msg := &gossip.Message{From: "bench-sender", Round: 7}
+	for i := 0; i < 30; i++ {
+		msg.Events = append(msg.Events, gossip.Event{
+			ID:      gossip.EventID{Origin: "bench-sender", Seq: uint64(i)},
+			Age:     i % 10,
+			Payload: make([]byte, 200),
+		})
+	}
+	return msg
+}
+
+// benchFanoutSetup binds one sender and fanout sink sockets. The sinks
+// are never started, so the measurement isolates the sender's
+// encode+write work.
+func benchFanoutSetup(tb testing.TB, fanout int) (*UDPTransport, []gossip.NodeID) {
+	tb.Helper()
+	sender, err := NewUDPTransport("bench-sender", "127.0.0.1:0")
+	if err != nil {
+		tb.Fatal(err)
+	}
+	tb.Cleanup(func() { sender.Close() })
+	targets := make([]gossip.NodeID, 0, fanout)
+	for i := 0; i < fanout; i++ {
+		id := gossip.NodeID(fmt.Sprintf("sink-%d", i))
+		sink, err := NewUDPTransport(id, "127.0.0.1:0")
+		if err != nil {
+			tb.Fatal(err)
+		}
+		tb.Cleanup(func() { sink.Close() })
+		if err := sender.Register(id, sink.Addr().String()); err != nil {
+			tb.Fatal(err)
+		}
+		targets = append(targets, id)
+	}
+	return sender, targets
+}
+
+// BenchmarkUDPFanout compares one gossip round over the wire at fanout
+// 8: the encode-once SendMany path against the per-peer-encode Send
+// baseline. One op is one full round (all targets).
+func BenchmarkUDPFanout(b *testing.B) {
+	const fanout = 8
+	msg := benchMessage()
+	b.Run("encode-once", func(b *testing.B) {
+		sender, targets := benchFanoutSetup(b, fanout)
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if _, err := sender.SendMany(targets, msg); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("per-peer", func(b *testing.B) {
+		sender, targets := benchFanoutSetup(b, fanout)
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			for _, to := range targets {
+				if err := sender.Send(to, msg); err != nil {
+					b.Fatal(err)
+				}
+			}
+		}
+	})
+}
+
+// BenchmarkCodecEncodeAppend compares the append-into-caller-buffer
+// encode path against the allocating Encode.
+func BenchmarkCodecEncodeAppend(b *testing.B) {
+	c := DefaultCodec()
+	msg := benchMessage()
+	b.Run("append", func(b *testing.B) {
+		buf := make([]byte, 0, c.EncodedSize(msg))
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			out, err := c.AppendEncode(buf[:0], msg)
+			if err != nil {
+				b.Fatal(err)
+			}
+			buf = out[:0]
+		}
+	})
+	b.Run("alloc", func(b *testing.B) {
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if _, err := c.Encode(msg); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
+// TestEncodeOnceFanoutAllocs pins the tentpole's acceptance bound: at
+// fanout 8 the encode-once path does at least 4× fewer allocations per
+// round than the per-peer-encode baseline, and its allocation count
+// does not grow with fanout.
+func TestEncodeOnceFanoutAllocs(t *testing.T) {
+	const fanout = 8
+	msg := benchMessage()
+	sender, targets := benchFanoutSetup(t, fanout)
+
+	encodeOnce := testing.AllocsPerRun(100, func() {
+		if _, err := sender.SendMany(targets, msg); err != nil {
+			t.Fatal(err)
+		}
+	})
+	perPeer := testing.AllocsPerRun(100, func() {
+		for _, to := range targets {
+			if err := sender.Send(to, msg); err != nil {
+				t.Fatal(err)
+			}
+		}
+	})
+	t.Logf("allocs/round at fanout %d: encode-once %.1f, per-peer %.1f", fanout, encodeOnce, perPeer)
+	if perPeer < float64(fanout) {
+		t.Fatalf("per-peer baseline allocates %.1f/round — expected at least one encode buffer per target", perPeer)
+	}
+	if den := max(encodeOnce, 1); perPeer/den < 4 {
+		t.Fatalf("encode-once path is only %.1fx cheaper (encode-once %.1f vs per-peer %.1f allocs/round), want >= 4x",
+			perPeer/den, encodeOnce, perPeer)
+	}
+}

@@ -276,6 +276,7 @@ func (n *Node) Stats() Stats {
 	var st Stats
 	st.add(n.runner.Snapshot())
 	st.StreamDropped = n.hub.droppedCount()
+	st.RecvQueueDrops = recvQueueDrops(n.fabric)
 	return st
 }
 

@@ -288,5 +288,6 @@ func (c *PubSub) Stats() Stats {
 	}
 	st.Nodes = len(c.runners)
 	st.StreamDropped = c.hub.droppedCount()
+	st.RecvQueueDrops = recvQueueDrops(c.fabric)
 	return st
 }

@@ -37,6 +37,20 @@ type Stats struct {
 	// StreamDropped counts deliveries lost to Events subscribers that
 	// fell more than DefaultEventStreamBuffer behind.
 	StreamDropped uint64
+	// RecvQueueDrops counts inbound datagrams the transport discarded
+	// because its receive dispatch queue was full — the group's
+	// consumers fell behind the wire (UDP fabrics only; see
+	// WithRecvQueue to size the queue).
+	RecvQueueDrops uint64
+}
+
+// recvQueueDrops extracts the receive-queue drop counter from the
+// built-in UDP fabric; other fabrics have no such queue and report 0.
+func recvQueueDrops(fabric Transport) uint64 {
+	if u, ok := fabric.(*UDPTransport); ok {
+		return u.Stats().RecvQueueDrops
+	}
+	return 0
 }
 
 // add folds one member's runtime snapshot into the aggregate.

@@ -25,7 +25,23 @@ type (
 	// per-node half of a Transport; the built-in implementations are
 	// the in-memory fabric endpoint and the UDP socket transport.
 	Endpoint = transport.Transport
+	// ManySender is the optional fanout fast path of an Endpoint: one
+	// read-only message addressed to many peers in a single call, so
+	// the implementation can pay the encode cost once per round instead
+	// of once per target. Both built-in fabrics implement it; custom
+	// Endpoints that do not are driven through a per-peer Send fallback
+	// and keep working unchanged. See SendMany.
+	ManySender = transport.ManySender
 )
+
+// SendMany transmits msg to every target through ep, using the
+// ManySender fast path when ep implements it and falling back to one
+// Send per target otherwise. Delivery is best effort per target: every
+// target is attempted, and SendMany returns how many were sent plus the
+// first error encountered.
+func SendMany(ep Endpoint, targets []NodeID, msg *Message) (int, error) {
+	return transport.SendMany(ep, targets, msg)
+}
 
 // Transport is the pluggable message fabric behind every group facade:
 // NewNode, NewCluster and NewPubSub ask it for one Endpoint per local
@@ -74,6 +90,7 @@ type transportConfig struct {
 	lossSet     bool
 	bind        string
 	maxDatagram int
+	recvQueue   int
 }
 
 // TransportOption configures a built-in transport fabric
@@ -143,6 +160,21 @@ func WithMaxDatagram(n int) TransportOption {
 	}
 }
 
+// WithRecvQueue sets the per-endpoint receive dispatch queue depth (the
+// bound on datagrams buffered between the socket read loop and the
+// consumer; overflow is dropped and counted in
+// UDPTransportStats.RecvQueueDrops). Deeper queues absorb longer
+// consumer stalls at the price of memory. UDP fabric only.
+func WithRecvQueue(depth int) TransportOption {
+	return func(c *transportConfig) error {
+		if depth < 1 {
+			return fmt.Errorf("adaptivegossip: recv queue depth %d must be at least 1", depth)
+		}
+		c.recvQueue = depth
+		return nil
+	}
+}
+
 func buildTransportConfig(opts []TransportOption) (transportConfig, error) {
 	var c transportConfig
 	for _, opt := range opts {
@@ -173,6 +205,9 @@ func NewMemTransport(opts ...TransportOption) (*MemTransport, error) {
 	}
 	if c.maxDatagram != 0 {
 		return nil, fmt.Errorf("adaptivegossip: WithMaxDatagram does not apply to the memory transport")
+	}
+	if c.recvQueue != 0 {
+		return nil, fmt.Errorf("adaptivegossip: WithRecvQueue does not apply to the memory transport")
 	}
 	memOpts := []transport.MemOption{}
 	if c.seedSet {
@@ -229,7 +264,8 @@ type UDPTransport struct {
 }
 
 // NewUDPTransport creates a UDP fabric. Applicable options: WithBind
-// (single endpoint only), WithLoss, WithMaxDatagram, WithTransportSeed.
+// (single endpoint only), WithLoss, WithMaxDatagram, WithRecvQueue,
+// WithTransportSeed.
 func NewUDPTransport(opts ...TransportOption) (*UDPTransport, error) {
 	c, err := buildTransportConfig(opts)
 	if err != nil {
@@ -266,6 +302,9 @@ func (t *UDPTransport) Endpoint(id NodeID) (Endpoint, error) {
 	var udpOpts []transport.UDPOption
 	if t.cfg.maxDatagram > 0 {
 		udpOpts = append(udpOpts, transport.WithMaxDatagram(t.cfg.maxDatagram))
+	}
+	if t.cfg.recvQueue > 0 {
+		udpOpts = append(udpOpts, transport.WithUDPRecvQueue(t.cfg.recvQueue))
 	}
 	if t.cfg.loss > 0 {
 		seed := uint64(t.cfg.seed) + 0x1055
@@ -357,6 +396,8 @@ func (t *UDPTransport) Stats() UDPTransportStats {
 		sum.NoHandler += st.NoHandler
 		sum.SendErrors += st.SendErrors
 		sum.LossDropped += st.LossDropped
+		sum.ReadErrors += st.ReadErrors
+		sum.RecvQueueDrops += st.RecvQueueDrops
 	}
 	return sum
 }
