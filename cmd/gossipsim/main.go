@@ -24,6 +24,8 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
+	"runtime/pprof"
 	"time"
 
 	"adaptivegossip/internal/experiments"
@@ -39,18 +41,50 @@ func main() {
 func run(args []string) error {
 	fs := flag.NewFlagSet("gossipsim", flag.ContinueOnError)
 	var (
-		figure = fs.String("figure", "all", "2|4|6|7|8|9|9rt|t1|ablations|recovery|churn|wirecost|all")
-		seed   = fs.Int64("seed", 1, "base random seed")
-		seeds  = fs.Int("seeds", 1, "seeds to average per data point")
-		n      = fs.Int("n", 60, "group size")
-		fast   = fs.Bool("fast", false, "shorter windows (quick look, noisier)")
-		scale  = fs.Float64("rtscale", 100, "real-time speedup for -figure 9rt")
-		plots  = fs.Bool("plot", false, "draw terminal plots after each table")
+		figure   = fs.String("figure", "all", "2|4|6|7|8|9|9rt|t1|ablations|recovery|churn|wirecost|all")
+		seed     = fs.Int64("seed", 1, "base random seed")
+		seeds    = fs.Int("seeds", 1, "seeds to average per data point")
+		n        = fs.Int("n", 60, "group size")
+		fast     = fs.Bool("fast", false, "shorter windows (quick look, noisier)")
+		scale    = fs.Float64("rtscale", 100, "real-time speedup for -figure 9rt")
+		plots    = fs.Bool("plot", false, "draw terminal plots after each table")
+		parallel = fs.Int("parallel", runtime.GOMAXPROCS(0),
+			"max simulation runs in flight (1 = sequential; output is identical at any value)")
+		cpuprofile = fs.String("cpuprofile", "", "write a pprof CPU profile to this file")
+		memprofile = fs.String("memprofile", "", "write a pprof heap profile to this file on exit")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
 	drawPlots = *plots
+	experiments.SetParallelism(*parallel)
+
+	if *cpuprofile != "" {
+		f, err := os.Create(*cpuprofile)
+		if err != nil {
+			return fmt.Errorf("cpuprofile: %w", err)
+		}
+		defer f.Close()
+		if err := pprof.StartCPUProfile(f); err != nil {
+			return fmt.Errorf("cpuprofile: %w", err)
+		}
+		defer pprof.StopCPUProfile()
+	}
+	if *memprofile != "" {
+		path := *memprofile
+		defer func() {
+			f, err := os.Create(path)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "gossipsim: memprofile:", err)
+				return
+			}
+			defer f.Close()
+			runtime.GC() // settle allocations so the heap profile is sharp
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				fmt.Fprintln(os.Stderr, "gossipsim: memprofile:", err)
+			}
+		}()
+	}
 
 	base := experiments.DefaultConfig()
 	base.N = *n

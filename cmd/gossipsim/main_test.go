@@ -1,6 +1,10 @@
 package main
 
-import "testing"
+import (
+	"os"
+	"path/filepath"
+	"testing"
+)
 
 func TestRunUnknownFigure(t *testing.T) {
 	if err := run([]string{"-figure", "nope"}); err == nil {
@@ -21,5 +25,30 @@ func TestRunFigure2SmallGroup(t *testing.T) {
 	// A reduced group keeps this a smoke test of the full CLI path.
 	if err := run([]string{"-figure", "2", "-n", "16", "-fast"}); err != nil {
 		t.Fatalf("figure 2: %v", err)
+	}
+}
+
+func TestRunParallelAndProfiles(t *testing.T) {
+	if testing.Short() {
+		t.Skip("several seconds of simulation")
+	}
+	dir := t.TempDir()
+	cpu := filepath.Join(dir, "cpu.pprof")
+	mem := filepath.Join(dir, "mem.pprof")
+	if err := run([]string{
+		"-figure", "2", "-n", "16", "-fast",
+		"-parallel", "4",
+		"-cpuprofile", cpu, "-memprofile", mem,
+	}); err != nil {
+		t.Fatalf("figure 2 with profiles: %v", err)
+	}
+	for _, path := range []string{cpu, mem} {
+		st, err := os.Stat(path)
+		if err != nil {
+			t.Fatalf("profile not written: %v", err)
+		}
+		if st.Size() == 0 {
+			t.Fatalf("profile %s is empty", path)
+		}
 	}
 }

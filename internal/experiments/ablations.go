@@ -59,8 +59,10 @@ func allowedStats(series []metrics.GaugePoint, epochOffsetFrom, epochOffsetTo ti
 // without randomization all senders surge together and the allowed rate
 // oscillates more (paper §3.3).
 func RunAblationRandomization(base Config, seeds int) ([]AblationRow, error) {
-	rows := make([]AblationRow, 0, 2)
-	for _, pr := range []float64{0.25, 1.0} {
+	prs := []float64{0.25, 1.0}
+	rows := make([]AblationRow, len(prs))
+	err := forEach(len(prs), func(i int) error {
+		pr := prs[i]
 		cfg := base
 		cfg.Adaptive = true
 		cfg.Buffer = 60
@@ -69,10 +71,10 @@ func RunAblationRandomization(base Config, seeds int) ([]AblationRow, error) {
 		cfg.Core.IncreaseProb = pr
 		res, err := RunSeeds(cfg, seeds)
 		if err != nil {
-			return nil, fmt.Errorf("ablation randomization pr=%v: %w", pr, err)
+			return fmt.Errorf("ablation randomization pr=%v: %w", pr, err)
 		}
 		mean, std := allowedStats(res.AllowedSeries, cfg.Warmup, cfg.Warmup+cfg.Duration, res.Config.Bucket)
-		rows = append(rows, AblationRow{
+		rows[i] = AblationRow{
 			Study:        "A1 randomized increase",
 			Variant:      fmt.Sprintf("pr=%.2f", pr),
 			AllowedMean:  mean,
@@ -80,7 +82,11 @@ func RunAblationRandomization(base Config, seeds int) ([]AblationRow, error) {
 			AtomicityPct: res.Summary.AtomicityPct,
 			InputRate:    res.InputRate,
 			Note:         "higher std = synchronized surges",
-		})
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
 	}
 	return rows, nil
 }
@@ -90,8 +96,10 @@ func RunAblationRandomization(base Config, seeds int) ([]AblationRow, error) {
 // guard the unused allowance inflates toward MaxRate (paper §3.3's
 // inflated-allowance attack).
 func RunAblationTokenCheck(base Config, seeds int) ([]AblationRow, error) {
-	rows := make([]AblationRow, 0, 2)
-	for _, disabled := range []bool{false, true} {
+	variants := []bool{false, true}
+	rows := make([]AblationRow, len(variants))
+	err := forEach(len(variants), func(i int) error {
+		disabled := variants[i]
 		cfg := base
 		cfg.Adaptive = true
 		cfg.Buffer = 150
@@ -102,10 +110,10 @@ func RunAblationTokenCheck(base Config, seeds int) ([]AblationRow, error) {
 		cfg.Core.DisableTokenCheck = disabled
 		res, err := RunSeeds(cfg, seeds)
 		if err != nil {
-			return nil, fmt.Errorf("ablation token check disabled=%v: %w", disabled, err)
+			return fmt.Errorf("ablation token check disabled=%v: %w", disabled, err)
 		}
 		mean, std := allowedStats(res.AllowedSeries, cfg.Warmup, cfg.Warmup+cfg.Duration, res.Config.Bucket)
-		rows = append(rows, AblationRow{
+		rows[i] = AblationRow{
 			Study:        "A2 avgTokens guard",
 			Variant:      fmt.Sprintf("check=%v", !disabled),
 			AllowedMean:  mean,
@@ -113,7 +121,11 @@ func RunAblationTokenCheck(base Config, seeds int) ([]AblationRow, error) {
 			AtomicityPct: res.Summary.AtomicityPct,
 			InputRate:    res.InputRate,
 			Note:         fmt.Sprintf("offered %.1f; inflation = allowed ≫ offered", cfg.OfferedRate),
-		})
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
 	}
 	return rows, nil
 }
@@ -122,9 +134,10 @@ func RunAblationTokenCheck(base Config, seeds int) ([]AblationRow, error) {
 // constrained and grow mid-run. Small W reclaims capacity fast but
 // flaps; large W holds the stale minimum for W periods (paper §3.4).
 func RunAblationWindow(base Config, windows []int, seeds int) ([]AblationRow, error) {
-	rows := make([]AblationRow, 0, len(windows))
+	rows := make([]AblationRow, len(windows))
 	affected := workload.FirstFraction(base.N, 0.2)
-	for _, w := range windows {
+	err := forEach(len(windows), func(i int) error {
+		w := windows[i]
 		cfg := base
 		cfg.Adaptive = true
 		cfg.Buffer = 120
@@ -139,12 +152,12 @@ func RunAblationWindow(base Config, windows []int, seeds int) ([]AblationRow, er
 		cfg.Core.Window = w
 		res, err := RunSeeds(cfg, seeds)
 		if err != nil {
-			return nil, fmt.Errorf("ablation window W=%d: %w", w, err)
+			return fmt.Errorf("ablation window W=%d: %w", w, err)
 		}
 		// Measure the recovery half only: how much of the restored
 		// capacity the group reclaims.
 		mean, std := allowedStats(res.AllowedSeries, grow, cfg.Duration, res.Config.Bucket)
-		rows = append(rows, AblationRow{
+		rows[i] = AblationRow{
 			Study:        "A3 estimate window",
 			Variant:      fmt.Sprintf("W=%d", w),
 			AllowedMean:  mean,
@@ -152,7 +165,11 @@ func RunAblationWindow(base Config, windows []int, seeds int) ([]AblationRow, er
 			AtomicityPct: res.Summary.AtomicityPct,
 			InputRate:    res.InputRate,
 			Note:         "mean allowed in the post-recovery half",
-		})
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
 	}
 	return rows, nil
 }
@@ -160,8 +177,9 @@ func RunAblationWindow(base Config, windows []int, seeds int) ([]AblationRow, er
 // RunAblationAlpha varies the EMA weight under overload: a low α makes
 // avgAge noisy and the allowed rate oscillate (paper §3.4).
 func RunAblationAlpha(base Config, alphas []float64, seeds int) ([]AblationRow, error) {
-	rows := make([]AblationRow, 0, len(alphas))
-	for _, a := range alphas {
+	rows := make([]AblationRow, len(alphas))
+	err := forEach(len(alphas), func(i int) error {
+		a := alphas[i]
 		cfg := base
 		cfg.Adaptive = true
 		cfg.Buffer = 60
@@ -170,10 +188,10 @@ func RunAblationAlpha(base Config, alphas []float64, seeds int) ([]AblationRow, 
 		cfg.Core.Alpha = a
 		res, err := RunSeeds(cfg, seeds)
 		if err != nil {
-			return nil, fmt.Errorf("ablation alpha=%v: %w", a, err)
+			return fmt.Errorf("ablation alpha=%v: %w", a, err)
 		}
 		mean, std := allowedStats(res.AllowedSeries, cfg.Warmup, cfg.Warmup+cfg.Duration, res.Config.Bucket)
-		rows = append(rows, AblationRow{
+		rows[i] = AblationRow{
 			Study:        "A4 EMA weight",
 			Variant:      fmt.Sprintf("alpha=%.2f", a),
 			AllowedMean:  mean,
@@ -181,24 +199,39 @@ func RunAblationAlpha(base Config, alphas []float64, seeds int) ([]AblationRow, 
 			AtomicityPct: res.Summary.AtomicityPct,
 			InputRate:    res.InputRate,
 			Note:         "higher std = noisier congestion signal",
-		})
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
 	}
 	return rows, nil
 }
 
-// RunAblations runs the full A1–A4 battery.
+// RunAblations runs the full A1–A4 battery. The four studies are
+// independent and fan out on the package worker pool; rows keep the
+// A1..A4 order.
 func RunAblations(base Config, seeds int) ([]AblationRow, error) {
-	var rows []AblationRow
-	for _, f := range []func() ([]AblationRow, error){
+	studies := []func() ([]AblationRow, error){
 		func() ([]AblationRow, error) { return RunAblationRandomization(base, seeds) },
 		func() ([]AblationRow, error) { return RunAblationTokenCheck(base, seeds) },
 		func() ([]AblationRow, error) { return RunAblationWindow(base, []int{1, 2, 4}, seeds) },
 		func() ([]AblationRow, error) { return RunAblationAlpha(base, []float64{0.5, 0.9}, seeds) },
-	} {
-		r, err := f()
+	}
+	perStudy := make([][]AblationRow, len(studies))
+	err := forEach(len(studies), func(i int) error {
+		r, err := studies[i]()
 		if err != nil {
-			return nil, err
+			return err
 		}
+		perStudy[i] = r
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	var rows []AblationRow
+	for _, r := range perStudy {
 		rows = append(rows, r...)
 	}
 	return rows, nil

@@ -61,10 +61,12 @@ const ChurnDowntime = 40
 // RunChurn sweeps the churn rate (crash events per minute) and measures
 // delivery and view accuracy with the failure detector disabled and
 // enabled. The crash/restart trace, workload and membership are
-// identical between the paired runs.
+// identical between the paired runs. Churn points and their off/on arms
+// run on the package worker pool.
 func RunChurn(base Config, rates []float64, seeds int) ([]ChurnRow, error) {
-	rows := make([]ChurnRow, 0, len(rates))
-	for _, rate := range rates {
+	rows := make([]ChurnRow, len(rates))
+	err := forEach(len(rates), func(i int) error {
+		rate := rates[i]
 		cfg := base
 		downFor := time.Duration(ChurnDowntime) * cfg.Period
 		// Churn runs from shortly after start through the end of the
@@ -72,18 +74,27 @@ func RunChurn(base Config, rates []float64, seeds int) ([]ChurnRow, error) {
 		cfg.Crashes, cfg.Restarts = workload.ChurnTrace(
 			cfg.N, rate/60, downFor, cfg.Warmup/2, cfg.Warmup/2+cfg.Duration, cfg.Seed)
 
-		off := cfg
-		off.FailureDetection = false
-		offRes, err := RunSeeds(off, seeds)
+		offRes, onRes, err := runPair(
+			func() (RunResult, error) {
+				off := cfg
+				off.FailureDetection = false
+				res, err := RunSeeds(off, seeds)
+				if err != nil {
+					return RunResult{}, fmt.Errorf("churn experiment rate %v (off): %w", rate, err)
+				}
+				return res, nil
+			},
+			func() (RunResult, error) {
+				on := cfg
+				on.FailureDetection = true
+				res, err := RunSeeds(on, seeds)
+				if err != nil {
+					return RunResult{}, fmt.Errorf("churn experiment rate %v (on): %w", rate, err)
+				}
+				return res, nil
+			})
 		if err != nil {
-			return nil, fmt.Errorf("churn experiment rate %v (off): %w", rate, err)
-		}
-
-		on := cfg
-		on.FailureDetection = true
-		onRes, err := RunSeeds(on, seeds)
-		if err != nil {
-			return nil, fmt.Errorf("churn experiment rate %v (on): %w", rate, err)
+			return err
 		}
 
 		row := ChurnRow{
@@ -99,7 +110,11 @@ func RunChurn(base Config, rates []float64, seeds int) ([]ChurnRow, error) {
 		if g := onRes.Network.GossipSent; g > 0 {
 			row.OverheadPct = 100 * float64(onRes.Network.ProbeSent()) / float64(g)
 		}
-		rows = append(rows, row)
+		rows[i] = row
+		return nil
+	})
+	if err != nil {
+		return nil, err
 	}
 	return rows, nil
 }

@@ -403,6 +403,14 @@ func Run(cfg Config) (RunResult, error) {
 		})
 	}
 
+	// The simulated fabric holds a sent message until its delivery
+	// instant. Gossip rounds reuse the sender's scratch message
+	// (gossip.Node.Tick's lifetime contract), which is safe while
+	// deliveries land before the sender's next tick; with latencies at
+	// or beyond the gossip period the round message must be copied out
+	// of the scratch state once per round.
+	cloneSends := cfg.LatencyMax >= cfg.Period
+
 	// Gossip rounds: each node ticks every Period with a random initial
 	// phase so the cluster does not tick in lockstep. Late joiners'
 	// first tick is deferred to their join instant.
@@ -418,8 +426,21 @@ func Run(cfg Config) (RunResult, error) {
 				return
 			}
 			node := nodes[i]
-			for _, out := range node.Tick(sched.Now()) {
-				network.Send(names[i], out.To, out.Msg)
+			outs := node.Tick(sched.Now())
+			var roundMsg, roundCopy *gossip.Message
+			if cloneSends && len(outs) > 0 {
+				// Only the shared round message is node scratch;
+				// subsystem control messages (recovery pulls, probes)
+				// are freshly allocated each drain and need no copy.
+				roundMsg = outs[0].Msg
+				roundCopy = roundMsg.CopyForSend()
+			}
+			for _, out := range outs {
+				msg := out.Msg
+				if msg == roundMsg {
+					msg = roundCopy
+				}
+				network.Send(names[i], out.To, msg)
 			}
 			if cfg.Adaptive && i < cfg.Senders {
 				allowed.Observe(sched.Now(), node.AllowedRate())
@@ -676,23 +697,33 @@ func scaleGauge(points []metrics.GaugePoint, factor float64) []metrics.GaugePoin
 // RunSeeds runs cfg with consecutive seeds and averages the scalar
 // results. Series come from the first seed; the recovery and network
 // counter blocks are pooled (summed) across seeds, so ratios derived
-// from them are pooled estimates.
+// from them are pooled estimates. The averaged Messages count rounds to
+// nearest.
+//
+// Seed replications are independent (each run owns its scheduler,
+// network and RNGs, all derived from its seed), so they execute on the
+// package worker pool; results are folded in seed order afterwards,
+// keeping the output identical to a sequential sweep.
 func RunSeeds(cfg Config, seeds int) (RunResult, error) {
 	if seeds <= 0 {
 		seeds = 1
 	}
-	var agg RunResult
-	for s := 0; s < seeds; s++ {
+	results := make([]RunResult, seeds)
+	err := forEach(seeds, func(s int) error {
 		c := cfg
 		c.Seed = cfg.Seed + int64(s)
 		res, err := Run(c)
 		if err != nil {
-			return RunResult{}, err
+			return err
 		}
-		if s == 0 {
-			agg = res
-			continue
-		}
+		results[s] = res
+		return nil
+	})
+	if err != nil {
+		return RunResult{}, err
+	}
+	agg := results[0]
+	for _, res := range results[1:] {
 		agg.Summary.MeanReceiversPct += res.Summary.MeanReceiversPct
 		agg.Summary.AtomicityPct += res.Summary.AtomicityPct
 		agg.Summary.Messages += res.Summary.Messages
@@ -709,7 +740,7 @@ func RunSeeds(cfg Config, seeds int) (RunResult, error) {
 		agg.Network.Merge(res.Network)
 	}
 	k := float64(seeds)
-	agg.Summary.Messages /= seeds
+	agg.Summary.Messages = (agg.Summary.Messages + seeds/2) / seeds
 	agg.Summary.MeanReceiversPct /= k
 	agg.Summary.AtomicityPct /= k
 	agg.InputRate /= k

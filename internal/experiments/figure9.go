@@ -133,16 +133,27 @@ func (c Figure9Config) bufferAt(t time.Duration) int {
 }
 
 // RunFigure9Sim runs the dynamic scenario on the discrete-event
-// simulator, once adaptive and once with the baseline, and assembles
-// the Fig. 9(a)+(b) series.
+// simulator, once adaptive and once with the baseline (the two arms
+// fan out on the package worker pool), and assembles the Fig. 9(a)+(b)
+// series.
 func RunFigure9Sim(cfg Figure9Config) (Figure9Result, error) {
-	ad, err := Run(cfg.runConfig(true))
+	ad, lp, err := runPair(
+		func() (RunResult, error) {
+			res, err := Run(cfg.runConfig(true))
+			if err != nil {
+				return RunResult{}, fmt.Errorf("figure 9 adaptive: %w", err)
+			}
+			return res, nil
+		},
+		func() (RunResult, error) {
+			res, err := Run(cfg.runConfig(false))
+			if err != nil {
+				return RunResult{}, fmt.Errorf("figure 9 lpbcast: %w", err)
+			}
+			return res, nil
+		})
 	if err != nil {
-		return Figure9Result{}, fmt.Errorf("figure 9 adaptive: %w", err)
-	}
-	lp, err := Run(cfg.runConfig(false))
-	if err != nil {
-		return Figure9Result{}, fmt.Errorf("figure 9 lpbcast: %w", err)
+		return Figure9Result{}, err
 	}
 	return assembleFigure9(cfg, ad, lp), nil
 }

@@ -15,23 +15,29 @@ type Figure2Row struct {
 	AvgDroppedAge    float64 // the §2 text's 8.5 → 3.7 → 2.7 progression
 }
 
-// RunFigure2 sweeps the offered rate with the baseline algorithm.
+// RunFigure2 sweeps the offered rate with the baseline algorithm. The
+// rate points run on the package worker pool, assembled in input order.
 func RunFigure2(base Config, rates []float64, seeds int) ([]Figure2Row, error) {
-	rows := make([]Figure2Row, 0, len(rates))
-	for _, rate := range rates {
+	rows := make([]Figure2Row, len(rates))
+	err := forEach(len(rates), func(i int) error {
+		rate := rates[i]
 		cfg := base
 		cfg.Adaptive = false
 		cfg.OfferedRate = rate
 		res, err := RunSeeds(cfg, seeds)
 		if err != nil {
-			return nil, fmt.Errorf("figure 2 rate %v: %w", rate, err)
+			return fmt.Errorf("figure 2 rate %v: %w", rate, err)
 		}
-		rows = append(rows, Figure2Row{
+		rows[i] = Figure2Row{
 			Rate:             rate,
 			AtomicityPct:     res.Summary.AtomicityPct,
 			MeanReceiversPct: res.Summary.MeanReceiversPct,
 			AvgDroppedAge:    res.AvgDroppedAge,
-		})
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
 	}
 	return rows, nil
 }
@@ -58,18 +64,25 @@ type Figure4Row struct {
 
 // RunFigure4 finds, for each buffer size, the maximum aggregate rate
 // that still delivers messages to at least targetPct of members on
-// average (paper: 95%), by bisection over the offered rate.
+// average (paper: 95%), by bisection over the offered rate. The
+// per-buffer bisections are independent and run on the package worker
+// pool; each bisection stays sequential (every probe depends on the
+// last).
 func RunFigure4(base Config, buffers []int, targetPct float64, seeds int) ([]Figure4Row, error) {
 	if targetPct <= 0 {
 		targetPct = 95
 	}
-	rows := make([]Figure4Row, 0, len(buffers))
-	for _, buffer := range buffers {
-		row, err := maxRateFor(base, buffer, targetPct, seeds)
+	rows := make([]Figure4Row, len(buffers))
+	err := forEach(len(buffers), func(i int) error {
+		row, err := maxRateFor(base, buffers[i], targetPct, seeds)
 		if err != nil {
-			return nil, fmt.Errorf("figure 4 buffer %d: %w", buffer, err)
+			return fmt.Errorf("figure 4 buffer %d: %w", buffers[i], err)
 		}
-		rows = append(rows, row)
+		rows[i] = row
+		return nil
+	})
+	if err != nil {
+		return nil, err
 	}
 	return rows, nil
 }
@@ -177,23 +190,28 @@ func RunFigure6(base Config, buffers []int, fig4 []Figure4Row, seeds int) ([]Fig
 	for _, r := range fig4 {
 		maxFor[r.Buffer] = r.MaxRate
 	}
-	rows := make([]Figure6Row, 0, len(buffers))
-	for _, buffer := range buffers {
+	rows := make([]Figure6Row, len(buffers))
+	err := forEach(len(buffers), func(i int) error {
+		buffer := buffers[i]
 		cfg := base
 		cfg.Adaptive = true
 		cfg.Buffer = buffer
 		cfg.Core = DefaultExperimentCore(cfg.OfferedRate / float64(orAll(cfg.Senders, cfg.N)))
 		res, err := RunSeeds(cfg, seeds)
 		if err != nil {
-			return nil, fmt.Errorf("figure 6 buffer %d: %w", buffer, err)
+			return fmt.Errorf("figure 6 buffer %d: %w", buffer, err)
 		}
-		rows = append(rows, Figure6Row{
+		rows[i] = Figure6Row{
 			Buffer:  buffer,
 			Offered: cfg.OfferedRate,
 			Allowed: res.AllowedRate,
 			Maximum: maxFor[buffer],
 			Input:   res.InputRate,
-		})
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
 	}
 	return rows, nil
 }

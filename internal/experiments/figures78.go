@@ -28,27 +28,40 @@ type Figure8Row struct {
 
 // RunFigures78 sweeps buffer sizes running the baseline and the
 // adaptive algorithm at the same constant offered load, returning both
-// figures' rows from the same runs (as the paper does).
+// figures' rows from the same runs (as the paper does). Buffer points
+// run on the package worker pool; within a point, the baseline/adaptive
+// pair fans out too.
 func RunFigures78(base Config, buffers []int, seeds int) ([]Figure7Row, []Figure8Row, error) {
-	rows7 := make([]Figure7Row, 0, len(buffers))
-	rows8 := make([]Figure8Row, 0, len(buffers))
-	for _, buffer := range buffers {
-		lpCfg := base
-		lpCfg.Adaptive = false
-		lpCfg.Buffer = buffer
-		lp, err := RunSeeds(lpCfg, seeds)
+	rows7 := make([]Figure7Row, len(buffers))
+	rows8 := make([]Figure8Row, len(buffers))
+	err := forEach(len(buffers), func(i int) error {
+		buffer := buffers[i]
+		lp, ad, err := runPair(
+			func() (RunResult, error) {
+				lpCfg := base
+				lpCfg.Adaptive = false
+				lpCfg.Buffer = buffer
+				res, err := RunSeeds(lpCfg, seeds)
+				if err != nil {
+					return RunResult{}, fmt.Errorf("figure 7/8 lpbcast buffer %d: %w", buffer, err)
+				}
+				return res, nil
+			},
+			func() (RunResult, error) {
+				adCfg := base
+				adCfg.Adaptive = true
+				adCfg.Buffer = buffer
+				adCfg.Core = DefaultExperimentCore(adCfg.OfferedRate / float64(orAll(adCfg.Senders, adCfg.N)))
+				res, err := RunSeeds(adCfg, seeds)
+				if err != nil {
+					return RunResult{}, fmt.Errorf("figure 7/8 adaptive buffer %d: %w", buffer, err)
+				}
+				return res, nil
+			})
 		if err != nil {
-			return nil, nil, fmt.Errorf("figure 7/8 lpbcast buffer %d: %w", buffer, err)
+			return err
 		}
-		adCfg := base
-		adCfg.Adaptive = true
-		adCfg.Buffer = buffer
-		adCfg.Core = DefaultExperimentCore(adCfg.OfferedRate / float64(orAll(adCfg.Senders, adCfg.N)))
-		ad, err := RunSeeds(adCfg, seeds)
-		if err != nil {
-			return nil, nil, fmt.Errorf("figure 7/8 adaptive buffer %d: %w", buffer, err)
-		}
-		rows7 = append(rows7, Figure7Row{
+		rows7[i] = Figure7Row{
 			Buffer:       buffer,
 			LpInput:      lp.InputRate,
 			LpOutput:     lp.OutputRate,
@@ -56,14 +69,18 @@ func RunFigures78(base Config, buffers []int, seeds int) ([]Figure7Row, []Figure
 			AdInput:      ad.InputRate,
 			AdOutput:     ad.OutputRate,
 			AdDroppedAge: ad.AvgDroppedAge,
-		})
-		rows8 = append(rows8, Figure8Row{
+		}
+		rows8[i] = Figure8Row{
 			Buffer:          buffer,
 			LpMeanReceivers: lp.Summary.MeanReceiversPct,
 			AdMeanReceivers: ad.Summary.MeanReceiversPct,
 			LpAtomicity:     lp.Summary.AtomicityPct,
 			AdAtomicity:     ad.Summary.AtomicityPct,
-		})
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, nil, err
 	}
 	return rows7, rows8, nil
 }

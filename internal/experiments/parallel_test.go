@@ -1,0 +1,189 @@
+package experiments
+
+import (
+	"bytes"
+	"os"
+	"reflect"
+	"runtime"
+	"testing"
+	"time"
+)
+
+// withParallelism runs fn under the given pool bound, restoring the
+// previous bound afterwards.
+func withParallelism(n int, fn func()) {
+	prev := Parallelism()
+	SetParallelism(n)
+	defer SetParallelism(prev)
+	fn()
+}
+
+// sweepConfig is small enough for a sub-second point but large enough
+// that a multi-point sweep has real work to spread across cores.
+func sweepConfig() Config {
+	cfg := smallConfig()
+	cfg.Warmup = 30 * time.Second
+	cfg.Duration = 90 * time.Second
+	return cfg
+}
+
+// TestParallelSweepBitIdentical pins the engine's core guarantee: a
+// sweep run on the worker pool produces byte-identical output to the
+// sequential engine — same rows, same rendered tables, to the last
+// bit. Every point is deterministically seeded and assembled in input
+// order, so parallelism may only change wall-clock time.
+func TestParallelSweepBitIdentical(t *testing.T) {
+	rates := []float64{2, 4, 6, 8}
+	seeds := 3
+
+	var seqRows, parRows []Figure2Row
+	withParallelism(1, func() {
+		rows, err := RunFigure2(sweepConfig(), rates, seeds)
+		if err != nil {
+			t.Fatalf("sequential sweep: %v", err)
+		}
+		seqRows = rows
+	})
+	withParallelism(8, func() {
+		rows, err := RunFigure2(sweepConfig(), rates, seeds)
+		if err != nil {
+			t.Fatalf("parallel sweep: %v", err)
+		}
+		parRows = rows
+	})
+
+	if !reflect.DeepEqual(seqRows, parRows) {
+		t.Fatalf("parallel rows diverge from sequential:\nseq: %+v\npar: %+v", seqRows, parRows)
+	}
+	var seqOut, parOut bytes.Buffer
+	RenderFigure2(&seqOut, seqRows)
+	RenderFigure2(&parOut, parRows)
+	if !bytes.Equal(seqOut.Bytes(), parOut.Bytes()) {
+		t.Fatalf("rendered tables diverge:\nseq:\n%s\npar:\n%s", seqOut.String(), parOut.String())
+	}
+}
+
+// TestParallelSeedsBitIdentical covers the inner fan-out: seed
+// replications of one point, pooled and averaged.
+func TestParallelSeedsBitIdentical(t *testing.T) {
+	var seq, par RunResult
+	withParallelism(1, func() {
+		res, err := RunSeeds(sweepConfig(), 4)
+		if err != nil {
+			t.Fatal(err)
+		}
+		seq = res
+	})
+	withParallelism(4, func() {
+		res, err := RunSeeds(sweepConfig(), 4)
+		if err != nil {
+			t.Fatal(err)
+		}
+		par = res
+	})
+	if !reflect.DeepEqual(seq, par) {
+		t.Fatalf("parallel RunSeeds diverges from sequential:\nseq: %+v\npar: %+v", seq, par)
+	}
+}
+
+// TestRunSeedsAveragesRoundToNearest pins the pooled Messages average:
+// across 3 seeds the per-seed counts do not generally divide evenly,
+// and the average must round to nearest instead of truncating.
+func TestRunSeedsAveragesRoundToNearest(t *testing.T) {
+	cfg := sweepConfig()
+	const seeds = 3
+	perSeed := make([]RunResult, seeds)
+	for s := 0; s < seeds; s++ {
+		c := cfg
+		c.Seed = cfg.Seed + int64(s)
+		res, err := Run(c)
+		if err != nil {
+			t.Fatal(err)
+		}
+		perSeed[s] = res
+	}
+	avg, err := RunSeeds(cfg, seeds)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	sum := 0
+	var meanRecv, atom float64
+	for _, res := range perSeed {
+		sum += res.Summary.Messages
+		meanRecv += res.Summary.MeanReceiversPct
+		atom += res.Summary.AtomicityPct
+	}
+	wantMessages := (sum + seeds/2) / seeds
+	if avg.Summary.Messages != wantMessages {
+		t.Fatalf("Messages = %d, want round-to-nearest %d (sum %d over %d seeds)",
+			avg.Summary.Messages, wantMessages, sum, seeds)
+	}
+	if got, want := avg.Summary.MeanReceiversPct, meanRecv/seeds; got != want {
+		t.Fatalf("MeanReceiversPct = %v, want %v", got, want)
+	}
+	if got, want := avg.Summary.AtomicityPct, atom/seeds; got != want {
+		t.Fatalf("AtomicityPct = %v, want %v", got, want)
+	}
+}
+
+// BenchmarkSweepSequential and BenchmarkSweepParallel time the same
+// 4-point × 3-seed figure sweep on one worker versus all cores; their
+// ns/op ratio is the sweep engine's wall-clock speedup on this machine.
+func BenchmarkSweepSequential(b *testing.B) {
+	benchmarkSweep(b, 1)
+}
+
+func BenchmarkSweepParallel(b *testing.B) {
+	benchmarkSweep(b, runtime.NumCPU())
+}
+
+func benchmarkSweep(b *testing.B, par int) {
+	rates := []float64{2, 4, 6, 8}
+	withParallelism(par, func() {
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if _, err := RunFigure2(sweepConfig(), rates, 3); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
+// TestParallelSweepSpeedup is the opt-in wall-clock acceptance check:
+// on a machine with at least 4 cores, the pooled sweep must beat the
+// sequential engine by at least 1.5x. Wall-clock assertions are
+// load-sensitive, so the test only runs when GOSSIP_PERF=1.
+func TestParallelSweepSpeedup(t *testing.T) {
+	if os.Getenv("GOSSIP_PERF") != "1" {
+		t.Skip("set GOSSIP_PERF=1 to run the wall-clock speedup assertion")
+	}
+	cores := runtime.NumCPU()
+	if cores < 4 {
+		t.Skipf("need at least 4 cores, have %d", cores)
+	}
+	cfg := sweepConfig()
+	cfg.N = 40
+	rates := []float64{2, 3, 4, 5, 6, 7, 8, 9}
+	const seeds = 2
+
+	measure := func(par int) time.Duration {
+		var elapsed time.Duration
+		withParallelism(par, func() {
+			start := time.Now()
+			if _, err := RunFigure2(cfg, rates, seeds); err != nil {
+				t.Fatal(err)
+			}
+			elapsed = time.Since(start)
+		})
+		return elapsed
+	}
+	measure(1) // warm caches so the timed passes compare fairly
+	seq := measure(1)
+	par := measure(cores)
+	speedup := float64(seq) / float64(par)
+	t.Logf("sequential %v, parallel(%d) %v, speedup %.2fx", seq, cores, par, speedup)
+	if speedup < 1.5 {
+		t.Fatalf("parallel sweep speedup %.2fx < 1.5x (sequential %v, parallel %v)", speedup, seq, par)
+	}
+}

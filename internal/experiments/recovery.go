@@ -51,24 +51,35 @@ func DefaultRecoveryConfig(base Config) Config {
 // RunRecovery sweeps the loss rate and measures delivery with the
 // anti-entropy subsystem disabled and enabled. Everything else —
 // workload, seeds, membership — is identical between the paired runs.
+// Loss points and their off/on arms run on the package worker pool.
 func RunRecovery(base Config, losses []float64, seeds int) ([]RecoveryRow, error) {
-	rows := make([]RecoveryRow, 0, len(losses))
-	for _, loss := range losses {
+	rows := make([]RecoveryRow, len(losses))
+	err := forEach(len(losses), func(i int) error {
+		loss := losses[i]
 		cfg := base
 		cfg.Loss = loss
 
-		off := cfg
-		off.Recovery = false
-		offRes, err := RunSeeds(off, seeds)
+		offRes, onRes, err := runPair(
+			func() (RunResult, error) {
+				off := cfg
+				off.Recovery = false
+				res, err := RunSeeds(off, seeds)
+				if err != nil {
+					return RunResult{}, fmt.Errorf("recovery experiment loss %v (off): %w", loss, err)
+				}
+				return res, nil
+			},
+			func() (RunResult, error) {
+				on := cfg
+				on.Recovery = true
+				res, err := RunSeeds(on, seeds)
+				if err != nil {
+					return RunResult{}, fmt.Errorf("recovery experiment loss %v (on): %w", loss, err)
+				}
+				return res, nil
+			})
 		if err != nil {
-			return nil, fmt.Errorf("recovery experiment loss %v (off): %w", loss, err)
-		}
-
-		on := cfg
-		on.Recovery = true
-		onRes, err := RunSeeds(on, seeds)
-		if err != nil {
-			return nil, fmt.Errorf("recovery experiment loss %v (on): %w", loss, err)
+			return err
 		}
 
 		row := RecoveryRow{
@@ -85,7 +96,11 @@ func RunRecovery(base Config, losses []float64, seeds int) ([]RecoveryRow, error
 			ctrl := onRes.Network.RecoveryRequestSent + onRes.Network.RecoveryResponseSent
 			row.OverheadPct = 100 * float64(ctrl) / float64(g)
 		}
-		rows = append(rows, row)
+		rows[i] = row
+		return nil
+	})
+	if err != nil {
+		return nil, err
 	}
 	return rows, nil
 }

@@ -1,0 +1,211 @@
+package gossip
+
+import (
+	"fmt"
+	"math/rand/v2"
+	"sort"
+	"testing"
+)
+
+// refBuffer is a deliberately naive reference model of Buffer: a plain
+// slice re-sorted after every mutation. It exists to check the slab
+// implementation against an implementation whose correctness is
+// obvious.
+type refBuffer struct {
+	capacity int
+	entries  []refEntry
+	nextSeq  uint64
+}
+
+type refEntry struct {
+	ev  Event
+	seq uint64
+}
+
+func newRefBuffer(capacity int) *refBuffer {
+	return &refBuffer{capacity: capacity}
+}
+
+func (r *refBuffer) sort() {
+	sort.SliceStable(r.entries, func(i, j int) bool {
+		a, b := r.entries[i], r.entries[j]
+		if a.ev.Age != b.ev.Age {
+			return a.ev.Age < b.ev.Age
+		}
+		return a.seq > b.seq // newer insertions first among equal ages
+	})
+}
+
+func (r *refBuffer) find(id EventID) int {
+	for i, e := range r.entries {
+		if e.ev.ID == id {
+			return i
+		}
+	}
+	return -1
+}
+
+func (r *refBuffer) evictOverflow() []Event {
+	var evicted []Event
+	for len(r.entries) > r.capacity {
+		victim := r.entries[len(r.entries)-1]
+		r.entries = r.entries[:len(r.entries)-1]
+		evicted = append(evicted, victim.ev)
+	}
+	return evicted
+}
+
+func (r *refBuffer) add(ev Event) ([]Event, bool) {
+	if r.find(ev.ID) >= 0 {
+		return nil, false
+	}
+	r.entries = append(r.entries, refEntry{ev: ev, seq: r.nextSeq})
+	r.nextSeq++
+	r.sort()
+	return r.evictOverflow(), true
+}
+
+func (r *refBuffer) raiseAge(id EventID, age int) bool {
+	i := r.find(id)
+	if i < 0 {
+		return false
+	}
+	if age > r.entries[i].ev.Age {
+		r.entries[i].ev.Age = age
+		r.sort()
+	}
+	return true
+}
+
+func (r *refBuffer) incrementAges() {
+	for i := range r.entries {
+		r.entries[i].ev.Age++
+	}
+}
+
+func (r *refBuffer) dropExpired(maxAge int) []Event {
+	var expired []Event
+	// Sorted age-ascending: the expired tail, oldest first.
+	for i := len(r.entries) - 1; i >= 0; i-- {
+		if r.entries[i].ev.Age > maxAge {
+			expired = append(expired, r.entries[i].ev)
+		}
+	}
+	kept := r.entries[:0]
+	for _, e := range r.entries {
+		if e.ev.Age <= maxAge {
+			kept = append(kept, e)
+		}
+	}
+	r.entries = kept
+	return expired
+}
+
+func (r *refBuffer) setCapacity(capacity int) []Event {
+	r.capacity = capacity
+	return r.evictOverflow()
+}
+
+func (r *refBuffer) snapshot() []Event {
+	out := make([]Event, len(r.entries))
+	for i, e := range r.entries {
+		out[i] = e.ev
+	}
+	return out
+}
+
+func sameEvents(a, b []Event) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i].ID != b[i].ID || a[i].Age != b[i].Age {
+			return false
+		}
+	}
+	return true
+}
+
+// TestBufferMatchesModel drives the slab Buffer and the naive reference
+// with identical random operation sequences and asserts identical
+// eviction order and snapshots after every step.
+func TestBufferMatchesModel(t *testing.T) {
+	for seedIdx, seed := range []uint64{1, 2, 3, 17, 99} {
+		rng := rand.New(rand.NewPCG(seed, seed*7+3))
+		const capacity = 12
+		buf, err := NewBuffer(capacity)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ref := newRefBuffer(capacity)
+		var nextSeq uint64
+		var known []EventID // every id ever inserted, for RaiseAge draws
+
+		for step := 0; step < 3000; step++ {
+			var opName string
+			var got, want []Event
+			switch op := rng.IntN(100); {
+			case op < 55: // Add
+				ev := Event{
+					ID:  EventID{Origin: "m", Seq: nextSeq},
+					Age: rng.IntN(8),
+				}
+				nextSeq++
+				known = append(known, ev.ID)
+				opName = fmt.Sprintf("Add(%s age=%d)", ev.ID, ev.Age)
+				var err error
+				got, err = buf.Add(ev)
+				if err != nil {
+					t.Fatalf("seed %d step %d: %s: %v", seedIdx, step, opName, err)
+				}
+				want, _ = ref.add(ev)
+			case op < 75: // RaiseAge on a known id (present or long gone)
+				if len(known) == 0 {
+					continue
+				}
+				id := known[rng.IntN(len(known))]
+				age := rng.IntN(12)
+				opName = fmt.Sprintf("RaiseAge(%s, %d)", id, age)
+				if g, w := buf.RaiseAge(id, age), ref.raiseAge(id, age); g != w {
+					t.Fatalf("seed %d step %d: %s: present=%v, model says %v", seedIdx, step, opName, g, w)
+				}
+			case op < 85: // IncrementAges
+				opName = "IncrementAges"
+				buf.IncrementAges()
+				ref.incrementAges()
+			case op < 95: // DropExpired
+				maxAge := 2 + rng.IntN(8)
+				opName = fmt.Sprintf("DropExpired(%d)", maxAge)
+				got = buf.DropExpired(maxAge)
+				want = ref.dropExpired(maxAge)
+			default: // SetCapacity
+				capacity := 4 + rng.IntN(16)
+				opName = fmt.Sprintf("SetCapacity(%d)", capacity)
+				var err error
+				got, err = buf.SetCapacity(capacity)
+				if err != nil {
+					t.Fatalf("seed %d step %d: %s: %v", seedIdx, step, opName, err)
+				}
+				want = ref.setCapacity(capacity)
+			}
+
+			if !sameEvents(got, want) {
+				t.Fatalf("seed %d step %d: %s: eviction order diverged:\n slab: %v\nmodel: %v",
+					seedIdx, step, opName, got, want)
+			}
+			if snap, wantSnap := buf.Snapshot(), ref.snapshot(); !sameEvents(snap, wantSnap) {
+				t.Fatalf("seed %d step %d: %s: snapshot diverged:\n slab: %v\nmodel: %v",
+					seedIdx, step, opName, snap, wantSnap)
+			}
+			if appended := buf.AppendSnapshot(nil); !sameEvents(appended, buf.Snapshot()) {
+				t.Fatalf("seed %d step %d: AppendSnapshot != Snapshot", seedIdx, step)
+			}
+			if buf.Len() != len(ref.entries) {
+				t.Fatalf("seed %d step %d: Len = %d, model has %d", seedIdx, step, buf.Len(), len(ref.entries))
+			}
+			if err := buf.checkInvariants(); err != nil {
+				t.Fatalf("seed %d step %d: %s: invariants: %v", seedIdx, step, opName, err)
+			}
+		}
+	}
+}

@@ -170,17 +170,15 @@ type BuffCap struct {
 	Cap  int
 }
 
-// Clone returns a deep copy of the message, including payloads. Used
-// when a driver needs to hand the same logical message to mutating
-// consumers.
-func (m *Message) Clone() *Message {
+// CopyForSend returns a copy of the message that is independent of the
+// sender's per-round scratch state: the Message value and every slice
+// hanging off it are copied, while event payload bytes — immutable by
+// convention — stay shared. Transports and drivers that retain a
+// message beyond the sending round (see Node.Tick's lifetime contract)
+// use it instead of the deep Clone, which also duplicates payloads.
+func (m *Message) CopyForSend() *Message {
 	c := *m
-	if m.Events != nil {
-		c.Events = make([]Event, len(m.Events))
-		for i, e := range m.Events {
-			c.Events[i] = e.Clone()
-		}
-	}
+	c.Events = append([]Event(nil), m.Events...)
 	c.KMin = append([]BuffCap(nil), m.KMin...)
 	c.Subs = append([]NodeID(nil), m.Subs...)
 	c.Unsubs = append([]NodeID(nil), m.Unsubs...)
@@ -188,4 +186,16 @@ func (m *Message) Clone() *Message {
 	c.Request = append([]EventID(nil), m.Request...)
 	c.Updates = append([]MemberUpdate(nil), m.Updates...)
 	return &c
+}
+
+// Clone returns a deep copy of the message, including payloads. Used
+// when a driver needs to hand the same logical message to mutating
+// consumers. CopyForSend owns the one authoritative list of Message
+// slice fields; Clone only deepens the event payloads on top of it.
+func (m *Message) Clone() *Message {
+	c := m.CopyForSend()
+	for i, e := range c.Events {
+		c.Events[i] = e.Clone()
+	}
+	return c
 }

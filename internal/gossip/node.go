@@ -14,6 +14,19 @@ type PeerSampler interface {
 	SamplePeers(self NodeID, k int, rng *rand.Rand) []NodeID
 }
 
+// PeerAppender is the allocation-free fast path of PeerSampler: the
+// same sample appended into a caller-owned slice. Node detects it at
+// construction and routes its per-round target draw through it,
+// reusing one scratch slice across rounds. Both membership
+// implementations provide it; external samplers fall back to
+// SamplePeers.
+type PeerAppender interface {
+	// AppendPeers appends up to k distinct peers, excluding self, to dst
+	// and returns the extended slice. The appended sample must match
+	// what SamplePeers would have returned for the same RNG state.
+	AppendPeers(dst []NodeID, self NodeID, k int, rng *rand.Rand) []NodeID
+}
+
 // EvictReason says why events left the buffer.
 type EvictReason int
 
@@ -133,12 +146,13 @@ func (s NodeStats) AvgDroppedAge() float64 {
 // Node is not safe for concurrent use: a driver (simulator or runtime
 // loop) must serialize calls to Broadcast, Tick and Receive.
 type Node struct {
-	id     NodeID
-	params Params
-	buf    *Buffer
-	seen   *IDCache
-	peers  PeerSampler
-	rng    *rand.Rand
+	id         NodeID
+	params     Params
+	buf        *Buffer
+	seen       *IDCache
+	peers      PeerSampler
+	sampleInto PeerAppender // non-nil when peers implements the fast path
+	rng        *rand.Rand
 
 	deliver DeliverFunc
 	exts    []Extension
@@ -146,6 +160,14 @@ type Node struct {
 	round   uint64
 	nextSeq uint64
 	stats   NodeStats
+
+	// Per-round scratch state, reused across Ticks so a steady-state
+	// gossip round allocates nothing. Everything Tick returns points
+	// into these; see Tick's lifetime contract.
+	scratchMsg     Message
+	scratchEvents  []Event
+	scratchTargets []NodeID
+	scratchOut     []Outgoing
 }
 
 // Option configures a Node.
@@ -192,6 +214,9 @@ func NewNode(id NodeID, params Params, peers PeerSampler, rng *rand.Rand, opts .
 		seen:   seen,
 		peers:  peers,
 		rng:    rng,
+	}
+	if pa, ok := peers.(PeerAppender); ok {
+		n.sampleInto = pa
 	}
 	for _, opt := range opts {
 		opt(n)
@@ -269,6 +294,16 @@ func (n *Node) Broadcast(payload []byte) Event {
 // addressed to Fanout random peers. The returned messages share one
 // Message value; drivers deliver them without mutation.
 //
+// Lifetime contract: the slice returned by Tick, the Message all its
+// entries share, and every slice reachable from that Message are
+// scratch state owned by the node, valid only until the next Tick on
+// the same node. Drivers must finish delivering (or copy, see
+// Message.Clone) before then. The in-process fabrics honor this: the
+// simulator delivers within the sending round whenever network latency
+// is below the gossip period (internal/experiments clones otherwise),
+// the memory transport clones on send, and the UDP transport encodes
+// synchronously.
+//
 // The driver is responsible for calling Tick every Period.
 func (n *Node) Tick() []Outgoing {
 	n.round++
@@ -278,26 +313,41 @@ func (n *Node) Tick() []Outgoing {
 		n.notifyEvicted(expired, EvictExpired)
 	}
 
-	msg := &Message{
-		From:   n.id,
-		Round:  n.round,
-		Events: n.buf.Snapshot(),
+	// Rebuild the round message in place: scalar fields reset, the
+	// events snapshot and the extension-appended piggyback slices reuse
+	// last round's backing arrays.
+	n.scratchEvents = n.buf.AppendSnapshot(n.scratchEvents[:0])
+	msg := &n.scratchMsg
+	*msg = Message{
+		From:    n.id,
+		Round:   n.round,
+		Events:  n.scratchEvents,
+		Subs:    msg.Subs[:0],
+		Unsubs:  msg.Unsubs[:0],
+		Updates: msg.Updates[:0],
 	}
 	for _, ext := range n.exts {
 		ext.OnTick(n, msg)
 	}
 
-	targets := n.peers.SamplePeers(n.id, n.params.Fanout, n.rng)
+	var targets []NodeID
+	if n.sampleInto != nil {
+		n.scratchTargets = n.sampleInto.AppendPeers(n.scratchTargets[:0], n.id, n.params.Fanout, n.rng)
+		targets = n.scratchTargets
+	} else {
+		targets = n.peers.SamplePeers(n.id, n.params.Fanout, n.rng)
+	}
 	if len(targets) == 0 {
 		return nil
 	}
-	out := make([]Outgoing, 0, len(targets))
+	out := n.scratchOut[:0]
 	for _, t := range targets {
 		if t == n.id {
 			continue
 		}
 		out = append(out, Outgoing{To: t, Msg: msg})
 	}
+	n.scratchOut = out
 	n.stats.MessagesSent += uint64(len(out))
 	n.stats.EventsSent += uint64(len(out) * len(msg.Events))
 	return out

@@ -1,0 +1,205 @@
+package gossip
+
+import (
+	"math/rand/v2"
+	"testing"
+	"time"
+)
+
+// fixedPeers is a fixed-membership sampler for benchmarks: it returns
+// the first k peers without shuffling, so the protocol loop is measured
+// without sampling noise (and without sampler allocations).
+type fixedPeers []NodeID
+
+func (s fixedPeers) SamplePeers(self NodeID, k int, rng *rand.Rand) []NodeID {
+	if k >= len(s) {
+		return s
+	}
+	return s[:k]
+}
+
+func (s fixedPeers) AppendPeers(dst []NodeID, self NodeID, k int, rng *rand.Rand) []NodeID {
+	if k > len(s) {
+		k = len(s)
+	}
+	return append(dst, s[:k]...)
+}
+
+func benchPeers(n int) fixedPeers {
+	peers := make(fixedPeers, n)
+	for i := range peers {
+		peers[i] = NodeID(string(rune('a' + i)))
+	}
+	return peers
+}
+
+func benchParams() Params {
+	return Params{Fanout: 4, Period: time.Second, MaxEvents: 120, MaxAge: 10}
+}
+
+// steadyNode builds a node whose buffer sits at the paper's steady
+// state: 120 buffered events with the full age spread, so every round
+// ages, expires and re-fills exactly DefaultMaxEvents/DefaultMaxAge
+// events.
+func steadyNode(tb testing.TB) (*Node, []byte) {
+	tb.Helper()
+	node, err := NewNode("bench", benchParams(), benchPeers(8), rand.New(rand.NewPCG(1, 2)))
+	if err != nil {
+		tb.Fatal(err)
+	}
+	payload := make([]byte, 16)
+	// Warm to steady state: births per round = MaxEvents / MaxAge.
+	for round := 0; round < 2*benchParams().MaxAge; round++ {
+		for i := 0; i < benchParams().MaxEvents/benchParams().MaxAge; i++ {
+			node.Broadcast(payload)
+		}
+		node.Tick()
+	}
+	return node, payload
+}
+
+// tickRound runs one full steady-state gossip round: the per-round
+// broadcast quota followed by the Tick emission.
+func tickRound(node *Node, payload []byte) []Outgoing {
+	for i := 0; i < benchParams().MaxEvents/benchParams().MaxAge; i++ {
+		node.Broadcast(payload)
+	}
+	return node.Tick()
+}
+
+// BenchmarkNodeTick measures one steady-state gossip round: 12 local
+// births (keeping the 120-slot buffer full against age expiry) plus the
+// Tick that ages, purges and addresses the buffer to 4 targets.
+func BenchmarkNodeTick(b *testing.B) {
+	node, payload := steadyNode(b)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if out := tickRound(node, payload); len(out) != 4 {
+			b.Fatalf("expected 4 outgoings, got %d", len(out))
+		}
+	}
+}
+
+// receiveMessage pre-builds a full-buffer gossip message whose event
+// identifiers are rewritten in place each iteration: even slots carry
+// fresh events, odd slots repeat the previous iteration's identifiers
+// (the ~half-duplicates regime of a fanout-4 group).
+func receiveMessage() *Message {
+	events := make([]Event, 120)
+	payload := make([]byte, 16)
+	for j := range events {
+		events[j] = Event{Age: j % 10, Payload: payload}
+	}
+	return &Message{From: "peer", Events: events}
+}
+
+func rewriteSeqs(msg *Message, iter uint64) {
+	for j := range msg.Events {
+		seq := iter*uint64(len(msg.Events)) + uint64(j)
+		if j%2 == 1 && iter > 0 {
+			seq = (iter-1)*uint64(len(msg.Events)) + uint64(j)
+		}
+		msg.Events[j].ID = EventID{Origin: "peer", Seq: seq}
+	}
+}
+
+// BenchmarkNodeReceive measures the full receive path: a 120-event
+// gossip message, about half duplicates — the per-round inbound
+// workload of a node in the paper's configuration.
+func BenchmarkNodeReceive(b *testing.B) {
+	node, _ := steadyNode(b)
+	msg := receiveMessage()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		rewriteSeqs(msg, uint64(i))
+		node.Receive(msg)
+	}
+}
+
+// BenchmarkBufferAdd measures the events-buffer insert path at
+// steady-state occupancy (every insert evicts).
+func BenchmarkBufferAdd(b *testing.B) {
+	buf, err := NewBuffer(120)
+	if err != nil {
+		b.Fatal(err)
+	}
+	rng := rand.New(rand.NewPCG(1, 2))
+	ages := make([]int, 4096)
+	for i := range ages {
+		ages[i] = rng.IntN(10)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		ev := Event{
+			ID:  EventID{Origin: "bench", Seq: uint64(i)},
+			Age: ages[i%len(ages)],
+		}
+		if _, err := buf.Add(ev); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// The steady-state allocation contracts below are the acceptance
+// criteria of the zero-allocation round work: once warmed up, a gossip
+// round must not allocate — not in Tick, not in Receive, not in the
+// buffer insert path. testing.AllocsPerRun runs on the exact workloads
+// of the benchmarks above.
+
+func TestNodeTickAllocFree(t *testing.T) {
+	node, payload := steadyNode(t)
+	// Warm the scratch state (first Tick after rework sizes it).
+	for i := 0; i < 4; i++ {
+		tickRound(node, payload)
+	}
+	allocs := testing.AllocsPerRun(100, func() {
+		tickRound(node, payload)
+	})
+	if allocs != 0 {
+		t.Fatalf("steady-state Tick allocates %v times per round, want 0", allocs)
+	}
+}
+
+func TestNodeReceiveAllocFree(t *testing.T) {
+	node, _ := steadyNode(t)
+	msg := receiveMessage()
+	iter := uint64(0)
+	// Warm: populate the dedup cache and buffer with this stream.
+	for ; iter < 4; iter++ {
+		rewriteSeqs(msg, iter)
+		node.Receive(msg)
+	}
+	allocs := testing.AllocsPerRun(100, func() {
+		rewriteSeqs(msg, iter)
+		node.Receive(msg)
+		iter++
+	})
+	if allocs != 0 {
+		t.Fatalf("steady-state Receive allocates %v times per message, want 0", allocs)
+	}
+}
+
+func TestBufferAddAllocFree(t *testing.T) {
+	buf, err := NewBuffer(120)
+	if err != nil {
+		t.Fatal(err)
+	}
+	seq := uint64(0)
+	add := func() {
+		ev := Event{ID: EventID{Origin: "bench", Seq: seq}, Age: int(seq % 10)}
+		seq++
+		if _, err := buf.Add(ev); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i := 0; i < 300; i++ { // reach steady-state eviction
+		add()
+	}
+	allocs := testing.AllocsPerRun(100, add)
+	if allocs != 0 {
+		t.Fatalf("steady-state Add allocates %v times per insert, want 0", allocs)
+	}
+}

@@ -113,25 +113,39 @@ func (v *PartialView) Contains(id gossip.NodeID) bool {
 
 // SamplePeers draws up to k distinct targets from the partial view.
 func (v *PartialView) SamplePeers(self gossip.NodeID, k int, rng *rand.Rand) []gossip.NodeID {
+	return v.AppendPeers(nil, self, k, rng)
+}
+
+// AppendPeers implements gossip.PeerAppender: the SamplePeers draw
+// appended into a caller-owned slice (the view holds no duplicates, so
+// deduplicating drawn entries by value matches the by-index draw). The
+// RNG consumption is identical to SamplePeers.
+func (v *PartialView) AppendPeers(dst []gossip.NodeID, self gossip.NodeID, k int, rng *rand.Rand) []gossip.NodeID {
 	if k <= 0 || len(v.view) == 0 {
-		return nil
+		return dst
 	}
+	base := len(dst)
 	if k >= len(v.view) {
-		out := append([]gossip.NodeID(nil), v.view...)
+		dst = append(dst, v.view...)
+		out := dst[base:]
 		rng.Shuffle(len(out), func(i, j int) { out[i], out[j] = out[j], out[i] })
-		return out
+		return dst
 	}
-	out := make([]gossip.NodeID, 0, k)
-	chosen := make(map[int]struct{}, k)
-	for len(out) < k {
-		i := rng.IntN(len(v.view))
-		if _, dup := chosen[i]; dup {
+	for len(dst)-base < k {
+		id := v.view[rng.IntN(len(v.view))]
+		dup := false
+		for _, got := range dst[base:] {
+			if got == id {
+				dup = true
+				break
+			}
+		}
+		if dup {
 			continue
 		}
-		chosen[i] = struct{}{}
-		out = append(out, v.view[i])
+		dst = append(dst, id)
 	}
-	return out
+	return dst
 }
 
 // OnTick piggybacks membership traffic: the sender's own subscription
@@ -304,6 +318,7 @@ func (v *PartialView) addToPool(pool *[]gossip.NodeID, set map[gossip.NodeID]str
 }
 
 var (
-	_ gossip.PeerSampler = (*PartialView)(nil)
-	_ gossip.Extension   = (*PartialView)(nil)
+	_ gossip.PeerSampler  = (*PartialView)(nil)
+	_ gossip.PeerAppender = (*PartialView)(nil)
+	_ gossip.Extension    = (*PartialView)(nil)
 )

@@ -88,11 +88,19 @@ func (r *Registry) IDs() []gossip.NodeID {
 // SamplePeers returns up to k distinct members other than self, chosen
 // uniformly at random.
 func (r *Registry) SamplePeers(self gossip.NodeID, k int, rng *rand.Rand) []gossip.NodeID {
+	return r.AppendPeers(nil, self, k, rng)
+}
+
+// AppendPeers implements gossip.PeerAppender: the SamplePeers draw
+// appended into a caller-owned slice, so a node's per-round target
+// selection allocates nothing. The RNG consumption is identical to
+// SamplePeers.
+func (r *Registry) AppendPeers(dst []gossip.NodeID, self gossip.NodeID, k int, rng *rand.Rand) []gossip.NodeID {
 	r.mu.RLock()
 	defer r.mu.RUnlock()
 	n := len(r.ids)
 	if n == 0 || k <= 0 {
-		return nil
+		return dst
 	}
 	_, hasSelf := r.index[self]
 	others := n
@@ -100,38 +108,47 @@ func (r *Registry) SamplePeers(self gossip.NodeID, k int, rng *rand.Rand) []goss
 		others--
 	}
 	if others <= 0 {
-		return nil
+		return dst
 	}
+	base := len(dst)
 	if k >= others {
 		// Return all other members, shuffled for unbiased ordering.
-		out := make([]gossip.NodeID, 0, others)
 		for _, id := range r.ids {
 			if id != self {
-				out = append(out, id)
+				dst = append(dst, id)
 			}
 		}
+		out := dst[base:]
 		rng.Shuffle(len(out), func(i, j int) { out[i], out[j] = out[j], out[i] })
-		return out
+		return dst
 	}
 	// Rejection sampling: k is small relative to the group (fanout ≈ 4
-	// of 60), so collisions are rare.
-	out := make([]gossip.NodeID, 0, k)
-	chosen := make(map[gossip.NodeID]struct{}, k)
-	for len(out) < k {
+	// of 60), so collisions are rare and a linear dedup scan over the
+	// ≤ k appended entries beats a map.
+	for len(dst)-base < k {
 		id := r.ids[rng.IntN(n)]
 		if id == self {
 			continue
 		}
-		if _, dup := chosen[id]; dup {
+		dup := false
+		for _, got := range dst[base:] {
+			if got == id {
+				dup = true
+				break
+			}
+		}
+		if dup {
 			continue
 		}
-		chosen[id] = struct{}{}
-		out = append(out, id)
+		dst = append(dst, id)
 	}
-	return out
+	return dst
 }
 
-var _ gossip.PeerSampler = (*Registry)(nil)
+var (
+	_ gossip.PeerSampler  = (*Registry)(nil)
+	_ gossip.PeerAppender = (*Registry)(nil)
+)
 
 // String describes the registry for debugging.
 func (r *Registry) String() string {

@@ -131,11 +131,12 @@ waitPhase:
 		case <-r.stop:
 			return
 		case <-ticker.C:
-			for _, out := range r.peer.Tick(time.Now()) {
-				if err := r.tr.Send(out.To, out.Msg); err != nil {
-					r.sendErrors.Add(1)
-				}
-			}
+			// transport.SendGroups coalesces each topic's shared round
+			// message into one SendMany (encode-once transports pay per
+			// round, not per fanout target) and copies for transports
+			// not marked ScratchSafe.
+			_, failed := transport.SendGroups(r.tr, r.peer.Tick(time.Now()))
+			r.sendErrors.Add(uint64(failed))
 		case msg := <-r.inbox:
 			r.peer.Receive(msg, time.Now())
 		case cmd := <-r.cmds:

@@ -188,18 +188,15 @@ func (r *Runner) receive(msg *gossip.Message) {
 	r.send(r.node.Receive(msg, time.Now()))
 }
 
-// send transmits a batch of outgoings, coalescing the round's shared
-// gossip message into one SendMany so transports with an encode-once
-// fast path pay the serialization cost once per round, not once per
-// fanout target.
+// send transmits a batch of outgoings through transport.SendGroups:
+// the round's shared gossip message collapses into one SendMany so
+// encode-once transports pay the serialization cost once per round,
+// and non-ScratchSafe transports get copies, decoupling them from the
+// node's scratch reuse.
 func (r *Runner) send(outs []gossip.Outgoing) {
-	for _, f := range gossip.GroupOutgoing(outs) {
-		sent, _ := transport.SendMany(r.tr, f.Targets, f.Msg)
-		r.moved.Add(uint64(sent))
-		if failed := len(f.Targets) - sent; failed > 0 {
-			r.sendErrors.Add(uint64(failed))
-		}
-	}
+	sent, failed := transport.SendGroups(r.tr, outs)
+	r.moved.Add(uint64(sent))
+	r.sendErrors.Add(uint64(failed))
 }
 
 // Do runs fn inside the node loop, serialized with ticks and receives,

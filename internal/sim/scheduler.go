@@ -19,7 +19,11 @@ type scheduled struct {
 	seq       uint64
 	fn        func()
 	cancelled bool
-	index     int
+	// index is the event's current heap position, maintained by the
+	// heap.Interface callbacks; -1 once popped or removed. It lets
+	// Cancel excise the entry immediately instead of leaving a
+	// tombstone until its pop time.
+	index int
 }
 
 type eventHeap []*scheduled
@@ -46,18 +50,29 @@ func (h *eventHeap) Pop() any {
 	n := len(old)
 	ev := old[n-1]
 	old[n-1] = nil
+	ev.index = -1
 	*h = old[:n-1]
 	return ev
 }
 
 // Handle allows cancelling a scheduled callback.
-type Handle struct{ ev *scheduled }
+type Handle struct {
+	s  *Scheduler
+	ev *scheduled
+}
 
-// Cancel prevents the callback from running. Cancelling an executed or
-// already cancelled callback is a no-op.
+// Cancel prevents the callback from running and removes it from the
+// scheduler immediately, so churn/latency simulations that cancel many
+// timers do not accumulate dead heap entries until their pop time.
+// Cancelling an executed or already cancelled callback is a no-op.
 func (h Handle) Cancel() {
-	if h.ev != nil {
-		h.ev.cancelled = true
+	ev := h.ev
+	if ev == nil || ev.cancelled {
+		return
+	}
+	ev.cancelled = true
+	if h.s != nil && ev.index >= 0 {
+		heap.Remove(&h.s.heap, ev.index)
 	}
 }
 
@@ -78,8 +93,8 @@ func NewScheduler(start time.Time) *Scheduler {
 // Now returns the current virtual time.
 func (s *Scheduler) Now() time.Time { return s.now }
 
-// Len reports the number of pending events (including cancelled ones
-// not yet reaped).
+// Len reports the number of pending events. Cancelled events are
+// removed from the heap at Cancel time and never count.
 func (s *Scheduler) Len() int { return len(s.heap) }
 
 // At schedules fn to run at instant t. Instants in the past run
@@ -91,7 +106,7 @@ func (s *Scheduler) At(t time.Time, fn func()) Handle {
 	ev := &scheduled{at: t, seq: s.seq, fn: fn}
 	s.seq++
 	heap.Push(&s.heap, ev)
-	return Handle{ev: ev}
+	return Handle{s: s, ev: ev}
 }
 
 // After schedules fn to run d from now. Non-positive d means "next

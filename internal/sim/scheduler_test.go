@@ -61,6 +61,59 @@ func TestSchedulerCancel(t *testing.T) {
 	Handle{}.Cancel() // zero handle is safe
 }
 
+// TestSchedulerCancelRemovesImmediately pins the no-tombstone contract:
+// cancelling a scheduled callback shrinks the heap right away instead
+// of leaving a dead entry behind until its pop time — the regime of
+// churn/latency simulations that schedule and cancel many timers far in
+// the future.
+func TestSchedulerCancelRemovesImmediately(t *testing.T) {
+	s := NewScheduler(Epoch)
+	const n = 100
+	handles := make([]Handle, 0, n)
+	for i := 0; i < n; i++ {
+		i := i
+		handles = append(handles, s.After(time.Duration(i+1)*time.Hour, func() { _ = i }))
+	}
+	if s.Len() != n {
+		t.Fatalf("Len = %d, want %d", s.Len(), n)
+	}
+	// Cancel from the middle, the ends and in bulk; the heap must track
+	// exactly the live events at every point.
+	for i, h := range handles {
+		if i%2 == 0 {
+			h.Cancel()
+		}
+	}
+	if s.Len() != n/2 {
+		t.Fatalf("after cancelling half: Len = %d, want %d", s.Len(), n/2)
+	}
+	handles[1].Cancel()
+	handles[1].Cancel() // idempotent: must not remove another entry
+	if s.Len() != n/2-1 {
+		t.Fatalf("after repeat cancel: Len = %d, want %d", s.Len(), n/2-1)
+	}
+	// The survivors still run, in order.
+	ran := 0
+	for s.Step() {
+		ran++
+	}
+	if ran != n/2-1 {
+		t.Fatalf("ran %d events, want %d", ran, n/2-1)
+	}
+	if s.Len() != 0 {
+		t.Fatalf("drained scheduler has Len = %d", s.Len())
+	}
+	// Cancelling an already-executed handle is a no-op.
+	h := s.After(time.Second, func() {})
+	if !s.Step() {
+		t.Fatal("event did not run")
+	}
+	h.Cancel()
+	if s.Len() != 0 {
+		t.Fatalf("cancel after execution changed Len = %d", s.Len())
+	}
+}
+
 func TestSchedulerRunUntil(t *testing.T) {
 	s := NewScheduler(Epoch)
 	var ran []int

@@ -233,21 +233,32 @@ func (e *MemEndpoint) handler() Handler {
 	return e.h
 }
 
-// Send transmits msg through the fabric.
+// Send transmits msg through the fabric. The fabric delivers
+// asynchronously (goroutine handoff, optional latency timers), which
+// can outlive the sender's next gossip round, so the message is cloned
+// once here — the in-process stand-in for the copy a wire encoding
+// would have made. This keeps senders free to reuse per-round scratch
+// messages (see gossip.Node.Tick's lifetime contract).
 func (e *MemEndpoint) Send(to gossip.NodeID, msg *gossip.Message) error {
-	return e.net.send(e.id, to, msg)
+	return e.net.send(e.id, to, msg.CopyForSend())
 }
 
 // SendMany transmits msg to every target through the fabric. There is
-// no wire encoding in process, so the fast path is just a loop; it
-// exists so the ManySender seam behaves uniformly across the built-in
-// transports. Targets are attempted independently; SendMany returns the
-// number accepted and the first error.
+// no wire encoding in process, so the fast path is one defensive clone
+// (shared read-only by all receivers, mirroring Send's retention rule)
+// followed by a loop; it exists so the ManySender seam behaves
+// uniformly across the built-in transports. Targets are attempted
+// independently; SendMany returns the number accepted and the first
+// error.
 func (e *MemEndpoint) SendMany(targets []gossip.NodeID, msg *gossip.Message) (int, error) {
+	if len(targets) == 0 {
+		return 0, nil
+	}
+	clone := msg.CopyForSend()
 	sent := 0
 	var first error
 	for _, to := range targets {
-		if err := e.net.send(e.id, to, msg); err != nil {
+		if err := e.net.send(e.id, to, clone); err != nil {
 			if first == nil {
 				first = err
 			}
@@ -264,7 +275,12 @@ func (e *MemEndpoint) Close() error {
 	return nil
 }
 
+// ScratchSafe marks the endpoint as not retaining sent messages: Send
+// and SendMany copy on entry.
+func (e *MemEndpoint) ScratchSafe() {}
+
 var (
-	_ Transport  = (*MemEndpoint)(nil)
-	_ ManySender = (*MemEndpoint)(nil)
+	_ Transport   = (*MemEndpoint)(nil)
+	_ ManySender  = (*MemEndpoint)(nil)
+	_ ScratchSafe = (*MemEndpoint)(nil)
 )

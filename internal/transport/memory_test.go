@@ -27,14 +27,24 @@ func TestMemNetworkDelivers(t *testing.T) {
 	}
 	got := make(chan *gossip.Message, 1)
 	b.SetHandler(func(m *gossip.Message) { got <- m })
-	msg := &gossip.Message{From: "a"}
+	msg := &gossip.Message{From: "a", Round: 7, Events: []gossip.Event{
+		{ID: gossip.EventID{Origin: "a", Seq: 1}, Age: 2, Payload: []byte("x")},
+	}}
 	if err := a.Send("b", msg); err != nil {
 		t.Fatal(err)
 	}
 	select {
 	case m := <-got:
-		if m != msg {
-			t.Fatal("wrong message delivered")
+		// The fabric copies on send (senders reuse per-round scratch
+		// messages), so delivery carries an equal message, not the same
+		// pointer.
+		if m == msg {
+			t.Fatal("fabric delivered the sender's message without copying")
+		}
+		if m.From != msg.From || m.Round != msg.Round || len(m.Events) != 1 ||
+			m.Events[0].ID != msg.Events[0].ID || m.Events[0].Age != msg.Events[0].Age ||
+			string(m.Events[0].Payload) != "x" {
+			t.Fatalf("wrong message delivered: %+v", m)
 		}
 	case <-time.After(2 * time.Second):
 		t.Fatal("delivery timed out")

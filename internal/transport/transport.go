@@ -33,6 +33,41 @@ type ManySender interface {
 	SendMany(targets []gossip.NodeID, msg *gossip.Message) (int, error)
 }
 
+// ScratchSafe marks Transport implementations that never retain a sent
+// *Message (or any slice reachable from it) past the return of
+// Send/SendMany — the UDP transport encodes synchronously, the memory
+// fabric copies on entry. Drivers hand their reused per-round scratch
+// message (see gossip.Node.Tick's lifetime contract) directly to
+// ScratchSafe transports and copy it first for any other
+// implementation, so external Endpoints that queue messages for
+// asynchronous delivery keep working unchanged.
+type ScratchSafe interface {
+	// ScratchSafe is a marker; implementations promise the retention
+	// property documented on the interface.
+	ScratchSafe()
+}
+
+// SendGroups coalesces a batch of outgoings into per-message fanouts
+// (gossip.GroupOutgoing) and transmits each through t via SendMany, so
+// encode-once transports pay the serialization cost once per round. It
+// applies the scratch-safety protocol in one place for every driver:
+// unless t is marked ScratchSafe, each message is copied out of the
+// sender's per-round scratch state (Message.CopyForSend) before it
+// reaches the transport. It returns the total targets sent and failed.
+func SendGroups(t Transport, outs []gossip.Outgoing) (sent, failed int) {
+	_, scratchSafe := t.(ScratchSafe)
+	for _, f := range gossip.GroupOutgoing(outs) {
+		msg := f.Msg
+		if !scratchSafe {
+			msg = msg.CopyForSend()
+		}
+		n, _ := SendMany(t, f.Targets, msg)
+		sent += n
+		failed += len(f.Targets) - n
+	}
+	return sent, failed
+}
+
 // SendMany transmits msg to every target through t, using the
 // ManySender fast path when t implements it and falling back to one
 // encode-per-peer Send per target otherwise — the shim that keeps
