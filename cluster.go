@@ -29,6 +29,7 @@ type Cluster struct {
 	regs    []*membership.Registry // one per node: detector verdicts are per-observer
 	runners []*runtime.Runner
 	hub     *streamHub
+	obs     *groupObservability
 
 	mu        sync.Mutex
 	started   bool
@@ -45,9 +46,13 @@ func NewCluster(n int, cfg Config, opts ...Option) (*Cluster, error) {
 	o, oerr := applyOptions(facadeCluster, groupOptions{seed: 1, prefix: "node-"}, opts)
 	// Any failure from here on closes a handed-over transport: the
 	// group owns it from the moment WithTransport is applied.
+	var obs *groupObservability
 	fail := func(err error) (*Cluster, error) {
 		if o.fabric != nil {
 			o.fabric.Close()
+		}
+		if obs != nil {
+			obs.close()
 		}
 		return nil, err
 	}
@@ -82,6 +87,8 @@ func NewCluster(n int, cfg Config, opts ...Option) (*Cluster, error) {
 		hub:    newStreamHub(),
 		done:   make(chan struct{}),
 	}
+	obs = newGroupObservability(cfg.Observability)
+	c.obs = obs
 	var shared *membership.Registry
 	if !cfg.Failure.Enabled {
 		shared = membership.NewRegistry(names...)
@@ -126,6 +133,8 @@ func NewCluster(n int, cfg Config, opts ...Option) (*Cluster, error) {
 			Peers:   reg,
 			RNG:     rand.New(rand.NewPCG(uint64(o.seed), uint64(i)+1)),
 			Deliver: deliver,
+			Metrics: obs.node,
+			Tracer:  obs.tracer(),
 			Start:   time.Now(),
 		})
 		if err != nil {
@@ -141,11 +150,15 @@ func NewCluster(n int, cfg Config, opts ...Option) (*Cluster, error) {
 			Transport: ep,
 			Period:    cfg.Period,
 			PhaseSeed: uint64(o.seed)*2_654_435_761 + uint64(i) + 1,
+			Metrics:   obs.runner,
 		})
 		if err != nil {
 			return fail(err)
 		}
 		c.runners = append(c.runners, r)
+	}
+	if err := obs.bindServer(cfg.Observability.DebugAddr, func() Stats { return c.Stats() }); err != nil {
+		return fail(err)
 	}
 	return c, nil
 }
@@ -215,6 +228,7 @@ func (c *Cluster) Close() error {
 		first = err
 	}
 	c.hub.close()
+	c.obs.close()
 	return first
 }
 
@@ -281,6 +295,10 @@ func (c *Cluster) Stats() Stats {
 		st.add(r.Snapshot())
 	}
 	st.StreamDropped = c.hub.droppedCount()
-	st.RecvQueueDrops = recvQueueDrops(c.fabric)
+	st.addWire(c.fabric)
 	return st
 }
+
+// DebugAddr returns the bound address of the debug HTTP listener, or
+// "" when Config.Observability.DebugAddr was empty.
+func (c *Cluster) DebugAddr() string { return c.obs.debugAddr() }

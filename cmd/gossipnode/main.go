@@ -46,6 +46,8 @@ func run(args []string) error {
 		adaptive = fs.Bool("adaptive", true, "enable the adaptation mechanism")
 		report   = fs.Duration("report", 5*time.Second, "stats reporting interval")
 		runFor   = fs.Duration("for", 0, "exit after this duration (0 = run until signal)")
+		debug    = fs.String("debug-addr", "", "bind the debug HTTP listener (expvar JSON at /debug/vars, Prometheus at /metrics, pprof at /debug/pprof/) on this address (empty = off)")
+		traceSim = fs.Float64("trace-sample", 0, "rumor-lifecycle trace sample rate in [0,1] (served at /debug/gossip/traces; 0 = off)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -73,6 +75,8 @@ func run(args []string) error {
 		cfg.Adaptation.InitialRate = *rate
 		cfg.Adaptation.MaxRate = 4 * *rate
 	}
+	cfg.Observability.DebugAddr = *debug
+	cfg.Observability.TraceSampleRate = *traceSim
 
 	tr, err := adaptivegossip.NewUDPTransport(adaptivegossip.WithBind(*bind))
 	if err != nil {
@@ -95,6 +99,9 @@ func run(args []string) error {
 	}
 	fmt.Printf("node %s listening on %s, %d peers, adaptive=%v\n",
 		node.ID(), node.Addr(), len(peerBook), *adaptive)
+	if da := node.DebugAddr(); da != "" {
+		fmt.Printf("debug listener on http://%s/debug/vars (also /metrics, /debug/pprof/)\n", da)
+	}
 
 	var sender *workload.TimedSender
 	if *rate > 0 {

@@ -44,3 +44,33 @@ func TestRunNodeForShortWindow(t *testing.T) {
 		t.Fatal("node did not exit at -for deadline")
 	}
 }
+
+func TestRunNodeWithDebugListener(t *testing.T) {
+	done := make(chan error, 1)
+	go func() {
+		done <- run([]string{
+			"-id", "scraped",
+			"-bind", "127.0.0.1:0",
+			"-debug-addr", "127.0.0.1:0",
+			"-trace-sample", "1",
+			"-period", "50ms",
+			"-report", "100ms",
+			"-rate", "10",
+			"-for", "400ms",
+		})
+	}()
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatalf("run: %v", err)
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("node did not exit at -for deadline")
+	}
+}
+
+func TestRunNodeBadTraceSample(t *testing.T) {
+	if err := run([]string{"-id", "x", "-trace-sample", "2"}); err == nil {
+		t.Fatal("out-of-range trace sample rate accepted")
+	}
+}

@@ -21,6 +21,7 @@
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -29,6 +30,7 @@ import (
 	"time"
 
 	"adaptivegossip/internal/experiments"
+	"adaptivegossip/internal/observe"
 )
 
 func main() {
@@ -52,12 +54,22 @@ func run(args []string) error {
 			"max simulation runs in flight (1 = sequential; output is identical at any value)")
 		cpuprofile = fs.String("cpuprofile", "", "write a pprof CPU profile to this file")
 		memprofile = fs.String("memprofile", "", "write a pprof heap profile to this file on exit")
+		metricsOut = fs.String("metrics-out", "",
+			"write per-figure delivery-latency and hop distributions (percentiles + buckets) to this JSON file")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
 	drawPlots = *plots
+	collected = nil
 	experiments.SetParallelism(*parallel)
+	if *metricsOut != "" {
+		defer func() {
+			if err := writeMetrics(*metricsOut); err != nil {
+				fmt.Fprintln(os.Stderr, "gossipsim: metrics-out:", err)
+			}
+		}()
+	}
 
 	if *cpuprofile != "" {
 		f, err := os.Create(*cpuprofile)
@@ -164,6 +176,38 @@ func run(args []string) error {
 // drawPlots adds terminal plots after each table (-plot).
 var drawPlots bool
 
+// metricsEntry is one figure series' distribution digest in the
+// -metrics-out JSON file. Latency values are microseconds.
+type metricsEntry struct {
+	Figure  string                          `json:"figure"`
+	Series  string                          `json:"series,omitempty"`
+	Latency experiments.DistributionSummary `json:"delivery_latency_us"`
+	Hops    experiments.DistributionSummary `json:"hops"`
+}
+
+// collected accumulates -metrics-out entries as figures run.
+var collected []metricsEntry
+
+func recordMetrics(figure, series string, latency, hops observe.HistogramSnapshot) {
+	if latency.Count == 0 && hops.Count == 0 {
+		return
+	}
+	collected = append(collected, metricsEntry{
+		Figure:  figure,
+		Series:  series,
+		Latency: experiments.Summarize(latency),
+		Hops:    experiments.Summarize(hops),
+	})
+}
+
+func writeMetrics(path string) error {
+	data, err := json.MarshalIndent(collected, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
+}
+
 func maybePlot(draw func() error) error {
 	if !drawPlots {
 		return nil
@@ -180,6 +224,8 @@ func figure2(base experiments.Config, seeds int) error {
 	if err != nil {
 		return err
 	}
+	lat, hops := experiments.Figure2Distributions(rows)
+	recordMetrics("2", "lpbcast", lat, hops)
 	experiments.RenderFigure2(os.Stdout, rows)
 	fmt.Println()
 	return maybePlot(func() error { return experiments.PlotFigure2(os.Stdout, rows) })
@@ -211,6 +257,8 @@ func figure6WithRows(base experiments.Config, buffers []int, fig4 []experiments.
 	if err != nil {
 		return err
 	}
+	lat, hops := experiments.Figure6Distributions(rows)
+	recordMetrics("6", "adaptive", lat, hops)
 	experiments.RenderFigure6(os.Stdout, rows)
 	fmt.Println()
 	return maybePlot(func() error { return experiments.PlotFigure6(os.Stdout, rows) })
@@ -221,6 +269,9 @@ func figures78(base experiments.Config, buffers []int, seeds int, which string) 
 	if err != nil {
 		return err
 	}
+	lpLat, lpHops, adLat, adHops := experiments.Figure7Distributions(rows7)
+	recordMetrics("7+8", "lpbcast", lpLat, lpHops)
+	recordMetrics("7+8", "adaptive", adLat, adHops)
 	if which == "7" || which == "7+8" {
 		experiments.RenderFigure7(os.Stdout, rows7)
 		fmt.Println()
@@ -250,6 +301,8 @@ func figure9WithFit(base experiments.Config, fig4 []experiments.Figure4Row) erro
 	if err != nil {
 		return err
 	}
+	recordMetrics("9", "adaptive", res.Adaptive.Latency, res.Adaptive.Hops)
+	recordMetrics("9", "lpbcast", res.Baseline.Latency, res.Baseline.Hops)
 	experiments.RenderFigure9(os.Stdout, res)
 	fmt.Println()
 	return maybePlot(func() error { return experiments.PlotFigure9(os.Stdout, res) })

@@ -1,6 +1,7 @@
 package main
 
 import (
+	"encoding/json"
 	"os"
 	"path/filepath"
 	"testing"
@@ -25,6 +26,53 @@ func TestRunFigure2SmallGroup(t *testing.T) {
 	// A reduced group keeps this a smoke test of the full CLI path.
 	if err := run([]string{"-figure", "2", "-n", "16", "-fast"}); err != nil {
 		t.Fatalf("figure 2: %v", err)
+	}
+}
+
+func TestRunMetricsOut(t *testing.T) {
+	if testing.Short() {
+		t.Skip("several seconds of simulation")
+	}
+	path := filepath.Join(t.TempDir(), "metrics.json")
+	if err := run([]string{"-figure", "2", "-n", "16", "-fast", "-metrics-out", path}); err != nil {
+		t.Fatalf("figure 2: %v", err)
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("metrics file not written: %v", err)
+	}
+	var entries []struct {
+		Figure  string `json:"figure"`
+		Series  string `json:"series"`
+		Latency struct {
+			Count   uint64  `json:"count"`
+			P50     float64 `json:"p50"`
+			P95     float64 `json:"p95"`
+			P99     float64 `json:"p99"`
+			Buckets []struct {
+				Low, High, Count uint64
+			} `json:"buckets"`
+		} `json:"delivery_latency_us"`
+		Hops struct {
+			Count uint64  `json:"count"`
+			P99   float64 `json:"p99"`
+		} `json:"hops"`
+	}
+	if err := json.Unmarshal(data, &entries); err != nil {
+		t.Fatalf("metrics file is not JSON: %v", err)
+	}
+	if len(entries) != 1 || entries[0].Figure != "2" || entries[0].Series != "lpbcast" {
+		t.Fatalf("unexpected entries: %s", data)
+	}
+	e := entries[0]
+	if e.Latency.Count == 0 || e.Hops.Count == 0 {
+		t.Fatalf("empty distributions in metrics file: %s", data)
+	}
+	if len(e.Latency.Buckets) == 0 {
+		t.Fatal("latency buckets missing")
+	}
+	if e.Hops.P99 <= 0 {
+		t.Fatalf("hops p99 = %v, want > 0", e.Hops.P99)
 	}
 }
 

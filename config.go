@@ -98,6 +98,41 @@ func (c FailureConfig) params() failure.Params {
 	}
 }
 
+// ObservabilityConfig groups the protocol observability layer's knobs:
+// an opt-in debug HTTP listener (expvar-style JSON on /debug/vars,
+// Prometheus text on /metrics, pprof on /debug/pprof/, rumor traces on
+// /debug/gossip/traces) and a sampling rumor-lifecycle tracer. The
+// zero value keeps everything off; the alloc-free hot-path histograms
+// are always collected (they are part of the protocol loop and cost a
+// few atomic adds per round).
+type ObservabilityConfig struct {
+	// DebugAddr, when non-empty, binds the debug HTTP listener there
+	// (e.g. "127.0.0.1:6060"; ":0" picks a free port, see
+	// Node.DebugAddr for the bound address). Empty disables the
+	// listener.
+	DebugAddr string
+	// TraceSampleRate is the fraction of rumors whose lifecycle
+	// (publish → first-send → receive → deliver/drop) is traced, in
+	// [0, 1]. Sampling is deterministic per event ID, so every member
+	// of a group traces the same rumors. Zero disables tracing.
+	TraceSampleRate float64
+	// TraceBufferSize bounds the in-memory trace ring; the oldest
+	// records are overwritten when it fills. Zero means the default
+	// (4096 records).
+	TraceBufferSize int
+}
+
+// Validate reports the first configuration error.
+func (c ObservabilityConfig) Validate() error {
+	if c.TraceSampleRate < 0 || c.TraceSampleRate > 1 {
+		return fmt.Errorf("adaptivegossip: trace sample rate %v out of [0,1]", c.TraceSampleRate)
+	}
+	if c.TraceBufferSize < 0 {
+		return fmt.Errorf("adaptivegossip: trace buffer size %d must not be negative", c.TraceBufferSize)
+	}
+	return nil
+}
+
 // Config configures a broadcast node, cluster or pub/sub group. Knobs
 // are grouped per mechanism: the base protocol's parameters live at the
 // top level; each subsystem (Adaptation, Recovery, Failure) owns a
@@ -132,6 +167,8 @@ type Config struct {
 	Recovery RecoveryConfig
 	// Failure configures the SWIM-style failure detector.
 	Failure FailureConfig
+	// Observability configures the debug listener and rumor tracing.
+	Observability ObservabilityConfig
 }
 
 // DefaultConfig returns the paper's protocol configuration with a
@@ -203,6 +240,9 @@ func (c Config) Validate() error {
 		if err := c.Failure.params().Validate(); err != nil {
 			return fmt.Errorf("adaptivegossip: %w", err)
 		}
+	}
+	if err := c.Observability.Validate(); err != nil {
+		return err
 	}
 	return nil
 }

@@ -40,8 +40,9 @@ func main() {
 	loss := flag.Float64("loss", 0, "iid outgoing-datagram loss probability in [0,1]")
 	recovery := flag.Bool("recovery", true, "enable digest-based anti-entropy recovery")
 	churn := flag.Duration("churn", 0, "kill and restart one member this often (0 disables churn)")
+	debug := flag.String("debug", "", "bind host-0's debug HTTP listener (/debug/vars, /metrics, pprof) on this address (empty = off)")
 	flag.Parse()
-	if err := run(*loss, *recovery, *churn); err != nil {
+	if err := run(*loss, *recovery, *churn, *debug); err != nil {
 		log.SetFlags(0)
 		log.Fatal(err)
 	}
@@ -70,7 +71,7 @@ type member struct {
 	tr   *adaptivegossip.UDPTransport
 }
 
-func run(loss float64, recovery bool, churn time.Duration) error {
+func run(loss float64, recovery bool, churn time.Duration, debug string) error {
 	detect := churn > 0
 	cfg := nodeConfig(recovery, detect)
 	ctx := context.Background()
@@ -90,6 +91,12 @@ func run(loss float64, recovery bool, churn time.Duration) error {
 		tr, err := adaptivegossip.NewUDPTransport(trOpts...)
 		if err != nil {
 			return member{}, err
+		}
+		// Only host-0 exposes the debug listener: one scrape target for
+		// the demo, and the per-node facades cannot share one address.
+		cfg := cfg
+		if i == 0 {
+			cfg.Observability.DebugAddr = debug
 		}
 		node, err := adaptivegossip.NewNode(id, cfg,
 			adaptivegossip.WithTransport(tr),
@@ -142,6 +149,10 @@ func run(loss float64, recovery bool, churn time.Duration) error {
 	}
 	fmt.Printf("%d UDP nodes gossiping on loopback (e.g. %s at %s), loss %.0f%%, recovery %v, churn %v\n",
 		nodes, members[0].node.ID(), members[0].node.Addr(), 100*loss, recovery, churn)
+	if da := members[0].node.DebugAddr(); da != "" {
+		fmt.Printf("%s debug listener on http://%s/debug/vars (also /metrics, /debug/pprof/)\n",
+			members[0].node.ID(), da)
+	}
 
 	// Churn loop: kill the highest-indexed member (its socket closes —
 	// a real process death as far as the others can tell), let the

@@ -7,6 +7,7 @@ import (
 
 	"adaptivegossip/internal/failure"
 	"adaptivegossip/internal/gossip"
+	"adaptivegossip/internal/observe"
 	"adaptivegossip/internal/ratelimit"
 	"adaptivegossip/internal/recovery"
 )
@@ -46,6 +47,13 @@ type NodeConfig struct {
 	// Extensions are additional protocol extensions (e.g. a partial
 	// view); they run after the adaptation hooks.
 	Extensions []gossip.Extension
+	// Metrics, when non-nil, receives the substrate's alloc-free
+	// hot-path histograms (delivery hops, drop ages, round sizes). A
+	// block may be shared across nodes; observations pool.
+	Metrics *observe.NodeMetrics
+	// Tracer, when non-nil, samples rumor lifecycles
+	// (publish/first-send/receive/deliver/drop).
+	Tracer observe.Tracer
 	// Start is the creation instant (token bucket epoch).
 	Start time.Time
 }
@@ -120,7 +128,8 @@ func NewAdaptiveNode(cfg NodeConfig) (*AdaptiveNode, error) {
 	exts = append(exts, cfg.Extensions...)
 
 	node, err := gossip.NewNode(cfg.ID, cfg.Gossip, cfg.Peers, cfg.RNG,
-		gossip.WithDeliver(cfg.Deliver), gossip.WithExtensions(exts...))
+		gossip.WithDeliver(cfg.Deliver), gossip.WithExtensions(exts...),
+		gossip.WithMetrics(cfg.Metrics), gossip.WithTracer(cfg.Tracer))
 	if err != nil {
 		return nil, err
 	}

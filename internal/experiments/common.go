@@ -15,6 +15,7 @@ import (
 	"adaptivegossip/internal/gossip"
 	"adaptivegossip/internal/membership"
 	"adaptivegossip/internal/metrics"
+	"adaptivegossip/internal/observe"
 	"adaptivegossip/internal/recovery"
 	"adaptivegossip/internal/sim"
 	"adaptivegossip/internal/workload"
@@ -267,6 +268,13 @@ type RunResult struct {
 	FalseConfirms uint64
 	// Network counts fabric traffic by kind (simulation runs only).
 	Network sim.NetworkStats
+	// Latency is the pooled birth→delivery latency distribution in
+	// microseconds over every delivery of the whole run (warmup and
+	// drain included) — the p50/p95/p99 the figure tables report.
+	Latency observe.HistogramSnapshot
+	// Hops is the pooled hop-count (event age at delivery) distribution
+	// over the same deliveries.
+	Hops observe.HistogramSnapshot
 }
 
 // Run executes one simulated experiment.
@@ -390,7 +398,7 @@ func Run(cfg Config) (RunResult, error) {
 			Peers:        ownReg,
 			RNG:          sim.DeriveRNG(cfg.Seed, uint64(i)+1),
 			Deliver: func(ev gossip.Event) {
-				tracker.Deliver(ev.ID, name, sched.Now())
+				tracker.DeliverHop(ev.ID, name, sched.Now(), ev.Age)
 			},
 			Start: epoch,
 		})
@@ -682,6 +690,8 @@ func Run(cfg Config) (RunResult, error) {
 	}
 	res.Network = network.Stats()
 	res.AtomicitySeries = tracker.Series(epoch, end, cfg.Bucket, metrics.DefaultAtomicityThreshold)
+	res.Latency = tracker.LatencySnapshot()
+	res.Hops = tracker.HopsSnapshot()
 	return res, nil
 }
 
@@ -738,6 +748,8 @@ func RunSeeds(cfg Config, seeds int) (RunResult, error) {
 		agg.DetectionLatencyRounds += res.DetectionLatencyRounds
 		agg.FalseConfirms += res.FalseConfirms
 		agg.Network.Merge(res.Network)
+		agg.Latency.Merge(res.Latency)
+		agg.Hops.Merge(res.Hops)
 	}
 	k := float64(seeds)
 	agg.Summary.Messages = (agg.Summary.Messages + seeds/2) / seeds

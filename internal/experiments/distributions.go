@@ -1,0 +1,103 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+
+	"adaptivegossip/internal/observe"
+)
+
+// BucketCount is one non-empty power-of-two histogram bucket in a
+// DistributionSummary: Count observations in [Low, High).
+type BucketCount struct {
+	Low   uint64 `json:"low"`
+	High  uint64 `json:"high"`
+	Count uint64 `json:"count"`
+}
+
+// DistributionSummary is the JSON-friendly digest of one pooled
+// histogram — the shape cmd/gossipsim's -metrics-out file carries.
+// Values are in the histogram's native unit (microseconds for delivery
+// latency, hops for hop counts).
+type DistributionSummary struct {
+	Count   uint64        `json:"count"`
+	Mean    float64       `json:"mean"`
+	P50     float64       `json:"p50"`
+	P95     float64       `json:"p95"`
+	P99     float64       `json:"p99"`
+	Buckets []BucketCount `json:"buckets,omitempty"`
+}
+
+// Summarize digests a histogram snapshot into quantiles, the mean and
+// the non-empty buckets.
+func Summarize(s observe.HistogramSnapshot) DistributionSummary {
+	out := DistributionSummary{
+		Count: s.Count,
+		Mean:  s.Mean(),
+		P50:   s.Quantile(0.50),
+		P95:   s.Quantile(0.95),
+		P99:   s.Quantile(0.99),
+	}
+	for i, c := range s.Buckets {
+		if c == 0 {
+			continue
+		}
+		out.Buckets = append(out.Buckets, BucketCount{
+			Low:   observe.BucketLow(i),
+			High:  observe.BucketHigh(i),
+			Count: c,
+		})
+	}
+	return out
+}
+
+// renderDistributions appends one figure's pooled delivery-latency
+// (printed in seconds) and hop-count percentile line to its table.
+// label distinguishes multiple series within a figure ("" for one).
+func renderDistributions(w io.Writer, label string, latency, hops observe.HistogramSnapshot) {
+	if latency.Count == 0 && hops.Count == 0 {
+		return
+	}
+	prefix := "# "
+	if label != "" {
+		prefix = fmt.Sprintf("# %s ", label)
+	}
+	const us = 1e6 // histograms observe microseconds
+	fmt.Fprintf(w, "%sdelivery latency p50/p95/p99 = %.1f/%.1f/%.1f s (mean %.1f); hops p50/p95/p99 = %.0f/%.0f/%.0f\n",
+		prefix,
+		latency.Quantile(0.50)/us, latency.Quantile(0.95)/us, latency.Quantile(0.99)/us,
+		latency.Mean()/us,
+		hops.Quantile(0.50), hops.Quantile(0.95), hops.Quantile(0.99))
+}
+
+// Figure2Distributions pools the per-row latency and hop distributions
+// of a Figure 2 sweep.
+func Figure2Distributions(rows []Figure2Row) (latency, hops observe.HistogramSnapshot) {
+	for _, r := range rows {
+		latency.Merge(r.Latency)
+		hops.Merge(r.Hops)
+	}
+	return latency, hops
+}
+
+// Figure6Distributions pools the per-row latency and hop distributions
+// of a Figure 6 sweep.
+func Figure6Distributions(rows []Figure6Row) (latency, hops observe.HistogramSnapshot) {
+	for _, r := range rows {
+		latency.Merge(r.Latency)
+		hops.Merge(r.Hops)
+	}
+	return latency, hops
+}
+
+// Figure7Distributions pools the per-row latency and hop distributions
+// of a Figure 7/8 sweep, keeping the lpbcast and adaptive arms apart.
+func Figure7Distributions(rows []Figure7Row) (lpLatency, lpHops, adLatency, adHops observe.HistogramSnapshot) {
+	for _, r := range rows {
+		lpLatency.Merge(r.LpLatency)
+		lpHops.Merge(r.LpHops)
+		adLatency.Merge(r.AdLatency)
+		adHops.Merge(r.AdHops)
+	}
+	return lpLatency, lpHops, adLatency, adHops
+}

@@ -1,0 +1,51 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+
+	"adaptivegossip/internal/observe"
+)
+
+func TestSummarize(t *testing.T) {
+	var h observe.Histogram
+	for _, v := range []uint64{0, 1, 2, 3, 100, 1000, 1000, 5000} {
+		h.Observe(v)
+	}
+	s := Summarize(h.Snapshot())
+	if s.Count != 8 {
+		t.Fatalf("count %d, want 8", s.Count)
+	}
+	if s.P50 > s.P95 || s.P95 > s.P99 {
+		t.Fatalf("quantiles out of order: p50=%.1f p95=%.1f p99=%.1f", s.P50, s.P95, s.P99)
+	}
+	if s.Mean != (0+1+2+3+100+1000+1000+5000)/8.0 {
+		t.Fatalf("mean %.2f", s.Mean)
+	}
+	var total uint64
+	for _, b := range s.Buckets {
+		if b.Count == 0 {
+			t.Fatal("empty bucket included")
+		}
+		if b.Low >= b.High {
+			t.Fatalf("bucket bounds [%d,%d)", b.Low, b.High)
+		}
+		total += b.Count
+	}
+	if total != s.Count {
+		t.Fatalf("bucket counts sum to %d, want %d", total, s.Count)
+	}
+
+	empty := Summarize(observe.HistogramSnapshot{})
+	if empty.Count != 0 || empty.P99 != 0 || len(empty.Buckets) != 0 {
+		t.Fatalf("empty snapshot summary not zero: %+v", empty)
+	}
+}
+
+func TestRenderDistributionsEmptyIsSilent(t *testing.T) {
+	var sb strings.Builder
+	renderDistributions(&sb, "x", observe.HistogramSnapshot{}, observe.HistogramSnapshot{})
+	if sb.Len() != 0 {
+		t.Fatalf("empty distributions rendered: %q", sb.String())
+	}
+}

@@ -267,4 +267,6 @@ func RenderFigure9(w io.Writer, r Figure9Result) {
 		fmt.Fprintf(w, "# %-12s allowed=%6.2f ideal=%6.2f atomic(ad)=%5.1f%% atomic(lp)=%5.1f%%\n",
 			s.Name, s.MeanAllowed, s.IdealRate, s.AtomicityAdaptive, s.AtomicityLpbcast)
 	}
+	renderDistributions(w, "adaptive", r.Adaptive.Latency, r.Adaptive.Hops)
+	renderDistributions(w, "lpbcast", r.Baseline.Latency, r.Baseline.Hops)
 }

@@ -4,6 +4,8 @@ import (
 	"fmt"
 	"io"
 	"math"
+
+	"adaptivegossip/internal/observe"
 )
 
 // Figure2Row is one point of paper Figure 2 (reliability degradation of
@@ -13,6 +15,10 @@ type Figure2Row struct {
 	AtomicityPct     float64 // messages reaching >95% of receivers
 	MeanReceiversPct float64
 	AvgDroppedAge    float64 // the §2 text's 8.5 → 3.7 → 2.7 progression
+	// Latency (µs) and Hops are this point's pooled delivery
+	// distributions.
+	Latency observe.HistogramSnapshot
+	Hops    observe.HistogramSnapshot
 }
 
 // RunFigure2 sweeps the offered rate with the baseline algorithm. The
@@ -33,6 +39,8 @@ func RunFigure2(base Config, rates []float64, seeds int) ([]Figure2Row, error) {
 			AtomicityPct:     res.Summary.AtomicityPct,
 			MeanReceiversPct: res.Summary.MeanReceiversPct,
 			AvgDroppedAge:    res.AvgDroppedAge,
+			Latency:          res.Latency,
+			Hops:             res.Hops,
 		}
 		return nil
 	})
@@ -50,6 +58,8 @@ func RenderFigure2(w io.Writer, rows []Figure2Row) {
 		fmt.Fprintf(w, "%12.1f  %10.1f  %17.1f  %21.2f\n",
 			r.Rate, r.AtomicityPct, r.MeanReceiversPct, r.AvgDroppedAge)
 	}
+	lat, hops := Figure2Distributions(rows)
+	renderDistributions(w, "", lat, hops)
 }
 
 // Figure4Row is one point of paper Figure 4 (maximum input rate
@@ -180,6 +190,10 @@ type Figure6Row struct {
 	Allowed float64 // mean aggregate allowed rate computed by the mechanism
 	Maximum float64 // the Figure 4 ideal
 	Input   float64 // admitted rate under the allowance
+	// Latency (µs) and Hops are this point's pooled delivery
+	// distributions.
+	Latency observe.HistogramSnapshot
+	Hops    observe.HistogramSnapshot
 }
 
 // RunFigure6 runs the adaptive algorithm at a constant offered load
@@ -207,6 +221,8 @@ func RunFigure6(base Config, buffers []int, fig4 []Figure4Row, seeds int) ([]Fig
 			Allowed: res.AllowedRate,
 			Maximum: maxFor[buffer],
 			Input:   res.InputRate,
+			Latency: res.Latency,
+			Hops:    res.Hops,
 		}
 		return nil
 	})
@@ -231,4 +247,6 @@ func RenderFigure6(w io.Writer, rows []Figure6Row) {
 		fmt.Fprintf(w, "%12d  %14.1f  %14.2f  %14.2f  %12.2f\n",
 			r.Buffer, r.Offered, r.Allowed, r.Maximum, r.Input)
 	}
+	lat, hops := Figure6Distributions(rows)
+	renderDistributions(w, "", lat, hops)
 }

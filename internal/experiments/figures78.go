@@ -3,6 +3,8 @@ package experiments
 import (
 	"fmt"
 	"io"
+
+	"adaptivegossip/internal/observe"
 )
 
 // Figure7Row pairs baseline and adaptive rate/age measurements for one
@@ -14,6 +16,9 @@ type Figure7Row struct {
 	// adaptive: input tracks the allowance; output equals input when no
 	// messages are lost.
 	AdInput, AdOutput, AdDroppedAge float64
+	// Per-arm pooled delivery distributions: latency in µs, hop count.
+	LpLatency, LpHops observe.HistogramSnapshot
+	AdLatency, AdHops observe.HistogramSnapshot
 }
 
 // Figure8Row pairs baseline and adaptive reliability for one buffer
@@ -69,6 +74,10 @@ func RunFigures78(base Config, buffers []int, seeds int) ([]Figure7Row, []Figure
 			AdInput:      ad.InputRate,
 			AdOutput:     ad.OutputRate,
 			AdDroppedAge: ad.AvgDroppedAge,
+			LpLatency:    lp.Latency,
+			LpHops:       lp.Hops,
+			AdLatency:    ad.Latency,
+			AdHops:       ad.Hops,
 		}
 		rows8[i] = Figure8Row{
 			Buffer:          buffer,
@@ -95,6 +104,9 @@ func RenderFigure7(w io.Writer, rows []Figure7Row) {
 			r.Buffer, r.LpInput, r.LpOutput, r.LpDroppedAge,
 			r.AdInput, r.AdOutput, r.AdDroppedAge)
 	}
+	lpLat, lpHops, adLat, adHops := Figure7Distributions(rows)
+	renderDistributions(w, "lpbcast", lpLat, lpHops)
+	renderDistributions(w, "adaptive", adLat, adHops)
 }
 
 // RenderFigure8 prints the Figure 8 series (average receivers and

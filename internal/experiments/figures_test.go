@@ -27,10 +27,22 @@ func TestFigure2ShapeReliabilityFalls(t *testing.T) {
 	if low.AvgDroppedAge != 0 && low.AvgDroppedAge <= high.AvgDroppedAge {
 		t.Fatalf("dropped age did not fall with rate: %.2f → %.2f", low.AvgDroppedAge, high.AvgDroppedAge)
 	}
+	// Every run now carries the pooled delivery distributions.
+	for _, r := range rows {
+		if r.Latency.Count == 0 || r.Hops.Count == 0 {
+			t.Fatalf("rate %v: empty latency/hops distribution", r.Rate)
+		}
+		if r.Latency.Count != r.Hops.Count {
+			t.Fatalf("rate %v: latency count %d != hops count %d", r.Rate, r.Latency.Count, r.Hops.Count)
+		}
+	}
 	var sb strings.Builder
 	RenderFigure2(&sb, rows)
 	if !strings.Contains(sb.String(), "Figure 2") {
 		t.Fatal("render missing header")
+	}
+	if !strings.Contains(sb.String(), "delivery latency p50/p95/p99") {
+		t.Fatal("render missing delivery-latency percentile line")
 	}
 }
 
@@ -132,10 +144,22 @@ func TestFigures78AdaptiveWins(t *testing.T) {
 	if r8.AdAtomicity < r8.LpAtomicity+30 {
 		t.Fatalf("atomicity: adaptive %.1f%% vs lp %.1f%%", r8.AdAtomicity, r8.LpAtomicity)
 	}
+	// Both arms carry delivery distributions; the adaptive arm's hop
+	// distribution must not be empty while its coverage is near-full.
+	if r7.LpLatency.Count == 0 || r7.AdLatency.Count == 0 {
+		t.Fatalf("empty latency distributions: lp=%d ad=%d", r7.LpLatency.Count, r7.AdLatency.Count)
+	}
+	if p50 := r7.AdHops.Quantile(0.5); p50 <= 0 {
+		t.Fatalf("adaptive hop p50 = %.1f, want > 0 (most receivers are remote)", p50)
+	}
 	var sb strings.Builder
 	RenderFigure7(&sb, rows7)
 	RenderFigure8(&sb, rows8)
 	if !strings.Contains(sb.String(), "Figure 7") || !strings.Contains(sb.String(), "Figure 8") {
 		t.Fatal("render missing headers")
+	}
+	if !strings.Contains(sb.String(), "# lpbcast delivery latency p50/p95/p99") ||
+		!strings.Contains(sb.String(), "# adaptive delivery latency p50/p95/p99") {
+		t.Fatal("render missing per-arm delivery-latency lines")
 	}
 }

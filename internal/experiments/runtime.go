@@ -94,7 +94,7 @@ func RunRuntime(cfg Config) (RunResult, error) {
 			Peers:        ownReg,
 			RNG:          rand.New(rand.NewPCG(uint64(cfg.Seed), uint64(i)+1)),
 			Deliver: func(ev gossip.Event) {
-				tracker.Deliver(ev.ID, name, time.Now())
+				tracker.DeliverHop(ev.ID, name, time.Now(), ev.Age)
 			},
 			Start: epoch,
 		})
@@ -264,6 +264,8 @@ func RunRuntime(cfg Config) (RunResult, error) {
 		}
 	}
 	res.AtomicitySeries = tracker.Series(epoch, end, cfg.Bucket, metrics.DefaultAtomicityThreshold)
+	res.Latency = tracker.LatencySnapshot()
+	res.Hops = tracker.HopsSnapshot()
 	return res, nil
 }
 

@@ -3,6 +3,8 @@ package gossip
 import (
 	"fmt"
 	"math/rand/v2"
+
+	"adaptivegossip/internal/observe"
 )
 
 // PeerSampler supplies random gossip targets. Implementations include a
@@ -161,6 +163,15 @@ type Node struct {
 	nextSeq uint64
 	stats   NodeStats
 
+	// Observability (nil = off, zero overhead beyond one nil check per
+	// hot-path call site). metrics holds alloc-free histograms updated
+	// inline; tracer observes sampled rumor lifecycles; traceAwait
+	// tracks sampled locally-originated events between Broadcast and
+	// their first gossip emission (allocated only when tracing).
+	metrics    *observe.NodeMetrics
+	tracer     observe.Tracer
+	traceAwait map[EventID]struct{}
+
 	// Per-round scratch state, reused across Ticks so a steady-state
 	// gossip round allocates nothing. Everything Tick returns points
 	// into these; see Tick's lifetime contract.
@@ -181,6 +192,23 @@ func WithDeliver(fn DeliverFunc) Option {
 // WithExtensions appends protocol extensions, invoked in order.
 func WithExtensions(exts ...Extension) Option {
 	return func(n *Node) { n.exts = append(n.exts, exts...) }
+}
+
+// WithMetrics installs the alloc-free instrumentation block the node
+// updates in its hot path: delivery-hop, drop-age and round-size
+// histograms. The same block may be shared by several nodes (their
+// observations pool). nil leaves instrumentation off.
+func WithMetrics(m *observe.NodeMetrics) Option {
+	return func(n *Node) { n.metrics = m }
+}
+
+// WithTracer installs a sampling rumor-lifecycle tracer. The node
+// reports publish, first-send, receive, deliver and drop transitions
+// of sampled events with their hop count (age) at each transition. nil
+// (the default) is the zero-overhead path, and unsampled events cost
+// one hash per touch.
+func WithTracer(tr observe.Tracer) Option {
+	return func(n *Node) { n.tracer = tr }
 }
 
 // NewNode creates a node. peers supplies gossip targets and rng drives
@@ -220,6 +248,9 @@ func NewNode(id NodeID, params Params, peers PeerSampler, rng *rand.Rand, opts .
 	}
 	for _, opt := range opts {
 		opt(n)
+	}
+	if n.tracer != nil {
+		n.traceAwait = make(map[EventID]struct{})
 	}
 	return n, nil
 }
@@ -284,6 +315,13 @@ func (n *Node) Broadcast(payload []byte) Event {
 	n.nextSeq++
 	n.stats.Broadcasts++
 	n.seen.Add(ev.ID)
+	if n.tracer != nil && n.tracer.Sampled(string(ev.ID.Origin), ev.ID.Seq) {
+		n.tracer.Trace(observe.TraceEvent{
+			Origin: string(ev.ID.Origin), Seq: ev.ID.Seq,
+			Stage: observe.StagePublish, Node: string(n.id), Round: n.round,
+		})
+		n.traceAwait[ev.ID] = struct{}{}
+	}
 	n.deliverLocal(ev)
 	n.store(ev)
 	return ev
@@ -350,7 +388,31 @@ func (n *Node) Tick() []Outgoing {
 	n.scratchOut = out
 	n.stats.MessagesSent += uint64(len(out))
 	n.stats.EventsSent += uint64(len(out) * len(msg.Events))
+	if n.metrics != nil {
+		n.metrics.RoundEvents.Observe(uint64(len(msg.Events)))
+	}
+	if n.tracer != nil && len(n.traceAwait) > 0 && len(out) > 0 {
+		n.traceFirstSends(msg)
+	}
 	return out
+}
+
+// traceFirstSends reports the first gossip emission of sampled
+// locally-originated events. Called only when tracing is on and at
+// least one sampled event awaits its first send, so the hot path pays
+// one map-length check per round.
+func (n *Node) traceFirstSends(msg *Message) {
+	for _, ev := range msg.Events {
+		if _, ok := n.traceAwait[ev.ID]; !ok {
+			continue
+		}
+		delete(n.traceAwait, ev.ID)
+		n.tracer.Trace(observe.TraceEvent{
+			Origin: string(ev.ID.Origin), Seq: ev.ID.Seq,
+			Stage: observe.StageFirstSend, Node: string(n.id),
+			Hop: ev.Age, Round: n.round,
+		})
+	}
 }
 
 // Receive processes an incoming gossip message: new events are delivered
@@ -368,6 +430,21 @@ func (n *Node) Receive(msg *Message) {
 			}
 			continue
 		}
+		if n.tracer != nil && n.tracer.Sampled(string(ev.ID.Origin), ev.ID.Seq) {
+			n.tracer.Trace(observe.TraceEvent{
+				Origin: string(ev.ID.Origin), Seq: ev.ID.Seq,
+				Stage: observe.StageReceive, Node: string(n.id),
+				Hop: ev.Age, Round: n.round,
+			})
+			n.deliverLocal(ev)
+			n.store(ev)
+			n.tracer.Trace(observe.TraceEvent{
+				Origin: string(ev.ID.Origin), Seq: ev.ID.Seq,
+				Stage: observe.StageDeliver, Node: string(n.id),
+				Hop: ev.Age, Round: n.round,
+			})
+			continue
+		}
 		n.deliverLocal(ev)
 		n.store(ev)
 	}
@@ -378,6 +455,9 @@ func (n *Node) Receive(msg *Message) {
 
 func (n *Node) deliverLocal(ev Event) {
 	n.stats.Delivered++
+	if n.metrics != nil {
+		n.metrics.DeliverHops.ObserveInt(int64(ev.Age))
+	}
 	if n.deliver != nil {
 		n.deliver(ev)
 	}
@@ -400,6 +480,25 @@ func (n *Node) store(ev Event) {
 }
 
 func (n *Node) notifyEvicted(evicted []Event, reason EvictReason) {
+	if n.metrics != nil && reason == EvictCapacity {
+		for _, e := range evicted {
+			n.metrics.DropAge.ObserveInt(int64(e.Age))
+		}
+	}
+	if n.tracer != nil {
+		rs := reason.String()
+		for _, e := range evicted {
+			delete(n.traceAwait, e.ID)
+			if !n.tracer.Sampled(string(e.ID.Origin), e.ID.Seq) {
+				continue
+			}
+			n.tracer.Trace(observe.TraceEvent{
+				Origin: string(e.ID.Origin), Seq: e.ID.Seq,
+				Stage: observe.StageDrop, Node: string(n.id),
+				Hop: e.Age, Round: n.round, Reason: rs,
+			})
+		}
+	}
 	for _, ext := range n.exts {
 		ext.OnEvicted(n, evicted, reason)
 	}

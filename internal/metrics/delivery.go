@@ -14,6 +14,7 @@ import (
 	"time"
 
 	"adaptivegossip/internal/gossip"
+	"adaptivegossip/internal/observe"
 )
 
 // DefaultAtomicityThreshold is the paper's reliability target: a
@@ -29,13 +30,20 @@ type msgRec struct {
 }
 
 // DeliveryTracker records which members delivered which broadcast
-// events and derives the paper's reliability measures.
+// events and derives the paper's reliability measures. Deliveries
+// reported through DeliverHop additionally feed two pooled
+// distributions — per-delivery latency (microseconds since the
+// message's birth) and hop count — using the same alloc-free
+// histogram type the live runtime's debug endpoint serves.
 type DeliveryTracker struct {
 	mu      sync.Mutex
 	members map[gossip.NodeID]int
 	n       int
 	words   int
 	msgs    map[gossip.EventID]*msgRec
+
+	latency observe.Histogram // microseconds birth → delivery
+	hops    observe.Histogram // event age at delivery
 }
 
 // NewDeliveryTracker tracks deliveries across the given group.
@@ -84,6 +92,18 @@ func (t *DeliveryTracker) Broadcast(id gossip.EventID, now time.Time) {
 // Deliver records that node delivered the event. Unknown nodes are
 // ignored (e.g. observers outside the tracked group).
 func (t *DeliveryTracker) Deliver(id gossip.EventID, node gossip.NodeID, now time.Time) {
+	t.deliver(id, node, now, -1)
+}
+
+// DeliverHop records a delivery like Deliver and additionally observes
+// the delivery latency (now minus the message's birth, in microseconds)
+// and the event's age — its gossip hop count — into the tracker's
+// pooled distributions. Duplicate deliveries are not observed twice.
+func (t *DeliveryTracker) DeliverHop(id gossip.EventID, node gossip.NodeID, now time.Time, hop int) {
+	t.deliver(id, node, now, hop)
+}
+
+func (t *DeliveryTracker) deliver(id gossip.EventID, node gossip.NodeID, now time.Time, hop int) {
 	t.mu.Lock()
 	defer t.mu.Unlock()
 	i, ok := t.members[node]
@@ -100,6 +120,22 @@ func (t *DeliveryTracker) Deliver(id gossip.EventID, node gossip.NodeID, now tim
 	}
 	rec.delivered[w] |= 1 << b
 	rec.count++
+	if hop >= 0 {
+		t.latency.ObserveInt(now.Sub(rec.born).Microseconds())
+		t.hops.ObserveInt(int64(hop))
+	}
+}
+
+// LatencySnapshot captures the pooled birth→delivery latency
+// distribution (microseconds) over all DeliverHop-reported deliveries.
+func (t *DeliveryTracker) LatencySnapshot() observe.HistogramSnapshot {
+	return t.latency.Snapshot()
+}
+
+// HopsSnapshot captures the pooled hop-count distribution over all
+// DeliverHop-reported deliveries.
+func (t *DeliveryTracker) HopsSnapshot() observe.HistogramSnapshot {
+	return t.hops.Snapshot()
 }
 
 // Summary are the aggregate reliability measures over a set of

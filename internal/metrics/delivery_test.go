@@ -190,3 +190,36 @@ func TestDeliveryTrackerConcurrent(t *testing.T) {
 		t.Fatalf("messages = %d, want 4000", got)
 	}
 }
+
+func TestDeliverHopDistributions(t *testing.T) {
+	group := members(4)
+	tr, err := NewDeliveryTracker(group)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr.Broadcast(eid(1), epoch)
+	tr.DeliverHop(eid(1), group[0], epoch, 0)                    // origin: latency 0, hop 0
+	tr.DeliverHop(eid(1), group[1], epoch.Add(8*time.Second), 2) // 8s, 2 hops
+	tr.DeliverHop(eid(1), group[1], epoch.Add(9*time.Second), 3) // duplicate: ignored
+	tr.DeliverHop(eid(1), "stranger", epoch.Add(time.Second), 1) // unknown: ignored
+	tr.Deliver(eid(1), group[2], epoch.Add(2*time.Second))       // hop-less: counted, not observed
+	tr.DeliverHop(eid(1), group[3], epoch.Add(16*time.Second), 4)
+
+	lat, hops := tr.LatencySnapshot(), tr.HopsSnapshot()
+	if lat.Count != 3 || hops.Count != 3 {
+		t.Fatalf("observation counts latency=%d hops=%d, want 3", lat.Count, hops.Count)
+	}
+	if want := uint64((8*time.Second + 16*time.Second).Microseconds()); lat.Sum != want {
+		t.Fatalf("latency sum %dµs, want %d", lat.Sum, want)
+	}
+	if hops.Sum != 0+2+4 {
+		t.Fatalf("hops sum %d, want 6", hops.Sum)
+	}
+	if p99 := lat.Quantile(0.99); p99 < float64(8*time.Second.Microseconds()) {
+		t.Fatalf("latency p99 %.0fµs implausibly low", p99)
+	}
+	// The hop-less Deliver still counted toward coverage.
+	if got := tr.Results(time.Time{}, time.Time{}, 0).MeanReceiversPct; got != 100 {
+		t.Fatalf("coverage %.1f%%, want 100%%", got)
+	}
+}

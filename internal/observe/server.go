@@ -1,0 +1,248 @@
+package observe
+
+import (
+	"encoding/json"
+	"fmt"
+	"net"
+	"net/http"
+	"net/http/pprof"
+	"runtime"
+	"sort"
+	"strings"
+	"sync"
+)
+
+// Server is the opt-in debug listener: it serves every registered
+// instrument as expvar-style JSON on /debug/vars, as Prometheus text
+// format on /metrics, the runtime profiles on /debug/pprof/, and the
+// retained rumor traces on /debug/gossip/traces. A Server is bound at
+// construction and serves until Close.
+//
+// Registration is name-keyed; names should be Prometheus-compatible
+// ([a-z0-9_]). Snapshot functions run on the scrape goroutine, so they
+// must be safe to call concurrently with the instrumented code (the
+// facades satisfy this by reading loop-serialized snapshots and atomic
+// instruments).
+type Server struct {
+	ln  net.Listener
+	srv *http.Server
+
+	mu     sync.Mutex
+	vars   map[string]func() any
+	gauges map[string]func() float64
+	counts map[string]func() uint64
+	hists  map[string]func() HistogramSnapshot
+	traces func() []TraceRecord
+}
+
+// NewServer binds addr (host:port; ":0" picks a free port) and starts
+// serving the debug endpoints.
+func NewServer(addr string) (*Server, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("observe: debug listener: %w", err)
+	}
+	s := &Server{
+		ln:     ln,
+		vars:   make(map[string]func() any),
+		gauges: make(map[string]func() float64),
+		counts: make(map[string]func() uint64),
+		hists:  make(map[string]func() HistogramSnapshot),
+	}
+	mux := http.NewServeMux()
+	mux.HandleFunc("/debug/vars", s.serveVars)
+	mux.HandleFunc("/metrics", s.serveMetrics)
+	mux.HandleFunc("/debug/gossip/traces", s.serveTraces)
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	s.srv = &http.Server{Handler: mux}
+	go s.srv.Serve(ln)
+	return s, nil
+}
+
+// Addr returns the bound listen address.
+func (s *Server) Addr() string { return s.ln.Addr().String() }
+
+// Close stops the listener. In-flight scrapes are abandoned.
+func (s *Server) Close() error { return s.srv.Close() }
+
+// PublishVar registers a JSON-marshalable snapshot under name on
+// /debug/vars.
+func (s *Server) PublishVar(name string, fn func() any) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.vars[name] = fn
+}
+
+// PublishCounter registers a monotonic counter on /metrics (and
+// /debug/vars).
+func (s *Server) PublishCounter(name string, fn func() uint64) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.counts[name] = fn
+}
+
+// PublishGauge registers a gauge level on /metrics (and /debug/vars).
+func (s *Server) PublishGauge(name string, fn func() float64) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.gauges[name] = fn
+}
+
+// PublishHistogram registers a histogram on /metrics (and /debug/vars,
+// as {count, sum, p50, p95, p99}).
+func (s *Server) PublishHistogram(name string, fn func() HistogramSnapshot) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.hists[name] = fn
+}
+
+// PublishTraces registers the rumor-trace source served on
+// /debug/gossip/traces.
+func (s *Server) PublishTraces(fn func() []TraceRecord) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.traces = fn
+}
+
+// snapshotRegistry copies the registration maps so scrapes never hold
+// the registration lock while running snapshot functions.
+func (s *Server) snapshotRegistry() (vars map[string]func() any, counts map[string]func() uint64, gauges map[string]func() float64, hists map[string]func() HistogramSnapshot, traces func() []TraceRecord) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	vars = make(map[string]func() any, len(s.vars))
+	for k, v := range s.vars {
+		vars[k] = v
+	}
+	counts = make(map[string]func() uint64, len(s.counts))
+	for k, v := range s.counts {
+		counts[k] = v
+	}
+	gauges = make(map[string]func() float64, len(s.gauges))
+	for k, v := range s.gauges {
+		gauges[k] = v
+	}
+	hists = make(map[string]func() HistogramSnapshot, len(s.hists))
+	for k, v := range s.hists {
+		hists[k] = v
+	}
+	return vars, counts, gauges, hists, s.traces
+}
+
+// serveVars renders every registered instrument as one JSON object, in
+// the spirit of package expvar: counters and gauges as numbers,
+// histograms as summary objects, vars as their marshaled snapshots,
+// plus the standard "memstats" block.
+func (s *Server) serveVars(w http.ResponseWriter, _ *http.Request) {
+	vars, counts, gauges, hists, _ := s.snapshotRegistry()
+	out := make(map[string]any, len(vars)+len(counts)+len(gauges)+len(hists)+1)
+	for name, fn := range vars {
+		out[name] = fn()
+	}
+	for name, fn := range counts {
+		out[name] = fn()
+	}
+	for name, fn := range gauges {
+		out[name] = fn()
+	}
+	for name, fn := range hists {
+		snap := fn()
+		out[name] = map[string]any{
+			"count": snap.Count,
+			"sum":   snap.Sum,
+			"mean":  snap.Mean(),
+			"p50":   snap.Quantile(0.50),
+			"p95":   snap.Quantile(0.95),
+			"p99":   snap.Quantile(0.99),
+		}
+	}
+	var ms runtime.MemStats
+	runtime.ReadMemStats(&ms)
+	out["memstats"] = map[string]any{
+		"Alloc":      ms.Alloc,
+		"TotalAlloc": ms.TotalAlloc,
+		"Sys":        ms.Sys,
+		"NumGC":      ms.NumGC,
+	}
+	w.Header().Set("Content-Type", "application/json; charset=utf-8")
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	enc.Encode(out)
+}
+
+// serveMetrics renders the Prometheus text exposition format.
+func (s *Server) serveMetrics(w http.ResponseWriter, _ *http.Request) {
+	_, counts, gauges, hists, _ := s.snapshotRegistry()
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	var b strings.Builder
+	for _, name := range sortedKeys(counts) {
+		fmt.Fprintf(&b, "# TYPE %s counter\n%s %d\n", name, name, counts[name]())
+	}
+	for _, name := range sortedKeys(gauges) {
+		fmt.Fprintf(&b, "# TYPE %s gauge\n%s %g\n", name, name, gauges[name]())
+	}
+	for _, name := range sortedKeys(hists) {
+		snap := hists[name]()
+		fmt.Fprintf(&b, "# TYPE %s histogram\n", name)
+		var cum uint64
+		for i, c := range snap.Buckets {
+			if c == 0 {
+				continue
+			}
+			cum += c
+			fmt.Fprintf(&b, "%s_bucket{le=\"%d\"} %d\n", name, BucketHigh(i)-1, cum)
+		}
+		fmt.Fprintf(&b, "%s_bucket{le=\"+Inf\"} %d\n", name, snap.Count)
+		fmt.Fprintf(&b, "%s_sum %d\n%s_count %d\n", name, snap.Sum, name, snap.Count)
+	}
+	w.Write([]byte(b.String()))
+}
+
+// serveTraces renders the retained rumor-lifecycle records as JSON.
+func (s *Server) serveTraces(w http.ResponseWriter, _ *http.Request) {
+	_, _, _, _, traces := s.snapshotRegistry()
+	w.Header().Set("Content-Type", "application/json; charset=utf-8")
+	if traces == nil {
+		w.Write([]byte("[]\n"))
+		return
+	}
+	recs := traces()
+	type rec struct {
+		Event string `json:"event"`
+		Stage string `json:"stage"`
+		Node  string `json:"node"`
+		Hop   int    `json:"hop"`
+		Round uint64 `json:"round"`
+		Rsn   string `json:"reason,omitempty"`
+		Index uint64 `json:"index"`
+		Time  string `json:"time"`
+	}
+	out := make([]rec, 0, len(recs))
+	for _, r := range recs {
+		out = append(out, rec{
+			Event: fmt.Sprintf("%s/%d", r.Origin, r.Seq),
+			Stage: r.Stage.String(),
+			Node:  r.Node,
+			Hop:   r.Hop,
+			Round: r.Round,
+			Rsn:   r.Reason,
+			Index: r.Index,
+			Time:  r.Time.Format("2006-01-02T15:04:05.000000Z07:00"),
+		})
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	enc.Encode(out)
+}
+
+func sortedKeys[V any](m map[string]V) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}

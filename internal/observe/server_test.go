@@ -1,0 +1,141 @@
+package observe
+
+import (
+	"encoding/json"
+	"io"
+	"net/http"
+	"strings"
+	"testing"
+)
+
+func startTestServer(t *testing.T) *Server {
+	t.Helper()
+	s, err := NewServer("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { s.Close() })
+	return s
+}
+
+func get(t *testing.T, url string) string {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatalf("GET %s: %v", url, err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("GET %s: status %d", url, resp.StatusCode)
+	}
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return string(body)
+}
+
+func TestServerVarsJSON(t *testing.T) {
+	s := startTestServer(t)
+	s.PublishCounter("gossip_delivered_total", func() uint64 { return 17 })
+	s.PublishGauge("gossip_allowed_rate", func() float64 { return 2.5 })
+	var h Histogram
+	for i := 0; i < 32; i++ {
+		h.Observe(uint64(i))
+	}
+	s.PublishHistogram("gossip_delivery_hops", h.Snapshot)
+	s.PublishVar("gossip_stats", func() any { return map[string]int{"nodes": 3} })
+
+	body := get(t, "http://"+s.Addr()+"/debug/vars")
+	var out map[string]any
+	if err := json.Unmarshal([]byte(body), &out); err != nil {
+		t.Fatalf("vars output is not JSON: %v\n%s", err, body)
+	}
+	if out["gossip_delivered_total"] != float64(17) {
+		t.Fatalf("counter missing or wrong: %v", out["gossip_delivered_total"])
+	}
+	if out["gossip_allowed_rate"] != 2.5 {
+		t.Fatalf("gauge missing or wrong: %v", out["gossip_allowed_rate"])
+	}
+	hist, ok := out["gossip_delivery_hops"].(map[string]any)
+	if !ok || hist["count"] != float64(32) {
+		t.Fatalf("histogram summary missing: %v", out["gossip_delivery_hops"])
+	}
+	if _, ok := hist["p99"]; !ok {
+		t.Fatalf("histogram summary lacks p99: %v", hist)
+	}
+	if _, ok := out["memstats"]; !ok {
+		t.Fatal("memstats block missing from /debug/vars")
+	}
+}
+
+func TestServerPrometheusText(t *testing.T) {
+	s := startTestServer(t)
+	s.PublishCounter("gossip_messages_sent_total", func() uint64 { return 5 })
+	s.PublishGauge("gossip_allowed_rate_min", func() float64 { return 1.25 })
+	var h Histogram
+	h.Observe(3)
+	h.Observe(300)
+	s.PublishHistogram("gossip_drop_age", h.Snapshot)
+
+	body := get(t, "http://"+s.Addr()+"/metrics")
+	for _, want := range []string{
+		"# TYPE gossip_messages_sent_total counter",
+		"gossip_messages_sent_total 5",
+		"# TYPE gossip_allowed_rate_min gauge",
+		"gossip_allowed_rate_min 1.25",
+		"# TYPE gossip_drop_age histogram",
+		`gossip_drop_age_bucket{le="+Inf"} 2`,
+		"gossip_drop_age_sum 303",
+		"gossip_drop_age_count 2",
+	} {
+		if !strings.Contains(body, want) {
+			t.Fatalf("/metrics output missing %q:\n%s", want, body)
+		}
+	}
+	// Cumulative bucket counts: the +Inf bucket equals the count and
+	// every listed bucket is non-decreasing.
+	if !strings.Contains(body, "gossip_drop_age_bucket{le=") {
+		t.Fatalf("no explicit buckets rendered:\n%s", body)
+	}
+}
+
+func TestServerTracesEndpoint(t *testing.T) {
+	s := startTestServer(t)
+	body := get(t, "http://"+s.Addr()+"/debug/gossip/traces")
+	if strings.TrimSpace(body) != "[]" {
+		t.Fatalf("traces endpoint without recorder should return [], got %q", body)
+	}
+
+	r := NewRecorder(1, 16)
+	r.Trace(TraceEvent{Origin: "a", Seq: 1, Stage: StagePublish, Node: "a"})
+	r.Trace(TraceEvent{Origin: "a", Seq: 1, Stage: StageDeliver, Node: "b", Hop: 2})
+	s.PublishTraces(r.Records)
+
+	body = get(t, "http://"+s.Addr()+"/debug/gossip/traces")
+	var recs []map[string]any
+	if err := json.Unmarshal([]byte(body), &recs); err != nil {
+		t.Fatalf("traces output is not JSON: %v\n%s", err, body)
+	}
+	if len(recs) != 2 {
+		t.Fatalf("traces endpoint returned %d records, want 2", len(recs))
+	}
+	if recs[0]["stage"] != "publish" || recs[1]["stage"] != "deliver" {
+		t.Fatalf("trace stages wrong: %v", recs)
+	}
+	if recs[1]["hop"] != float64(2) || recs[1]["event"] != "a/1" {
+		t.Fatalf("trace detail wrong: %v", recs[1])
+	}
+}
+
+func TestServerPprofEndpoint(t *testing.T) {
+	s := startTestServer(t)
+	body := get(t, "http://"+s.Addr()+"/debug/pprof/cmdline")
+	if len(body) == 0 {
+		t.Fatal("pprof cmdline endpoint returned nothing")
+	}
+	index := get(t, "http://"+s.Addr()+"/debug/pprof/")
+	if !strings.Contains(index, "goroutine") {
+		t.Fatalf("pprof index does not list profiles:\n%s", index)
+	}
+}

@@ -1,0 +1,105 @@
+package observe
+
+import (
+	"testing"
+)
+
+func TestRecorderSamplingDeterministic(t *testing.T) {
+	r := NewRecorder(0.5, 16)
+	for seq := uint64(0); seq < 100; seq++ {
+		first := r.Sampled("origin", seq)
+		for i := 0; i < 3; i++ {
+			if r.Sampled("origin", seq) != first {
+				t.Fatalf("sampling decision for seq %d is not deterministic", seq)
+			}
+		}
+	}
+}
+
+func TestRecorderSampleRateExtremes(t *testing.T) {
+	off := NewRecorder(0, 16)
+	all := NewRecorder(1, 16)
+	for seq := uint64(0); seq < 200; seq++ {
+		if off.Sampled("n", seq) {
+			t.Fatalf("rate-0 recorder sampled seq %d", seq)
+		}
+		if !all.Sampled("n", seq) {
+			t.Fatalf("rate-1 recorder skipped seq %d", seq)
+		}
+	}
+}
+
+func TestRecorderSampleRateApproximate(t *testing.T) {
+	r := NewRecorder(0.25, 16)
+	hits := 0
+	const n = 10000
+	for seq := uint64(0); seq < n; seq++ {
+		if r.Sampled("some-node", seq) {
+			hits++
+		}
+	}
+	frac := float64(hits) / n
+	if frac < 0.20 || frac > 0.30 {
+		t.Fatalf("rate-0.25 recorder sampled %.3f of rumors", frac)
+	}
+}
+
+func TestRecorderPathReconstruction(t *testing.T) {
+	r := NewRecorder(1, 64)
+	// A rumor's life as three nodes see it, interleaved with noise
+	// from another rumor.
+	r.Trace(TraceEvent{Origin: "a", Seq: 7, Stage: StagePublish, Node: "a", Hop: 0, Round: 10})
+	r.Trace(TraceEvent{Origin: "b", Seq: 1, Stage: StagePublish, Node: "b"})
+	r.Trace(TraceEvent{Origin: "a", Seq: 7, Stage: StageFirstSend, Node: "a", Hop: 1, Round: 11})
+	r.Trace(TraceEvent{Origin: "a", Seq: 7, Stage: StageReceive, Node: "c", Hop: 1, Round: 4})
+	r.Trace(TraceEvent{Origin: "a", Seq: 7, Stage: StageDeliver, Node: "c", Hop: 1, Round: 4})
+	r.Trace(TraceEvent{Origin: "a", Seq: 7, Stage: StageDrop, Node: "c", Hop: 9, Round: 13, Reason: "expired"})
+
+	path := r.Path("a", 7)
+	wantStages := []TraceStage{StagePublish, StageFirstSend, StageReceive, StageDeliver, StageDrop}
+	if len(path) != len(wantStages) {
+		t.Fatalf("path has %d records, want %d", len(path), len(wantStages))
+	}
+	for i, rec := range path {
+		if rec.Stage != wantStages[i] {
+			t.Fatalf("path[%d].Stage = %v, want %v", i, rec.Stage, wantStages[i])
+		}
+		if i > 0 && rec.Index <= path[i-1].Index {
+			t.Fatalf("path indexes not increasing at %d", i)
+		}
+	}
+	if path[1].Hop != 1 || path[4].Reason != "expired" {
+		t.Fatalf("path lost transition detail: %+v", path)
+	}
+}
+
+func TestRecorderRingOverwrite(t *testing.T) {
+	r := NewRecorder(1, 8)
+	for seq := uint64(0); seq < 20; seq++ {
+		r.Trace(TraceEvent{Origin: "x", Seq: seq, Stage: StagePublish, Node: "x"})
+	}
+	recs := r.Records()
+	if len(recs) != 8 {
+		t.Fatalf("ring holds %d records, want capacity 8", len(recs))
+	}
+	for i, rec := range recs {
+		if want := uint64(12 + i); rec.Seq != want {
+			t.Fatalf("ring[%d].Seq = %d, want %d (oldest-first, newest retained)", i, rec.Seq, want)
+		}
+	}
+}
+
+func TestTraceStageStrings(t *testing.T) {
+	for stage, want := range map[TraceStage]string{
+		StagePublish:   "publish",
+		StageFirstSend: "first-send",
+		StageReceive:   "receive",
+		StageDeliver:   "deliver",
+		StageDrop:      "drop",
+		TraceStage(99): "unknown",
+	} {
+		if got := stage.String(); got != want {
+			t.Fatalf("TraceStage(%d).String() = %q, want %q", stage, got, want)
+		}
+	}
+}

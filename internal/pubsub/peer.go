@@ -16,6 +16,7 @@ import (
 
 	"adaptivegossip/internal/core"
 	"adaptivegossip/internal/gossip"
+	"adaptivegossip/internal/observe"
 )
 
 // Topic names a broadcast group.
@@ -42,6 +43,12 @@ type PeerConfig struct {
 	RNG *rand.Rand
 	// Deliver observes deliveries (optional).
 	Deliver DeliverFunc
+	// Metrics, when non-nil, is shared by every topic's broadcast node:
+	// hop/drop-age/round-size observations across topics pool into one
+	// instrumentation block.
+	Metrics *observe.NodeMetrics
+	// Tracer, when non-nil, samples rumor lifecycles on every topic.
+	Tracer observe.Tracer
 	// Start is the creation instant.
 	Start time.Time
 }
@@ -142,6 +149,8 @@ func (p *Peer) Subscribe(topic Topic, peers gossip.PeerSampler) error {
 		Peers:    peers,
 		RNG:      p.cfg.RNG,
 		Deliver:  deliver,
+		Metrics:  p.cfg.Metrics,
+		Tracer:   p.cfg.Tracer,
 		Start:    p.cfg.Start,
 	})
 	if err != nil {

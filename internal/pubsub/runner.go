@@ -8,6 +8,7 @@ import (
 	"time"
 
 	"adaptivegossip/internal/gossip"
+	"adaptivegossip/internal/observe"
 	"adaptivegossip/internal/transport"
 )
 
@@ -24,15 +25,19 @@ type RunnerConfig struct {
 	InboxSize int
 	// PhaseSeed randomizes the initial tick phase.
 	PhaseSeed uint64
+	// Metrics, when non-nil, receives wall-clock tick and receive
+	// processing durations (nanoseconds).
+	Metrics *observe.RunnerMetrics
 }
 
 // Runner owns a Peer: one goroutine serializes ticks, receives and
 // commands, mirroring internal/runtime.Runner for single-group nodes.
 type Runner struct {
-	peer   *Peer
-	tr     transport.Transport
-	period time.Duration
-	phase  time.Duration
+	peer    *Peer
+	tr      transport.Transport
+	period  time.Duration
+	phase   time.Duration
+	metrics *observe.RunnerMetrics // nil = off
 
 	inbox chan *gossip.Message
 	cmds  chan func(*Peer)
@@ -71,14 +76,15 @@ func NewRunner(cfg RunnerConfig) (*Runner, error) {
 	}
 	rng := rand.New(rand.NewPCG(seed, seed^0x517CC1B7))
 	r := &Runner{
-		peer:   cfg.Peer,
-		tr:     cfg.Transport,
-		period: cfg.Period,
-		phase:  time.Duration(rng.Int64N(int64(cfg.Period))),
-		inbox:  make(chan *gossip.Message, size),
-		cmds:   make(chan func(*Peer)),
-		stop:   make(chan struct{}),
-		done:   make(chan struct{}),
+		peer:    cfg.Peer,
+		tr:      cfg.Transport,
+		period:  cfg.Period,
+		phase:   time.Duration(rng.Int64N(int64(cfg.Period))),
+		metrics: cfg.Metrics,
+		inbox:   make(chan *gossip.Message, size),
+		cmds:    make(chan func(*Peer)),
+		stop:    make(chan struct{}),
+		done:    make(chan struct{}),
 	}
 	r.tr.SetHandler(func(msg *gossip.Message) {
 		select {
@@ -119,7 +125,7 @@ waitPhase:
 		case <-r.stop:
 			return
 		case msg := <-r.inbox:
-			r.peer.Receive(msg, time.Now())
+			r.receive(msg)
 		case cmd := <-r.cmds:
 			cmd(r.peer)
 		}
@@ -135,13 +141,26 @@ waitPhase:
 			// message into one SendMany (encode-once transports pay per
 			// round, not per fanout target) and copies for transports
 			// not marked ScratchSafe.
-			_, failed := transport.SendGroups(r.tr, r.peer.Tick(time.Now()))
+			now := time.Now()
+			_, failed := transport.SendGroups(r.tr, r.peer.Tick(now))
 			r.sendErrors.Add(uint64(failed))
+			if r.metrics != nil {
+				r.metrics.TickNanos.ObserveInt(int64(time.Since(now)))
+			}
 		case msg := <-r.inbox:
-			r.peer.Receive(msg, time.Now())
+			r.receive(msg)
 		case cmd := <-r.cmds:
 			cmd(r.peer)
 		}
+	}
+}
+
+// receive processes one inbound message, timing it when instrumented.
+func (r *Runner) receive(msg *gossip.Message) {
+	now := time.Now()
+	r.peer.Receive(msg, now)
+	if r.metrics != nil {
+		r.metrics.ReceiveNanos.ObserveInt(int64(time.Since(now)))
 	}
 }
 

@@ -16,6 +16,7 @@ import (
 	"adaptivegossip/internal/core"
 	"adaptivegossip/internal/failure"
 	"adaptivegossip/internal/gossip"
+	"adaptivegossip/internal/observe"
 	"adaptivegossip/internal/recovery"
 	"adaptivegossip/internal/transport"
 )
@@ -41,6 +42,9 @@ type Config struct {
 	// cluster started at once does not tick in lockstep. Zero seeds
 	// from the node id.
 	PhaseSeed uint64
+	// Metrics, when non-nil, receives wall-clock tick and receive
+	// processing durations (nanoseconds). May be shared across runners.
+	Metrics *observe.RunnerMetrics
 }
 
 // Stats counts runner activity.
@@ -54,10 +58,11 @@ type Stats struct {
 // Runner drives one node. Create with NewRunner, then Start; Stop waits
 // for the loop to exit.
 type Runner struct {
-	node   *core.AdaptiveNode
-	tr     transport.Transport
-	period time.Duration
-	phase  time.Duration
+	node    *core.AdaptiveNode
+	tr      transport.Transport
+	period  time.Duration
+	phase   time.Duration
+	metrics *observe.RunnerMetrics // nil = off
 
 	inbox chan *gossip.Message
 	cmds  chan func(*core.AdaptiveNode)
@@ -99,14 +104,15 @@ func NewRunner(cfg Config) (*Runner, error) {
 	}
 	rng := rand.New(rand.NewPCG(seed, seed^0xA5A5A5A5))
 	r := &Runner{
-		node:   cfg.Node,
-		tr:     cfg.Transport,
-		period: cfg.Period,
-		phase:  time.Duration(rng.Int64N(int64(cfg.Period))),
-		inbox:  make(chan *gossip.Message, size),
-		cmds:   make(chan func(*core.AdaptiveNode)),
-		stop:   make(chan struct{}),
-		done:   make(chan struct{}),
+		node:    cfg.Node,
+		tr:      cfg.Transport,
+		period:  cfg.Period,
+		phase:   time.Duration(rng.Int64N(int64(cfg.Period))),
+		metrics: cfg.Metrics,
+		inbox:   make(chan *gossip.Message, size),
+		cmds:    make(chan func(*core.AdaptiveNode)),
+		stop:    make(chan struct{}),
+		done:    make(chan struct{}),
 	}
 	r.tr.SetHandler(r.enqueue)
 	return r, nil
@@ -179,13 +185,21 @@ waitPhase:
 
 func (r *Runner) tick() {
 	r.ticks.Add(1)
-	r.send(r.node.Tick(time.Now()))
+	now := time.Now()
+	r.send(r.node.Tick(now))
+	if r.metrics != nil {
+		r.metrics.TickNanos.ObserveInt(int64(time.Since(now)))
+	}
 }
 
 // receive processes one inbound message and transmits any recovery
 // control traffic (retransmission responses) it triggered.
 func (r *Runner) receive(msg *gossip.Message) {
-	r.send(r.node.Receive(msg, time.Now()))
+	now := time.Now()
+	r.send(r.node.Receive(msg, now))
+	if r.metrics != nil {
+		r.metrics.ReceiveNanos.ObserveInt(int64(time.Since(now)))
+	}
 }
 
 // send transmits a batch of outgoings through transport.SendGroups:

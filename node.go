@@ -24,6 +24,7 @@ type Node struct {
 	reg    *membership.Registry
 	runner *runtime.Runner
 	hub    *streamHub
+	obs    *groupObservability
 
 	mu        sync.Mutex
 	started   bool
@@ -41,9 +42,13 @@ func NewNode(id string, cfg Config, opts ...Option) (*Node, error) {
 	o, oerr := applyOptions(facadeNode, groupOptions{}, opts)
 	// Any failure from here on closes a handed-over transport: the
 	// group owns it from the moment WithTransport is applied.
+	var obs *groupObservability
 	fail := func(err error) (*Node, error) {
 		if o.fabric != nil {
 			o.fabric.Close()
+		}
+		if obs != nil {
+			obs.close()
 		}
 		return nil, err
 	}
@@ -101,6 +106,8 @@ func NewNode(id string, cfg Config, opts ...Option) (*Node, error) {
 		hub:    newStreamHub(),
 		done:   make(chan struct{}),
 	}
+	obs = newGroupObservability(cfg.Observability)
+	n.obs = obs
 
 	deliver := func(ev Event) {
 		d := Delivery{Node: n.id, Event: ev}
@@ -134,6 +141,8 @@ func NewNode(id string, cfg Config, opts ...Option) (*Node, error) {
 		Peers:        reg,
 		RNG:          rand.New(rand.NewPCG(uint64(seed), uint64(seed)^0xABCDEF)),
 		Deliver:      deliver,
+		Metrics:      obs.node,
+		Tracer:       obs.tracer(),
 		Start:        time.Now(),
 	})
 	if err != nil {
@@ -144,11 +153,15 @@ func NewNode(id string, cfg Config, opts ...Option) (*Node, error) {
 		Transport: ep,
 		Period:    cfg.Period,
 		PhaseSeed: uint64(seed) + 7,
+		Metrics:   obs.runner,
 	})
 	if err != nil {
 		return fail(err)
 	}
 	n.runner = runner
+	if err := obs.bindServer(cfg.Observability.DebugAddr, func() Stats { return n.Stats() }); err != nil {
+		return fail(err)
+	}
 	return n, nil
 }
 
@@ -243,6 +256,7 @@ func (n *Node) Close() error {
 		err = ferr
 	}
 	n.hub.close()
+	n.obs.close()
 	return err
 }
 
@@ -276,9 +290,14 @@ func (n *Node) Stats() Stats {
 	var st Stats
 	st.add(n.runner.Snapshot())
 	st.StreamDropped = n.hub.droppedCount()
-	st.RecvQueueDrops = recvQueueDrops(n.fabric)
+	st.addWire(n.fabric)
 	return st
 }
+
+// DebugAddr returns the bound address of the debug HTTP listener, or
+// "" when Config.Observability.DebugAddr was empty. Useful with ":0"
+// binds.
+func (n *Node) DebugAddr() string { return n.obs.debugAddr() }
 
 // watchContext closes the group when ctx is cancelled, releasing the
 // watcher when the group closes first.

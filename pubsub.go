@@ -32,6 +32,7 @@ type PubSub struct {
 	eps     []Endpoint
 	runners []*pubsub.Runner
 	hub     *streamHub
+	obs     *groupObservability
 
 	mu        sync.Mutex
 	started   bool
@@ -80,8 +81,11 @@ func NewPubSub(n, bufferBudget int, cfg Config, opts ...Option) (*PubSub, error)
 		done:   make(chan struct{}),
 		regs:   make(map[Topic]*membership.Registry),
 	}
+	obs := newGroupObservability(cfg.Observability)
+	c.obs = obs
 	fail := func(err error) (*PubSub, error) {
 		fabric.Close()
+		obs.close()
 		return nil, err
 	}
 	for i := 0; i < n; i++ {
@@ -104,6 +108,8 @@ func NewPubSub(n, bufferBudget int, cfg Config, opts ...Option) (*PubSub, error)
 			Core:         cfg.Adaptation,
 			RNG:          rand.New(rand.NewPCG(uint64(o.seed), uint64(i)+1)),
 			Deliver:      deliver,
+			Metrics:      obs.node,
+			Tracer:       obs.tracer(),
 			Start:        time.Now(),
 		})
 		if err != nil {
@@ -119,11 +125,15 @@ func NewPubSub(n, bufferBudget int, cfg Config, opts ...Option) (*PubSub, error)
 			Transport: ep,
 			Period:    cfg.Period,
 			PhaseSeed: uint64(o.seed)*48271 + uint64(i) + 1,
+			Metrics:   obs.runner,
 		})
 		if err != nil {
 			return fail(err)
 		}
 		c.runners = append(c.runners, r)
+	}
+	if err := obs.bindServer(cfg.Observability.DebugAddr, func() Stats { return c.Stats() }); err != nil {
+		return fail(err)
 	}
 	return c, nil
 }
@@ -193,6 +203,7 @@ func (c *PubSub) Close() error {
 		first = err
 	}
 	c.hub.close()
+	c.obs.close()
 	return first
 }
 
@@ -288,6 +299,10 @@ func (c *PubSub) Stats() Stats {
 	}
 	st.Nodes = len(c.runners)
 	st.StreamDropped = c.hub.droppedCount()
-	st.RecvQueueDrops = recvQueueDrops(c.fabric)
+	st.addWire(c.fabric)
 	return st
 }
+
+// DebugAddr returns the bound address of the debug HTTP listener, or
+// "" when Config.Observability.DebugAddr was empty.
+func (c *PubSub) DebugAddr() string { return c.obs.debugAddr() }

@@ -42,15 +42,25 @@ type Stats struct {
 	// consumers fell behind the wire (UDP fabrics only; see
 	// WithRecvQueue to size the queue).
 	RecvQueueDrops uint64
+	// Wire carries the transport fabric's counters (messages, bytes,
+	// read errors, datagram splits). Zero when the group's Transport
+	// does not implement WireStatser.
+	Wire WireStats
 }
 
-// recvQueueDrops extracts the receive-queue drop counter from the
-// built-in UDP fabric; other fabrics have no such queue and report 0.
-func recvQueueDrops(fabric Transport) uint64 {
-	if u, ok := fabric.(*UDPTransport); ok {
-		return u.Stats().RecvQueueDrops
+// addWire folds the fabric's wire counters into the snapshot. Each
+// counter is read exactly once by the fabric's WireStats method (an
+// atomic load or one mutex-guarded copy per counter), so the snapshot
+// is internally consistent even while senders and receivers race; the
+// RecvQueueDrops top-level field is filled from the same single read.
+func (s *Stats) addWire(fabric Transport) {
+	ws, ok := fabric.(WireStatser)
+	if !ok {
+		return
 	}
-	return 0
+	w := ws.WireStats()
+	s.Wire = w
+	s.RecvQueueDrops = w.RecvQueueDrops
 }
 
 // add folds one member's runtime snapshot into the aggregate.

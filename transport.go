@@ -77,6 +77,38 @@ type (
 	UDPTransportStats = transport.UDPStats
 )
 
+// WireStats is the transport-independent wire counter set surfaced in
+// the unified Stats snapshot: how much the fabric moved and what it
+// had to discard. Both built-in fabrics report it (the memory fabric
+// has no wire, so its byte and error counters stay zero); custom
+// transports opt in by implementing WireStatser.
+type WireStats struct {
+	// Sent counts outgoing messages handed to the wire.
+	Sent uint64
+	// SentBytes counts outgoing payload bytes (0 for fabrics that do
+	// not serialize).
+	SentBytes uint64
+	// Received counts messages delivered up from the wire.
+	Received uint64
+	// RecvBytes counts inbound payload bytes (0 for fabrics that do
+	// not serialize).
+	RecvBytes uint64
+	// ReadErrors counts failed socket reads.
+	ReadErrors uint64
+	// SplitChunks counts datagram-size splits of oversized messages.
+	SplitChunks uint64
+	// RecvQueueDrops counts inbound messages discarded because the
+	// receive dispatch queue was full.
+	RecvQueueDrops uint64
+}
+
+// WireStatser is implemented by transports that can report wire-level
+// counters. The facades fold the result into Stats; fabrics without it
+// simply leave the wire counters zero.
+type WireStatser interface {
+	WireStats() WireStats
+}
+
 // transportConfig collects the option set shared by the built-in
 // transports. Options that do not apply to a given fabric are rejected
 // by its constructor, not silently ignored.
@@ -236,13 +268,27 @@ func (t *MemTransport) Stats() MemTransportStats {
 	return t.net.Stats()
 }
 
+// WireStats maps the fabric counters onto the transport-independent
+// wire counter set. The memory fabric never serializes and cannot fail
+// a read, so bytes, errors and splits stay zero.
+func (t *MemTransport) WireStats() WireStats {
+	st := t.net.Stats()
+	return WireStats{
+		Sent:     st.Sent,
+		Received: st.Delivered,
+	}
+}
+
 // Close shuts the fabric down and waits for in-flight deliveries.
 func (t *MemTransport) Close() error {
 	t.net.Close()
 	return nil
 }
 
-var _ Transport = (*MemTransport)(nil)
+var (
+	_ Transport   = (*MemTransport)(nil)
+	_ WireStatser = (*MemTransport)(nil)
+)
 
 // UDPTransport is the real-wire fabric: one UDP socket per endpoint,
 // routed by an explicit address book — the deployment shape of the
@@ -402,6 +448,21 @@ func (t *UDPTransport) Stats() UDPTransportStats {
 	return sum
 }
 
+// WireStats maps the summed endpoint counters onto the
+// transport-independent wire counter set.
+func (t *UDPTransport) WireStats() WireStats {
+	st := t.Stats()
+	return WireStats{
+		Sent:           st.Sent,
+		SentBytes:      st.SentBytes,
+		Received:       st.Received,
+		RecvBytes:      st.RecvBytes,
+		ReadErrors:     st.ReadErrors,
+		SplitChunks:    st.SplitChunks,
+		RecvQueueDrops: st.RecvQueueDrops,
+	}
+}
+
 // Close closes every endpoint socket still open.
 func (t *UDPTransport) Close() error {
 	t.mu.Lock()
@@ -419,6 +480,7 @@ func (t *UDPTransport) Close() error {
 var (
 	_ Transport     = (*UDPTransport)(nil)
 	_ PeerRegistrar = (*UDPTransport)(nil)
+	_ WireStatser   = (*UDPTransport)(nil)
 )
 
 // udpAddrer lets the Node facade report a bound address without
