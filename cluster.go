@@ -9,6 +9,7 @@ import (
 
 	"adaptivegossip/internal/core"
 	"adaptivegossip/internal/gossip"
+	"adaptivegossip/internal/health"
 	"adaptivegossip/internal/membership"
 	"adaptivegossip/internal/runtime"
 )
@@ -112,6 +113,12 @@ func NewCluster(n int, cfg Config, opts ...Option) (*Cluster, error) {
 			reg = membership.NewRegistry(names...)
 		}
 		c.regs = append(c.regs, reg)
+		ep, err := fabric.Endpoint(name)
+		if err != nil {
+			return fail(err)
+		}
+		c.eps = append(c.eps, ep)
+		obs.attachLinks(ep)
 		node, err := core.NewAdaptiveNode(core.NodeConfig{
 			ID:       name,
 			Gossip:   cfg.gossipParams(),
@@ -130,21 +137,19 @@ func NewCluster(n int, cfg Config, opts ...Option) (*Cluster, error) {
 					o.onMember(name, peer, status)
 				}
 			},
-			Peers:   reg,
-			RNG:     rand.New(rand.NewPCG(uint64(o.seed), uint64(i)+1)),
-			Deliver: deliver,
-			Metrics: obs.node,
-			Tracer:  obs.tracer(),
-			Start:   time.Now(),
+			Peers:         reg,
+			RNG:           rand.New(rand.NewPCG(uint64(o.seed), uint64(i)+1)),
+			Deliver:       deliver,
+			Metrics:       obs.node,
+			Tracer:        obs.tracer(),
+			Links:         obs.peers,
+			Health:        cfg.Observability.healthParams(),
+			HealthAugment: healthAugment(ep, fabric),
+			Start:         time.Now(),
 		})
 		if err != nil {
 			return fail(err)
 		}
-		ep, err := fabric.Endpoint(name)
-		if err != nil {
-			return fail(err)
-		}
-		c.eps = append(c.eps, ep)
 		r, err := runtime.NewRunner(runtime.Config{
 			Node:      node,
 			Transport: ep,
@@ -157,7 +162,8 @@ func NewCluster(n int, cfg Config, opts ...Option) (*Cluster, error) {
 		}
 		c.runners = append(c.runners, r)
 	}
-	if err := obs.bindServer(cfg.Observability.DebugAddr, func() Stats { return c.Stats() }); err != nil {
+	if err := obs.bindServer(cfg.Observability.DebugAddr,
+		func() Stats { return c.Stats() }, c.ClusterHealth); err != nil {
 		return fail(err)
 	}
 	return c, nil
@@ -296,7 +302,20 @@ func (c *Cluster) Stats() Stats {
 	}
 	st.StreamDropped = c.hub.droppedCount()
 	st.addWire(c.fabric)
+	st.addPeers(c.obs.peers)
 	return st
+}
+
+// ClusterHealth returns the converged health view, sorted by member
+// id: every member's independently gossip-learned digests merged, the
+// freshest digest winning per member. Empty unless
+// Config.Observability.HealthDigests is set.
+func (c *Cluster) ClusterHealth() []MemberHealth {
+	views := make([][]health.MemberHealth, 0, len(c.runners))
+	for _, r := range c.runners {
+		views = append(views, r.ClusterHealth())
+	}
+	return memberHealthView(mergeMemberHealth(views...))
 }
 
 // DebugAddr returns the bound address of the debug HTTP listener, or

@@ -1,0 +1,178 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+const sampleBaseline = `{
+  "benchmarks": {
+    "BenchmarkNodeTick": {
+      "after": {"ns_per_round": 3364, "bytes_per_round": 2, "allocs_per_round": 0}
+    },
+    "BenchmarkNodeReceive": {
+      "after": {"ns_per_msg": 24398, "bytes_per_msg": 19, "allocs_per_msg": 0}
+    }
+  }
+}`
+
+func writeBaseline(t *testing.T) string {
+	t.Helper()
+	path := filepath.Join(t.TempDir(), "bench.json")
+	if err := os.WriteFile(path, []byte(sampleBaseline), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func TestParseBenchOutput(t *testing.T) {
+	out, err := parseBenchOutput(strings.NewReader(`
+goos: linux
+BenchmarkNodeTick-4        356298     3364 ns/op        2 B/op    0 allocs/op
+BenchmarkNodeTick-4        350000     3400 ns/op        2 B/op    0 allocs/op
+BenchmarkOther             100        99 ns/op
+PASS
+`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ticks := out["BenchmarkNodeTick"]
+	if len(ticks) != 2 {
+		t.Fatalf("NodeTick samples = %d, want 2", len(ticks))
+	}
+	if ticks[0].NsPerOp != 3364 || !ticks[0].HasAllocs || ticks[0].AllocsPerOp != 0 {
+		t.Fatalf("first sample = %+v", ticks[0])
+	}
+	// Benchmarks without a GOMAXPROCS suffix parse too.
+	if got := out["BenchmarkOther"]; len(got) != 1 || got[0].NsPerOp != 99 || got[0].HasAllocs {
+		t.Fatalf("BenchmarkOther = %+v", got)
+	}
+}
+
+func TestLoadBaselines(t *testing.T) {
+	bl, err := loadBaselines(writeBaseline(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	tick, ok := bl["BenchmarkNodeTick"]
+	if !ok || tick.NsPerOp != 3364 || !tick.HasAllocs || tick.AllocsPerOp != 0 {
+		t.Fatalf("NodeTick baseline = %+v ok=%v", tick, ok)
+	}
+	if _, ok := bl["BenchmarkNodeReceive"]; !ok {
+		t.Fatal("NodeReceive baseline missing")
+	}
+}
+
+func mkSamples(ns []float64, allocs float64) []sample {
+	out := make([]sample, 0, len(ns))
+	for _, v := range ns {
+		out = append(out, sample{NsPerOp: v, AllocsPerOp: allocs, HasAllocs: true})
+	}
+	return out
+}
+
+func TestGatePassesWithinTolerance(t *testing.T) {
+	bl := map[string]baseline{"BenchmarkNodeTick": {NsPerOp: 3364, AllocsPerOp: 0, HasAllocs: true}}
+	ss := map[string][]sample{
+		"BenchmarkNodeTick": mkSamples([]float64{3300, 3400, 3350, 3380, 3320}, 0),
+	}
+	results, err := gate(bl, ss, 2.0, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(results) != 1 || !results[0].Pass {
+		t.Fatalf("results = %+v", results)
+	}
+}
+
+func TestGateFailsSignificantRegression(t *testing.T) {
+	bl := map[string]baseline{"BenchmarkNodeTick": {NsPerOp: 1000, AllocsPerOp: 0, HasAllocs: true}}
+	// 3x the limit with tiny variance: unambiguous regression.
+	ss := map[string][]sample{
+		"BenchmarkNodeTick": mkSamples([]float64{6000, 6010, 5990, 6005, 5995}, 0),
+	}
+	results, err := gate(bl, ss, 2.0, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if results[0].Pass {
+		t.Fatalf("3x regression passed the gate: %+v", results[0])
+	}
+}
+
+func TestGateToleratesNoisyNonRegression(t *testing.T) {
+	bl := map[string]baseline{"BenchmarkNodeTick": {NsPerOp: 1000, AllocsPerOp: 0, HasAllocs: true}}
+	// Mean barely over the 2x limit but the spread is huge: the t-test
+	// must not call this significant.
+	ss := map[string][]sample{
+		"BenchmarkNodeTick": mkSamples([]float64{900, 3200, 1100, 3000, 2100}, 0),
+	}
+	results, err := gate(bl, ss, 2.0, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !results[0].Pass {
+		t.Fatalf("noisy non-regression failed the gate: %+v", results[0])
+	}
+}
+
+func TestGateAllocContractIsExact(t *testing.T) {
+	bl := map[string]baseline{"BenchmarkNodeTick": {NsPerOp: 3364, AllocsPerOp: 0, HasAllocs: true}}
+	// Fast, but one sample allocates: the exact contract fails it.
+	ss := map[string][]sample{
+		"BenchmarkNodeTick": mkSamples([]float64{100, 100, 100, 100, 100}, 1),
+	}
+	results, err := gate(bl, ss, 2.0, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if results[0].Pass {
+		t.Fatalf("allocating run passed the zero-alloc gate: %+v", results[0])
+	}
+}
+
+func TestGateRejectsTooFewSamples(t *testing.T) {
+	bl := map[string]baseline{"BenchmarkNodeTick": {NsPerOp: 3364}}
+	ss := map[string][]sample{"BenchmarkNodeTick": mkSamples([]float64{3300, 3400}, 0)}
+	if _, err := gate(bl, ss, 2.0, 5); err == nil {
+		t.Fatal("2 samples accepted with min-count 5")
+	}
+}
+
+func TestGateRejectsEmptyIntersection(t *testing.T) {
+	bl := map[string]baseline{"BenchmarkNodeTick": {NsPerOp: 3364}}
+	ss := map[string][]sample{"BenchmarkUnrelated": mkSamples([]float64{1}, 0)}
+	if _, err := gate(bl, ss, 2.0, 1); err == nil {
+		t.Fatal("gate passed with no gated benchmarks in the input")
+	}
+}
+
+func TestRunEndToEnd(t *testing.T) {
+	path := writeBaseline(t)
+	input := `
+BenchmarkNodeTick-4     356298   3364 ns/op   2 B/op   0 allocs/op
+BenchmarkNodeTick-4     356298   3370 ns/op   2 B/op   0 allocs/op
+BenchmarkNodeTick-4     356298   3350 ns/op   2 B/op   0 allocs/op
+BenchmarkNodeTick-4     356298   3390 ns/op   2 B/op   0 allocs/op
+BenchmarkNodeTick-4     356298   3360 ns/op   2 B/op   0 allocs/op
+`
+	var out strings.Builder
+	code, err := run([]string{"-baseline", path}, strings.NewReader(input), &out)
+	if err != nil || code != 0 {
+		t.Fatalf("run = %d, %v\n%s", code, err, out.String())
+	}
+	if !strings.Contains(out.String(), "ok") {
+		t.Fatalf("output: %s", out.String())
+	}
+
+	// A regressed input exits 1.
+	regressed := strings.ReplaceAll(input, "33", "93")
+	regressed = strings.ReplaceAll(regressed, "0 allocs/op", "0 allocs/op")
+	out.Reset()
+	code, err = run([]string{"-baseline", path}, strings.NewReader(regressed), &out)
+	if err != nil || code != 1 {
+		t.Fatalf("regressed run = %d, %v\n%s", code, err, out.String())
+	}
+}

@@ -9,17 +9,27 @@
 //
 // Each node prints a stats line every reporting interval; nodes with
 // -rate > 0 publish synthetic messages at that offered rate.
+//
+// With -top, gossipnode is instead a one-shot cluster inspector: it
+// fetches another node's /debug/gossip/cluster view from its debug
+// listener and prints it as a table:
+//
+//	gossipnode -top http://127.0.0.1:6060
 package main
 
 import (
 	"context"
+	"encoding/json"
 	"flag"
 	"fmt"
+	"io"
+	"net/http"
 	"os"
 	"os/signal"
 	"strings"
 	"sync/atomic"
 	"syscall"
+	"text/tabwriter"
 	"time"
 
 	"adaptivegossip"
@@ -48,9 +58,15 @@ func run(args []string) error {
 		runFor   = fs.Duration("for", 0, "exit after this duration (0 = run until signal)")
 		debug    = fs.String("debug-addr", "", "bind the debug HTTP listener (expvar JSON at /debug/vars, Prometheus at /metrics, pprof at /debug/pprof/) on this address (empty = off)")
 		traceSim = fs.Float64("trace-sample", 0, "rumor-lifecycle trace sample rate in [0,1] (served at /debug/gossip/traces; 0 = off)")
+		healthOn = fs.Bool("health", true, "disseminate health digests on gossip (cluster view at /debug/gossip/cluster)")
+		failure  = fs.Bool("failure", false, "enable the SWIM failure detector (also feeds per-peer RTT telemetry)")
+		top      = fs.String("top", "", "one-shot mode: fetch and print another node's /debug/gossip/cluster view from this debug-listener base URL, then exit")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+	if *top != "" {
+		return printClusterTop(os.Stdout, *top)
 	}
 	if *id == "" {
 		return fmt.Errorf("-id is required")
@@ -77,6 +93,8 @@ func run(args []string) error {
 	}
 	cfg.Observability.DebugAddr = *debug
 	cfg.Observability.TraceSampleRate = *traceSim
+	cfg.Observability.HealthDigests = *healthOn
+	cfg.Failure.Enabled = *failure
 
 	tr, err := adaptivegossip.NewUDPTransport(adaptivegossip.WithBind(*bind))
 	if err != nil {
@@ -147,4 +165,43 @@ func run(args []string) error {
 			fmt.Println(line)
 		}
 	}
+}
+
+// printClusterTop fetches base's /debug/gossip/cluster view and renders
+// it as a table, one row per member the remote node has a digest for.
+func printClusterTop(w io.Writer, base string) error {
+	if !strings.Contains(base, "://") {
+		base = "http://" + base
+	}
+	url := strings.TrimRight(base, "/") + "/debug/gossip/cluster"
+	client := &http.Client{Timeout: 5 * time.Second}
+	resp, err := client.Get(url)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return fmt.Errorf("GET %s: %s", url, resp.Status)
+	}
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return err
+	}
+	var view []adaptivegossip.MemberHealth
+	if err := json.Unmarshal(body, &view); err != nil {
+		return fmt.Errorf("decode %s: %w", url, err)
+	}
+	tw := tabwriter.NewWriter(w, 2, 8, 2, ' ', 0)
+	fmt.Fprintln(tw, "NODE\tROUND\tSTALE\tPUB\tDLV\tDROP\tBUF\tSENT\tRECV\tHOPS(avg/p99)")
+	for _, m := range view {
+		fmt.Fprintf(tw, "%s\t%d\t%d\t%d\t%d\t%d\t%d/%d\t%d\t%d\t%.1f/%.0f\n",
+			m.Node, m.Round, m.StalenessRounds, m.Published, m.Delivered,
+			m.DroppedCapacity+m.DroppedExpired, m.BufferLen, m.BufferCap,
+			m.MessagesSent, m.MessagesReceived, m.HopsMean, m.HopsP99)
+	}
+	if err := tw.Flush(); err != nil {
+		return err
+	}
+	fmt.Fprintf(w, "%d members\n", len(view))
+	return nil
 }

@@ -17,6 +17,8 @@
 //	gossipsim -figure churn          # delivery and view accuracy vs churn
 //	                                 # rate, failure detection off/on
 //	gossipsim -figure wirecost       # bytes and allocs per round vs fanout
+//	gossipsim -figure healthdigest   # health-digest convergence vs group
+//	                                 # size and digests per message
 //	gossipsim -figure 2 -fast        # reduced duration for a quick look
 package main
 
@@ -30,6 +32,7 @@ import (
 	"time"
 
 	"adaptivegossip/internal/experiments"
+	"adaptivegossip/internal/health"
 	"adaptivegossip/internal/observe"
 )
 
@@ -43,7 +46,7 @@ func main() {
 func run(args []string) error {
 	fs := flag.NewFlagSet("gossipsim", flag.ContinueOnError)
 	var (
-		figure   = fs.String("figure", "all", "2|4|6|7|8|9|9rt|t1|ablations|recovery|churn|wirecost|all")
+		figure   = fs.String("figure", "all", "2|4|6|7|8|9|9rt|t1|ablations|recovery|churn|wirecost|healthdigest|all")
 		seed     = fs.Int64("seed", 1, "base random seed")
 		seeds    = fs.Int("seeds", 1, "seeds to average per data point")
 		n        = fs.Int("n", 60, "group size")
@@ -134,6 +137,8 @@ func run(args []string) error {
 		return churnSweep(base, *seeds)
 	case "wirecost":
 		return wirecostSweep(*fast)
+	case "healthdigest":
+		return healthdigestSweep(*fast, *seed)
 	case "all":
 		if err := figure2(base, *seeds); err != nil {
 			return err
@@ -361,6 +366,53 @@ func wirecostSweep(fast bool) error {
 		return err
 	}
 	experiments.RenderWirecost(os.Stdout, cfg, rows)
+	fmt.Println()
+	return nil
+}
+
+// healthdigestSweep measures how fast gossip-disseminated health
+// digests converge to full cluster coverage (every node holding a
+// digest of every other), across group sizes and piggyback budgets.
+func healthdigestSweep(fast bool, seed int64) error {
+	type point struct {
+		n, dpm int
+	}
+	grid := []point{
+		{60, 4}, {60, 16}, {60, 64},
+		{250, 4}, {250, 16}, {250, 64},
+		{1000, 16}, {1000, 64},
+	}
+	maxRounds := 300
+	if fast {
+		grid = []point{{60, 2}, {60, 4}, {60, 16}}
+		maxRounds = 200
+	}
+	const fanout = 4
+	fmt.Println("Health-digest convergence: rounds until every node holds a digest")
+	fmt.Printf("of every member (fanout %d, push gossip, one self digest plus\n", fanout)
+	fmt.Println("relayed digests per message up to the budget).")
+	fmt.Println()
+	fmt.Printf("%8s %12s %14s %12s %12s\n", "nodes", "digests/msg", "rounds-full", "mean@5", "mean@10")
+	for _, p := range grid {
+		res, err := health.RunConvergence(p.n, fanout, p.dpm, maxRounds, seed)
+		if err != nil {
+			return err
+		}
+		coverageAt := func(round int) string {
+			for _, tr := range res.Trace {
+				if tr.Round == round {
+					return fmt.Sprintf("%.3f", tr.MeanCoverage)
+				}
+			}
+			return "1.000" // converged (trace stops) before this round
+		}
+		roundsFull := fmt.Sprintf("%d", res.RoundsToFull)
+		if res.RoundsToFull == 0 {
+			roundsFull = fmt.Sprintf(">%d", maxRounds)
+		}
+		fmt.Printf("%8d %12d %14s %12s %12s\n",
+			p.n, p.dpm, roundsFull, coverageAt(5), coverageAt(10))
+	}
 	fmt.Println()
 	return nil
 }

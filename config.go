@@ -8,6 +8,7 @@ import (
 	"adaptivegossip/internal/experiments"
 	"adaptivegossip/internal/failure"
 	"adaptivegossip/internal/gossip"
+	"adaptivegossip/internal/health"
 	"adaptivegossip/internal/recovery"
 )
 
@@ -120,6 +121,20 @@ type ObservabilityConfig struct {
 	// records are overwritten when it fills. Zero means the default
 	// (4096 records).
 	TraceBufferSize int
+	// HealthDigests enables gossip-disseminated health digests: each
+	// member periodically folds its counters and delivery-hop histogram
+	// into a compact summary piggybacked on outgoing gossip, so every
+	// member converges to a cluster-wide health view, served at
+	// /debug/gossip/cluster on the debug listener.
+	HealthDigests bool
+	// HealthDigestsPerMessage bounds how many digests ride one gossip
+	// message (the member's own plus relayed ones). Zero means the
+	// subsystem default.
+	HealthDigestsPerMessage int
+	// HealthRefreshRounds is how many gossip rounds pass between
+	// re-snapshots of a member's own digest. Zero means the subsystem
+	// default (every round).
+	HealthRefreshRounds int
 }
 
 // Validate reports the first configuration error.
@@ -130,7 +145,22 @@ func (c ObservabilityConfig) Validate() error {
 	if c.TraceBufferSize < 0 {
 		return fmt.Errorf("adaptivegossip: trace buffer size %d must not be negative", c.TraceBufferSize)
 	}
+	if c.HealthDigestsPerMessage < 0 {
+		return fmt.Errorf("adaptivegossip: health digests per message %d must not be negative", c.HealthDigestsPerMessage)
+	}
+	if c.HealthRefreshRounds < 0 {
+		return fmt.Errorf("adaptivegossip: health refresh rounds %d must not be negative", c.HealthRefreshRounds)
+	}
 	return nil
+}
+
+// healthParams maps the facade knobs onto the subsystem configuration.
+func (c ObservabilityConfig) healthParams() health.Params {
+	return health.Params{
+		Enabled:           c.HealthDigests,
+		DigestsPerMessage: c.HealthDigestsPerMessage,
+		RefreshRounds:     c.HealthRefreshRounds,
+	}
 }
 
 // Config configures a broadcast node, cluster or pub/sub group. Knobs

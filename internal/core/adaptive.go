@@ -7,6 +7,7 @@ import (
 
 	"adaptivegossip/internal/failure"
 	"adaptivegossip/internal/gossip"
+	"adaptivegossip/internal/health"
 	"adaptivegossip/internal/observe"
 	"adaptivegossip/internal/ratelimit"
 	"adaptivegossip/internal/recovery"
@@ -37,6 +38,19 @@ type NodeConfig struct {
 	// from their registries and partial views here and re-admit members
 	// that prove alive. Runs synchronously on the node's driver.
 	OnMembership failure.OnChangeFunc
+	// Health configures gossip-disseminated health digests; the engine
+	// is built when Health.Enabled is set. Orthogonal to the other
+	// subsystems.
+	Health health.Params
+	// HealthAugment, when non-nil, enriches the node's own health
+	// digest with facts only the embedding layer knows (e.g. transport
+	// byte counters). It runs after the core has filled the digest's
+	// protocol counters and delivery-hop histogram.
+	HealthAugment health.AugmentFunc
+	// Links, when non-nil, is the per-peer telemetry table shared with
+	// the transport; the failure detector feeds ping RTT observations
+	// into it.
+	Links *observe.PeerTable
 	// Peers supplies gossip targets.
 	Peers gossip.PeerSampler
 	// RNG drives all protocol randomness; inject a seeded generator for
@@ -81,6 +95,7 @@ type AdaptiveNode struct {
 	bucket   *ratelimit.Bucket
 	recovery *recovery.Engine // nil when recovery is disabled
 	failure  *failure.Engine  // nil when failure detection is disabled
+	health   *health.Engine   // nil when health digests are disabled
 	params   Params
 
 	avgTokens float64
@@ -122,8 +137,23 @@ func NewAdaptiveNode(cfg NodeConfig) (*AdaptiveNode, error) {
 			return nil, err
 		}
 		engine.SetOnChange(cfg.OnMembership)
+		if cfg.Links != nil {
+			engine.SetLinks(cfg.Links)
+		}
 		a.failure = engine
 		exts = append(exts, engine)
+	}
+	if cfg.Health.Enabled {
+		metrics, aug := cfg.Metrics, cfg.HealthAugment
+		a.health = health.New(cfg.ID, cfg.Health, func(d *gossip.HealthDigest) {
+			if metrics != nil {
+				d.DeliverHops = metrics.DeliverHops.Snapshot()
+			}
+			if aug != nil {
+				aug(d)
+			}
+		})
+		exts = append(exts, a.health)
 	}
 	exts = append(exts, cfg.Extensions...)
 
@@ -302,6 +332,38 @@ func (a *AdaptiveNode) FailureRejoin() {
 	if a.failure != nil {
 		a.failure.Rejoin()
 	}
+}
+
+// HealthEnabled reports whether health-digest dissemination is active.
+func (a *AdaptiveNode) HealthEnabled() bool { return a.health != nil }
+
+// HealthStats returns the digest traffic counters (zero when health
+// dissemination is disabled).
+func (a *AdaptiveNode) HealthStats() health.Stats {
+	if a.health == nil {
+		return health.Stats{}
+	}
+	return a.health.Stats()
+}
+
+// ClusterHealth returns the node's converged view of every member's
+// health digest, sorted by node id (nil when dissemination is
+// disabled).
+func (a *AdaptiveNode) ClusterHealth() []health.MemberHealth {
+	if a.health == nil {
+		return nil
+	}
+	return a.health.Snapshot()
+}
+
+// ClusterDeliverHops folds the delivery-hop histograms of every known
+// digest into one cluster-wide snapshot (zero when dissemination is
+// disabled).
+func (a *AdaptiveNode) ClusterDeliverHops() observe.HistogramSnapshot {
+	if a.health == nil {
+		return observe.HistogramSnapshot{}
+	}
+	return a.health.MergedDeliverHops()
 }
 
 // Stats returns the adaptation counters.

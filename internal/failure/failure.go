@@ -44,8 +44,10 @@ package failure
 import (
 	"fmt"
 	"math/rand/v2"
+	"time"
 
 	"adaptivegossip/internal/gossip"
+	"adaptivegossip/internal/observe"
 )
 
 // Defaults for Params, in gossip rounds. With the paper's 5-second
@@ -180,9 +182,10 @@ type probeState struct {
 	target     gossip.NodeID
 	seq        uint64
 	sentAt     uint64
-	indirect   bool   // indirect phase entered
-	indirectAt uint64 // round the ping-reqs went out
-	done       bool   // acked or resolved; swept on the next tick
+	sentWall   time.Time // wall-clock launch time; zero unless RTT harvesting is on
+	indirect   bool      // indirect phase entered
+	indirectAt uint64    // round the ping-reqs went out
+	done       bool      // acked or resolved; swept on the next tick
 }
 
 // relayEntry remembers a ping sent on another node's behalf, so the
@@ -234,6 +237,12 @@ type Engine struct {
 
 	relays []relayEntry
 
+	// links receives ping→ack round-trip observations per peer; nil
+	// (the default) keeps probes wall-clock-free so simulations stay
+	// deterministic. now is consulted only when links is set.
+	links *observe.PeerTable
+	now   func() time.Time
+
 	queue   []update
 	pending []gossip.Outgoing
 	stats   Stats
@@ -261,6 +270,7 @@ func NewEngine(self gossip.NodeID, params Params, peers gossip.PeerSampler, rng 
 		params:  params,
 		peers:   peers,
 		rng:     rng,
+		now:     time.Now,
 		members: make(map[gossip.NodeID]*memberState),
 		probes:  make(map[gossip.NodeID]*probeState),
 	}, nil
@@ -268,6 +278,21 @@ func NewEngine(self gossip.NodeID, params Params, peers gossip.PeerSampler, rng 
 
 // SetOnChange installs the membership-transition callback.
 func (e *Engine) SetOnChange(fn OnChangeFunc) { e.onChange = fn }
+
+// SetLinks turns on per-peer RTT harvesting: each direct ping→ack
+// round trip is observed into the target's RTTMicros histogram in the
+// table. The detector's probes double as the cluster's latency sensors
+// — no extra traffic. nil disables harvesting (the default; probes
+// then never read the wall clock, keeping simulations deterministic).
+func (e *Engine) SetLinks(t *observe.PeerTable) { e.links = t }
+
+// SetClock overrides the wall-clock source used for RTT measurement
+// (tests). The clock is only read while links are installed.
+func (e *Engine) SetClock(fn func() time.Time) {
+	if fn != nil {
+		e.now = fn
+	}
+}
 
 // Params returns the engine's effective parameters.
 func (e *Engine) Params() Params { return e.params }
@@ -321,6 +346,18 @@ func (e *Engine) OnTick(n *gossip.Node, out *gossip.Message) {
 // OnReceive handles probe traffic and applies piggybacked rumors. Any
 // message is proof of life for its sender.
 func (e *Engine) OnReceive(n *gossip.Node, in *gossip.Message) {
+	// RTT must be captured before heardFrom resolves (and deletes) the
+	// probe the ack answers. Only the direct phase measures: a relayed
+	// ack's path (requester→proxy→subject→proxy→requester) is not the
+	// link round trip.
+	if in.Kind == gossip.KindPingAck && e.links != nil && in.From != "" {
+		if p, ok := e.probes[in.From]; ok && !p.done && !p.indirect &&
+			p.seq == in.ProbeSeq && !p.sentWall.IsZero() {
+			if ps := e.links.Get(string(in.From)); ps != nil {
+				ps.RTTMicros.ObserveInt(e.now().Sub(p.sentWall).Microseconds())
+			}
+		}
+	}
 	if in.From != "" && in.From != e.self {
 		e.heardFrom(in.From)
 	}
@@ -429,6 +466,9 @@ func (e *Engine) launchProbe() {
 		}
 		e.nextSeq++
 		p := &probeState{target: target, seq: e.nextSeq, sentAt: e.round}
+		if e.links != nil {
+			p.sentWall = e.now()
+		}
 		e.probes[target] = p
 		e.probeOrder = append(e.probeOrder, p)
 		e.stats.ProbesSent++

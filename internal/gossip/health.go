@@ -1,0 +1,54 @@
+package gossip
+
+import "adaptivegossip/internal/observe"
+
+// HealthDigest is one member's self-reported health summary, the unit
+// of gossip-disseminated cluster observability (internal/health). A
+// node periodically folds its own counters and delivery-hops histogram
+// into a digest and piggybacks it — plus a rotating sample of digests
+// heard from others — on outgoing gossip, so every member converges on
+// a view of every other member without new message types (the same
+// piggyback seam the recovery digest uses).
+//
+// Digests about the same node are ordered by Round: receivers keep the
+// digest with the highest Round and discard the rest, so stale relays
+// can circulate harmlessly.
+type HealthDigest struct {
+	// Node is the member the digest describes (its reporter).
+	Node NodeID
+	// Round is the reporter's gossip round when the digest was built.
+	// It versions the digest: higher Round wins a merge.
+	Round uint64
+	// WallMillis is the reporter's wall clock (Unix milliseconds) when
+	// the digest was built. Zero in deterministic drivers (simulator).
+	WallMillis uint64
+
+	// Published counts events the reporter originated.
+	Published uint64
+	// Delivered counts events the reporter delivered to its
+	// application.
+	Delivered uint64
+	// DroppedCapacity counts buffer evictions by capacity pressure.
+	DroppedCapacity uint64
+	// DroppedExpired counts buffer evictions by age expiry.
+	DroppedExpired uint64
+	// MessagesSent counts gossip messages the reporter sent.
+	MessagesSent uint64
+	// MessagesReceived counts gossip messages the reporter received.
+	MessagesReceived uint64
+	// BytesSent counts wire bytes sent (zero on fabrics that do not
+	// serialize).
+	BytesSent uint64
+	// BytesReceived counts wire bytes received.
+	BytesReceived uint64
+
+	// BufferLen and BufferCap are the reporter's events-buffer
+	// occupancy and capacity at digest time.
+	BufferLen int
+	BufferCap int
+
+	// DeliverHops is the reporter's delivery hop-count distribution —
+	// merged across members (HistogramSnapshot.Merge) it measures the
+	// cluster's live rounds-to-convergence.
+	DeliverHops observe.HistogramSnapshot
+}

@@ -150,6 +150,18 @@ type Message struct {
 	// the receiver to retransmit.
 	Request []EventID
 
+	// Traced reports that the sender propagates wire trace context:
+	// each event's Hop counter rides the wire (wire v4's trace flag),
+	// so receivers stitch exact causal hop paths instead of the age
+	// approximation. Senders set it when a rumor tracer is attached.
+	Traced bool
+
+	// Health piggybacks gossip-disseminated node health digests
+	// (internal/health): each entry is one member's self-reported
+	// counters and delivery-hops histogram. Empty when health
+	// dissemination is off.
+	Health []HealthDigest
+
 	// Probe is the failure-detection subject: the node a KindPingReq
 	// asks the receiver to probe, or the node a relayed KindPing /
 	// KindPingAck is about. Empty for direct probes and non-probe
@@ -185,6 +197,7 @@ func (m *Message) CopyForSend() *Message {
 	c.Digest = append([]EventID(nil), m.Digest...)
 	c.Request = append([]EventID(nil), m.Request...)
 	c.Updates = append([]MemberUpdate(nil), m.Updates...)
+	c.Health = append([]HealthDigest(nil), m.Health...)
 	return &c
 }
 

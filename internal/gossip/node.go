@@ -359,10 +359,12 @@ func (n *Node) Tick() []Outgoing {
 	*msg = Message{
 		From:    n.id,
 		Round:   n.round,
+		Traced:  n.tracer != nil,
 		Events:  n.scratchEvents,
 		Subs:    msg.Subs[:0],
 		Unsubs:  msg.Unsubs[:0],
 		Updates: msg.Updates[:0],
+		Health:  msg.Health[:0],
 	}
 	for _, ext := range n.exts {
 		ext.OnTick(n, msg)
@@ -410,7 +412,7 @@ func (n *Node) traceFirstSends(msg *Message) {
 		n.tracer.Trace(observe.TraceEvent{
 			Origin: string(ev.ID.Origin), Seq: ev.ID.Seq,
 			Stage: observe.StageFirstSend, Node: string(n.id),
-			Hop: ev.Age, Round: n.round,
+			Hop: ev.Hop, Round: n.round,
 		})
 	}
 }
@@ -423,6 +425,15 @@ func (n *Node) Receive(msg *Message) {
 	n.stats.MessagesReceived++
 	n.stats.EventsReceived += uint64(len(msg.Events))
 	for _, ev := range msg.Events {
+		// ev is a value copy: adjust its hop count for this arrival.
+		// Senders propagating trace context (wire v4) carry exact hop
+		// counts — one more traversal landed the copy here; otherwise
+		// fall back to the age approximation.
+		if msg.Traced {
+			ev.Hop++
+		} else {
+			ev.Hop = ev.Age
+		}
 		if !n.seen.Add(ev.ID) {
 			n.stats.Duplicates++
 			if !n.buf.RaiseAge(ev.ID, ev.Age) {
@@ -434,14 +445,14 @@ func (n *Node) Receive(msg *Message) {
 			n.tracer.Trace(observe.TraceEvent{
 				Origin: string(ev.ID.Origin), Seq: ev.ID.Seq,
 				Stage: observe.StageReceive, Node: string(n.id),
-				Hop: ev.Age, Round: n.round,
+				From: string(msg.From), Hop: ev.Hop, Round: n.round,
 			})
 			n.deliverLocal(ev)
 			n.store(ev)
 			n.tracer.Trace(observe.TraceEvent{
 				Origin: string(ev.ID.Origin), Seq: ev.ID.Seq,
 				Stage: observe.StageDeliver, Node: string(n.id),
-				Hop: ev.Age, Round: n.round,
+				From: string(msg.From), Hop: ev.Hop, Round: n.round,
 			})
 			continue
 		}
@@ -456,7 +467,10 @@ func (n *Node) Receive(msg *Message) {
 func (n *Node) deliverLocal(ev Event) {
 	n.stats.Delivered++
 	if n.metrics != nil {
-		n.metrics.DeliverHops.ObserveInt(int64(ev.Age))
+		// ev.Hop equals ev.Age unless the sender carried wire trace
+		// context, so the histogram's semantics only sharpen (never
+		// shift) when tracing is enabled cluster-wide.
+		n.metrics.DeliverHops.ObserveInt(int64(ev.Hop))
 	}
 	if n.deliver != nil {
 		n.deliver(ev)
@@ -495,7 +509,7 @@ func (n *Node) notifyEvicted(evicted []Event, reason EvictReason) {
 			n.tracer.Trace(observe.TraceEvent{
 				Origin: string(e.ID.Origin), Seq: e.ID.Seq,
 				Stage: observe.StageDrop, Node: string(n.id),
-				Hop: e.Age, Round: n.round, Reason: rs,
+				Hop: e.Hop, Round: n.round, Reason: rs,
 			})
 		}
 	}

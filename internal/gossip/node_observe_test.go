@@ -88,11 +88,14 @@ func TestNodeTracePath(t *testing.T) {
 	if path[0].Node != "alpha" || path[2].Node != "beta" {
 		t.Fatalf("trace path nodes wrong: %+v", path)
 	}
-	if path[1].Hop != 1 {
-		t.Fatalf("first-send hop = %d, want 1 (aged once before emission)", path[1].Hop)
+	if path[1].Hop != 0 {
+		t.Fatalf("first-send hop = %d, want 0 (not yet traversed the wire)", path[1].Hop)
 	}
 	if path[3].Hop != 1 {
-		t.Fatalf("deliver hop = %d, want 1", path[3].Hop)
+		t.Fatalf("deliver hop = %d, want 1 (one wire traversal alpha→beta)", path[3].Hop)
+	}
+	if path[2].From != "alpha" || path[3].From != "alpha" {
+		t.Fatalf("receive/deliver sender attribution wrong: %+v", path[2:])
 	}
 }
 

@@ -1,0 +1,223 @@
+package health
+
+import (
+	"math/rand/v2"
+	"testing"
+	"time"
+
+	"adaptivegossip/internal/gossip"
+	"adaptivegossip/internal/membership"
+	"adaptivegossip/internal/observe"
+)
+
+func testNode(t *testing.T, id gossip.NodeID, exts ...gossip.Extension) *gossip.Node {
+	t.Helper()
+	reg := membership.NewRegistry(id, "peer-a", "peer-b")
+	n, err := gossip.NewNode(id, gossip.Params{
+		Fanout: 2, Period: time.Second, MaxEvents: 16, MaxAge: 5,
+	}, reg, rand.New(rand.NewPCG(1, 1)), gossip.WithExtensions(exts...))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return n
+}
+
+func fixedClock() time.Time { return time.Unix(1_700_000_000, 42e6) }
+
+func digestFor(node gossip.NodeID, round uint64) gossip.HealthDigest {
+	return gossip.HealthDigest{Node: node, Round: round, Delivered: round * 10}
+}
+
+func TestEngineDisabledIsNoOp(t *testing.T) {
+	e := New("self", Params{}, nil)
+	n := testNode(t, "self", e)
+	out := n.Tick()
+	if len(out) == 0 {
+		t.Fatal("expected fan-out")
+	}
+	if len(out[0].Msg.Health) != 0 {
+		t.Fatalf("disabled engine attached digests: %v", out[0].Msg.Health)
+	}
+	n.Receive(&gossip.Message{From: "peer-a", Health: []gossip.HealthDigest{digestFor("peer-a", 3)}})
+	if got := e.Members(); got != 0 {
+		t.Fatalf("disabled engine merged digests: %d members", got)
+	}
+}
+
+func TestEngineAttachesSelfAndRelays(t *testing.T) {
+	e := New("self", Params{Enabled: true, DigestsPerMessage: 3}, nil)
+	e.Now = fixedClock
+	n := testNode(t, "self", e)
+
+	out := n.Tick()
+	h := out[0].Msg.Health
+	if len(h) != 1 {
+		t.Fatalf("first tick: want own digest only, got %d", len(h))
+	}
+	if h[0].Node != "self" || h[0].WallMillis != uint64(fixedClock().UnixMilli()) {
+		t.Fatalf("own digest malformed: %+v", h[0])
+	}
+
+	// Learn four members; budget 3 = self + 2 relayed, round-robin.
+	for _, id := range []gossip.NodeID{"d", "b", "c", "a"} {
+		n.Receive(&gossip.Message{From: id, Health: []gossip.HealthDigest{digestFor(id, 1)}})
+	}
+	seen := map[gossip.NodeID]int{}
+	for i := 0; i < 2; i++ {
+		h = n.Tick()[0].Msg.Health
+		if len(h) != 3 {
+			t.Fatalf("tick %d: want 3 digests, got %d", i, len(h))
+		}
+		if h[0].Node != "self" {
+			t.Fatalf("tick %d: own digest not first: %v", i, h[0].Node)
+		}
+		for _, d := range h[1:] {
+			seen[d.Node]++
+		}
+	}
+	// Two ticks x two relays cycle the whole four-member ring once.
+	for _, id := range []gossip.NodeID{"a", "b", "c", "d"} {
+		if seen[id] != 1 {
+			t.Fatalf("round-robin skipped or repeated %s: %v", id, seen)
+		}
+	}
+}
+
+func TestEngineMergeFreshnessWins(t *testing.T) {
+	e := New("self", Params{Enabled: true}, nil)
+	n := testNode(t, "self", e)
+
+	n.Receive(&gossip.Message{From: "peer-a", Health: []gossip.HealthDigest{digestFor("peer-a", 5)}})
+	n.Receive(&gossip.Message{From: "peer-b", Health: []gossip.HealthDigest{
+		digestFor("peer-a", 3), // stale: ignored
+		digestFor("peer-a", 9), // fresher: wins
+		digestFor("self", 100), // about the receiver: ignored
+		{},                     // empty node: ignored
+		digestFor("peer-b", 1), // new member
+	}})
+
+	snap := e.Snapshot()
+	if len(snap) != 2 {
+		t.Fatalf("want 2 members (self has not ticked), got %d", len(snap))
+	}
+	if snap[0].Digest.Node != "peer-a" || snap[0].Digest.Round != 9 {
+		t.Fatalf("freshest digest did not win: %+v", snap[0].Digest)
+	}
+	if snap[1].Digest.Node != "peer-b" {
+		t.Fatalf("snapshot not sorted: %+v", snap)
+	}
+	st := e.Stats()
+	if st.DigestsReceived != 6 || st.DigestsMerged != 3 || st.DigestsIgnored != 3 {
+		t.Fatalf("stats mismatch: %+v", st)
+	}
+}
+
+func TestEngineMaxMembersBound(t *testing.T) {
+	e := New("self", Params{Enabled: true, MaxMembers: 2}, nil)
+	n := testNode(t, "self", e)
+	for _, id := range []gossip.NodeID{"a", "b", "c"} {
+		n.Receive(&gossip.Message{From: id, Health: []gossip.HealthDigest{digestFor(id, 1)}})
+	}
+	if got := e.Members(); got != 2 {
+		t.Fatalf("member table exceeded bound: %d", got)
+	}
+	if st := e.Stats(); st.DigestsIgnored != 1 {
+		t.Fatalf("over-capacity digest not counted ignored: %+v", st)
+	}
+}
+
+func TestEngineAugmentAndMergedHops(t *testing.T) {
+	e := New("self", Params{Enabled: true}, func(d *gossip.HealthDigest) {
+		d.BytesSent = 4096
+		d.DeliverHops = observe.HistogramSnapshot{Count: 2, Sum: 3}
+	})
+	e.Now = fixedClock
+	n := testNode(t, "self", e)
+	n.Tick()
+
+	remote := digestFor("peer-a", 1)
+	remote.DeliverHops = observe.HistogramSnapshot{Count: 5, Sum: 11}
+	n.Receive(&gossip.Message{From: "peer-a", Health: []gossip.HealthDigest{remote}})
+
+	snap := e.Snapshot()
+	var own *gossip.HealthDigest
+	for i := range snap {
+		if snap[i].Digest.Node == "self" {
+			own = &snap[i].Digest
+		}
+	}
+	if own == nil || own.BytesSent != 4096 {
+		t.Fatalf("augment did not reach self digest: %+v", snap)
+	}
+	merged := e.MergedDeliverHops()
+	if merged.Count != 7 || merged.Sum != 14 {
+		t.Fatalf("merged hops mismatch: %+v", merged)
+	}
+}
+
+func TestEngineStaleness(t *testing.T) {
+	e := New("self", Params{Enabled: true}, nil)
+	n := testNode(t, "self", e)
+	n.Receive(&gossip.Message{From: "peer-a", Health: []gossip.HealthDigest{digestFor("peer-a", 1)}})
+	n.Tick()
+	n.Tick()
+	n.Tick()
+	for _, m := range e.Snapshot() {
+		switch m.Digest.Node {
+		case "peer-a":
+			if m.StalenessRounds != 3 {
+				t.Fatalf("peer-a staleness: want 3 rounds, got %d", m.StalenessRounds)
+			}
+		case "self":
+			if m.StalenessRounds != 0 {
+				t.Fatalf("self staleness: want 0, got %d", m.StalenessRounds)
+			}
+		}
+	}
+}
+
+// TestConvergenceLargeCluster is the issue's acceptance experiment: at
+// n>=1000 nodes the piggybacked digests must reach full cluster
+// coverage, and coverage must be monotonically non-decreasing.
+func TestConvergenceLargeCluster(t *testing.T) {
+	n := 1000
+	if testing.Short() || raceEnabled {
+		n = 200
+	}
+	res, err := RunConvergence(n, 4, 64, 100, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.RoundsToFull == 0 {
+		last := res.Trace[len(res.Trace)-1]
+		t.Fatalf("no full coverage after %d rounds: min=%.3f mean=%.3f full=%d",
+			len(res.Trace), last.MinCoverage, last.MeanCoverage, last.FullNodes)
+	}
+	t.Logf("n=%d fanout=4 digests/msg=64: full coverage in %d rounds", n, res.RoundsToFull)
+	prev := 0.0
+	for _, r := range res.Trace {
+		if r.MeanCoverage+1e-9 < prev {
+			t.Fatalf("mean coverage regressed at round %d: %.4f < %.4f", r.Round, r.MeanCoverage, prev)
+		}
+		prev = r.MeanCoverage
+	}
+}
+
+func TestConvergenceSmall(t *testing.T) {
+	res, err := RunConvergence(8, 3, 4, 50, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.RoundsToFull == 0 {
+		t.Fatal("8-node cluster did not converge in 50 rounds")
+	}
+	if res.Trace[len(res.Trace)-1].FullNodes != 8 {
+		t.Fatalf("last round not full: %+v", res.Trace[len(res.Trace)-1])
+	}
+}
+
+func TestConvergenceRejectsTinyCluster(t *testing.T) {
+	if _, err := RunConvergence(1, 2, 4, 10, 1); err == nil {
+		t.Fatal("1-node cluster accepted")
+	}
+}

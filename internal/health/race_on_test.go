@@ -1,0 +1,7 @@
+//go:build race
+
+package health
+
+// raceEnabled reports whether the race detector is active; large-scale
+// convergence tests shrink under it.
+const raceEnabled = true

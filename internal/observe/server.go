@@ -14,8 +14,9 @@ import (
 
 // Server is the opt-in debug listener: it serves every registered
 // instrument as expvar-style JSON on /debug/vars, as Prometheus text
-// format on /metrics, the runtime profiles on /debug/pprof/, and the
-// retained rumor traces on /debug/gossip/traces. A Server is bound at
+// format on /metrics, the runtime profiles on /debug/pprof/, the
+// retained rumor traces on /debug/gossip/traces, and the merged cluster
+// health view on /debug/gossip/cluster. A Server is bound at
 // construction and serves until Close.
 //
 // Registration is name-keyed; names should be Prometheus-compatible
@@ -27,12 +28,14 @@ type Server struct {
 	ln  net.Listener
 	srv *http.Server
 
-	mu     sync.Mutex
-	vars   map[string]func() any
-	gauges map[string]func() float64
-	counts map[string]func() uint64
-	hists  map[string]func() HistogramSnapshot
-	traces func() []TraceRecord
+	mu      sync.Mutex
+	vars    map[string]func() any
+	gauges  map[string]func() float64
+	counts  map[string]func() uint64
+	hists   map[string]func() HistogramSnapshot
+	traces  func() []TraceRecord
+	peers   func() []PeerSnapshot
+	cluster func() any
 }
 
 // NewServer binds addr (host:port; ":0" picks a free port) and starts
@@ -53,6 +56,7 @@ func NewServer(addr string) (*Server, error) {
 	mux.HandleFunc("/debug/vars", s.serveVars)
 	mux.HandleFunc("/metrics", s.serveMetrics)
 	mux.HandleFunc("/debug/gossip/traces", s.serveTraces)
+	mux.HandleFunc("/debug/gossip/cluster", s.serveCluster)
 	mux.HandleFunc("/debug/pprof/", pprof.Index)
 	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
 	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
@@ -108,28 +112,63 @@ func (s *Server) PublishTraces(fn func() []TraceRecord) {
 	s.traces = fn
 }
 
-// snapshotRegistry copies the registration maps so scrapes never hold
-// the registration lock while running snapshot functions.
-func (s *Server) snapshotRegistry() (vars map[string]func() any, counts map[string]func() uint64, gauges map[string]func() float64, hists map[string]func() HistogramSnapshot, traces func() []TraceRecord) {
+// PublishPeers registers the per-peer link stats source. Peers are
+// rendered as labeled metric families on /metrics and as the
+// "gossip_peers" array on /debug/vars; the snapshot must already be
+// sorted by peer id (PeerTable.Snapshot is).
+func (s *Server) PublishPeers(fn func() []PeerSnapshot) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	vars = make(map[string]func() any, len(s.vars))
+	s.peers = fn
+}
+
+// PublishCluster registers the merged cluster health view served as
+// JSON on /debug/gossip/cluster. The snapshot function must return a
+// JSON-marshalable value; nil deregisters (the endpoint serves []).
+func (s *Server) PublishCluster(fn func() any) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.cluster = fn
+}
+
+// registry is a point-in-time copy of the Server's registrations.
+type registry struct {
+	vars    map[string]func() any
+	counts  map[string]func() uint64
+	gauges  map[string]func() float64
+	hists   map[string]func() HistogramSnapshot
+	traces  func() []TraceRecord
+	peers   func() []PeerSnapshot
+	cluster func() any
+}
+
+// snapshotRegistry copies the registration maps so scrapes never hold
+// the registration lock while running snapshot functions.
+func (s *Server) snapshotRegistry() registry {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	r := registry{
+		vars:    make(map[string]func() any, len(s.vars)),
+		counts:  make(map[string]func() uint64, len(s.counts)),
+		gauges:  make(map[string]func() float64, len(s.gauges)),
+		hists:   make(map[string]func() HistogramSnapshot, len(s.hists)),
+		traces:  s.traces,
+		peers:   s.peers,
+		cluster: s.cluster,
+	}
 	for k, v := range s.vars {
-		vars[k] = v
+		r.vars[k] = v
 	}
-	counts = make(map[string]func() uint64, len(s.counts))
 	for k, v := range s.counts {
-		counts[k] = v
+		r.counts[k] = v
 	}
-	gauges = make(map[string]func() float64, len(s.gauges))
 	for k, v := range s.gauges {
-		gauges[k] = v
+		r.gauges[k] = v
 	}
-	hists = make(map[string]func() HistogramSnapshot, len(s.hists))
 	for k, v := range s.hists {
-		hists[k] = v
+		r.hists[k] = v
 	}
-	return vars, counts, gauges, hists, s.traces
+	return r
 }
 
 // serveVars renders every registered instrument as one JSON object, in
@@ -137,27 +176,38 @@ func (s *Server) snapshotRegistry() (vars map[string]func() any, counts map[stri
 // histograms as summary objects, vars as their marshaled snapshots,
 // plus the standard "memstats" block.
 func (s *Server) serveVars(w http.ResponseWriter, _ *http.Request) {
-	vars, counts, gauges, hists, _ := s.snapshotRegistry()
-	out := make(map[string]any, len(vars)+len(counts)+len(gauges)+len(hists)+1)
-	for name, fn := range vars {
+	reg := s.snapshotRegistry()
+	out := make(map[string]any, len(reg.vars)+len(reg.counts)+len(reg.gauges)+len(reg.hists)+2)
+	for name, fn := range reg.vars {
 		out[name] = fn()
 	}
-	for name, fn := range counts {
+	for name, fn := range reg.counts {
 		out[name] = fn()
 	}
-	for name, fn := range gauges {
+	for name, fn := range reg.gauges {
 		out[name] = fn()
 	}
-	for name, fn := range hists {
+	for name, fn := range reg.hists {
 		snap := fn()
-		out[name] = map[string]any{
-			"count": snap.Count,
-			"sum":   snap.Sum,
-			"mean":  snap.Mean(),
-			"p50":   snap.Quantile(0.50),
-			"p95":   snap.Quantile(0.95),
-			"p99":   snap.Quantile(0.99),
+		out[name] = histogramSummary(snap)
+	}
+	if reg.peers != nil {
+		peers := reg.peers()
+		rows := make([]map[string]any, 0, len(peers))
+		for _, p := range peers {
+			rows = append(rows, map[string]any{
+				"peer":              p.Peer,
+				"messages_sent":     p.MessagesSent,
+				"bytes_sent":        p.BytesSent,
+				"messages_received": p.MessagesReceived,
+				"bytes_received":    p.BytesReceived,
+				"fanout_sends":      p.FanoutSends,
+				"drops":             p.Drops,
+				"send_errors":       p.SendErrors,
+				"rtt_micros":        histogramSummary(p.RTT),
+			})
 		}
+		out["gossip_peers"] = rows
 	}
 	var ms runtime.MemStats
 	runtime.ReadMemStats(&ms)
@@ -173,47 +223,118 @@ func (s *Server) serveVars(w http.ResponseWriter, _ *http.Request) {
 	enc.Encode(out)
 }
 
-// serveMetrics renders the Prometheus text exposition format.
+// serveMetrics renders the Prometheus text exposition format. Every
+// section iterates sorted names (and, for per-peer families, sorted
+// peer ids), so two scrapes of an idle process produce byte-identical
+// bodies and scrapes diff cleanly.
 func (s *Server) serveMetrics(w http.ResponseWriter, _ *http.Request) {
-	_, counts, gauges, hists, _ := s.snapshotRegistry()
+	reg := s.snapshotRegistry()
 	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
 	var b strings.Builder
-	for _, name := range sortedKeys(counts) {
-		fmt.Fprintf(&b, "# TYPE %s counter\n%s %d\n", name, name, counts[name]())
+	for _, name := range sortedKeys(reg.counts) {
+		fmt.Fprintf(&b, "# TYPE %s counter\n%s %d\n", name, name, reg.counts[name]())
 	}
-	for _, name := range sortedKeys(gauges) {
-		fmt.Fprintf(&b, "# TYPE %s gauge\n%s %g\n", name, name, gauges[name]())
+	for _, name := range sortedKeys(reg.gauges) {
+		fmt.Fprintf(&b, "# TYPE %s gauge\n%s %g\n", name, name, reg.gauges[name]())
 	}
-	for _, name := range sortedKeys(hists) {
-		snap := hists[name]()
+	for _, name := range sortedKeys(reg.hists) {
 		fmt.Fprintf(&b, "# TYPE %s histogram\n", name)
-		var cum uint64
-		for i, c := range snap.Buckets {
-			if c == 0 {
-				continue
-			}
-			cum += c
-			fmt.Fprintf(&b, "%s_bucket{le=\"%d\"} %d\n", name, BucketHigh(i)-1, cum)
-		}
-		fmt.Fprintf(&b, "%s_bucket{le=\"+Inf\"} %d\n", name, snap.Count)
-		fmt.Fprintf(&b, "%s_sum %d\n%s_count %d\n", name, snap.Sum, name, snap.Count)
+		writeHistogram(&b, name, "", reg.hists[name]())
+	}
+	if reg.peers != nil {
+		writePeerMetrics(&b, reg.peers())
 	}
 	w.Write([]byte(b.String()))
 }
 
+// writeHistogram renders one histogram family (cumulative le buckets,
+// _sum, _count). labels, when non-empty, is an already-rendered label
+// list without braces (`peer="a"`) applied to every sample; the le
+// label is appended after it on bucket lines.
+func writeHistogram(b *strings.Builder, name, labels string, snap HistogramSnapshot) {
+	sep := ""
+	if labels != "" {
+		sep = ","
+	}
+	var cum uint64
+	for i, c := range snap.Buckets {
+		if c == 0 {
+			continue
+		}
+		cum += c
+		fmt.Fprintf(b, "%s_bucket{%s%sle=\"%d\"} %d\n", name, labels, sep, BucketHigh(i)-1, cum)
+	}
+	fmt.Fprintf(b, "%s_bucket{%s%sle=\"+Inf\"} %d\n", name, labels, sep, snap.Count)
+	if labels == "" {
+		fmt.Fprintf(b, "%s_sum %d\n%s_count %d\n", name, snap.Sum, name, snap.Count)
+	} else {
+		fmt.Fprintf(b, "%s_sum{%s} %d\n%s_count{%s} %d\n", name, labels, snap.Sum, name, labels, snap.Count)
+	}
+}
+
+// peerCounterFamilies maps each per-peer counter family, in exposition
+// order, to its snapshot field.
+var peerCounterFamilies = []struct {
+	name string
+	get  func(PeerSnapshot) uint64
+}{
+	{"gossip_peer_bytes_received_total", func(p PeerSnapshot) uint64 { return p.BytesReceived }},
+	{"gossip_peer_bytes_sent_total", func(p PeerSnapshot) uint64 { return p.BytesSent }},
+	{"gossip_peer_drops_total", func(p PeerSnapshot) uint64 { return p.Drops }},
+	{"gossip_peer_fanout_sends_total", func(p PeerSnapshot) uint64 { return p.FanoutSends }},
+	{"gossip_peer_messages_received_total", func(p PeerSnapshot) uint64 { return p.MessagesReceived }},
+	{"gossip_peer_messages_sent_total", func(p PeerSnapshot) uint64 { return p.MessagesSent }},
+	{"gossip_peer_send_errors_total", func(p PeerSnapshot) uint64 { return p.SendErrors }},
+}
+
+// writePeerMetrics renders the per-peer link families with a peer
+// label. Families are emitted in fixed (sorted) order and peers arrive
+// sorted from PeerTable.Snapshot, so the exposition is stable.
+func writePeerMetrics(b *strings.Builder, peers []PeerSnapshot) {
+	if len(peers) == 0 {
+		return
+	}
+	for _, fam := range peerCounterFamilies {
+		fmt.Fprintf(b, "# TYPE %s counter\n", fam.name)
+		for _, p := range peers {
+			// %q escapes backslash, quote and newline — exactly the
+			// Prometheus label-value escapes.
+			fmt.Fprintf(b, "%s{peer=%q} %d\n", fam.name, p.Peer, fam.get(p))
+		}
+	}
+	fmt.Fprintf(b, "# TYPE gossip_peer_rtt_micros histogram\n")
+	for _, p := range peers {
+		writeHistogram(b, "gossip_peer_rtt_micros",
+			fmt.Sprintf("peer=%q", p.Peer), p.RTT)
+	}
+}
+
+// histogramSummary is the /debug/vars JSON rendering of a histogram.
+func histogramSummary(snap HistogramSnapshot) map[string]any {
+	return map[string]any{
+		"count": snap.Count,
+		"sum":   snap.Sum,
+		"mean":  snap.Mean(),
+		"p50":   snap.Quantile(0.50),
+		"p95":   snap.Quantile(0.95),
+		"p99":   snap.Quantile(0.99),
+	}
+}
+
 // serveTraces renders the retained rumor-lifecycle records as JSON.
 func (s *Server) serveTraces(w http.ResponseWriter, _ *http.Request) {
-	_, _, _, _, traces := s.snapshotRegistry()
+	reg := s.snapshotRegistry()
 	w.Header().Set("Content-Type", "application/json; charset=utf-8")
-	if traces == nil {
+	if reg.traces == nil {
 		w.Write([]byte("[]\n"))
 		return
 	}
-	recs := traces()
+	recs := reg.traces()
 	type rec struct {
 		Event string `json:"event"`
 		Stage string `json:"stage"`
 		Node  string `json:"node"`
+		From  string `json:"from,omitempty"`
 		Hop   int    `json:"hop"`
 		Round uint64 `json:"round"`
 		Rsn   string `json:"reason,omitempty"`
@@ -226,6 +347,7 @@ func (s *Server) serveTraces(w http.ResponseWriter, _ *http.Request) {
 			Event: fmt.Sprintf("%s/%d", r.Origin, r.Seq),
 			Stage: r.Stage.String(),
 			Node:  r.Node,
+			From:  r.From,
 			Hop:   r.Hop,
 			Round: r.Round,
 			Rsn:   r.Reason,
@@ -236,6 +358,27 @@ func (s *Server) serveTraces(w http.ResponseWriter, _ *http.Request) {
 	enc := json.NewEncoder(w)
 	enc.SetIndent("", "  ")
 	enc.Encode(out)
+}
+
+// serveCluster renders the merged cluster health view as JSON. With no
+// registered source (health digests disabled, or a facade with no
+// cluster view) it serves an empty array so pollers can treat the
+// endpoint uniformly.
+func (s *Server) serveCluster(w http.ResponseWriter, _ *http.Request) {
+	reg := s.snapshotRegistry()
+	w.Header().Set("Content-Type", "application/json; charset=utf-8")
+	if reg.cluster == nil {
+		w.Write([]byte("[]\n"))
+		return
+	}
+	v := reg.cluster()
+	if v == nil {
+		w.Write([]byte("[]\n"))
+		return
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	enc.Encode(v)
 }
 
 func sortedKeys[V any](m map[string]V) []string {

@@ -128,6 +128,148 @@ func TestServerTracesEndpoint(t *testing.T) {
 	}
 }
 
+// getWithType fetches url and returns (body, Content-Type).
+func getWithType(t *testing.T, url string) (string, string) {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatalf("GET %s: %v", url, err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("GET %s: status %d", url, resp.StatusCode)
+	}
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return string(body), resp.Header.Get("Content-Type")
+}
+
+// TestServerContentTypes: every observability endpoint declares its
+// media type — Prometheus text exposition v0.0.4 on /metrics, JSON
+// everywhere else.
+func TestServerContentTypes(t *testing.T) {
+	s := startTestServer(t)
+	s.PublishCounter("gossip_delivered_total", func() uint64 { return 1 })
+	for url, want := range map[string]string{
+		"/metrics":              "text/plain; version=0.0.4; charset=utf-8",
+		"/debug/vars":           "application/json; charset=utf-8",
+		"/debug/gossip/traces":  "application/json; charset=utf-8",
+		"/debug/gossip/cluster": "application/json; charset=utf-8",
+	} {
+		if _, ct := getWithType(t, "http://"+s.Addr()+url); ct != want {
+			t.Fatalf("%s Content-Type = %q, want %q", url, ct, want)
+		}
+	}
+}
+
+// TestServerMetricsStableOrder: /metrics iterates sorted names and
+// sorted peer ids, so two scrapes of an idle process are byte-identical
+// and families appear in lexicographic order regardless of
+// registration order.
+func TestServerMetricsStableOrder(t *testing.T) {
+	s := startTestServer(t)
+	// Register intentionally out of order.
+	s.PublishCounter("gossip_z_total", func() uint64 { return 3 })
+	s.PublishCounter("gossip_a_total", func() uint64 { return 1 })
+	s.PublishCounter("gossip_m_total", func() uint64 { return 2 })
+	pt := NewPeerTable(8)
+	pt.Get("zeta").MessagesSent.Inc()
+	pt.Get("alpha").MessagesSent.Inc()
+	s.PublishPeers(pt.Snapshot)
+
+	first := get(t, "http://"+s.Addr()+"/metrics")
+	second := get(t, "http://"+s.Addr()+"/metrics")
+	if first != second {
+		t.Fatalf("idle scrapes differ:\n--- first ---\n%s\n--- second ---\n%s", first, second)
+	}
+	for _, pair := range [][2]string{
+		{"gossip_a_total", "gossip_m_total"},
+		{"gossip_m_total", "gossip_z_total"},
+		{`gossip_peer_messages_sent_total{peer="alpha"}`, `gossip_peer_messages_sent_total{peer="zeta"}`},
+	} {
+		i, j := strings.Index(first, pair[0]), strings.Index(first, pair[1])
+		if i < 0 || j < 0 || i > j {
+			t.Fatalf("%q must precede %q in /metrics:\n%s", pair[0], pair[1], first)
+		}
+	}
+}
+
+// TestServerPeerMetrics: the per-peer families render with peer labels
+// on /metrics and as the gossip_peers array on /debug/vars.
+func TestServerPeerMetrics(t *testing.T) {
+	s := startTestServer(t)
+	pt := NewPeerTable(8)
+	ps := pt.Get("b")
+	ps.MessagesSent.Add(4)
+	ps.BytesSent.Add(512)
+	ps.RTTMicros.ObserveInt(1500)
+	s.PublishPeers(pt.Snapshot)
+
+	metrics := get(t, "http://"+s.Addr()+"/metrics")
+	for _, want := range []string{
+		"# TYPE gossip_peer_messages_sent_total counter",
+		`gossip_peer_messages_sent_total{peer="b"} 4`,
+		`gossip_peer_bytes_sent_total{peer="b"} 512`,
+		"# TYPE gossip_peer_rtt_micros histogram",
+		`gossip_peer_rtt_micros_count{peer="b"} 1`,
+		`gossip_peer_rtt_micros_sum{peer="b"} 1500`,
+	} {
+		if !strings.Contains(metrics, want) {
+			t.Fatalf("/metrics missing %q:\n%s", want, metrics)
+		}
+	}
+
+	body := get(t, "http://"+s.Addr()+"/debug/vars")
+	var out map[string]any
+	if err := json.Unmarshal([]byte(body), &out); err != nil {
+		t.Fatal(err)
+	}
+	rows, ok := out["gossip_peers"].([]any)
+	if !ok || len(rows) != 1 {
+		t.Fatalf("gossip_peers = %v", out["gossip_peers"])
+	}
+	row := rows[0].(map[string]any)
+	if row["peer"] != "b" || row["messages_sent"] != float64(4) {
+		t.Fatalf("peer row = %v", row)
+	}
+	if rtt, ok := row["rtt_micros"].(map[string]any); !ok || rtt["count"] != float64(1) {
+		t.Fatalf("peer rtt summary = %v", row["rtt_micros"])
+	}
+}
+
+// TestServerClusterEndpoint: /debug/gossip/cluster serves [] without a
+// source and the registered view's JSON with one.
+func TestServerClusterEndpoint(t *testing.T) {
+	s := startTestServer(t)
+	body := get(t, "http://"+s.Addr()+"/debug/gossip/cluster")
+	if strings.TrimSpace(body) != "[]" {
+		t.Fatalf("cluster endpoint without source should return [], got %q", body)
+	}
+
+	type member struct {
+		Node  string `json:"node"`
+		Round uint64 `json:"round"`
+	}
+	s.PublishCluster(func() any { return []member{{Node: "a", Round: 7}, {Node: "b", Round: 3}} })
+	body = get(t, "http://"+s.Addr()+"/debug/gossip/cluster")
+	var view []member
+	if err := json.Unmarshal([]byte(body), &view); err != nil {
+		t.Fatalf("cluster output is not JSON: %v\n%s", err, body)
+	}
+	if len(view) != 2 || view[0].Node != "a" || view[0].Round != 7 {
+		t.Fatalf("cluster view = %v", view)
+	}
+
+	// A source that returns nil degrades back to [].
+	s.PublishCluster(func() any { return nil })
+	body = get(t, "http://"+s.Addr()+"/debug/gossip/cluster")
+	if strings.TrimSpace(body) != "[]" {
+		t.Fatalf("nil view should serve [], got %q", body)
+	}
+}
+
 func TestServerPprofEndpoint(t *testing.T) {
 	s := startTestServer(t)
 	body := get(t, "http://"+s.Addr()+"/debug/pprof/cmdline")

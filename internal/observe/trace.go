@@ -46,8 +46,11 @@ func (s TraceStage) String() string {
 
 // TraceEvent is one sampled rumor-lifecycle transition. Origin and Seq
 // identify the rumor (they are the two halves of its event ID); Node is
-// where the transition happened; Hop is the event's age at the
-// transition (ages advance once per round at every holder, so the age
+// where the transition happened; From is the sending node for
+// StageReceive/StageDeliver when known (empty at the origin's own
+// stages); Hop is the rumor's hop count at the transition — exact when
+// the sender propagated wire trace context (wire v4), otherwise the
+// event's age (ages advance once per round at every holder, so the age
 // approximates the hop count); Round is the observing node's gossip
 // round. Reason is set for StageDrop ("capacity", "expired", "resize").
 //
@@ -58,6 +61,7 @@ type TraceEvent struct {
 	Seq    uint64
 	Stage  TraceStage
 	Node   string
+	From   string
 	Hop    int
 	Round  uint64
 	Reason string

@@ -16,6 +16,7 @@ import (
 	"adaptivegossip/internal/core"
 	"adaptivegossip/internal/failure"
 	"adaptivegossip/internal/gossip"
+	"adaptivegossip/internal/health"
 	"adaptivegossip/internal/observe"
 	"adaptivegossip/internal/recovery"
 	"adaptivegossip/internal/transport"
@@ -268,6 +269,7 @@ type NodeSnapshot struct {
 	Adaptive    core.AdaptiveStats
 	Recovery    recovery.Stats
 	Failure     failure.Stats
+	Health      health.Stats
 }
 
 // Snapshot captures the node state, serialized with the loop. The zero
@@ -285,8 +287,27 @@ func (r *Runner) Snapshot() NodeSnapshot {
 			Adaptive:    n.Stats(),
 			Recovery:    n.RecoveryStats(),
 			Failure:     n.FailureStats(),
+			Health:      n.HealthStats(),
 		}
 	})
+	return snap
+}
+
+// ClusterHealth returns the node's converged view of the cluster's
+// health digests, serialized with the loop (nil when dissemination is
+// disabled or the runner has stopped).
+func (r *Runner) ClusterHealth() []health.MemberHealth {
+	var view []health.MemberHealth
+	r.Do(func(n *core.AdaptiveNode) { view = n.ClusterHealth() })
+	return view
+}
+
+// ClusterDeliverHops returns the cluster-merged delivery-hop histogram,
+// serialized with the loop (zero when dissemination is disabled or the
+// runner has stopped).
+func (r *Runner) ClusterDeliverHops() observe.HistogramSnapshot {
+	var snap observe.HistogramSnapshot
+	r.Do(func(n *core.AdaptiveNode) { snap = n.ClusterDeliverHops() })
 	return snap
 }
 

@@ -16,9 +16,10 @@ import (
 // Wire format (big endian):
 //
 //	magic   [3]byte "AGB"
-//	version u8      = 3
+//	version u8      = 4
 //	flags   u8      bit0: adaptation header present
 //	                bit1: group tag present
+//	                bit2: trace context present (v4)
 //	kind    u8      message kind (gossip | recovery request/response |
 //	                ping | ping-ack | ping-req)
 //	from    u16 len + bytes
@@ -33,19 +34,35 @@ import (
 //	updates u16 count, each: node u16 len + bytes, status u8,
 //	        incarnation u64
 //	events  u32 count, each: origin u16 len + bytes, seq u64, age u32,
+//	        [if traced] hop u16,
 //	        payload u32 len + bytes
 //	subs    u16 count, each: u16 len + bytes
 //	unsubs  u16 count, each: u16 len + bytes
+//	health  u16 count (v4), each:
+//	        node u16 len + bytes, round u64, wallMillis u64,
+//	        published u64, delivered u64, droppedCapacity u64,
+//	        droppedExpired u64, messagesSent u64, messagesReceived u64,
+//	        bytesSent u64, bytesReceived u64,
+//	        bufferLen i32, bufferCap i32,
+//	        hopsCount u64, hopsSum u64,
+//	        buckets u8 count, each: index u8, value u64
+//	        (bucket indexes strictly increasing, values non-zero —
+//	        the canonical form, enforced on decode)
 //
 // Version 2 added the kind byte and the digest/request id lists (the
 // anti-entropy recovery traffic). Version 3 added the probe kinds and
 // the probe/probeSeq/updates fields (SWIM-style failure detection).
-// Older versions' payloads are rejected.
+// Version 4 added the per-event trace context (the traced flag and hop
+// counters) and the trailing health-digest section; version 3 payloads
+// still decode (no trace context, no health). Older versions' payloads
+// are rejected.
 const (
-	codecVersion = 3
-	flagAdaptive = 1 << 0
-	flagGroup    = 1 << 1
-	maxUint16    = 1<<16 - 1
+	codecVersion     = 4
+	prevCodecVersion = 3
+	flagAdaptive     = 1 << 0
+	flagGroup        = 1 << 1
+	flagTraced       = 1 << 2
+	maxUint16        = 1<<16 - 1
 )
 
 var codecMagic = [3]byte{'A', 'G', 'B'}
@@ -126,6 +143,9 @@ func (c Codec) appendEncode(buf []byte, m *gossip.Message) []byte {
 	if m.Group != "" {
 		flags |= flagGroup
 	}
+	if m.Traced {
+		flags |= flagTraced
+	}
 	buf = append(buf, flags)
 	buf = append(buf, byte(m.Kind))
 	buf = appendString(buf, string(m.From))
@@ -162,6 +182,9 @@ func (c Codec) appendEncode(buf []byte, m *gossip.Message) []byte {
 		buf = appendString(buf, string(ev.ID.Origin))
 		buf = binary.BigEndian.AppendUint64(buf, ev.ID.Seq)
 		buf = binary.BigEndian.AppendUint32(buf, uint32(ev.Age))
+		if m.Traced {
+			buf = binary.BigEndian.AppendUint16(buf, uint16(ev.Hop))
+		}
 		buf = binary.BigEndian.AppendUint32(buf, uint32(len(ev.Payload)))
 		buf = append(buf, ev.Payload...)
 	}
@@ -172,6 +195,46 @@ func (c Codec) appendEncode(buf []byte, m *gossip.Message) []byte {
 	buf = binary.BigEndian.AppendUint16(buf, uint16(len(m.Unsubs)))
 	for _, s := range m.Unsubs {
 		buf = appendString(buf, string(s))
+	}
+	buf = binary.BigEndian.AppendUint16(buf, uint16(len(m.Health)))
+	for i := range m.Health {
+		buf = appendHealthDigest(buf, &m.Health[i])
+	}
+	return buf
+}
+
+// appendHealthDigest writes one health digest: fixed counters, then the
+// delivery-hops histogram in sparse canonical form (only non-zero
+// buckets, indexes ascending).
+func appendHealthDigest(buf []byte, d *gossip.HealthDigest) []byte {
+	buf = appendString(buf, string(d.Node))
+	buf = binary.BigEndian.AppendUint64(buf, d.Round)
+	buf = binary.BigEndian.AppendUint64(buf, d.WallMillis)
+	buf = binary.BigEndian.AppendUint64(buf, d.Published)
+	buf = binary.BigEndian.AppendUint64(buf, d.Delivered)
+	buf = binary.BigEndian.AppendUint64(buf, d.DroppedCapacity)
+	buf = binary.BigEndian.AppendUint64(buf, d.DroppedExpired)
+	buf = binary.BigEndian.AppendUint64(buf, d.MessagesSent)
+	buf = binary.BigEndian.AppendUint64(buf, d.MessagesReceived)
+	buf = binary.BigEndian.AppendUint64(buf, d.BytesSent)
+	buf = binary.BigEndian.AppendUint64(buf, d.BytesReceived)
+	buf = binary.BigEndian.AppendUint32(buf, uint32(int32(d.BufferLen)))
+	buf = binary.BigEndian.AppendUint32(buf, uint32(int32(d.BufferCap)))
+	buf = binary.BigEndian.AppendUint64(buf, d.DeliverHops.Count)
+	buf = binary.BigEndian.AppendUint64(buf, d.DeliverHops.Sum)
+	var nb byte
+	for _, b := range d.DeliverHops.Buckets {
+		if b != 0 {
+			nb++
+		}
+	}
+	buf = append(buf, nb)
+	for i, b := range d.DeliverHops.Buckets {
+		if b == 0 {
+			continue
+		}
+		buf = append(buf, byte(i))
+		buf = binary.BigEndian.AppendUint64(buf, b)
 	}
 	return buf
 }
@@ -224,6 +287,20 @@ func (c Codec) validateForEncode(m *gossip.Message) error {
 		if ev.Age < 0 {
 			return fmt.Errorf("transport: negative age %d", ev.Age)
 		}
+		// Hop only rides the wire on traced messages, as a u16. Rejecting
+		// (rather than clamping) out-of-range hops keeps the encoding
+		// exact: decode(encode(m)) == m.
+		if m.Traced && (ev.Hop < 0 || ev.Hop > maxUint16) {
+			return fmt.Errorf("%w: hop count %d", ErrTooLarge, ev.Hop)
+		}
+	}
+	if len(m.Health) > maxUint16 {
+		return fmt.Errorf("%w: %d health digests", ErrTooLarge, len(m.Health))
+	}
+	for _, d := range m.Health {
+		if len(d.Node) > c.MaxIDLen {
+			return fmt.Errorf("%w: health digest id %d bytes", ErrTooLarge, len(d.Node))
+		}
 	}
 	for _, e := range m.KMin {
 		if len(e.Node) > c.MaxIDLen {
@@ -270,7 +347,7 @@ func (c Codec) encodedSize(m *gossip.Message) int {
 	}
 	n += 4
 	for _, ev := range m.Events {
-		n += eventWireSize(ev)
+		n += eventWireSize(ev, m.Traced)
 	}
 	n += 2
 	for _, s := range m.Subs {
@@ -280,11 +357,31 @@ func (c Codec) encodedSize(m *gossip.Message) int {
 	for _, s := range m.Unsubs {
 		n += 2 + len(s)
 	}
+	n += 2
+	for i := range m.Health {
+		n += healthDigestWireSize(&m.Health[i])
+	}
 	return n
 }
 
-func eventWireSize(ev gossip.Event) int {
-	return 2 + len(ev.ID.Origin) + 8 + 4 + 4 + len(ev.Payload)
+func eventWireSize(ev gossip.Event, traced bool) int {
+	n := 2 + len(ev.ID.Origin) + 8 + 4 + 4 + len(ev.Payload)
+	if traced {
+		n += 2
+	}
+	return n
+}
+
+func healthDigestWireSize(d *gossip.HealthDigest) int {
+	// node + round/wallMillis + 8 counters + bufferLen/Cap + hist
+	// count/sum + bucket count byte.
+	n := 2 + len(d.Node) + 8 + 8 + 8*8 + 4 + 4 + 8 + 8 + 1
+	for _, b := range d.DeliverHops.Buckets {
+		if b != 0 {
+			n += 9
+		}
+	}
+	return n
 }
 
 // EncodeChunks encodes m into one or more datagrams of at most maxSize
@@ -304,19 +401,23 @@ func (c Codec) EncodeChunks(m *gossip.Message, maxSize int) ([][]byte, error) {
 	}
 	head := *m
 	head.Events = nil
-	// The digest is advisory (a repair hint, rebroadcast every round):
-	// trim it rather than fail when the fixed headers alone would leave
-	// no room for events — e.g. MTU-sized datagram bounds with a large
-	// recovery digest.
+	// The digest and health sections are advisory (repair hints and
+	// telemetry, rebroadcast every round): trim them rather than fail
+	// when the fixed headers alone would leave no room for events —
+	// e.g. MTU-sized datagram bounds with a large recovery digest.
 	for len(head.Digest) > 0 && c.encodedSize(&head) > maxSize/2 {
 		head.Digest = head.Digest[:len(head.Digest)-1]
+	}
+	for len(head.Health) > 0 && c.encodedSize(&head) > maxSize/2 {
+		head.Health = head.Health[:len(head.Health)-1]
 	}
 	if hb := c.encodedSize(&head); hb > maxSize {
 		return nil, fmt.Errorf("%w: %d-byte message header cannot fit a %d-byte datagram",
 			ErrTooLarge, hb, maxSize)
 	}
 	rest := gossip.Message{Kind: m.Kind, From: m.From, Group: m.Group, Round: m.Round,
-		Adaptive: m.Adaptive, SamplePeriod: m.SamplePeriod, MinBuff: m.MinBuff}
+		Adaptive: m.Adaptive, SamplePeriod: m.SamplePeriod, MinBuff: m.MinBuff,
+		Traced: m.Traced}
 	headBase := c.encodedSize(&head)
 	restBase := c.encodedSize(&rest)
 
@@ -325,7 +426,7 @@ func (c Codec) EncodeChunks(m *gossip.Message, maxSize int) ([][]byte, error) {
 	base := headBase
 	size := base
 	for _, ev := range m.Events {
-		evSize := eventWireSize(ev)
+		evSize := eventWireSize(ev, m.Traced)
 		if base+evSize > maxSize {
 			return nil, fmt.Errorf("%w: event %s (%d bytes) cannot fit a %d-byte datagram",
 				ErrTooLarge, ev.ID, evSize, maxSize)
@@ -423,7 +524,11 @@ func (c Codec) Decode(data []byte) (*gossip.Message, error) {
 	if err := r.need(4); err != nil {
 		return nil, err
 	}
-	if data[0] != codecMagic[0] || data[1] != codecMagic[1] || data[2] != codecMagic[2] || data[3] != codecVersion {
+	if data[0] != codecMagic[0] || data[1] != codecMagic[1] || data[2] != codecMagic[2] {
+		return nil, ErrBadMagic
+	}
+	version := data[3]
+	if version != codecVersion && version != prevCodecVersion {
 		return nil, ErrBadMagic
 	}
 	r.off = 4
@@ -431,7 +536,10 @@ func (c Codec) Decode(data []byte) (*gossip.Message, error) {
 	if err != nil {
 		return nil, err
 	}
-	m := &gossip.Message{Adaptive: flags&flagAdaptive != 0}
+	// Trace context exists only from v4 on; a v3 sender's flag bit 2 is
+	// undefined and ignored.
+	traced := version >= 4 && flags&flagTraced != 0
+	m := &gossip.Message{Adaptive: flags&flagAdaptive != 0, Traced: traced}
 	kind, err := r.u8()
 	if err != nil {
 		return nil, err
@@ -579,6 +687,12 @@ func (c Codec) Decode(data []byte) (*gossip.Message, error) {
 			if err != nil {
 				return nil, err
 			}
+			var hop uint16
+			if traced {
+				if hop, err = r.u16(); err != nil {
+					return nil, err
+				}
+			}
 			plen, err := r.u32()
 			if err != nil {
 				return nil, err
@@ -598,6 +712,7 @@ func (c Codec) Decode(data []byte) (*gossip.Message, error) {
 			m.Events = append(m.Events, gossip.Event{
 				ID:      gossip.EventID{Origin: gossip.NodeID(origin), Seq: seq},
 				Age:     int(age),
+				Hop:     int(hop),
 				Payload: payload,
 			})
 		}
@@ -615,8 +730,93 @@ func (c Codec) Decode(data []byte) (*gossip.Message, error) {
 			*dst = append(*dst, gossip.NodeID(s))
 		}
 	}
+	if version >= 4 {
+		if m.Health, err = c.decodeHealth(r); err != nil {
+			return nil, err
+		}
+	}
 	if r.off != len(data) {
 		return nil, fmt.Errorf("transport: %d trailing bytes", len(data)-r.off)
 	}
 	return m, nil
+}
+
+// decodeHealth parses the trailing health-digest section (v4+),
+// enforcing the canonical sparse-histogram form so a decoded message
+// re-encodes to identical bytes.
+func (c Codec) decodeHealth(r *reader) ([]gossip.HealthDigest, error) {
+	nh, err := r.u16()
+	if err != nil {
+		return nil, err
+	}
+	if nh == 0 {
+		return nil, nil
+	}
+	// Preallocation capped by what the remaining input could hold
+	// (≥107 bytes per digest), as for the id lists.
+	capN := int(nh)
+	if maxN := (len(r.data) - r.off) / 107; capN > maxN {
+		capN = maxN
+	}
+	out := make([]gossip.HealthDigest, 0, capN)
+	for i := 0; i < int(nh); i++ {
+		var d gossip.HealthDigest
+		node, err := r.str(c.MaxIDLen)
+		if err != nil {
+			return nil, err
+		}
+		d.Node = gossip.NodeID(node)
+		for _, dst := range []*uint64{
+			&d.Round, &d.WallMillis,
+			&d.Published, &d.Delivered, &d.DroppedCapacity, &d.DroppedExpired,
+			&d.MessagesSent, &d.MessagesReceived, &d.BytesSent, &d.BytesReceived,
+		} {
+			if *dst, err = r.u64(); err != nil {
+				return nil, err
+			}
+		}
+		bl, err := r.u32()
+		if err != nil {
+			return nil, err
+		}
+		bc, err := r.u32()
+		if err != nil {
+			return nil, err
+		}
+		d.BufferLen, d.BufferCap = int(int32(bl)), int(int32(bc))
+		if d.DeliverHops.Count, err = r.u64(); err != nil {
+			return nil, err
+		}
+		if d.DeliverHops.Sum, err = r.u64(); err != nil {
+			return nil, err
+		}
+		nb, err := r.u8()
+		if err != nil {
+			return nil, err
+		}
+		if int(nb) > len(d.DeliverHops.Buckets) {
+			return nil, fmt.Errorf("%w: %d histogram buckets", ErrTooLarge, nb)
+		}
+		last := -1
+		for j := 0; j < int(nb); j++ {
+			idx, err := r.u8()
+			if err != nil {
+				return nil, err
+			}
+			if int(idx) >= len(d.DeliverHops.Buckets) || int(idx) <= last {
+				return nil, fmt.Errorf("transport: bad histogram bucket index %d", idx)
+			}
+			val, err := r.u64()
+			if err != nil {
+				return nil, err
+			}
+			if val == 0 {
+				return nil, fmt.Errorf("transport: zero histogram bucket encoded")
+			}
+			d.DeliverHops.Buckets[idx] = val
+			last = int(idx)
+		}
+		out = append(out, d)
+	}
+	return out, nil
 }

@@ -294,12 +294,43 @@ func FuzzCodecDecode(f *testing.F) {
 		f.Add(flg)
 		f.Add(append(append([]byte(nil), data...), 0xAA))
 	}
+	// Traced (wire v4) seeds: per-event hop counters and health digests
+	// on the wire, plus corrupted variants aimed at the new sections.
+	for _, m := range tracedKindSamples() {
+		data, err := c.Encode(m)
+		if err != nil {
+			f.Fatal(err)
+		}
+		f.Add(data)
+		f.Add(data[:len(data)-1]) // truncated inside the health tail
+		tail := append([]byte(nil), data...)
+		tail[len(tail)-9] ^= 0xFF // corrupt a histogram bucket entry
+		f.Add(tail)
+	}
+	// Previous-version (v3) seeds: must still decode.
+	{
+		m := &gossip.Message{From: "v3-sender", Round: 7,
+			Events: []gossip.Event{{ID: gossip.EventID{Origin: "o", Seq: 1}, Age: 2, Payload: []byte("p")}}}
+		data, err := c.Encode(m)
+		if err != nil {
+			f.Fatal(err)
+		}
+		v3 := data[:len(data)-2] // drop the (empty) health section...
+		v3[3] = prevCodecVersion // ...and patch the version byte
+		f.Add(v3)
+	}
 	f.Add([]byte{})
 	f.Add([]byte("AGB"))
 	f.Add([]byte{'A', 'G', 'B', 1}) // old version: must be rejected
 	// Spoofed digest count (0xFFFF) in a tiny datagram: the decoder
 	// must fail on truncation without committing large allocations.
 	f.Add([]byte{'A', 'G', 'B', codecVersion, 0, 0, 0, 1, 'x', 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0xFF, 0xFF})
+	// Spoofed health count at the tail of a minimal v4 message.
+	if data, err := c.Encode(&gossip.Message{From: "x"}); err == nil {
+		spoof := append([]byte(nil), data[:len(data)-2]...)
+		spoof = append(spoof, 0xFF, 0xFF)
+		f.Add(spoof)
+	}
 	f.Fuzz(func(t *testing.T, data []byte) {
 		m, err := c.Decode(data)
 		if err != nil {

@@ -18,14 +18,15 @@ func sampleMessage() *gossip.Message {
 		Adaptive:     true,
 		SamplePeriod: 7,
 		MinBuff:      90,
+		Traced:       true,
 		KMin: []gossip.BuffCap{
 			{Node: "node-2", Cap: 45},
 			{Node: "node-3", Cap: 60},
 		},
 		Events: []gossip.Event{
-			{ID: gossip.EventID{Origin: "node-2", Seq: 1}, Age: 3, Payload: []byte("hello")},
-			{ID: gossip.EventID{Origin: "node-1", Seq: 9}, Age: 0, Payload: nil},
-			{ID: gossip.EventID{Origin: "node-4", Seq: 1 << 40}, Age: 11, Payload: bytes.Repeat([]byte{0xAB}, 300)},
+			{ID: gossip.EventID{Origin: "node-2", Seq: 1}, Age: 3, Hop: 2, Payload: []byte("hello")},
+			{ID: gossip.EventID{Origin: "node-1", Seq: 9}, Age: 0, Hop: 0, Payload: nil},
+			{ID: gossip.EventID{Origin: "node-4", Seq: 1 << 40}, Age: 11, Hop: 7, Payload: bytes.Repeat([]byte{0xAB}, 300)},
 		},
 		Subs:   []gossip.NodeID{"node-5"},
 		Unsubs: []gossip.NodeID{"node-6", "node-7"},
@@ -34,18 +35,45 @@ func sampleMessage() *gossip.Message {
 			{Origin: "node-9", Seq: 1 << 33},
 		},
 		Request: []gossip.EventID{{Origin: "node-8", Seq: 17}},
+		Health:  []gossip.HealthDigest{sampleHealthDigest("node-2"), sampleHealthDigest("node-3")},
 	}
 }
 
+func sampleHealthDigest(node gossip.NodeID) gossip.HealthDigest {
+	d := gossip.HealthDigest{
+		Node:             node,
+		Round:            99,
+		WallMillis:       1_700_000_000_123,
+		Published:        12,
+		Delivered:        340,
+		DroppedCapacity:  5,
+		DroppedExpired:   2,
+		MessagesSent:     77,
+		MessagesReceived: 81,
+		BytesSent:        1 << 20,
+		BytesReceived:    1<<20 + 17,
+		BufferLen:        60,
+		BufferCap:        120,
+	}
+	d.DeliverHops.Count = 340
+	d.DeliverHops.Sum = 900
+	d.DeliverHops.Buckets[0] = 12
+	d.DeliverHops.Buckets[2] = 200
+	d.DeliverHops.Buckets[3] = 128
+	return d
+}
+
 func msgEqual(a, b *gossip.Message) bool {
-	if a.From != b.From || a.Group != b.Group || a.Round != b.Round || a.Adaptive != b.Adaptive {
+	if a.From != b.From || a.Group != b.Group || a.Round != b.Round || a.Adaptive != b.Adaptive ||
+		a.Traced != b.Traced {
 		return false
 	}
 	if a.Adaptive && (a.SamplePeriod != b.SamplePeriod || a.MinBuff != b.MinBuff) {
 		return false
 	}
 	if len(a.KMin) != len(b.KMin) || len(a.Events) != len(b.Events) ||
-		len(a.Subs) != len(b.Subs) || len(a.Unsubs) != len(b.Unsubs) {
+		len(a.Subs) != len(b.Subs) || len(a.Unsubs) != len(b.Unsubs) ||
+		len(a.Health) != len(b.Health) {
 		return false
 	}
 	for i := range a.KMin {
@@ -56,6 +84,15 @@ func msgEqual(a, b *gossip.Message) bool {
 	for i := range a.Events {
 		if a.Events[i].ID != b.Events[i].ID || a.Events[i].Age != b.Events[i].Age ||
 			!bytes.Equal(a.Events[i].Payload, b.Events[i].Payload) {
+			return false
+		}
+		if a.Traced && a.Events[i].Hop != b.Events[i].Hop {
+			return false
+		}
+	}
+	for i := range a.Health {
+		// HealthDigest is comparable (the histogram is a fixed array).
+		if a.Health[i] != b.Health[i] {
 			return false
 		}
 	}

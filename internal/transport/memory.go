@@ -4,9 +4,11 @@ import (
 	"fmt"
 	"math/rand/v2"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"adaptivegossip/internal/gossip"
+	"adaptivegossip/internal/observe"
 )
 
 // MemStats counts in-memory fabric traffic.
@@ -131,7 +133,8 @@ func (n *MemNetwork) Close() {
 	n.inflight.Wait()
 }
 
-func (n *MemNetwork) send(from, to gossip.NodeID, msg *gossip.Message) error {
+func (n *MemNetwork) send(sender *MemEndpoint, to gossip.NodeID, msg *gossip.Message) error {
+	ps := sender.peerStats(to)
 	n.mu.Lock()
 	if n.closed {
 		n.stats.ClosedDrops++
@@ -142,12 +145,21 @@ func (n *MemNetwork) send(from, to gossip.NodeID, msg *gossip.Message) error {
 	if _, ok := n.endpoints[to]; !ok {
 		n.stats.NoRoute++
 		n.mu.Unlock()
+		if ps != nil {
+			ps.SendErrors.Inc()
+		}
 		return fmt.Errorf("transport: no endpoint %s", to)
 	}
 	if n.loss > 0 && n.rng.Float64() < n.loss {
 		n.stats.LossDropped++
 		n.mu.Unlock()
+		if ps != nil {
+			ps.Drops.Inc()
+		}
 		return nil
+	}
+	if ps != nil {
+		ps.MessagesSent.Inc()
 	}
 	var lat time.Duration
 	if n.latMax > 0 {
@@ -173,6 +185,9 @@ func (n *MemNetwork) send(from, to gossip.NodeID, msg *gossip.Message) error {
 			return
 		}
 		n.bump(func(s *MemStats) { s.Delivered++ })
+		if rps := ep.peerStats(msg.From); rps != nil {
+			rps.MessagesReceived.Inc()
+		}
 		h(msg)
 	}
 	if lat == 0 {
@@ -213,12 +228,32 @@ type MemEndpoint struct {
 	net *MemNetwork
 	id  gossip.NodeID
 
+	// links, when set, receives per-peer telemetry. The in-process
+	// fabric moves no wire bytes, so only the message counters, fan-out
+	// sends, drops and send errors are attributed; the byte counters
+	// stay zero.
+	links atomic.Pointer[observe.PeerTable]
+
 	mu sync.RWMutex
 	h  Handler
 }
 
 // LocalID returns the endpoint's node id.
 func (e *MemEndpoint) LocalID() gossip.NodeID { return e.id }
+
+// SetLinks installs (or replaces) the per-peer telemetry table; nil
+// detaches. Safe to call while traffic is flowing.
+func (e *MemEndpoint) SetLinks(links *observe.PeerTable) { e.links.Store(links) }
+
+// peerStats resolves the telemetry row for a peer, nil when telemetry
+// is off.
+func (e *MemEndpoint) peerStats(id gossip.NodeID) *observe.PeerStats {
+	links := e.links.Load()
+	if links == nil {
+		return nil
+	}
+	return links.Get(string(id))
+}
 
 // SetHandler installs the receive callback.
 func (e *MemEndpoint) SetHandler(h Handler) {
@@ -240,7 +275,7 @@ func (e *MemEndpoint) handler() Handler {
 // would have made. This keeps senders free to reuse per-round scratch
 // messages (see gossip.Node.Tick's lifetime contract).
 func (e *MemEndpoint) Send(to gossip.NodeID, msg *gossip.Message) error {
-	return e.net.send(e.id, to, msg.CopyForSend())
+	return e.net.send(e, to, msg.CopyForSend())
 }
 
 // SendMany transmits msg to every target through the fabric. There is
@@ -258,11 +293,14 @@ func (e *MemEndpoint) SendMany(targets []gossip.NodeID, msg *gossip.Message) (in
 	sent := 0
 	var first error
 	for _, to := range targets {
-		if err := e.net.send(e.id, to, clone); err != nil {
+		if err := e.net.send(e, to, clone); err != nil {
 			if first == nil {
 				first = err
 			}
 			continue
+		}
+		if ps := e.peerStats(to); ps != nil {
+			ps.FanoutSends.Inc()
 		}
 		sent++
 	}

@@ -10,6 +10,7 @@ import (
 	"time"
 
 	"adaptivegossip/internal/gossip"
+	"adaptivegossip/internal/observe"
 )
 
 // DefaultMaxDatagram bounds UDP datagram sizes. Gossip messages above
@@ -112,6 +113,11 @@ type UDPTransport struct {
 	lossRate float64
 	lossRNG  *rand.Rand
 
+	// links, when set, receives per-peer wire telemetry (bytes and
+	// messages by peer, fan-out sends, drops). An atomic pointer so the
+	// table can be installed after Start without racing the loops.
+	links atomic.Pointer[observe.PeerTable]
+
 	recvQ   chan recvPacket
 	started atomic.Bool
 	closed  atomic.Bool
@@ -152,6 +158,15 @@ func WithUDPSendLoss(p float64, seed uint64) UDPOption {
 		}
 		t.lossRate = p
 		t.lossRNG = rand.New(rand.NewPCG(seed, seed^0x10551055))
+		return nil
+	}
+}
+
+// WithUDPPeerTable installs the per-peer telemetry table at
+// construction; see SetLinks.
+func WithUDPPeerTable(links *observe.PeerTable) UDPOption {
+	return func(t *UDPTransport) error {
+		t.links.Store(links)
 		return nil
 	}
 }
@@ -236,6 +251,22 @@ func (t *UDPTransport) Register(id gossip.NodeID, addr string) error {
 	t.book[id] = ua
 	t.mu.Unlock()
 	return nil
+}
+
+// SetLinks installs (or replaces) the per-peer telemetry table: every
+// datagram written or dispatched afterwards is attributed to its peer's
+// counters. nil detaches. Safe to call while the transport is running;
+// the hot path pays one atomic load and a read-locked map hit.
+func (t *UDPTransport) SetLinks(links *observe.PeerTable) { t.links.Store(links) }
+
+// peerStats resolves the telemetry row for a peer, nil when telemetry
+// is off.
+func (t *UDPTransport) peerStats(id gossip.NodeID) *observe.PeerStats {
+	links := t.links.Load()
+	if links == nil {
+		return nil
+	}
+	return links.Get(string(id))
 }
 
 // SetHandler installs the receive callback.
@@ -324,6 +355,10 @@ func (t *UDPTransport) dispatch(pkt recvPacket) {
 		t.decodeErrors.Add(1)
 		return
 	}
+	if ps := t.peerStats(msg.From); ps != nil {
+		ps.MessagesReceived.Inc()
+		ps.BytesReceived.Add(uint64(pkt.n))
+	}
 	t.mu.RLock()
 	h := t.handler
 	t.mu.RUnlock()
@@ -344,6 +379,9 @@ func (t *UDPTransport) Send(to gossip.NodeID, msg *gossip.Message) error {
 	t.mu.RUnlock()
 	if !ok {
 		t.sendErrors.Add(1)
+		if ps := t.peerStats(to); ps != nil {
+			ps.SendErrors.Inc()
+		}
 		return fmt.Errorf("transport: unknown peer %s", to)
 	}
 	chunks, err := t.codec.EncodeChunks(msg, t.maxDg)
@@ -391,6 +429,9 @@ func (t *UDPTransport) SendMany(targets []gossip.NodeID, msg *gossip.Message) (i
 		t.mu.RUnlock()
 		if !ok {
 			t.sendErrors.Add(1)
+			if ps := t.peerStats(to); ps != nil {
+				ps.SendErrors.Inc()
+			}
 			if first == nil {
 				first = fmt.Errorf("transport: unknown peer %s", to)
 			}
@@ -407,6 +448,9 @@ func (t *UDPTransport) SendMany(targets []gossip.NodeID, msg *gossip.Message) (i
 				first = err
 			}
 			continue
+		}
+		if ps := t.peerStats(to); ps != nil {
+			ps.FanoutSends.Inc()
 		}
 		sent++
 	}
@@ -428,17 +472,28 @@ func (t *UDPTransport) writeChunks(to gossip.NodeID, addr *net.UDPAddr, chunks [
 // injection and the wire counters. fragment marks a continuation chunk
 // of a split message (counted in SplitChunks when actually written).
 func (t *UDPTransport) writeDatagram(to gossip.NodeID, addr *net.UDPAddr, chunk []byte, fragment bool) error {
+	ps := t.peerStats(to)
 	if t.dropForLoss() {
 		t.lossDropped.Add(1)
+		if ps != nil {
+			ps.Drops.Inc()
+		}
 		return nil
 	}
 	n, err := t.conn.WriteToUDP(chunk, addr)
 	if err != nil {
 		t.sendErrors.Add(1)
+		if ps != nil {
+			ps.SendErrors.Inc()
+		}
 		return fmt.Errorf("transport: send to %s: %w", to, err)
 	}
 	t.sent.Add(1)
 	t.sentBytes.Add(uint64(n))
+	if ps != nil {
+		ps.MessagesSent.Inc()
+		ps.BytesSent.Add(uint64(n))
+	}
 	if fragment {
 		t.splitChunks.Add(1)
 	}

@@ -108,6 +108,7 @@ func NewNode(id string, cfg Config, opts ...Option) (*Node, error) {
 	}
 	obs = newGroupObservability(cfg.Observability)
 	n.obs = obs
+	obs.attachLinks(ep)
 
 	deliver := func(ev Event) {
 		d := Delivery{Node: n.id, Event: ev}
@@ -131,19 +132,22 @@ func NewNode(id string, cfg Config, opts ...Option) (*Node, error) {
 		}
 	}
 	node, err := core.NewAdaptiveNode(core.NodeConfig{
-		ID:           n.id,
-		Gossip:       cfg.gossipParams(),
-		Adaptive:     cfg.Adaptive,
-		Core:         cfg.Adaptation,
-		Recovery:     cfg.Recovery.params(),
-		Failure:      cfg.Failure.params(),
-		OnMembership: onMembership,
-		Peers:        reg,
-		RNG:          rand.New(rand.NewPCG(uint64(seed), uint64(seed)^0xABCDEF)),
-		Deliver:      deliver,
-		Metrics:      obs.node,
-		Tracer:       obs.tracer(),
-		Start:        time.Now(),
+		ID:            n.id,
+		Gossip:        cfg.gossipParams(),
+		Adaptive:      cfg.Adaptive,
+		Core:          cfg.Adaptation,
+		Recovery:      cfg.Recovery.params(),
+		Failure:       cfg.Failure.params(),
+		OnMembership:  onMembership,
+		Peers:         reg,
+		RNG:           rand.New(rand.NewPCG(uint64(seed), uint64(seed)^0xABCDEF)),
+		Deliver:       deliver,
+		Metrics:       obs.node,
+		Tracer:        obs.tracer(),
+		Links:         obs.peers,
+		Health:        cfg.Observability.healthParams(),
+		HealthAugment: healthAugment(ep, fabric),
+		Start:         time.Now(),
 	})
 	if err != nil {
 		return fail(err)
@@ -159,7 +163,8 @@ func NewNode(id string, cfg Config, opts ...Option) (*Node, error) {
 		return fail(err)
 	}
 	n.runner = runner
-	if err := obs.bindServer(cfg.Observability.DebugAddr, func() Stats { return n.Stats() }); err != nil {
+	if err := obs.bindServer(cfg.Observability.DebugAddr,
+		func() Stats { return n.Stats() }, n.ClusterHealth); err != nil {
 		return fail(err)
 	}
 	return n, nil
@@ -291,7 +296,16 @@ func (n *Node) Stats() Stats {
 	st.add(n.runner.Snapshot())
 	st.StreamDropped = n.hub.droppedCount()
 	st.addWire(n.fabric)
+	st.addPeers(n.obs.peers)
 	return st
+}
+
+// ClusterHealth returns the node's converged view of the cluster's
+// gossip-disseminated health digests, sorted by member id — the node's
+// own entry plus one per member it has heard a digest about. Empty
+// unless Config.Observability.HealthDigests is set.
+func (n *Node) ClusterHealth() []MemberHealth {
+	return memberHealthView(n.runner.ClusterHealth())
 }
 
 // DebugAddr returns the bound address of the debug HTTP listener, or

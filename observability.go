@@ -6,15 +6,23 @@ import (
 
 // groupObservability bundles the instrumentation state every facade
 // owns: the alloc-free histogram blocks shared by the group's members
-// (hop counts, drop ages, round sizes, runner latencies), the optional
-// sampling trace recorder and the optional debug HTTP listener. One
-// bundle serves the whole group — per-member observations pool.
+// (hop counts, drop ages, round sizes, runner latencies), the per-peer
+// link telemetry table, the optional sampling trace recorder and the
+// optional debug HTTP listener. One bundle serves the whole group —
+// per-member observations pool.
 type groupObservability struct {
 	node   *observe.NodeMetrics
 	runner *observe.RunnerMetrics
+	peers  *observe.PeerTable
 	rec    *observe.Recorder // nil unless TraceSampleRate > 0
 	srv    *observe.Server   // nil unless DebugAddr set
 }
+
+// linkSetter is implemented by endpoints that can attribute their
+// traffic to a per-peer telemetry table (both built-in fabrics). The
+// install is an atomic pointer store on the endpoint, so facades may
+// attach the table after the endpoint exists, even mid-traffic.
+type linkSetter interface{ SetLinks(*observe.PeerTable) }
 
 // newGroupObservability builds the instrument blocks from cfg. The
 // debug listener is bound separately by bindServer once the facade is
@@ -23,6 +31,7 @@ func newGroupObservability(cfg ObservabilityConfig) *groupObservability {
 	g := &groupObservability{
 		node:   &observe.NodeMetrics{},
 		runner: &observe.RunnerMetrics{},
+		peers:  observe.NewPeerTable(observe.DefaultPeerTableCapacity),
 	}
 	if cfg.TraceSampleRate > 0 {
 		g.rec = observe.NewRecorder(cfg.TraceSampleRate, cfg.TraceBufferSize)
@@ -30,12 +39,21 @@ func newGroupObservability(cfg ObservabilityConfig) *groupObservability {
 	return g
 }
 
+// attachLinks installs the group's peer table on a member endpoint (a
+// no-op for custom transports without the telemetry seam).
+func (g *groupObservability) attachLinks(ep Endpoint) {
+	if ls, ok := ep.(linkSetter); ok {
+		ls.SetLinks(g.peers)
+	}
+}
+
 // bindServer binds the debug HTTP listener (no-op when addr is empty)
 // and registers every instrument. stats is the group's unified
-// snapshot; it runs on the scrape goroutine and must be safe to call
-// concurrently with the group (every facade's Stats is). Call it as
-// the last construction step.
-func (g *groupObservability) bindServer(addr string, stats func() Stats) error {
+// snapshot and cluster the group's converged health view; both run on
+// the scrape goroutine and must be safe to call concurrently with the
+// group (every facade's Stats and ClusterHealth are). Call it as the
+// last construction step.
+func (g *groupObservability) bindServer(addr string, stats func() Stats, cluster func() []MemberHealth) error {
 	if addr == "" {
 		return nil
 	}
@@ -65,6 +83,9 @@ func (g *groupObservability) bindServer(addr string, stats func() Stats) error {
 	counter("gossip_wire_recv_bytes_total", func(s Stats) uint64 { return s.Wire.RecvBytes })
 	counter("gossip_wire_read_errors_total", func(s Stats) uint64 { return s.Wire.ReadErrors })
 	counter("gossip_wire_split_chunks_total", func(s Stats) uint64 { return s.Wire.SplitChunks })
+	counter("gossip_health_digests_sent_total", func(s Stats) uint64 { return s.HealthDigestsSent })
+	counter("gossip_health_digests_received_total", func(s Stats) uint64 { return s.HealthDigestsReceived })
+	counter("gossip_health_digests_merged_total", func(s Stats) uint64 { return s.HealthDigestsMerged })
 
 	srv.PublishGauge("gossip_nodes", func() float64 { return float64(stats().Nodes) })
 	srv.PublishGauge("gossip_allowed_rate_min", func() float64 { return stats().MinAllowedRate })
@@ -77,6 +98,10 @@ func (g *groupObservability) bindServer(addr string, stats func() Stats) error {
 	srv.PublishHistogram("gossip_tick_nanos", g.runner.TickNanos.Snapshot)
 	srv.PublishHistogram("gossip_receive_nanos", g.runner.ReceiveNanos.Snapshot)
 
+	srv.PublishPeers(g.peers.Snapshot)
+	if cluster != nil {
+		srv.PublishCluster(func() any { return cluster() })
+	}
 	if g.rec != nil {
 		srv.PublishTraces(g.rec.Records)
 	}

@@ -120,6 +120,7 @@ func NewPubSub(n, bufferBudget int, cfg Config, opts ...Option) (*PubSub, error)
 			return fail(err)
 		}
 		c.eps = append(c.eps, ep)
+		obs.attachLinks(ep)
 		r, err := pubsub.NewRunner(pubsub.RunnerConfig{
 			Peer:      peer,
 			Transport: ep,
@@ -132,7 +133,8 @@ func NewPubSub(n, bufferBudget int, cfg Config, opts ...Option) (*PubSub, error)
 		}
 		c.runners = append(c.runners, r)
 	}
-	if err := obs.bindServer(cfg.Observability.DebugAddr, func() Stats { return c.Stats() }); err != nil {
+	if err := obs.bindServer(cfg.Observability.DebugAddr,
+		func() Stats { return c.Stats() }, c.ClusterHealth); err != nil {
 		return fail(err)
 	}
 	return c, nil
@@ -300,8 +302,16 @@ func (c *PubSub) Stats() Stats {
 	st.Nodes = len(c.runners)
 	st.StreamDropped = c.hub.droppedCount()
 	st.addWire(c.fabric)
+	st.addPeers(c.obs.peers)
 	return st
 }
+
+// ClusterHealth returns the group's converged health view — the same
+// shape the other facades expose, so monitoring code is deployment
+// agnostic. Topic-level groups do not disseminate health digests (a
+// peer's budget re-splits across subscriptions faster than digests
+// would converge), so the view is always empty.
+func (c *PubSub) ClusterHealth() []MemberHealth { return nil }
 
 // DebugAddr returns the bound address of the debug HTTP listener, or
 // "" when Config.Observability.DebugAddr was empty.

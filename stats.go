@@ -1,6 +1,14 @@
 package adaptivegossip
 
-import "adaptivegossip/internal/runtime"
+import (
+	"sort"
+
+	"adaptivegossip/internal/gossip"
+	"adaptivegossip/internal/health"
+	"adaptivegossip/internal/observe"
+	"adaptivegossip/internal/runtime"
+	"adaptivegossip/internal/transport"
+)
 
 // Stats is the unified counter snapshot shared by all three facades:
 // Node.Stats, Cluster.Stats and PubSub.Stats return the same shape, so
@@ -42,10 +50,197 @@ type Stats struct {
 	// consumers fell behind the wire (UDP fabrics only; see
 	// WithRecvQueue to size the queue).
 	RecvQueueDrops uint64
+	// HealthDigestsSent, HealthDigestsReceived and HealthDigestsMerged
+	// count health-digest dissemination activity (zero unless
+	// Config.Observability.HealthDigests).
+	HealthDigestsSent     uint64
+	HealthDigestsReceived uint64
+	HealthDigestsMerged   uint64
 	// Wire carries the transport fabric's counters (messages, bytes,
 	// read errors, datagram splits). Zero when the group's Transport
 	// does not implement WireStatser.
 	Wire WireStats
+	// Peers is the per-peer link telemetry: what the group sent toward
+	// and received from each remote peer, sorted by peer id. All three
+	// facades fill it, so per-link monitoring works against any
+	// deployment shape; in multi-member groups (Cluster, PubSub) the
+	// members' observations of each peer pool into one row.
+	Peers []PeerLinkStats
+}
+
+// PeerLinkStats is one peer's link telemetry row in Stats.Peers: the
+// message, byte, fan-out and failure counters kept by the transports,
+// plus a summary of the ping round-trip-time distribution harvested
+// from the failure detector (zero unless Config.Failure.Enabled).
+type PeerLinkStats struct {
+	// Peer is the remote member the row describes.
+	Peer NodeID
+	// MessagesSent and BytesSent count traffic toward the peer (bytes
+	// stay zero on fabrics that do not serialize).
+	MessagesSent uint64
+	BytesSent    uint64
+	// MessagesReceived and BytesReceived count traffic from the peer,
+	// attributed by the decoded sender id.
+	MessagesReceived uint64
+	BytesReceived    uint64
+	// FanoutSends counts times the peer was chosen as a gossip fan-out
+	// target.
+	FanoutSends uint64
+	// Drops counts outgoing messages to the peer dropped by injected
+	// loss; SendErrors counts failed sends (socket errors, unknown
+	// address).
+	Drops      uint64
+	SendErrors uint64
+	// RTTSamples, RTTMeanMicros, RTTP50Micros and RTTP99Micros
+	// summarize the ping→ack round-trip times to the peer, in
+	// microseconds.
+	RTTSamples    uint64
+	RTTMeanMicros float64
+	RTTP50Micros  float64
+	RTTP99Micros  float64
+}
+
+// peerLinkStats converts the internal per-peer snapshot (already
+// sorted by peer id) into the public rows.
+func peerLinkStats(snaps []observe.PeerSnapshot) []PeerLinkStats {
+	if len(snaps) == 0 {
+		return nil
+	}
+	out := make([]PeerLinkStats, 0, len(snaps))
+	for _, p := range snaps {
+		out = append(out, PeerLinkStats{
+			Peer:             NodeID(p.Peer),
+			MessagesSent:     p.MessagesSent,
+			BytesSent:        p.BytesSent,
+			MessagesReceived: p.MessagesReceived,
+			BytesReceived:    p.BytesReceived,
+			FanoutSends:      p.FanoutSends,
+			Drops:            p.Drops,
+			SendErrors:       p.SendErrors,
+			RTTSamples:       p.RTT.Count,
+			RTTMeanMicros:    p.RTT.Mean(),
+			RTTP50Micros:     p.RTT.Quantile(0.50),
+			RTTP99Micros:     p.RTT.Quantile(0.99),
+		})
+	}
+	return out
+}
+
+// MemberHealth is one member's entry in the converged cluster health
+// view (Node.ClusterHealth, Cluster.ClusterHealth, PubSub.ClusterHealth
+// and the /debug/gossip/cluster endpoint): the member's self-reported
+// digest — counters, buffer occupancy and a delivery hop-count summary
+// — plus how stale the local copy of it is. The JSON field names are
+// the endpoint's wire contract.
+type MemberHealth struct {
+	// Node is the member the entry describes.
+	Node NodeID `json:"node"`
+	// Round is the reporter's gossip round when the digest was built;
+	// WallMillis its wall clock (Unix milliseconds, zero in
+	// deterministic drivers).
+	Round      uint64 `json:"round"`
+	WallMillis uint64 `json:"wall_millis,omitempty"`
+	// Published through BytesReceived mirror the reporter's protocol
+	// counters at digest time.
+	Published        uint64 `json:"published"`
+	Delivered        uint64 `json:"delivered"`
+	DroppedCapacity  uint64 `json:"dropped_capacity"`
+	DroppedExpired   uint64 `json:"dropped_expired"`
+	MessagesSent     uint64 `json:"messages_sent"`
+	MessagesReceived uint64 `json:"messages_received"`
+	BytesSent        uint64 `json:"bytes_sent"`
+	BytesReceived    uint64 `json:"bytes_received"`
+	// BufferLen and BufferCap are the reporter's events-buffer
+	// occupancy and capacity at digest time.
+	BufferLen int `json:"buffer_len"`
+	BufferCap int `json:"buffer_cap"`
+	// HopsSamples, HopsMean and HopsP99 summarize the reporter's
+	// delivery hop-count distribution — the cluster's live
+	// rounds-to-convergence measure.
+	HopsSamples uint64  `json:"hops_samples"`
+	HopsMean    float64 `json:"hops_mean"`
+	HopsP99     float64 `json:"hops_p99"`
+	// StalenessRounds is how many local gossip rounds have passed since
+	// this digest was merged (0 for the local member's own digest).
+	StalenessRounds uint64 `json:"staleness_rounds"`
+}
+
+// memberHealthView flattens the internal converged view into the
+// public shape (input arrives sorted by node id).
+func memberHealthView(view []health.MemberHealth) []MemberHealth {
+	if len(view) == 0 {
+		return nil
+	}
+	out := make([]MemberHealth, 0, len(view))
+	for _, m := range view {
+		d := m.Digest
+		out = append(out, MemberHealth{
+			Node:             d.Node,
+			Round:            d.Round,
+			WallMillis:       d.WallMillis,
+			Published:        d.Published,
+			Delivered:        d.Delivered,
+			DroppedCapacity:  d.DroppedCapacity,
+			DroppedExpired:   d.DroppedExpired,
+			MessagesSent:     d.MessagesSent,
+			MessagesReceived: d.MessagesReceived,
+			BytesSent:        d.BytesSent,
+			BytesReceived:    d.BytesReceived,
+			BufferLen:        d.BufferLen,
+			BufferCap:        d.BufferCap,
+			HopsSamples:      d.DeliverHops.Count,
+			HopsMean:         d.DeliverHops.Mean(),
+			HopsP99:          d.DeliverHops.Quantile(0.99),
+			StalenessRounds:  m.StalenessRounds,
+		})
+	}
+	return out
+}
+
+// mergeMemberHealth folds several members' converged views into one:
+// per reported node the freshest digest wins (highest Round; ties break
+// toward the least stale copy), and the result is sorted by node id.
+// Multi-member facades use it so their cluster view deduplicates what
+// every member learned independently.
+func mergeMemberHealth(views ...[]health.MemberHealth) []health.MemberHealth {
+	best := make(map[gossip.NodeID]health.MemberHealth)
+	for _, view := range views {
+		for _, m := range view {
+			cur, ok := best[m.Digest.Node]
+			if !ok || m.Digest.Round > cur.Digest.Round ||
+				(m.Digest.Round == cur.Digest.Round && m.StalenessRounds < cur.StalenessRounds) {
+				best[m.Digest.Node] = m
+			}
+		}
+	}
+	if len(best) == 0 {
+		return nil
+	}
+	out := make([]health.MemberHealth, 0, len(best))
+	for _, m := range best {
+		out = append(out, m)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Digest.Node < out[j].Digest.Node })
+	return out
+}
+
+// healthAugment builds the AugmentFunc that stamps a member's own
+// digest with its wire byte counters: per-member from the endpoint on
+// fabrics that serialize (UDP), falling back to the shared fabric's
+// totals. It runs on the member's node loop against atomic counters.
+func healthAugment(ep Endpoint, fabric Transport) health.AugmentFunc {
+	type epStatser interface{ Stats() transport.UDPStats }
+	return func(d *gossip.HealthDigest) {
+		if es, ok := ep.(epStatser); ok {
+			st := es.Stats()
+			d.BytesSent, d.BytesReceived = st.SentBytes, st.RecvBytes
+			return
+		}
+		if ws, ok := fabric.(WireStatser); ok {
+			w := ws.WireStats()
+			d.BytesSent, d.BytesReceived = w.SentBytes, w.RecvBytes
+		}
+	}
 }
 
 // addWire folds the fabric's wire counters into the snapshot. Each
@@ -74,6 +269,15 @@ func (s *Stats) add(snap runtime.NodeSnapshot) {
 	s.EventsRecovered += snap.Recovery.EventsRecovered
 	s.ProbesSent += snap.Failure.ProbesSent
 	s.Confirms += snap.Failure.Confirms
+	s.HealthDigestsSent += snap.Health.DigestsSent
+	s.HealthDigestsReceived += snap.Health.DigestsReceived
+	s.HealthDigestsMerged += snap.Health.DigestsMerged
+}
+
+// addPeers fills the per-peer link telemetry rows from the group's
+// peer table snapshot.
+func (s *Stats) addPeers(table *observe.PeerTable) {
+	s.Peers = peerLinkStats(table.Snapshot())
 }
 
 // addRates folds one member's allowance into the Min/Max/Sum triple and
