@@ -1,0 +1,159 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"go/importer"
+	"go/token"
+	"go/types"
+	"io"
+	"log"
+	"os"
+
+	"adaptivegossip/internal/lint"
+)
+
+// vetConfig mirrors the JSON cmd/go writes to <objdir>/vet.cfg for each
+// compilation unit (cmd/go/internal/work.vetConfig). Only the fields
+// gossiplint consumes are declared.
+type vetConfig struct {
+	ID         string
+	Compiler   string
+	Dir        string
+	ImportPath string   // canonical package path
+	GoFiles    []string // absolute paths to the unit's Go sources
+
+	ImportMap   map[string]string // import path in source -> package path
+	PackageFile map[string]string // package path -> export data file
+	PackageVetx map[string]string // package path -> fact file from dep units
+	VetxOnly    bool              // compute facts only; don't report
+	VetxOutput  string            // write this unit's facts here
+
+	SucceedOnTypecheckFailure bool
+}
+
+// vetxFacts is gossiplint's fact currency between compilation units:
+// the FullNames of //gossip:scratch producers visible so far. The file
+// written to VetxOutput is read back via PackageVetx when dependent
+// units are vetted.
+type vetxFacts struct {
+	ScratchProducers []string
+}
+
+// runUnit analyzes one compilation unit as directed by cmd/go.
+func runUnit(cfgFile string) int {
+	data, err := os.ReadFile(cfgFile)
+	if err != nil {
+		log.Print(err)
+		return 1
+	}
+	var cfg vetConfig
+	if err := json.Unmarshal(data, &cfg); err != nil {
+		log.Printf("parsing %s: %v", cfgFile, err)
+		return 1
+	}
+
+	fset := token.NewFileSet()
+	imp := unitImporter{importer.ForCompiler(fset, "gc", func(path string) (io.ReadCloser, error) {
+		if mapped, ok := cfg.ImportMap[path]; ok {
+			path = mapped
+		}
+		file, ok := cfg.PackageFile[path]
+		if !ok {
+			return nil, fmt.Errorf("no export data for %q", path)
+		}
+		return os.Open(file)
+	})}
+
+	pkg, err := lint.CheckFiles(fset, imp, cfg.ImportPath, cfg.GoFiles)
+	if err != nil {
+		if cfg.SucceedOnTypecheckFailure {
+			// cmd/go asked us to stay quiet: the compiler will report
+			// the type error itself with better positions (#18395).
+			writeFacts(cfg, nil)
+			return 0
+		}
+		log.Print(err)
+		return 1
+	}
+
+	// Facts in: scratch producers exported by dependency units.
+	inherited := map[string]bool{}
+	for _, file := range cfg.PackageVetx {
+		raw, err := os.ReadFile(file)
+		if err != nil {
+			continue
+		}
+		var facts vetxFacts
+		if json.Unmarshal(raw, &facts) != nil {
+			continue
+		}
+		for _, name := range facts.ScratchProducers {
+			inherited[name] = true
+		}
+	}
+
+	// Facts out: this unit's own producers plus everything inherited,
+	// so identities propagate transitively even though cmd/go only
+	// hands us direct dependencies' fact files.
+	union := make(map[string]bool, len(inherited))
+	for name := range inherited {
+		union[name] = true
+	}
+	for _, name := range lint.LocalProducerNames(pkg) {
+		union[name] = true
+	}
+	out := vetxFacts{ScratchProducers: make([]string, 0, len(union))}
+	for name := range union {
+		out.ScratchProducers = append(out.ScratchProducers, name)
+	}
+	writeFacts(cfg, &out)
+
+	if cfg.VetxOnly {
+		return 0
+	}
+
+	diags, err := lint.RunPackage(pkg, lint.All(), inherited)
+	if err != nil {
+		log.Print(err)
+		return 1
+	}
+	for _, d := range diags {
+		pos := fset.Position(d.Pos)
+		fmt.Fprintf(os.Stderr, "%s:%d:%d: %s (%s)\n", pos.Filename, pos.Line, pos.Column, d.Message, d.Analyzer)
+	}
+	if len(diags) > 0 {
+		return 2
+	}
+	return 0
+}
+
+// writeFacts persists the unit's fact file; cmd/go caches it and feeds
+// it to dependent units. Best-effort: a missing fact file only costs
+// cross-unit precision, never correctness of the current unit.
+func writeFacts(cfg vetConfig, facts *vetxFacts) {
+	if cfg.VetxOutput == "" {
+		return
+	}
+	if facts == nil {
+		facts = &vetxFacts{}
+	}
+	data, err := json.Marshal(facts)
+	if err != nil {
+		return
+	}
+	_ = os.WriteFile(cfg.VetxOutput, data, 0o666)
+}
+
+// unitImporter resolves "unsafe" before delegating to the export-data
+// importer, which expects a lookup hit for every other path.
+type unitImporter struct {
+	gc types.Importer
+}
+
+func (ui unitImporter) Import(path string) (*types.Package, error) {
+	if path == "unsafe" {
+		return types.Unsafe, nil
+	}
+	return ui.gc.Import(path)
+}

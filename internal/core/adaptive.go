@@ -193,6 +193,9 @@ func (a *AdaptiveNode) Publish(payload []byte, now time.Time) (gossip.Event, boo
 // Figure 5(c) followed by the Figure 1 gossip emission. With recovery
 // enabled, the returned slice also carries this round's anti-entropy
 // pull requests; drivers transmit every entry alike.
+//
+//gossip:hotpath
+//gossip:scratch
 func (a *AdaptiveNode) Tick(now time.Time) []gossip.Outgoing {
 	if a.adaptor != nil {
 		// avgTokens: EMA of bucket occupancy, sampled once per round.
@@ -201,6 +204,7 @@ func (a *AdaptiveNode) Tick(now time.Time) []gossip.Outgoing {
 		a.ctrl.Adjust(a.adaptor.AvgAge(), a.avgTokens, a.bucket.Max())
 		if err := a.bucket.SetRate(a.ctrl.Rate(), now); err != nil {
 			// Unreachable: the controller clamps to positive rates.
+			//gossip:allocok unreachable-rate panic
 			panic(fmt.Sprintf("core: %v", err))
 		}
 	}
@@ -221,6 +225,8 @@ func (a *AdaptiveNode) Tick(now time.Time) []gossip.Outgoing {
 // returned messages are subsystem control traffic (recovery
 // retransmission responses, failure-detector acks and relays) that the
 // driver must transmit; it is nil when both subsystems are disabled.
+//
+//gossip:hotpath
 func (a *AdaptiveNode) Receive(msg *gossip.Message, now time.Time) []gossip.Outgoing {
 	a.node.Receive(msg)
 	var outs []gossip.Outgoing

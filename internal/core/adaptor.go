@@ -22,6 +22,10 @@ type Adaptor struct {
 
 	samplesAtTick uint64 // congestion samples seen as of the last tick
 	driftRounds   uint64
+
+	// scalarHdr is reused scratch for promoting a rank-1 scalar header
+	// to a single-entry κ-min observation without a per-receive slice.
+	scalarHdr [1]MinEntry
 }
 
 // NewAdaptor builds the estimator stack for a node with the given id
@@ -83,12 +87,15 @@ func (a *Adaptor) SetLocalCapacity(capacity int) error {
 
 // OnTick advances the sample-period clock and stamps the adaptation
 // header (Figure 5(a), "add information to gossip message").
+//
+//gossip:hotpath
 func (a *Adaptor) OnTick(n *gossip.Node, out *Message) {
 	out.Adaptive = true
 	if a.kmin != nil {
 		a.kmin.OnRound()
 		period, entries := a.kmin.Header()
 		out.SamplePeriod = period
+		//gossip:scratchok out is the node's reused round message, encoded or cloned before the next tick refreshes the header
 		out.KMin = entries
 		// The scalar header remains meaningful for rank-1 receivers.
 		if len(entries) > 0 {
@@ -108,13 +115,16 @@ type Message = gossip.Message
 // OnReceive folds the incoming header into the minBuff estimate and
 // updates the congestion estimate from the post-receive buffer state
 // (Figure 5(a) "compute new known minimum" + Figure 5(b)).
+//
+//gossip:hotpath
 func (a *Adaptor) OnReceive(n *gossip.Node, in *Message) {
 	if in.Adaptive {
 		if a.kmin != nil {
 			if len(in.KMin) > 0 {
 				a.kmin.Observe(in.SamplePeriod, in.KMin)
 			} else {
-				a.kmin.Observe(in.SamplePeriod, []MinEntry{{Node: in.From, Cap: in.MinBuff}})
+				a.scalarHdr[0] = MinEntry{Node: in.From, Cap: in.MinBuff}
+				a.kmin.Observe(in.SamplePeriod, a.scalarHdr[:])
 			}
 		} else {
 			a.min.Observe(in.SamplePeriod, in.MinBuff)
@@ -122,6 +132,7 @@ func (a *Adaptor) OnReceive(n *gossip.Node, in *Message) {
 	}
 	overflow := n.BufferLen() - a.cong.LostLen() - a.MinBuff()
 	if overflow > 0 {
+		//gossip:allocok congestion path: the scan runs only while the buffer exceeds the group-minimum estimate
 		a.cong.ObserveOverflow(n.OldestUncounted(overflow, a.cong.Counted))
 	}
 }

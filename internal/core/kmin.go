@@ -1,8 +1,9 @@
 package core
 
 import (
+	"cmp"
 	"fmt"
-	"sort"
+	"slices"
 
 	"adaptivegossip/internal/gossip"
 )
@@ -33,6 +34,14 @@ type KMinEstimator struct {
 	localCap int
 	rounds   int
 	perLen   int
+
+	// Reused scratch so the steady state allocates nothing. hdrScratch
+	// backs the Header result, which rides the caller's reused round
+	// message; the others never leave their method.
+	hdrScratch  []MinEntry
+	trimScratch []MinEntry
+	merged      map[gossip.NodeID]int
+	caps        []int
 }
 
 // NewKMinEstimator creates an estimator of the rank-th smallest buffer.
@@ -55,6 +64,7 @@ func NewKMinEstimator(self gossip.NodeID, rank, floor, window, samplePeriodRound
 		window:   make([]map[gossip.NodeID]int, window),
 		localCap: localCap,
 		perLen:   samplePeriodRounds,
+		merged:   make(map[gossip.NodeID]int),
 	}
 	for i := range e.window {
 		e.window[i] = map[gossip.NodeID]int{self: localCap}
@@ -82,7 +92,15 @@ func (e *KMinEstimator) SetLocalCapacity(capacity int) error {
 func (e *KMinEstimator) advance() {
 	e.period++
 	e.rounds = 0
-	e.window[int(e.period)%len(e.window)] = map[gossip.NodeID]int{e.self: e.localCap}
+	e.resetSlot(int(e.period) % len(e.window))
+}
+
+// resetSlot reinitializes a window slot to {self: localCap}, reusing the
+// slot's map so period turnover allocates nothing.
+func (e *KMinEstimator) resetSlot(i int) {
+	slot := e.window[i]
+	clear(slot)
+	slot[e.self] = e.localCap
 }
 
 // OnRound accounts one gossip round, reporting whether a new period
@@ -97,23 +115,32 @@ func (e *KMinEstimator) OnRound() bool {
 }
 
 // Header returns the current period and the κ-smallest entries to
-// piggyback.
+// piggyback. The returned slice is reused scratch: it is valid until the
+// next Header call and must be copied (or encoded) before then.
+//
+//gossip:scratch
 func (e *KMinEstimator) Header() (uint64, []MinEntry) {
 	slot := e.window[int(e.period)%len(e.window)]
-	entries := make([]MinEntry, 0, len(slot))
+	entries := e.hdrScratch[:0]
 	for n, c := range slot {
 		entries = append(entries, MinEntry{Node: n, Cap: c})
 	}
-	sort.Slice(entries, func(i, j int) bool {
-		if entries[i].Cap != entries[j].Cap {
-			return entries[i].Cap < entries[j].Cap
-		}
-		return entries[i].Node < entries[j].Node
-	})
+	sortEntries(entries)
+	e.hdrScratch = entries
 	if len(entries) > e.rank {
 		entries = entries[:e.rank]
 	}
 	return e.period, entries
+}
+
+// sortEntries orders by capacity, then node id for determinism.
+func sortEntries(entries []MinEntry) {
+	slices.SortFunc(entries, func(a, b MinEntry) int {
+		if a.Cap != b.Cap {
+			return cmp.Compare(a.Cap, b.Cap)
+		}
+		return cmp.Compare(a.Node, b.Node)
+	})
 }
 
 // Observe merges a received header into the local state, with the same
@@ -123,7 +150,7 @@ func (e *KMinEstimator) Observe(period uint64, entries []MinEntry) {
 	if period > e.period {
 		if period-e.period >= w {
 			for i := range e.window {
-				e.window[i] = map[gossip.NodeID]int{e.self: e.localCap}
+				e.resetSlot(i)
 			}
 			e.period = period
 			e.rounds = 0
@@ -153,16 +180,12 @@ func (e *KMinEstimator) trim(slot map[gossip.NodeID]int) {
 	if len(slot) <= e.keep {
 		return
 	}
-	entries := make([]MinEntry, 0, len(slot))
+	entries := e.trimScratch[:0]
 	for n, c := range slot {
 		entries = append(entries, MinEntry{Node: n, Cap: c})
 	}
-	sort.Slice(entries, func(i, j int) bool {
-		if entries[i].Cap != entries[j].Cap {
-			return entries[i].Cap < entries[j].Cap
-		}
-		return entries[i].Node < entries[j].Node
-	})
+	sortEntries(entries)
+	e.trimScratch = entries
 	for _, ent := range entries[e.keep:] {
 		if ent.Node != e.self {
 			delete(slot, ent.Node)
@@ -174,7 +197,8 @@ func (e *KMinEstimator) trim(slot map[gossip.NodeID]int) {
 // largest known if fewer than κ nodes are known), clamped from below by
 // the floor.
 func (e *KMinEstimator) Estimate() int {
-	merged := make(map[gossip.NodeID]int)
+	merged := e.merged
+	clear(merged)
 	for _, slot := range e.window {
 		for n, c := range slot {
 			if old, ok := merged[n]; !ok || c < old {
@@ -182,11 +206,12 @@ func (e *KMinEstimator) Estimate() int {
 			}
 		}
 	}
-	caps := make([]int, 0, len(merged))
+	caps := e.caps[:0]
 	for _, c := range merged {
 		caps = append(caps, c)
 	}
-	sort.Ints(caps)
+	slices.Sort(caps)
+	e.caps = caps
 	idx := e.rank - 1
 	if idx >= len(caps) {
 		idx = len(caps) - 1

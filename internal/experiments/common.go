@@ -448,6 +448,7 @@ func Run(cfg Config) (RunResult, error) {
 				if msg == roundMsg {
 					msg = roundCopy
 				}
+				//gossip:scratchok cloneSends substitutes roundCopy above whenever delivery latency can outlive the round
 				network.Send(names[i], out.To, msg)
 			}
 			if cfg.Adaptive && i < cfg.Senders {

@@ -148,6 +148,7 @@ func (b *Buffer) alloc(ev Event) int {
 // the next mutating call.
 func (b *Buffer) Add(ev Event) ([]Event, error) {
 	if _, ok := b.index[ev.ID]; ok {
+		//gossip:allocok programming-error path; callers route duplicates through RaiseAge
 		return nil, fmt.Errorf("gossip: duplicate add of event %s", ev.ID)
 	}
 	slot := b.alloc(ev)
@@ -211,6 +212,7 @@ func (b *Buffer) findPos(slot int) int {
 			return i
 		}
 	}
+	//gossip:allocok invariant-violation panic, unreachable if index and order agree
 	panic(fmt.Sprintf("gossip: buffer index desynchronized for event %s", b.slab[slot].ev.ID))
 }
 
@@ -263,6 +265,8 @@ func (b *Buffer) SetCapacity(capacity int) ([]Event, error) {
 // first, and returns the extended slice. Payload slices are shared
 // (events are read-only by convention). Appending into a reused scratch
 // slice makes the per-round snapshot allocation-free.
+//
+//gossip:scratch
 func (b *Buffer) AppendSnapshot(dst []Event) []Event {
 	for _, slot := range b.order {
 		dst = append(dst, b.slab[slot].ev)
@@ -273,6 +277,7 @@ func (b *Buffer) AppendSnapshot(dst []Event) []Event {
 // Snapshot returns copies of all buffered events, youngest first.
 // Payload slices are shared (events are read-only by convention).
 func (b *Buffer) Snapshot() []Event {
+	//gossip:scratchok the backing array is freshly allocated here, nothing aliases reused scratch
 	return b.AppendSnapshot(make([]Event, 0, len(b.order)))
 }
 

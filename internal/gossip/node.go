@@ -52,6 +52,7 @@ func (r EvictReason) String() string {
 	case EvictResize:
 		return "resize"
 	default:
+		//gossip:allocok only reachable with an invalid reason value
 		return fmt.Sprintf("EvictReason(%d)", int(r))
 	}
 }
@@ -98,12 +99,18 @@ type Fanout struct {
 // collapses to a single Fanout; subsystem control traffic (recovery
 // pulls, failure probes) stays one entry each. Messages are not copied.
 func GroupOutgoing(outs []Outgoing) []Fanout {
-	if len(outs) == 0 {
-		return nil
-	}
-	fans := make([]Fanout, 0, 1)
+	fans, _ := AppendGroupOutgoing(nil, nil, outs)
+	return fans
+}
+
+// AppendGroupOutgoing is the scratch-reusing form of GroupOutgoing: the
+// coalesced fanouts are appended to fans and the flattened target list
+// to targets, and both are returned for the caller to retain as scratch
+// for the next round (transport.GroupSender does). Each Fanout.Targets
+// is a full-capacity subslice of the returned targets, so entries stay
+// valid even when a later append grows targets into a new array.
+func AppendGroupOutgoing(fans []Fanout, targets []NodeID, outs []Outgoing) ([]Fanout, []NodeID) {
 	start := 0
-	targets := make([]NodeID, 0, len(outs))
 	for i := 1; i <= len(outs); i++ {
 		if i < len(outs) && outs[i].Msg == outs[start].Msg {
 			continue
@@ -115,7 +122,7 @@ func GroupOutgoing(outs []Outgoing) []Fanout {
 		fans = append(fans, Fanout{Targets: targets[first:len(targets):len(targets)], Msg: outs[start].Msg})
 		start = i
 	}
-	return fans
+	return fans, targets
 }
 
 // NodeStats counts protocol activity since the node was created.
@@ -306,6 +313,8 @@ func (n *Node) SetBufferCapacity(capacity int) error {
 // concern, see internal/ratelimit and internal/core).
 //
 // The payload is retained and must not be modified afterwards.
+//
+//gossip:hotpath
 func (n *Node) Broadcast(payload []byte) Event {
 	ev := Event{
 		ID:      EventID{Origin: n.id, Seq: n.nextSeq},
@@ -343,6 +352,9 @@ func (n *Node) Broadcast(payload []byte) Event {
 // synchronously.
 //
 // The driver is responsible for calling Tick every Period.
+//
+//gossip:hotpath
+//gossip:scratch
 func (n *Node) Tick() []Outgoing {
 	n.round++
 	n.buf.IncrementAges()
@@ -421,6 +433,8 @@ func (n *Node) traceFirstSends(msg *Message) {
 // and buffered, duplicate copies raise stored ages to the maximum seen,
 // and extensions observe the message afterwards (Figure 1 receive block
 // plus the Figure 5 additions).
+//
+//gossip:hotpath
 func (n *Node) Receive(msg *Message) {
 	n.stats.MessagesReceived++
 	n.stats.EventsReceived += uint64(len(msg.Events))

@@ -1,0 +1,246 @@
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+)
+
+// AtomicField enforces all-or-nothing atomicity per field: a struct
+// field that is accessed through sync/atomic anywhere in the module
+// must never be read or written plainly anywhere else — mixed access is
+// a data race the race detector only catches on the interleavings a
+// test happens to produce. Construction is the one exception: composite
+// literal initialization (S{n: 0}) happens before the value can be
+// shared and is allowed.
+//
+// The analyzer also checks the 32-bit alignment contract: a raw
+// int64/uint64 field used with 64-bit sync/atomic operations must sit
+// at an 8-byte-aligned offset in its struct's 32-bit (GOARCH=386)
+// layout, or the operation faults on 32-bit targets. Fields typed
+// atomic.Int64/atomic.Uint64 are exempt — the runtime aligns them.
+//
+// Deliberate exceptions (a plain read in a loop-serialized section, a
+// pre-publication field setup outside a literal) are annotated
+// //gossip:atomicok <reason> on the accessing statement.
+var AtomicField = &Analyzer{
+	Name: "atomicfield",
+	Doc:  "forbid mixed atomic/plain access to struct fields; check 64-bit atomic alignment for 32-bit targets",
+	Run:  runAtomicField,
+}
+
+func runAtomicField(pass *Pass) error {
+	m := passModule(pass)
+	aa, ok := atomicCache[m]
+	if !ok {
+		aa = analyzeAtomics(m)
+		atomicCache[m] = aa
+	}
+	aa.report(pass)
+	return nil
+}
+
+var atomicCache = map[*Module]*atomicAnalysis{}
+
+type accessSite struct {
+	pos  token.Pos
+	node ast.Node
+	fn   *ast.FuncDecl
+	pkg  *Package
+}
+
+type atomicAnalysis struct {
+	fset *token.FileSet
+	// atomicAt: first sync/atomic call site per field, for diagnostics.
+	atomicAt map[*types.Var]token.Pos
+	// via64: field is operated on by 64-bit atomic functions.
+	via64 map[*types.Var]bool
+	// owner: a struct type containing the field (for layout checks).
+	owner map[*types.Var]types.Type
+	// ownerPkg: package declaring the field.
+	ownerPkg map[*types.Var]string
+	plain    map[*types.Var][]accessSite
+}
+
+func analyzeAtomics(m *Module) *atomicAnalysis {
+	aa := &atomicAnalysis{
+		fset:     m.Fset,
+		atomicAt: map[*types.Var]token.Pos{},
+		via64:    map[*types.Var]bool{},
+		owner:    map[*types.Var]types.Type{},
+		ownerPkg: map[*types.Var]string{},
+		plain:    map[*types.Var][]accessSite{},
+	}
+	m.EachPackage(func(p *Package) { aa.collect(p) })
+	return aa
+}
+
+func (aa *atomicAnalysis) collect(p *Package) {
+	// consumed marks selector nodes that are the &x.f argument of a
+	// sync/atomic call, so the plain-access sweep skips them.
+	consumed := map[*ast.SelectorExpr]bool{}
+
+	for _, file := range p.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			if call, ok := n.(*ast.CallExpr); ok {
+				aa.collectAtomicCall(p, call, consumed)
+			}
+			return true
+		})
+	}
+
+	// Plain-access sweep, tracking the enclosing function for
+	// suppression checks. Composite-literal construction (S{f: 0}) is
+	// naturally exempt: literal keys are plain Idents, not selectors.
+	for _, file := range p.Files {
+		for _, decl := range file.Decls {
+			fd, isFn := decl.(*ast.FuncDecl)
+			if isFn && fd.Body == nil {
+				continue
+			}
+			var fn *ast.FuncDecl
+			if isFn {
+				fn = fd
+			}
+			ast.Inspect(decl, func(n ast.Node) bool {
+				node, ok := n.(*ast.SelectorExpr)
+				if !ok || consumed[node] {
+					return true
+				}
+				sel, ok := p.Info.Selections[node]
+				if !ok || sel.Kind() != types.FieldVal {
+					return true
+				}
+				field, ok := sel.Obj().(*types.Var)
+				if !ok {
+					return true
+				}
+				aa.plain[field] = append(aa.plain[field], accessSite{pos: node.Sel.Pos(), node: node, fn: fn, pkg: p})
+				return true
+			})
+		}
+	}
+}
+
+// collectAtomicCall records &x.f arguments of sync/atomic calls.
+func (aa *atomicAnalysis) collectAtomicCall(p *Package, call *ast.CallExpr, consumed map[*ast.SelectorExpr]bool) {
+	callee := staticCallee(p.Info, call)
+	if callee == nil || callee.Pkg() == nil || callee.Pkg().Path() != "sync/atomic" {
+		return
+	}
+	is64 := strings.HasSuffix(callee.Name(), "Int64") || strings.HasSuffix(callee.Name(), "Uint64")
+	for _, arg := range call.Args {
+		un, ok := ast.Unparen(arg).(*ast.UnaryExpr)
+		if !ok || un.Op != token.AND {
+			continue
+		}
+		selNode, ok := ast.Unparen(un.X).(*ast.SelectorExpr)
+		if !ok {
+			continue
+		}
+		sel, ok := p.Info.Selections[selNode]
+		if !ok || sel.Kind() != types.FieldVal {
+			continue
+		}
+		field, ok := sel.Obj().(*types.Var)
+		if !ok {
+			continue
+		}
+		consumed[selNode] = true
+		if _, seen := aa.atomicAt[field]; !seen {
+			aa.atomicAt[field] = selNode.Sel.Pos()
+		}
+		if is64 {
+			aa.via64[field] = true
+		}
+		if owner := sel.Recv(); owner != nil {
+			t := owner
+			if ptr, ok := t.Underlying().(*types.Pointer); ok {
+				t = ptr.Elem()
+			}
+			aa.owner[field] = t
+		}
+		if field.Pkg() != nil {
+			aa.ownerPkg[field] = field.Pkg().Path()
+		}
+	}
+}
+
+func (aa *atomicAnalysis) report(pass *Pass) {
+	// Mixed access: report plain sites located in this package.
+	for field, atomicPos := range aa.atomicAt {
+		for _, site := range aa.plain[field] {
+			if site.pkg.Pkg != pass.Pkg {
+				continue
+			}
+			if site.pkg.Directives.Suppressed(DirAtomicOK, site.fn, site.node) {
+				continue
+			}
+			pass.Reportf(site.pos,
+				"field %s is accessed atomically at %s but plainly here; use sync/atomic consistently, switch the field to atomic.%s, or annotate //gossip:atomicok with the serialization argument",
+				fieldString(field), aa.fset.Position(atomicPos), typedAtomicFor(field))
+		}
+	}
+	// 32-bit alignment of raw 64-bit atomic fields, reported at the
+	// struct declaration.
+	sizes := types.SizesFor("gc", "386")
+	for field, is64 := range aa.via64 {
+		if !is64 || aa.ownerPkg[field] != pass.Pkg.Path() {
+			continue
+		}
+		owner, ok := aa.owner[field].Underlying().(*types.Struct)
+		if !ok {
+			continue
+		}
+		off, ok := fieldOffset32(sizes, owner, field)
+		if !ok || off%8 == 0 {
+			continue
+		}
+		pass.Reportf(field.Pos(),
+			"64-bit atomic field %s sits at offset %d in the struct's 32-bit (GOARCH=386) layout; 64-bit atomic operations require 8-byte alignment — move it to the front of the struct or use atomic.%s",
+			fieldString(field), off, typedAtomicFor(field))
+	}
+}
+
+func fieldOffset32(sizes types.Sizes, s *types.Struct, field *types.Var) (int64, bool) {
+	fields := make([]*types.Var, s.NumFields())
+	idx := -1
+	for i := 0; i < s.NumFields(); i++ {
+		fields[i] = s.Field(i)
+		if s.Field(i) == field {
+			idx = i
+		}
+	}
+	if idx < 0 {
+		return 0, false
+	}
+	offsets := sizes.Offsetsof(fields)
+	return offsets[idx], true
+}
+
+func fieldString(field *types.Var) string {
+	if field.Pkg() != nil {
+		return fmt.Sprintf("%s.%s", field.Pkg().Name(), field.Name())
+	}
+	return field.Name()
+}
+
+func typedAtomicFor(field *types.Var) string {
+	if b, ok := field.Type().Underlying().(*types.Basic); ok {
+		switch b.Kind() {
+		case types.Int32:
+			return "Int32"
+		case types.Int64:
+			return "Int64"
+		case types.Uint32:
+			return "Uint32"
+		case types.Uint64:
+			return "Uint64"
+		case types.Uintptr:
+			return "Uintptr"
+		}
+	}
+	return "Int64/Uint64"
+}

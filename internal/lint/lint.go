@@ -1,0 +1,217 @@
+// Package lint is gossiplint: a suite of static analyzers that enforce
+// the repository's hot-path, scratch-lifetime and atomics contracts at
+// compile time — the invariants PRs 4–7 established dynamically
+// (AllocsPerRun tests, -race runs, retention audits) become machine
+// checks that every future refactor must pass.
+//
+// The package is a self-contained go/analysis-style framework built on
+// the standard library alone (go/ast, go/types, go list): the build
+// environment pins external modules, so golang.org/x/tools is not a
+// dependency. The API deliberately mirrors go/analysis (Analyzer, Pass,
+// Diagnostic) with one deliberate difference: a Pass can see the whole
+// loaded module (Pass.Module), because the contracts being checked are
+// inherently cross-package (a hot function in internal/runtime calls
+// into internal/gossip; a field written plainly in one package may be
+// read atomically in another) and the stdlib has no facts mechanism.
+//
+// Analyzers are driven by directive comments, which are part of the
+// project contract (see API_STABILITY.md):
+//
+//	//gossip:hotpath        this function must not allocate, nor may
+//	                        anything it (transitively) calls in-module
+//	//gossip:allocok reason the next statement (or this whole function)
+//	                        is a known cold branch; allocation is fine
+//	//gossip:scratch        this function's pointer/slice results are
+//	                        per-round scratch, valid until the next Tick
+//	//gossip:atomicok reason this statement's plain access to an
+//	                        atomically-used field is deliberate
+//	//gossip:scratchok reason this statement's scratch flow is protected
+//	                        by a protocol the analyzer cannot see
+//
+// The suite: hotpathalloc, scratchretain, atomicfield, transportsafe,
+// plus the directive validator itself. cmd/gossiplint is the
+// multichecker front end (standalone and `go vet -vettool`).
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+)
+
+// Analyzer describes one static check, mirroring the shape of
+// golang.org/x/tools/go/analysis.Analyzer.
+type Analyzer struct {
+	// Name identifies the analyzer in diagnostics and flags.
+	Name string
+	// Doc is the help text.
+	Doc string
+	// Run applies the analyzer to one package.
+	Run func(*Pass) error
+}
+
+// Diagnostic is one finding, positioned in the analyzed source.
+type Diagnostic struct {
+	Pos      token.Pos
+	Analyzer string
+	Message  string
+}
+
+// Pass carries the inputs of one analyzer applied to one package.
+type Pass struct {
+	Analyzer *Analyzer
+	Fset     *token.FileSet
+	Files    []*ast.File
+	Pkg      *types.Package
+	Info     *types.Info
+
+	// Directives holds the parsed //gossip: comments of this package.
+	Directives *DirectiveSet
+
+	// Module is the whole loaded module, for cross-package analyses.
+	// Nil in single-package (vettool) mode; analyzers must degrade to
+	// package-local precision when it is.
+	Module *Module
+
+	// FactProducers carries //gossip:scratch producers from dependency
+	// compilation units in vettool mode, keyed by types.Func.FullName()
+	// (the only stable cross-unit identity available without a real
+	// facts mechanism). Nil in whole-module mode, where Module already
+	// exposes every producer.
+	FactProducers map[string]bool
+
+	diags *[]Diagnostic
+}
+
+// Reportf records a diagnostic at pos.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
+	*p.diags = append(*p.diags, Diagnostic{
+		Pos:      pos,
+		Analyzer: p.Analyzer.Name,
+		Message:  fmt.Sprintf(format, args...),
+	})
+}
+
+// Package is one type-checked module package.
+type Package struct {
+	Path       string
+	Fset       *token.FileSet
+	Files      []*ast.File
+	Pkg        *types.Package
+	Info       *types.Info
+	Directives *DirectiveSet
+}
+
+// Module is the full set of type-checked packages under analysis,
+// sharing one FileSet and one type-object space (an object defined in
+// package A is the identical *types.Var / *types.Func when seen from
+// package B).
+type Module struct {
+	Path string
+	Fset *token.FileSet
+	// Pkgs is keyed by import path.
+	Pkgs map[string]*Package
+	// Sorted import paths, for deterministic iteration.
+	Paths []string
+}
+
+// EachPackage visits the module's packages in import-path order.
+func (m *Module) EachPackage(fn func(*Package)) {
+	for _, path := range m.Paths {
+		fn(m.Pkgs[path])
+	}
+}
+
+// Run applies each analyzer to each package of the module and returns
+// the merged diagnostics sorted by position.
+func Run(m *Module, analyzers []*Analyzer) ([]Diagnostic, error) {
+	var diags []Diagnostic
+	for _, a := range analyzers {
+		for _, path := range m.Paths {
+			p := m.Pkgs[path]
+			pass := &Pass{
+				Analyzer:   a,
+				Fset:       m.Fset,
+				Files:      p.Files,
+				Pkg:        p.Pkg,
+				Info:       p.Info,
+				Directives: p.Directives,
+				Module:     m,
+				diags:      &diags,
+			}
+			if err := a.Run(pass); err != nil {
+				return nil, fmt.Errorf("%s: %s: %w", a.Name, path, err)
+			}
+		}
+	}
+	SortDiagnostics(m.Fset, diags)
+	return dedupe(diags), nil
+}
+
+// RunPackage applies each analyzer to a single compilation unit with no
+// module context (vettool mode). factProducers carries //gossip:scratch
+// identities imported from dependency units.
+func RunPackage(p *Package, analyzers []*Analyzer, factProducers map[string]bool) ([]Diagnostic, error) {
+	var diags []Diagnostic
+	for _, a := range analyzers {
+		pass := &Pass{
+			Analyzer:      a,
+			Fset:          p.Fset,
+			Files:         p.Files,
+			Pkg:           p.Pkg,
+			Info:          p.Info,
+			Directives:    p.Directives,
+			FactProducers: factProducers,
+			diags:         &diags,
+		}
+		if err := a.Run(pass); err != nil {
+			return nil, fmt.Errorf("%s: %s: %w", a.Name, p.Path, err)
+		}
+	}
+	SortDiagnostics(p.Fset, diags)
+	return dedupe(diags), nil
+}
+
+// SortDiagnostics orders diagnostics by file, line, column, analyzer.
+func SortDiagnostics(fset *token.FileSet, diags []Diagnostic) {
+	sort.SliceStable(diags, func(i, j int) bool {
+		pi, pj := fset.Position(diags[i].Pos), fset.Position(diags[j].Pos)
+		if pi.Filename != pj.Filename {
+			return pi.Filename < pj.Filename
+		}
+		if pi.Line != pj.Line {
+			return pi.Line < pj.Line
+		}
+		if pi.Column != pj.Column {
+			return pi.Column < pj.Column
+		}
+		return diags[i].Analyzer < diags[j].Analyzer
+	})
+}
+
+// dedupe removes identical diagnostics: module-level analyzers that
+// scan cross-package state (atomicfield) can rediscover the same
+// finding from several packages.
+func dedupe(diags []Diagnostic) []Diagnostic {
+	out := diags[:0]
+	for i, d := range diags {
+		if i > 0 && d == diags[i-1] {
+			continue
+		}
+		out = append(out, d)
+	}
+	return out
+}
+
+// All returns the full gossiplint suite in reporting order.
+func All() []*Analyzer {
+	return []*Analyzer{
+		DirectiveAnalyzer,
+		HotPathAlloc,
+		ScratchRetain,
+		AtomicField,
+		TransportSafe,
+	}
+}

@@ -1,0 +1,133 @@
+// Package linttest is the expectation harness for the gossiplint
+// analyzers, modeled on golang.org/x/tools/go/analysis/analysistest:
+// fixture packages under testdata/ carry `// want "regexp"` comments on
+// the lines where an analyzer must report, the harness runs the
+// analyzer over the fixture module and diffs actual diagnostics against
+// the expectations in both directions. Each fixture directory is its
+// own Go module, so deliberate contract violations never leak into the
+// repository's real build.
+package linttest
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"regexp"
+	"strconv"
+	"strings"
+	"testing"
+
+	"adaptivegossip/internal/lint"
+)
+
+// expectation is one `// want` clause: a line that must receive a
+// diagnostic matching re.
+type expectation struct {
+	file    string
+	line    int
+	re      *regexp.Regexp
+	matched bool
+}
+
+var wantRE = regexp.MustCompile(`// want (.*)$`)
+
+// Run loads the fixture module rooted at dir, applies the analyzers,
+// and reports unmet expectations and unexpected diagnostics through t.
+func Run(t *testing.T, dir string, analyzers ...*lint.Analyzer) {
+	t.Helper()
+	m, err := lint.LoadModule(dir)
+	if err != nil {
+		t.Fatalf("loading fixture %s: %v", dir, err)
+	}
+	diags, err := lint.Run(m, analyzers)
+	if err != nil {
+		t.Fatalf("running analyzers over %s: %v", dir, err)
+	}
+
+	wants := collectWants(t, m)
+	for _, d := range diags {
+		pos := m.Fset.Position(d.Pos)
+		if !claim(wants, pos, d.Message) {
+			t.Errorf("%s: unexpected diagnostic [%s]: %s", pos, d.Analyzer, d.Message)
+		}
+	}
+	for _, w := range wants {
+		if !w.matched {
+			t.Errorf("%s:%d: expected diagnostic matching %q, got none", w.file, w.line, w.re)
+		}
+	}
+}
+
+func claim(wants []*expectation, pos token.Position, msg string) bool {
+	for _, w := range wants {
+		if w.file == pos.Filename && w.line == pos.Line && w.re.MatchString(msg) {
+			w.matched = true
+			return true
+		}
+	}
+	return false
+}
+
+func collectWants(t *testing.T, m *lint.Module) []*expectation {
+	t.Helper()
+	var wants []*expectation
+	m.EachPackage(func(p *lint.Package) {
+		for _, file := range p.Files {
+			for _, group := range file.Comments {
+				for _, c := range group.List {
+					wants = append(wants, parseWant(t, m.Fset, file, c)...)
+				}
+			}
+		}
+	})
+	return wants
+}
+
+// parseWant extracts the quoted regexps of one `// want "re" "re"`
+// comment. Both interpreted (") and raw (`) Go string syntax work.
+func parseWant(t *testing.T, fset *token.FileSet, file *ast.File, c *ast.Comment) []*expectation {
+	t.Helper()
+	match := wantRE.FindStringSubmatch(c.Text)
+	if match == nil {
+		return nil
+	}
+	pos := fset.Position(c.Pos())
+	var wants []*expectation
+	rest := strings.TrimSpace(match[1])
+	for rest != "" {
+		lit, remainder, err := cutStringLit(rest)
+		if err != nil {
+			t.Fatalf("%s: malformed want comment %q: %v", pos, c.Text, err)
+		}
+		re, err := regexp.Compile(lit)
+		if err != nil {
+			t.Fatalf("%s: bad want regexp %q: %v", pos, lit, err)
+		}
+		wants = append(wants, &expectation{file: pos.Filename, line: pos.Line, re: re})
+		rest = strings.TrimSpace(remainder)
+	}
+	return wants
+}
+
+func cutStringLit(s string) (lit, rest string, err error) {
+	if s == "" {
+		return "", "", fmt.Errorf("empty clause")
+	}
+	quote := s[0]
+	if quote != '"' && quote != '`' {
+		return "", "", fmt.Errorf("expected a quoted regexp, found %q", s)
+	}
+	for i := 1; i < len(s); i++ {
+		switch {
+		case s[i] == '\\' && quote == '"':
+			i++
+		case s[i] == quote:
+			unq, err := strconv.Unquote(s[:i+1])
+			if err != nil {
+				return "", "", err
+			}
+			return unq, s[i+1:], nil
+		}
+	}
+	return "", "", fmt.Errorf("unterminated string in %q", s)
+}

@@ -1,0 +1,52 @@
+// Package atomicf seeds mixed atomic/plain field access and 64-bit
+// alignment hazards for the atomicfield analyzer. The mixed accesses
+// are real data races that go test -race only catches when a test
+// happens to interleave them.
+package atomicf
+
+import "sync/atomic"
+
+// Stats mixes a misaligned 64-bit atomic counter with plain accesses.
+type Stats struct {
+	ready uint32
+	hits  uint64 // want `64-bit atomic field atomicf.hits sits at offset 4`
+	name  string
+}
+
+// Inc is the atomic side.
+func (s *Stats) Inc() {
+	atomic.AddUint64(&s.hits, 1)
+}
+
+// Snapshot reads the same field plainly: a data race with Inc.
+func (s *Stats) Snapshot() uint64 {
+	return s.hits // want `accessed atomically at .* but plainly here`
+}
+
+// Reset writes it plainly: same race.
+func (s *Stats) Reset() {
+	s.hits = 0 // want `accessed atomically at .* but plainly here`
+}
+
+// Name only touches the never-atomic field: fine.
+func (s *Stats) Name() string { return s.name }
+
+// Aligned keeps its 64-bit counter at offset 0 and only reads it
+// atomically, with one deliberate, annotated plain read.
+type Aligned struct {
+	ops   uint64
+	ready uint32
+}
+
+// Touch is the atomic side.
+func (a *Aligned) Touch() {
+	atomic.AddUint64(&a.ops, 1)
+	atomic.StoreUint32(&a.ready, 1)
+}
+
+// Init runs before the value is shared; the plain write is deliberate
+// and documented in place.
+func (a *Aligned) Init(seed uint64) {
+	a.ops = seed //gossip:atomicok pre-publication initialization, no concurrent access yet
+	a.ready = 0  //gossip:atomicok pre-publication initialization, no concurrent access yet
+}

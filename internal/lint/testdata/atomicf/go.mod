@@ -1,0 +1,3 @@
+module fixture/atomicf
+
+go 1.24

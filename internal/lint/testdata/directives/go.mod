@@ -1,0 +1,3 @@
+module fixture/directives
+
+go 1.24

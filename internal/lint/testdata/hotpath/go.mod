@@ -1,0 +1,3 @@
+module fixture/hotpath
+
+go 1.24

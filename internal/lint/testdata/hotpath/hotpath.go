@@ -1,0 +1,110 @@
+// Package hotpath seeds hot-path allocation violations for the
+// hotpathalloc analyzer. None of these are diagnosable by go vet.
+package hotpath
+
+import (
+	"fmt"
+	"sort"
+)
+
+type Event struct {
+	ID  int
+	Age int
+}
+
+type Node struct {
+	events  []Event
+	scratch []Event
+	sink    chan any
+}
+
+// Tick is the annotated root: everything below it, including the
+// helpers it calls, must stay allocation free.
+//
+//gossip:hotpath
+func (n *Node) Tick() int {
+	buf := make([]Event, 0, 8) // want `heap allocation: make`
+	_ = buf
+	e := new(Event) // want `heap allocation: new`
+	_ = e
+	ids := []int{1, 2, 3} // want `heap allocation: slice literal`
+	_ = ids
+	ages := map[int]int{} // want `heap allocation: map literal`
+	_ = ages
+	p := &Event{ID: 1} // want `&-escaped composite literal`
+	_ = p
+
+	total := 0
+	fn := func() { total++ } // want `closure captures total`
+	fn()
+
+	n.sink <- total // want `interface boxing: sending int`
+
+	n.events = append(n.events, Event{ID: total})  // reuse form: ok
+	grown := append(n.events, Event{ID: 4})        // want `append does not reuse its destination`
+	n.scratch = append(n.scratch[:0], n.events...) // reuse form: ok
+	fmt.Println(len(grown))                        // want `fmt.Println call` `interface boxing: passing int`
+	name := "node-" + label()                      // want `string concatenation`
+	raw := []byte(name)                            // want `string to \[\]byte conversion`
+	back := string(raw)                            // want `\[\]byte to string conversion`
+	_ = back
+	go n.flush() // want `go statement`
+
+	return n.helper()
+}
+
+// helper is not annotated, but Tick calls it: the hot closure reaches
+// it transitively.
+func (n *Node) helper() int {
+	spill := make([]Event, 1) // want `heap allocation: make.*reached from //gossip:hotpath hotpath\.\(\*Node\)\.Tick`
+	_ = spill
+
+	//gossip:allocok error path, runs at most once per process
+	cold := make([]Event, 64)
+	return len(cold)
+}
+
+// flush is reached only through a go statement's method value, which
+// the static call graph does not follow; its own annotation keeps it
+// checked.
+//
+//gossip:hotpath
+func (n *Node) flush() {
+	n.events = n.events[:0]
+}
+
+// coldStart is entirely cold: the whole function is exempt, and the
+// make below must not be reported.
+//
+//gossip:hotpath
+//gossip:allocok startup-only wiring
+func coldStart(n *Node) {
+	n.events = make([]Event, 0, 1024)
+}
+
+// findSlot's predicate captures n and age, but it is passed straight to
+// sort.Search, which calls and discards it: the environment stays on
+// the stack, so no diagnostic.
+//
+//gossip:hotpath
+func (n *Node) findSlot(age int) int {
+	return sort.Search(len(n.events), func(i int) bool {
+		return n.events[i].Age >= age
+	})
+}
+
+// appendEvent is an append-style helper: returning the grown parameter
+// hands the reuse obligation to the caller, so no diagnostic — unlike
+// returning a grown field (appendField below).
+//
+//gossip:hotpath
+func appendEvent(dst []Event, e Event) []Event {
+	return append(dst, e) // reuse form: grown parameter returned
+}
+
+//gossip:hotpath
+func (n *Node) appendField(e Event) []Event {
+	return append(n.events, e) // want `append does not reuse its destination`
+}
+
+func label() string { return "x" }

@@ -1,0 +1,3 @@
+module fixture/scratch
+
+go 1.24

@@ -1,0 +1,103 @@
+// Package scratch seeds scratch-retention violations for the
+// scratchretain analyzer: values produced by //gossip:scratch functions
+// escape the consuming call frame without a CopyForSend/Clone.
+package scratch
+
+type Message struct {
+	Events []int
+}
+
+// CopyForSend detaches a message from the producer's scratch state.
+func (m *Message) CopyForSend() *Message {
+	c := *m
+	c.Events = append([]int(nil), m.Events...)
+	return &c
+}
+
+// Clone is the deep-copy variant.
+func (m *Message) Clone() *Message { return m.CopyForSend() }
+
+type Node struct {
+	scratch Message
+	rounds  int
+}
+
+// Tick rebuilds and returns the node's per-round scratch message,
+// valid only until the next Tick.
+//
+//gossip:scratch
+func (n *Node) Tick() *Message {
+	n.rounds++
+	n.scratch.Events = n.scratch.Events[:0]
+	return &n.scratch
+}
+
+// AppendSnapshot appends the node's events into dst; the result aliases
+// per-round storage.
+//
+//gossip:scratch
+func (n *Node) AppendSnapshot(dst []int) []int {
+	return append(dst, n.scratch.Events...)
+}
+
+var lastGlobal *Message
+
+type Recorder struct {
+	last   *Message
+	events []int
+	inbox  chan *Message
+}
+
+func (r *Recorder) Observe(n *Node) {
+	r.last = n.Tick() // want `scratch value stored outside the call frame`
+
+	msg := n.Tick()
+	r.last = msg // want `scratch value stored outside the call frame`
+
+	r.last = msg.CopyForSend() // copied: ok
+
+	lastGlobal = msg // want `scratch value stored in package variable lastGlobal`
+
+	r.inbox <- msg // want `scratch value sent into a channel`
+	r.inbox <- msg.Clone()
+
+	go r.drain(msg) // want `scratch value passed to a goroutine`
+	go func() {
+		_ = msg.Events // want `goroutine closure captures scratch value msg`
+	}()
+
+	snap := n.AppendSnapshot(nil)
+	r.events = snap // want `scratch value stored outside the call frame`
+}
+
+func (r *Recorder) drain(m *Message) { _ = m }
+
+// Relay launders scratch through a local and returns it: callers have
+// no way to know the lifetime unless Relay is annotated too.
+func Relay(n *Node) *Message {
+	msg := n.Tick()
+	return msg // want `Relay returns per-round scratch but is not annotated`
+}
+
+// RelayCopy is the correct version.
+func RelayCopy(n *Node) *Message {
+	return n.Tick().CopyForSend()
+}
+
+// StoreGuarded retains scratch under a protocol the analyzer cannot
+// see; the justified //gossip:scratchok suppression keeps it quiet.
+func StoreGuarded(r *Recorder, n *Node) {
+	msg := n.Tick()
+	//gossip:scratchok r.last is cleared before the next Tick by the same driver
+	r.last = msg
+}
+
+// Deliver consumes scratch inside the frame: fine.
+func Deliver(n *Node) int {
+	msg := n.Tick()
+	total := 0
+	for _, e := range msg.Events {
+		total += e
+	}
+	return total
+}

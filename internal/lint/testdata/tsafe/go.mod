@@ -1,0 +1,3 @@
+module fixture/tsafe
+
+go 1.24

@@ -199,7 +199,12 @@ func (p *Peer) Publish(topic Topic, payload []byte, now time.Time) (gossip.Event
 }
 
 // Tick runs one gossip round for every subscribed topic and returns all
-// outgoing messages, each tagged with its topic.
+// outgoing messages, each tagged with its topic. The messages alias the
+// per-topic nodes' reused round scratch: they are valid only until the
+// next Tick.
+//
+//gossip:hotpath
+//gossip:scratch
 func (p *Peer) Tick(now time.Time) []gossip.Outgoing {
 	var out []gossip.Outgoing
 	for _, topic := range p.order {
@@ -223,6 +228,8 @@ func (p *Peer) Tick(now time.Time) []gossip.Outgoing {
 // produce control traffic and the discarded Receive return is always
 // nil. Wiring recovery here would require forwarding that return (and
 // Group-tagging the distinct request messages Tick would emit).
+//
+//gossip:hotpath
 func (p *Peer) Receive(msg *gossip.Message, now time.Time) {
 	node, ok := p.topics[Topic(msg.Group)]
 	if !ok {

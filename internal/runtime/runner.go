@@ -70,6 +70,10 @@ type Runner struct {
 	stop  chan struct{}
 	done  chan struct{}
 
+	// sender amortizes the per-round grouping scratch (only the loop
+	// goroutine touches it).
+	sender transport.GroupSender
+
 	startOnce sync.Once
 	stopOnce  sync.Once
 	started   atomic.Bool
@@ -184,6 +188,7 @@ waitPhase:
 	}
 }
 
+//gossip:hotpath
 func (r *Runner) tick() {
 	r.ticks.Add(1)
 	now := time.Now()
@@ -195,6 +200,8 @@ func (r *Runner) tick() {
 
 // receive processes one inbound message and transmits any recovery
 // control traffic (retransmission responses) it triggered.
+//
+//gossip:hotpath
 func (r *Runner) receive(msg *gossip.Message) {
 	now := time.Now()
 	r.send(r.node.Receive(msg, now))
@@ -203,13 +210,13 @@ func (r *Runner) receive(msg *gossip.Message) {
 	}
 }
 
-// send transmits a batch of outgoings through transport.SendGroups:
+// send transmits a batch of outgoings through the runner's GroupSender:
 // the round's shared gossip message collapses into one SendMany so
 // encode-once transports pay the serialization cost once per round,
 // and non-ScratchSafe transports get copies, decoupling them from the
-// node's scratch reuse.
+// node's scratch reuse. The grouping scratch is reused across rounds.
 func (r *Runner) send(outs []gossip.Outgoing) {
-	sent, failed := transport.SendGroups(r.tr, outs)
+	sent, failed := r.sender.SendGroups(r.tr, outs)
 	r.moved.Add(uint64(sent))
 	r.sendErrors.Add(uint64(failed))
 }

@@ -123,6 +123,8 @@ func (c Codec) Encode(m *gossip.Message) ([]byte, error) {
 // share backing storage with buf). When buf has at least EncodedSize(m)
 // spare capacity the call performs no allocation — the hot-path
 // contract the UDP transport's pooled send buffers rely on.
+//
+//gossip:hotpath
 func (c Codec) AppendEncode(buf []byte, m *gossip.Message) ([]byte, error) {
 	c = c.limits()
 	if err := c.validateForEncode(m); err != nil {
@@ -239,6 +241,7 @@ func appendHealthDigest(buf []byte, d *gossip.HealthDigest) []byte {
 	return buf
 }
 
+//gossip:allocok allocates only when a limit check fails, which aborts the send; valid messages take no error branch
 func (c Codec) validateForEncode(m *gossip.Message) error {
 	if m == nil {
 		return fmt.Errorf("transport: nil message")

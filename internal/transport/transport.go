@@ -55,10 +55,37 @@ type ScratchSafe interface {
 // sender's per-round scratch state (Message.CopyForSend) before it
 // reaches the transport. It returns the total targets sent and failed.
 func SendGroups(t Transport, outs []gossip.Outgoing) (sent, failed int) {
+	var g GroupSender
+	return g.SendGroups(t, outs)
+}
+
+// GroupSender is the amortized form of SendGroups: the grouping scratch
+// (fanout entries and the flattened target list) is retained across
+// rounds, so a steady-state round groups and transmits with zero
+// allocations. One GroupSender belongs to one sending loop; it is not
+// safe for concurrent use.
+type GroupSender struct {
+	fans    []gossip.Fanout
+	targets []gossip.NodeID
+}
+
+// SendGroups coalesces outs and transmits each fanout through t,
+// exactly like the package-level SendGroups, reusing the receiver's
+// scratch.
+//
+//gossip:hotpath
+func (g *GroupSender) SendGroups(t Transport, outs []gossip.Outgoing) (sent, failed int) {
+	// Drop last round's message pointers before reuse so the scratch
+	// does not pin control messages past their round.
+	for i := range g.fans {
+		g.fans[i] = gossip.Fanout{}
+	}
+	g.fans, g.targets = gossip.AppendGroupOutgoing(g.fans[:0], g.targets[:0], outs)
 	_, scratchSafe := t.(ScratchSafe)
-	for _, f := range gossip.GroupOutgoing(outs) {
+	for _, f := range g.fans {
 		msg := f.Msg
 		if !scratchSafe {
+			//gossip:allocok documented slow path: non-ScratchSafe transports get a copy, decoupling them from scratch reuse
 			msg = msg.CopyForSend()
 		}
 		n, _ := SendMany(t, f.Targets, msg)

@@ -397,6 +397,8 @@ func (t *UDPTransport) Send(to gossip.NodeID, msg *gossip.Message) error {
 // targets and the dissemination cost scales with message size, not
 // fanout. Targets are attempted independently (best effort); SendMany
 // returns the number of targets fully sent and the first error.
+//
+//gossip:hotpath
 func (t *UDPTransport) SendMany(targets []gossip.NodeID, msg *gossip.Message) (int, error) {
 	if len(targets) == 0 {
 		return 0, nil
@@ -405,6 +407,7 @@ func (t *UDPTransport) SendMany(targets []gossip.NodeID, msg *gossip.Message) (i
 	var single []byte
 	if t.codec.EncodedSize(msg) > t.maxDg {
 		var err error
+		//gossip:allocok oversized-message slow path: chunked encoding pays per message size, once for all fanout targets
 		chunks, err = t.codec.EncodeChunks(msg, t.maxDg)
 		if err != nil {
 			t.sendErrors.Add(uint64(len(targets)))
@@ -433,6 +436,7 @@ func (t *UDPTransport) SendMany(targets []gossip.NodeID, msg *gossip.Message) (i
 				ps.SendErrors.Inc()
 			}
 			if first == nil {
+				//gossip:allocok unknown-peer error path; healthy membership never takes it
 				first = fmt.Errorf("transport: unknown peer %s", to)
 			}
 			continue
@@ -486,6 +490,7 @@ func (t *UDPTransport) writeDatagram(to gossip.NodeID, addr *net.UDPAddr, chunk 
 		if ps != nil {
 			ps.SendErrors.Inc()
 		}
+		//gossip:allocok socket-failure error path, not taken on successful writes
 		return fmt.Errorf("transport: send to %s: %w", to, err)
 	}
 	t.sent.Add(1)
