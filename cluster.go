@@ -76,6 +76,9 @@ func NewCluster(n int, cfg Config, opts ...Option) (*Cluster, error) {
 		o.fabric = fabric
 	}
 	fabric := o.fabric
+	if err := applyTransportConfig(fabric, cfg.Transport); err != nil {
+		return fail(err)
+	}
 
 	names := make([]NodeID, n)
 	for i := range names {

@@ -1,0 +1,132 @@
+package adaptivegossip
+
+import (
+	"bytes"
+	"context"
+	"strings"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+func TestTransportConfigValidate(t *testing.T) {
+	for _, name := range []string{"", "none", "flate"} {
+		if err := (TransportConfig{Compression: name}).Validate(); err != nil {
+			t.Fatalf("compression %q rejected: %v", name, err)
+		}
+	}
+	if err := (TransportConfig{Compression: "zstd"}).Validate(); err == nil {
+		t.Fatal("unknown compressor name accepted")
+	}
+	bad := DefaultConfig()
+	bad.Transport.Compression = "zstd"
+	if err := bad.Validate(); err == nil || !strings.Contains(err.Error(), "Config.Transport") {
+		t.Fatalf("Config.Validate did not surface the transport sub-config: %v", err)
+	}
+}
+
+func TestWithCompressionOption(t *testing.T) {
+	if _, err := NewUDPTransport(WithCompression("bogus")); err == nil {
+		t.Fatal("unknown compressor name accepted by WithCompression")
+	}
+	tr, err := NewUDPTransport(WithCompression("flate"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr.Close()
+	// The memory fabric never serializes: real compression is a
+	// configuration error, the explicit "none" is fine.
+	if _, err := NewMemTransport(WithCompression("flate")); err == nil {
+		t.Fatal("memory transport accepted flate compression")
+	}
+	mem, err := NewMemTransport(WithCompression("none"))
+	if err != nil {
+		t.Fatalf("memory transport rejected compression %q: %v", "none", err)
+	}
+	mem.Close()
+}
+
+// TestConfigCompressionNeedsSeam: asking for compression on a fabric
+// that cannot serialize (memory) or that has no seam (custom) must fail
+// construction, never silently send uncompressed.
+func TestConfigCompressionNeedsSeam(t *testing.T) {
+	cfg := fastConfig()
+	cfg.Transport.Compression = "flate"
+	if _, err := NewCluster(3, cfg); err == nil ||
+		!strings.Contains(err.Error(), "memory transport") {
+		t.Fatalf("cluster over memory fabric accepted compression: %v", err)
+	}
+	mem, err := NewMemTransport()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := NewNode("x", cfg, WithTransport(mem)); err == nil ||
+		!strings.Contains(err.Error(), "memory transport") {
+		t.Fatalf("node over memory fabric accepted compression: %v", err)
+	}
+	custom := &fakeSeamlessTransport{}
+	if _, err := NewCluster(3, cfg, WithTransport(custom)); err == nil ||
+		!strings.Contains(err.Error(), "compression seam") {
+		t.Fatalf("custom fabric without a seam accepted compression: %v", err)
+	}
+	if !custom.closed.Load() {
+		t.Fatal("rejected custom fabric was not closed")
+	}
+}
+
+// fakeSeamlessTransport is a minimal custom Transport with no
+// compression seam.
+type fakeSeamlessTransport struct{ closed atomic.Bool }
+
+func (f *fakeSeamlessTransport) Endpoint(id NodeID) (Endpoint, error) {
+	return nil, nil
+}
+func (f *fakeSeamlessTransport) Close() error {
+	f.closed.Store(true)
+	return nil
+}
+
+// TestClusterCompressionOverUDP runs a real cluster with
+// Config.Transport.Compression="flate" over loopback UDP: gossip still
+// disseminates, and the wire counters show the event sections shrinking
+// (post-compression bytes strictly below pre-compression bytes).
+func TestClusterCompressionOverUDP(t *testing.T) {
+	fabric, err := NewUDPTransport(WithTransportSeed(5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := fastConfig()
+	cfg.Transport.Compression = "flate"
+	var delivered atomic.Int64
+	cluster, err := NewCluster(4, cfg,
+		WithSeed(5),
+		WithTransport(fabric),
+		WithDeliver(func(d Delivery) { delivered.Add(1) }))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cluster.Close()
+	if err := cluster.Start(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	// Highly compressible payload: the flate arm must pay off.
+	payload := bytes.Repeat([]byte("adaptive gossip "), 40)
+	if !cluster.Publish(0, payload) {
+		t.Fatal("publish rejected")
+	}
+	deadline := time.Now().Add(5 * time.Second)
+	for time.Now().Before(deadline) && delivered.Load() < 4 {
+		time.Sleep(10 * time.Millisecond)
+	}
+	if delivered.Load() < 4 {
+		t.Fatalf("only %d/4 nodes delivered over compressed UDP", delivered.Load())
+	}
+	st := cluster.Stats()
+	if st.Wire.PreCompressionBytes == 0 {
+		t.Fatal("pre-compression byte counter never moved")
+	}
+	if st.Wire.PostCompressionBytes >= st.Wire.PreCompressionBytes {
+		t.Fatalf("compression never paid: pre=%d post=%d",
+			st.Wire.PreCompressionBytes, st.Wire.PostCompressionBytes)
+	}
+}

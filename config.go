@@ -10,6 +10,7 @@ import (
 	"adaptivegossip/internal/gossip"
 	"adaptivegossip/internal/health"
 	"adaptivegossip/internal/recovery"
+	"adaptivegossip/internal/transport"
 )
 
 // Re-exported protocol types. The aliases keep a single definition in
@@ -199,6 +200,30 @@ type Config struct {
 	Failure FailureConfig
 	// Observability configures the debug listener and rumor tracing.
 	Observability ObservabilityConfig
+	// Transport configures wire-level behavior applied to the group's
+	// message fabric (built-in or provided via WithTransport).
+	Transport TransportConfig
+}
+
+// TransportConfig groups the wire-level knobs Config pushes into the
+// group's transport fabric.
+type TransportConfig struct {
+	// Compression names the payload compression applied to the event
+	// section of every encoded message (wire v5): "" or "none" for
+	// uncompressed frames, "flate" for DEFLATE. Requires a fabric that
+	// serializes and exposes the compression seam — the built-in UDP
+	// transport; the memory fabric and seam-less custom fabrics reject
+	// real compression at construction. Decoding always accepts
+	// compressed frames regardless of this setting.
+	Compression string
+}
+
+// Validate reports the first configuration error.
+func (c TransportConfig) Validate() error {
+	if _, err := transport.CompressorByName(c.Compression); err != nil {
+		return fmt.Errorf("adaptivegossip: Config.Transport: %w", err)
+	}
+	return nil
 }
 
 // DefaultConfig returns the paper's protocol configuration with a
@@ -272,6 +297,9 @@ func (c Config) Validate() error {
 		}
 	}
 	if err := c.Observability.Validate(); err != nil {
+		return err
+	}
+	if err := c.Transport.Validate(); err != nil {
 		return err
 	}
 	return nil

@@ -37,12 +37,23 @@ func DefaultWirecostConfig() WirecostConfig {
 	}
 }
 
-// WirecostRow is one fanout point of the sweep, comparing the
-// encode-once SendMany path against the per-peer-encode baseline.
+// WirecostRow is one fanout point of the sweep. It compares the
+// encode-once SendMany path against the per-peer-encode baseline (the
+// allocation axis) and the three wire generations against each other
+// (the bytes axis): legacy row-wise v4 frames, columnar
+// delta-encoded v5 frames, and v5 with flate payload compression.
 type WirecostRow struct {
-	Fanout        int
-	BytesPerRound float64 // wire bytes sent per round (both paths equal)
-	// Allocations per round, sender side.
+	Fanout int
+	// BytesPerRound is the v5 columnar wire cost of one round — the
+	// format the default codec speaks.
+	BytesPerRound float64
+	// V4BytesPerRound is the same round encoded row-wise as wire v4:
+	// every event repeats its origin and carries fixed-width seq/age.
+	V4BytesPerRound float64
+	// CompressedBytesPerRound is the same round as v5 with the flate
+	// compressor on the event section.
+	CompressedBytesPerRound float64
+	// Allocations per round, sender side (v5 path).
 	EncodeOnceAllocs float64
 	PerPeerAllocs    float64
 }
@@ -58,10 +69,22 @@ func (r WirecostRow) AllocRatio() float64 {
 	return r.PerPeerAllocs / den
 }
 
+// CompressionRatio reports how many times fewer bytes one round costs
+// as compressed v5 compared to the v4 baseline.
+func (r WirecostRow) CompressionRatio() float64 {
+	den := r.CompressedBytesPerRound
+	if den < 1 {
+		den = 1
+	}
+	return r.V4BytesPerRound / den
+}
+
 // RunWirecost measures per-round send cost versus fanout over real
 // loopback UDP sockets. The receiver sockets are bound but never read —
 // the measurement isolates the sender's encode+write work, which is the
-// hot path the encode-once fanout optimizes.
+// hot path the encode-once fanout optimizes. Three sender sockets carry
+// the same round: one per wire arm (v4, v5, v5+flate), so the byte
+// columns come from real datagram writes, not size arithmetic.
 func RunWirecost(cfg WirecostConfig) ([]WirecostRow, error) {
 	if len(cfg.Fanouts) == 0 || cfg.Events < 0 || cfg.Payload < 0 || cfg.Rounds < 1 {
 		return nil, fmt.Errorf("wirecost: invalid config %+v", cfg)
@@ -81,6 +104,21 @@ func RunWirecost(cfg WirecostConfig) ([]WirecostRow, error) {
 		return nil, err
 	}
 	defer sender.Close()
+	v4Codec := transport.DefaultCodec()
+	v4Codec.WireVersion = 4
+	senderV4, err := transport.NewUDPTransport("wirecost-sender", "127.0.0.1:0",
+		transport.WithUDPCodec(v4Codec))
+	if err != nil {
+		return nil, err
+	}
+	defer senderV4.Close()
+	senderComp, err := transport.NewUDPTransport("wirecost-sender", "127.0.0.1:0",
+		transport.WithUDPCompression(transport.NewFlateCompressor()))
+	if err != nil {
+		return nil, err
+	}
+	defer senderComp.Close()
+
 	targets := make([]gossip.NodeID, 0, maxFanout)
 	for i := 0; i < maxFanout; i++ {
 		id := gossip.NodeID(fmt.Sprintf("wirecost-peer-%d", i))
@@ -89,13 +127,26 @@ func RunWirecost(cfg WirecostConfig) ([]WirecostRow, error) {
 			return nil, err
 		}
 		defer ep.Close()
-		if err := sender.Register(id, ep.Addr().String()); err != nil {
-			return nil, err
+		for _, s := range []*transport.UDPTransport{sender, senderV4, senderComp} {
+			if err := s.Register(id, ep.Addr().String()); err != nil {
+				return nil, err
+			}
 		}
 		targets = append(targets, id)
 	}
 
 	msg := wirecostMessage(cfg.Events, cfg.Payload)
+	// bytesPerRound drives one arm's sender for the configured rounds
+	// and reads the cost off its wire counter.
+	bytesPerRound := func(s *transport.UDPTransport, tos []gossip.NodeID) (float64, error) {
+		before := s.Stats().SentBytes
+		for r := 0; r < cfg.Rounds; r++ {
+			if _, err := s.SendMany(tos, msg); err != nil {
+				return 0, err
+			}
+		}
+		return float64(s.Stats().SentBytes-before) / float64(cfg.Rounds), nil
+	}
 	rows := make([]WirecostRow, 0, len(cfg.Fanouts))
 	for _, fanout := range cfg.Fanouts {
 		tos := targets[:fanout]
@@ -107,7 +158,15 @@ func RunWirecost(cfg WirecostConfig) ([]WirecostRow, error) {
 		})
 		after := sender.Stats()
 		// AllocsPerRun invokes the round once extra as warmup.
-		bytesPerRound := float64(after.SentBytes-before.SentBytes) / float64(cfg.Rounds+1)
+		v5Bytes := float64(after.SentBytes-before.SentBytes) / float64(cfg.Rounds+1)
+		v4Bytes, err := bytesPerRound(senderV4, tos)
+		if err != nil {
+			return nil, err
+		}
+		compBytes, err := bytesPerRound(senderComp, tos)
+		if err != nil {
+			return nil, err
+		}
 		// Baseline: one Send per target — each call re-encodes the
 		// identical message, the pre-SendMany wire path.
 		perPeer := testing.AllocsPerRun(cfg.Rounds, func() {
@@ -118,10 +177,12 @@ func RunWirecost(cfg WirecostConfig) ([]WirecostRow, error) {
 			}
 		})
 		rows = append(rows, WirecostRow{
-			Fanout:           fanout,
-			BytesPerRound:    bytesPerRound,
-			EncodeOnceAllocs: encodeOnce,
-			PerPeerAllocs:    perPeer,
+			Fanout:                  fanout,
+			BytesPerRound:           v5Bytes,
+			V4BytesPerRound:         v4Bytes,
+			CompressedBytesPerRound: compBytes,
+			EncodeOnceAllocs:        encodeOnce,
+			PerPeerAllocs:           perPeer,
 		})
 	}
 	return rows, nil
@@ -140,7 +201,7 @@ func wirecostMessage(events, payload int) *gossip.Message {
 		for j := range body {
 			body[j] = byte(i + j)
 		}
-		msg.Events = append(msg.Events, gossip.Event{
+		msg.AppendEvent(gossip.Event{
 			ID:      gossip.EventID{Origin: "wirecost-sender", Seq: uint64(i)},
 			Age:     i % 10,
 			Payload: body,
@@ -153,9 +214,10 @@ func wirecostMessage(events, payload int) *gossip.Message {
 func RenderWirecost(w io.Writer, cfg WirecostConfig, rows []WirecostRow) {
 	fmt.Fprintf(w, "# Wirecost — per-round send cost vs fanout (loopback UDP, %d events × %d B)\n",
 		cfg.Events, cfg.Payload)
-	fmt.Fprintln(w, "# fanout  bytes/round  allocs/round(encode-once)  allocs/round(per-peer)  ratio")
+	fmt.Fprintln(w, "# fanout  v4-bytes/rnd  v5-bytes/rnd  v5+flate/rnd  v4/flate  allocs/round(encode-once)  allocs/round(per-peer)  ratio")
 	for _, r := range rows {
-		fmt.Fprintf(w, "%8d  %11.0f  %25.1f  %22.1f  %5.1fx\n",
-			r.Fanout, r.BytesPerRound, r.EncodeOnceAllocs, r.PerPeerAllocs, r.AllocRatio())
+		fmt.Fprintf(w, "%8d  %12.0f  %12.0f  %12.0f  %7.1fx  %25.1f  %22.1f  %5.1fx\n",
+			r.Fanout, r.V4BytesPerRound, r.BytesPerRound, r.CompressedBytesPerRound,
+			r.CompressionRatio(), r.EncodeOnceAllocs, r.PerPeerAllocs, r.AllocRatio())
 	}
 }

@@ -182,6 +182,17 @@ type BuffCap struct {
 	Cap  int
 }
 
+// AppendEvent appends one event to the message, reusing the Events
+// backing array when capacity allows (decoders preallocate it).
+func (m *Message) AppendEvent(ev Event) {
+	m.Events = append(m.Events, ev)
+}
+
+// AppendEvents appends a batch of events to the message.
+func (m *Message) AppendEvents(evs ...Event) {
+	m.Events = append(m.Events, evs...)
+}
+
 // CopyForSend returns a copy of the message that is independent of the
 // sender's per-round scratch state: the Message value and every slice
 // hanging off it are copied, while event payload bytes — immutable by

@@ -9,17 +9,23 @@ import (
 	"encoding/binary"
 	"errors"
 	"fmt"
+	"sync"
+	"sync/atomic"
 
 	"adaptivegossip/internal/gossip"
 )
 
-// Wire format (big endian):
+// Wire format v5 (big endian fixed-width fields, unsigned varints where
+// noted). The codec is layered: the frame and control encoding lives in
+// frame.go, the columnar event section in events.go, the compression
+// seam in compress.go; this file orchestrates them.
 //
 //	magic   [3]byte "AGB"
-//	version u8      = 4
+//	version u8      = 5
 //	flags   u8      bit0: adaptation header present
 //	                bit1: group tag present
-//	                bit2: trace context present (v4)
+//	                bit2: trace context present
+//	                bit3: event section compressed (v5)
 //	kind    u8      message kind (gossip | recovery request/response |
 //	                ping | ping-ack | ping-req)
 //	from    u16 len + bytes
@@ -33,12 +39,9 @@ import (
 //	probeSeq u64
 //	updates u16 count, each: node u16 len + bytes, status u8,
 //	        incarnation u64
-//	events  u32 count, each: origin u16 len + bytes, seq u64, age u32,
-//	        [if traced] hop u16,
-//	        payload u32 len + bytes
 //	subs    u16 count, each: u16 len + bytes
 //	unsubs  u16 count, each: u16 len + bytes
-//	health  u16 count (v4), each:
+//	health  u16 count, each:
 //	        node u16 len + bytes, round u64, wallMillis u64,
 //	        published u64, delivered u64, droppedCapacity u64,
 //	        droppedExpired u64, messagesSent u64, messagesReceived u64,
@@ -48,24 +51,23 @@ import (
 //	        buckets u8 count, each: index u8, value u64
 //	        (bucket indexes strictly increasing, values non-zero —
 //	        the canonical form, enforced on decode)
+//	event section (last):
+//	        rawLen  uvarint  decompressed section size
+//	        comp    u8       compressor id (0 = stored)
+//	        [if comp != 0] wireLen uvarint
+//	        bytes            columnar event rows (events.go), stored or
+//	                         compressed per comp
 //
 // Version 2 added the kind byte and the digest/request id lists (the
 // anti-entropy recovery traffic). Version 3 added the probe kinds and
 // the probe/probeSeq/updates fields (SWIM-style failure detection).
 // Version 4 added the per-event trace context (the traced flag and hop
-// counters) and the trailing health-digest section; version 3 payloads
-// still decode (no trace context, no health). Older versions' payloads
+// counters) and the trailing health-digest section. Version 5 moved the
+// event list behind the control fields into a length-prefixed section,
+// re-encoded it columnar (origins written once per run, seqs and ages
+// zigzag-delta varints — events.go) and added the compression seam
+// (compress.go). Version 4 and 3 payloads still decode; older versions
 // are rejected.
-const (
-	codecVersion     = 4
-	prevCodecVersion = 3
-	flagAdaptive     = 1 << 0
-	flagGroup        = 1 << 1
-	flagTraced       = 1 << 2
-	maxUint16        = 1<<16 - 1
-)
-
-var codecMagic = [3]byte{'A', 'G', 'B'}
 
 // Codec encodes and decodes gossip messages with hard limits that bound
 // the memory a hostile or corrupt datagram can make the decoder commit.
@@ -76,6 +78,28 @@ type Codec struct {
 	MaxIDLen int
 	// MaxEvents bounds the events per message accepted when decoding.
 	MaxEvents int
+
+	// WireVersion selects the encoding version: 0 (the default) and 5
+	// encode the current columnar format, 4 the legacy inline format
+	// (for interop experiments and the wirecost comparison arm).
+	// Decoding always accepts every supported version.
+	WireVersion int
+	// Compression, when non-nil, compresses the event section of every
+	// encoded v5 frame (falling back to stored form when compression
+	// does not pay). Decoding is independent: compressed frames from
+	// peers decode regardless of this setting.
+	Compression Compressor
+	// Stats, when non-nil, accumulates pre-/post-compression event
+	// section bytes across encodes.
+	Stats *CodecStats
+}
+
+// CodecStats counts event-section bytes before and after compression,
+// accumulated atomically across every v5 encode through the codec.
+// Equal counters mean compression is off (or never paid for itself).
+type CodecStats struct {
+	PreCompressionBytes  atomic.Uint64
+	PostCompressionBytes atomic.Uint64
 }
 
 // DefaultCodec returns the limits used across the repository.
@@ -89,6 +113,12 @@ var (
 	ErrBadMagic  = errors.New("transport: bad magic or version")
 	ErrTooLarge  = errors.New("transport: field exceeds codec limit")
 )
+
+// maxEventSectionRaw caps the decompressed event-section size a decoder
+// will commit to, independent of the (attacker-controlled) rawLen
+// field. Real sections are datagram-sized; the cap only exists to bound
+// decompression bombs.
+const maxEventSectionRaw = 1 << 27
 
 func (c Codec) limits() Codec {
 	d := DefaultCodec()
@@ -104,10 +134,12 @@ func (c Codec) limits() Codec {
 	return c
 }
 
-func appendString(buf []byte, s string) []byte {
-	buf = binary.BigEndian.AppendUint16(buf, uint16(len(s)))
-	return append(buf, s...)
-}
+// sectionPool holds scratch buffers for the compressed encode path (raw
+// section staging and compressor output).
+var sectionPool = sync.Pool{New: func() any {
+	b := make([]byte, 0, 4096)
+	return &b
+}}
 
 // Encode serializes the message into a freshly allocated buffer.
 func (c Codec) Encode(m *gossip.Message) ([]byte, error) {
@@ -122,7 +154,10 @@ func (c Codec) Encode(m *gossip.Message) ([]byte, error) {
 // buf and returning the extended slice (like append, the result may
 // share backing storage with buf). When buf has at least EncodedSize(m)
 // spare capacity the call performs no allocation — the hot-path
-// contract the UDP transport's pooled send buffers rely on.
+// contract the UDP transport's pooled send buffers rely on. Configured
+// compression is the exception: it stages the event section through
+// pooled scratch and the compressor's own state (an explicit
+// CPU-and-allocation for bandwidth trade).
 //
 //gossip:hotpath
 func (c Codec) AppendEncode(buf []byte, m *gossip.Message) ([]byte, error) {
@@ -135,108 +170,78 @@ func (c Codec) AppendEncode(buf []byte, m *gossip.Message) ([]byte, error) {
 
 // appendEncode writes the wire encoding of an already-validated
 // message.
+//
+//gossip:hotpath
 func (c Codec) appendEncode(buf []byte, m *gossip.Message) []byte {
-	buf = append(buf, codecMagic[:]...)
-	buf = append(buf, codecVersion)
-	var flags byte
-	if m.Adaptive {
-		flags |= flagAdaptive
+	if c.WireVersion == wireV4 {
+		return c.appendEncodeV4(buf, m)
 	}
-	if m.Group != "" {
-		flags |= flagGroup
+	if c.Compression != nil && c.Compression.ID() != compressorNone {
+		//gossip:allocok compression is an opt-in slow path traded against wire bytes; the zero-alloc contract covers the default stored encode
+		return c.appendEncodeCompressed(buf, m)
 	}
-	if m.Traced {
-		flags |= flagTraced
-	}
-	buf = append(buf, flags)
-	buf = append(buf, byte(m.Kind))
-	buf = appendString(buf, string(m.From))
-	if m.Group != "" {
-		buf = appendString(buf, m.Group)
-	}
-	buf = binary.BigEndian.AppendUint64(buf, m.Round)
-	if m.Adaptive {
-		buf = binary.BigEndian.AppendUint64(buf, m.SamplePeriod)
-		buf = binary.BigEndian.AppendUint32(buf, uint32(int32(m.MinBuff)))
-	}
-	buf = binary.BigEndian.AppendUint16(buf, uint16(len(m.KMin)))
-	for _, e := range m.KMin {
-		buf = appendString(buf, string(e.Node))
-		buf = binary.BigEndian.AppendUint32(buf, uint32(int32(e.Cap)))
-	}
-	for _, ids := range [2][]gossip.EventID{m.Digest, m.Request} {
-		buf = binary.BigEndian.AppendUint16(buf, uint16(len(ids)))
-		for _, id := range ids {
-			buf = appendString(buf, string(id.Origin))
-			buf = binary.BigEndian.AppendUint64(buf, id.Seq)
-		}
-	}
-	buf = appendString(buf, string(m.Probe))
-	buf = binary.BigEndian.AppendUint64(buf, m.ProbeSeq)
-	buf = binary.BigEndian.AppendUint16(buf, uint16(len(m.Updates)))
-	for _, u := range m.Updates {
-		buf = appendString(buf, string(u.Node))
-		buf = append(buf, byte(u.Status))
-		buf = binary.BigEndian.AppendUint64(buf, u.Incarnation)
-	}
-	buf = binary.BigEndian.AppendUint32(buf, uint32(len(m.Events)))
-	for _, ev := range m.Events {
-		buf = appendString(buf, string(ev.ID.Origin))
-		buf = binary.BigEndian.AppendUint64(buf, ev.ID.Seq)
-		buf = binary.BigEndian.AppendUint32(buf, uint32(ev.Age))
-		if m.Traced {
-			buf = binary.BigEndian.AppendUint16(buf, uint16(ev.Hop))
-		}
-		buf = binary.BigEndian.AppendUint32(buf, uint32(len(ev.Payload)))
-		buf = append(buf, ev.Payload...)
-	}
-	buf = binary.BigEndian.AppendUint16(buf, uint16(len(m.Subs)))
-	for _, s := range m.Subs {
-		buf = appendString(buf, string(s))
-	}
-	buf = binary.BigEndian.AppendUint16(buf, uint16(len(m.Unsubs)))
-	for _, s := range m.Unsubs {
-		buf = appendString(buf, string(s))
-	}
-	buf = binary.BigEndian.AppendUint16(buf, uint16(len(m.Health)))
-	for i := range m.Health {
-		buf = appendHealthDigest(buf, &m.Health[i])
+	buf = appendFrame(buf, codecVersion, m)
+	buf = appendControlPre(buf, m)
+	buf = appendControlPost(buf, m)
+	rawLen := eventSectionSize(m)
+	buf = binary.AppendUvarint(buf, uint64(rawLen))
+	buf = append(buf, compressorNone)
+	buf = appendEventSection(buf, m)
+	if c.Stats != nil {
+		c.Stats.PreCompressionBytes.Add(uint64(rawLen))
+		c.Stats.PostCompressionBytes.Add(uint64(rawLen))
 	}
 	return buf
 }
 
-// appendHealthDigest writes one health digest: fixed counters, then the
-// delivery-hops histogram in sparse canonical form (only non-zero
-// buckets, indexes ascending).
-func appendHealthDigest(buf []byte, d *gossip.HealthDigest) []byte {
-	buf = appendString(buf, string(d.Node))
-	buf = binary.BigEndian.AppendUint64(buf, d.Round)
-	buf = binary.BigEndian.AppendUint64(buf, d.WallMillis)
-	buf = binary.BigEndian.AppendUint64(buf, d.Published)
-	buf = binary.BigEndian.AppendUint64(buf, d.Delivered)
-	buf = binary.BigEndian.AppendUint64(buf, d.DroppedCapacity)
-	buf = binary.BigEndian.AppendUint64(buf, d.DroppedExpired)
-	buf = binary.BigEndian.AppendUint64(buf, d.MessagesSent)
-	buf = binary.BigEndian.AppendUint64(buf, d.MessagesReceived)
-	buf = binary.BigEndian.AppendUint64(buf, d.BytesSent)
-	buf = binary.BigEndian.AppendUint64(buf, d.BytesReceived)
-	buf = binary.BigEndian.AppendUint32(buf, uint32(int32(d.BufferLen)))
-	buf = binary.BigEndian.AppendUint32(buf, uint32(int32(d.BufferCap)))
-	buf = binary.BigEndian.AppendUint64(buf, d.DeliverHops.Count)
-	buf = binary.BigEndian.AppendUint64(buf, d.DeliverHops.Sum)
-	var nb byte
-	for _, b := range d.DeliverHops.Buckets {
-		if b != 0 {
-			nb++
-		}
+// appendEncodeV4 writes the legacy v4 layout: inline fixed-width event
+// list between the control sections, no compression seam.
+//
+//gossip:hotpath
+func (c Codec) appendEncodeV4(buf []byte, m *gossip.Message) []byte {
+	buf = appendFrame(buf, wireV4, m)
+	buf = appendControlPre(buf, m)
+	buf = appendEventsV4(buf, m)
+	buf = appendControlPost(buf, m)
+	return buf
+}
+
+// appendEncodeCompressed writes a v5 frame with the event section run
+// through the configured compressor, storing the section raw when
+// compression does not pay — which keeps the uncompressed EncodedSize
+// an upper bound for buffer sizing either way. The compress flag is
+// patched into the already-written frame header once the decision is
+// made.
+func (c Codec) appendEncodeCompressed(buf []byte, m *gossip.Message) []byte {
+	flagOff := len(buf) + 4 // magic(3) + version(1)
+	buf = appendFrame(buf, codecVersion, m)
+	buf = appendControlPre(buf, m)
+	buf = appendControlPost(buf, m)
+	sp := sectionPool.Get().(*[]byte)
+	raw := appendEventSection((*sp)[:0], m)
+	rawLen := len(raw)
+	cp := sectionPool.Get().(*[]byte)
+	comp, err := c.Compression.Compress((*cp)[:0], raw)
+	post := rawLen
+	if err == nil && len(comp)+uvarintLen(uint64(len(comp))) < rawLen {
+		buf[flagOff] |= flagCompress
+		buf = binary.AppendUvarint(buf, uint64(rawLen))
+		buf = append(buf, c.Compression.ID())
+		buf = binary.AppendUvarint(buf, uint64(len(comp)))
+		buf = append(buf, comp...)
+		post = len(comp)
+	} else {
+		buf = binary.AppendUvarint(buf, uint64(rawLen))
+		buf = append(buf, compressorNone)
+		buf = append(buf, raw...)
 	}
-	buf = append(buf, nb)
-	for i, b := range d.DeliverHops.Buckets {
-		if b == 0 {
-			continue
-		}
-		buf = append(buf, byte(i))
-		buf = binary.BigEndian.AppendUint64(buf, b)
+	*sp = raw[:0]
+	sectionPool.Put(sp)
+	*cp = comp[:0]
+	sectionPool.Put(cp)
+	if c.Stats != nil {
+		c.Stats.PreCompressionBytes.Add(uint64(rawLen))
+		c.Stats.PostCompressionBytes.Add(uint64(post))
 	}
 	return buf
 }
@@ -245,6 +250,9 @@ func appendHealthDigest(buf []byte, d *gossip.HealthDigest) []byte {
 func (c Codec) validateForEncode(m *gossip.Message) error {
 	if m == nil {
 		return fmt.Errorf("transport: nil message")
+	}
+	if c.WireVersion != 0 && c.WireVersion != codecVersion && c.WireVersion != wireV4 {
+		return fmt.Errorf("transport: unsupported encode wire version %d", c.WireVersion)
 	}
 	if len(m.From) > c.MaxIDLen || len(m.From) > maxUint16 {
 		return fmt.Errorf("%w: from id %d bytes", ErrTooLarge, len(m.From))
@@ -290,9 +298,9 @@ func (c Codec) validateForEncode(m *gossip.Message) error {
 		if ev.Age < 0 {
 			return fmt.Errorf("transport: negative age %d", ev.Age)
 		}
-		// Hop only rides the wire on traced messages, as a u16. Rejecting
-		// (rather than clamping) out-of-range hops keeps the encoding
-		// exact: decode(encode(m)) == m.
+		// Hop rides the wire only on traced messages (a u16 in the v4
+		// layout). Rejecting (rather than clamping) out-of-range hops
+		// keeps the encoding exact: decode(encode(m)) == m.
 		if m.Traced && (ev.Hop < 0 || ev.Hop > maxUint16) {
 			return fmt.Errorf("%w: hop count %d", ErrTooLarge, ev.Hop)
 		}
@@ -320,87 +328,118 @@ func (c Codec) validateForEncode(m *gossip.Message) error {
 	return nil
 }
 
-// EncodedSize returns the exact wire size of m's encoding — the
-// capacity AppendEncode needs to stay allocation-free.
+// EncodedSize returns the wire size of m's encoding — the capacity
+// AppendEncode needs to stay allocation-free. The size is exact for the
+// default stored encoding; with compression configured it is the
+// stored-form upper bound (the encoder falls back to stored whenever
+// compression would not shrink the section).
 func (c Codec) EncodedSize(m *gossip.Message) int { return c.encodedSize(m) }
 
-// encodedSize returns the exact encoding size of m.
+// encodedSize returns the (uncompressed) encoding size of m.
 func (c Codec) encodedSize(m *gossip.Message) int {
-	n := 3 + 1 + 1 + 1 + 2 + len(m.From) + 8
-	if m.Group != "" {
-		n += 2 + len(m.Group)
+	if c.WireVersion == wireV4 {
+		return frameHdrBytes + controlPreSize(m) + eventsSizeV4(m) + controlPostSize(m)
 	}
-	if m.Adaptive {
-		n += 8 + 4
-	}
-	n += 2
-	for _, e := range m.KMin {
-		n += 2 + len(e.Node) + 4
-	}
-	n += 2 + 2
-	for _, ids := range [2][]gossip.EventID{m.Digest, m.Request} {
-		for _, id := range ids {
-			n += 2 + len(id.Origin) + 8
-		}
-	}
-	n += 2 + len(m.Probe) + 8
-	n += 2
-	for _, u := range m.Updates {
-		n += 2 + len(u.Node) + 1 + 8
-	}
-	n += 4
-	for _, ev := range m.Events {
-		n += eventWireSize(ev, m.Traced)
-	}
-	n += 2
-	for _, s := range m.Subs {
-		n += 2 + len(s)
-	}
-	n += 2
-	for _, s := range m.Unsubs {
-		n += 2 + len(s)
-	}
-	n += 2
-	for i := range m.Health {
-		n += healthDigestWireSize(&m.Health[i])
-	}
-	return n
+	raw := eventSectionSize(m)
+	return frameHdrBytes + controlPreSize(m) + controlPostSize(m) +
+		uvarintLen(uint64(raw)) + 1 + raw
 }
 
-func eventWireSize(ev gossip.Event, traced bool) int {
-	n := 2 + len(ev.ID.Origin) + 8 + 4 + 4 + len(ev.Payload)
-	if traced {
-		n += 2
-	}
-	return n
+// chunkSizer tracks the exact encoded size of a chunk under
+// construction, updated incrementally as events are appended (the
+// columnar marginal cost of an event depends on the run it extends, so
+// the sizer carries the run state instead of recomputing the section).
+type chunkSizer struct {
+	v4     bool
+	traced bool
+	header int // frame + control sections
+	raw    int // event rows, excluding the leading count
+	count  int
+	runLen int
+	prev   gossip.Event
 }
 
-func healthDigestWireSize(d *gossip.HealthDigest) int {
-	// node + round/wallMillis + 8 counters + bufferLen/Cap + hist
-	// count/sum + bucket count byte.
-	n := 2 + len(d.Node) + 8 + 8 + 8*8 + 4 + 4 + 8 + 8 + 1
-	for _, b := range d.DeliverHops.Buckets {
-		if b != 0 {
-			n += 9
-		}
+func (c Codec) newChunkSizer(hdr *gossip.Message) chunkSizer {
+	return chunkSizer{
+		v4:     c.WireVersion == wireV4,
+		traced: hdr.Traced,
+		header: frameHdrBytes + controlPreSize(hdr) + controlPostSize(hdr),
 	}
-	return n
+}
+
+// size returns the exact encoded size of the chunk in its current
+// state (for the compressed configuration: its stored-form upper
+// bound, which is what datagram budgeting must use).
+func (s *chunkSizer) size() int {
+	if s.v4 {
+		return s.header + 4 + s.raw
+	}
+	content := uvarintLen(uint64(s.count)) + s.raw
+	return s.header + uvarintLen(uint64(content)) + 1 + content
+}
+
+// add appends ev to the chunk's size state.
+func (s *chunkSizer) add(ev gossip.Event) {
+	s.raw += s.marginal(ev)
+	if !s.v4 {
+		if s.count > 0 && s.prev.ID.Origin == ev.ID.Origin {
+			s.runLen++
+		} else {
+			s.runLen = 1
+		}
+		s.prev = ev
+	}
+	s.count++
+}
+
+// marginal returns the row bytes appending ev would add, given the
+// current run state (count growth is handled in size).
+func (s *chunkSizer) marginal(ev gossip.Event) int {
+	if s.v4 {
+		return eventWireSizeV4(ev, s.traced)
+	}
+	var d int
+	if s.count > 0 && s.prev.ID.Origin == ev.ID.Origin {
+		d += uvarintLen(uint64(s.runLen+1)) - uvarintLen(uint64(s.runLen))
+		d += uvarintLen(zigzag(int64(ev.ID.Seq - s.prev.ID.Seq)))
+		d += uvarintLen(zigzag(int64(ev.Age) - int64(s.prev.Age)))
+	} else {
+		d += uvarintLen(uint64(len(ev.ID.Origin))) + len(ev.ID.Origin)
+		d += 1 // runLen = 1
+		d += uvarintLen(ev.ID.Seq)
+		d += uvarintLen(uint64(ev.Age))
+	}
+	if s.traced {
+		d += uvarintLen(uint64(ev.Hop))
+	}
+	d += uvarintLen(uint64(len(ev.Payload))) + len(ev.Payload)
+	return d
+}
+
+// fits reports whether the chunk would still encode within maxSize
+// after appending ev.
+func (s *chunkSizer) fits(ev gossip.Event, maxSize int) bool {
+	t := *s
+	t.add(ev)
+	return t.size() <= maxSize
 }
 
 // EncodeChunks encodes m into one or more datagrams of at most maxSize
-// bytes each, splitting the event list when necessary. Control headers
+// bytes each, splitting the event list when necessary. Fragmentation is
+// measured on the uncompressed (stored-form) encoding — compression can
+// only shrink a chunk below its budget, never grow it. Control headers
 // (adaptation, κ-entries, membership, recovery digest/request lists,
 // probe fields and failure-detection updates) ride on the first chunk
 // only; every chunk is a valid standalone message carrying the same
-// kind.
+// kind. A single event whose encoding cannot fit any chunk is an error,
+// never an oversized datagram.
 func (c Codec) EncodeChunks(m *gossip.Message, maxSize int) ([][]byte, error) {
 	c = c.limits()
-	full, err := c.Encode(m)
-	if err != nil {
+	if err := c.validateForEncode(m); err != nil {
 		return nil, err
 	}
-	if len(full) <= maxSize {
-		return [][]byte{full}, nil
+	if c.encodedSize(m) <= maxSize {
+		return [][]byte{c.appendEncode(make([]byte, 0, c.encodedSize(m)), m)}, nil
 	}
 	head := *m
 	head.Events = nil
@@ -421,32 +460,34 @@ func (c Codec) EncodeChunks(m *gossip.Message, maxSize int) ([][]byte, error) {
 	rest := gossip.Message{Kind: m.Kind, From: m.From, Group: m.Group, Round: m.Round,
 		Adaptive: m.Adaptive, SamplePeriod: m.SamplePeriod, MinBuff: m.MinBuff,
 		Traced: m.Traced}
-	headBase := c.encodedSize(&head)
-	restBase := c.encodedSize(&rest)
 
 	var chunks [][]byte
 	cur := head
-	base := headBase
-	size := base
-	for _, ev := range m.Events {
-		evSize := eventWireSize(ev, m.Traced)
-		if base+evSize > maxSize {
+	sz := c.newChunkSizer(&head)
+	for i := 0; i < len(m.Events); {
+		ev := m.Events[i]
+		if sz.fits(ev, maxSize) {
+			cur.Events = append(cur.Events, ev)
+			sz.add(ev)
+			i++
+			continue
+		}
+		if len(cur.Events) == 0 && len(chunks) > 0 {
+			evSize := sz.marginal(ev)
 			return nil, fmt.Errorf("%w: event %s (%d bytes) cannot fit a %d-byte datagram",
 				ErrTooLarge, ev.ID, evSize, maxSize)
 		}
-		if size+evSize > maxSize {
-			enc, err := c.Encode(&cur)
-			if err != nil {
-				return nil, err
-			}
-			chunks = append(chunks, enc)
-			cur = rest
-			cur.Events = nil
-			base = restBase
-			size = base
+		// Flush the current chunk (possibly the header-only first chunk,
+		// whose trimmed digest may leave less event room than the bare
+		// continuation header) and retry the event on a fresh one.
+		enc, err := c.Encode(&cur)
+		if err != nil {
+			return nil, err
 		}
-		cur.Events = append(cur.Events, ev)
-		size += evSize
+		chunks = append(chunks, enc)
+		cur = rest
+		cur.Events = nil
+		sz = c.newChunkSizer(&rest)
 	}
 	enc, err := c.Encode(&cur)
 	if err != nil {
@@ -455,72 +496,9 @@ func (c Codec) EncodeChunks(m *gossip.Message, maxSize int) ([][]byte, error) {
 	return append(chunks, enc), nil
 }
 
-type reader struct {
-	data []byte
-	off  int
-}
-
-func (r *reader) need(n int) error {
-	if r.off+n > len(r.data) {
-		return ErrTruncated
-	}
-	return nil
-}
-
-func (r *reader) u8() (byte, error) {
-	if err := r.need(1); err != nil {
-		return 0, err
-	}
-	v := r.data[r.off]
-	r.off++
-	return v, nil
-}
-
-func (r *reader) u16() (uint16, error) {
-	if err := r.need(2); err != nil {
-		return 0, err
-	}
-	v := binary.BigEndian.Uint16(r.data[r.off:])
-	r.off += 2
-	return v, nil
-}
-
-func (r *reader) u32() (uint32, error) {
-	if err := r.need(4); err != nil {
-		return 0, err
-	}
-	v := binary.BigEndian.Uint32(r.data[r.off:])
-	r.off += 4
-	return v, nil
-}
-
-func (r *reader) u64() (uint64, error) {
-	if err := r.need(8); err != nil {
-		return 0, err
-	}
-	v := binary.BigEndian.Uint64(r.data[r.off:])
-	r.off += 8
-	return v, nil
-}
-
-func (r *reader) str(maxLen int) (string, error) {
-	n, err := r.u16()
-	if err != nil {
-		return "", err
-	}
-	if int(n) > maxLen {
-		return "", fmt.Errorf("%w: id %d bytes", ErrTooLarge, n)
-	}
-	if err := r.need(int(n)); err != nil {
-		return "", err
-	}
-	s := string(r.data[r.off : r.off+int(n)])
-	r.off += int(n)
-	return s, nil
-}
-
-// Decode parses a message, enforcing the codec limits. The returned
-// message owns all of its memory.
+// Decode parses a message of any supported wire version (5, 4, 3),
+// enforcing the codec limits. The returned message owns all of its
+// memory.
 func (c Codec) Decode(data []byte) (*gossip.Message, error) {
 	c = c.limits()
 	r := &reader{data: data}
@@ -531,7 +509,7 @@ func (c Codec) Decode(data []byte) (*gossip.Message, error) {
 		return nil, ErrBadMagic
 	}
 	version := data[3]
-	if version != codecVersion && version != prevCodecVersion {
+	if version != codecVersion && version != wireV4 && version != wireV3 {
 		return nil, ErrBadMagic
 	}
 	r.off = 4
@@ -541,7 +519,7 @@ func (c Codec) Decode(data []byte) (*gossip.Message, error) {
 	}
 	// Trace context exists only from v4 on; a v3 sender's flag bit 2 is
 	// undefined and ignored.
-	traced := version >= 4 && flags&flagTraced != 0
+	traced := version >= wireV4 && flags&flagTraced != 0
 	m := &gossip.Message{Adaptive: flags&flagAdaptive != 0, Traced: traced}
 	kind, err := r.u8()
 	if err != nil {
@@ -551,192 +529,32 @@ func (c Codec) Decode(data []byte) (*gossip.Message, error) {
 		return nil, fmt.Errorf("transport: unknown message kind %d", kind)
 	}
 	m.Kind = gossip.MessageKind(kind)
-	from, err := r.str(c.MaxIDLen)
-	if err != nil {
+	if err := c.decodeControlPre(r, m, flags); err != nil {
 		return nil, err
 	}
-	m.From = gossip.NodeID(from)
-	if flags&flagGroup != 0 {
-		group, err := r.str(c.MaxIDLen)
+	if version == codecVersion {
+		if err := c.decodeControlPost(r, m, true); err != nil {
+			return nil, err
+		}
+		rows, err := c.readEventSection(r, flags)
 		if err != nil {
 			return nil, err
 		}
-		if group == "" {
-			return nil, fmt.Errorf("transport: empty group tag with group flag set")
+		if r.off != len(data) {
+			return nil, fmt.Errorf("transport: %d trailing bytes", len(data)-r.off)
 		}
-		m.Group = group
-	}
-	if m.Round, err = r.u64(); err != nil {
-		return nil, err
-	}
-	if m.Adaptive {
-		if m.SamplePeriod, err = r.u64(); err != nil {
+		if err := c.decodeEventSection(rows, m); err != nil {
 			return nil, err
 		}
-		mb, err := r.u32()
-		if err != nil {
-			return nil, err
-		}
-		m.MinBuff = int(int32(mb))
+		return m, nil
 	}
-	nk, err := r.u16()
-	if err != nil {
+	// Legacy v4/v3 layout: inline events between the control sections,
+	// health digests (v4 only) last.
+	if err := c.decodeEventsV4(r, m, traced); err != nil {
 		return nil, err
 	}
-	if nk > 0 {
-		m.KMin = make([]gossip.BuffCap, 0, nk)
-		for i := 0; i < int(nk); i++ {
-			node, err := r.str(c.MaxIDLen)
-			if err != nil {
-				return nil, err
-			}
-			cp, err := r.u32()
-			if err != nil {
-				return nil, err
-			}
-			m.KMin = append(m.KMin, gossip.BuffCap{Node: gossip.NodeID(node), Cap: int(int32(cp))})
-		}
-	}
-	for _, dst := range []*[]gossip.EventID{&m.Digest, &m.Request} {
-		nd, err := r.u16()
-		if err != nil {
-			return nil, err
-		}
-		if nd > 0 {
-			// Cap the preallocation by what the remaining input could
-			// possibly hold (≥10 bytes per id), so a spoofed count in a
-			// tiny datagram cannot force a large allocation.
-			capN := int(nd)
-			if maxN := (len(r.data) - r.off) / 10; capN > maxN {
-				capN = maxN
-			}
-			ids := make([]gossip.EventID, 0, capN)
-			for i := 0; i < int(nd); i++ {
-				origin, err := r.str(c.MaxIDLen)
-				if err != nil {
-					return nil, err
-				}
-				seq, err := r.u64()
-				if err != nil {
-					return nil, err
-				}
-				ids = append(ids, gossip.EventID{Origin: gossip.NodeID(origin), Seq: seq})
-			}
-			*dst = ids
-		}
-	}
-	probe, err := r.str(c.MaxIDLen)
-	if err != nil {
+	if err := c.decodeControlPost(r, m, version == wireV4); err != nil {
 		return nil, err
-	}
-	m.Probe = gossip.NodeID(probe)
-	if m.ProbeSeq, err = r.u64(); err != nil {
-		return nil, err
-	}
-	nu, err := r.u16()
-	if err != nil {
-		return nil, err
-	}
-	if nu > 0 {
-		// Preallocation capped by what the remaining input could hold
-		// (≥11 bytes per update), as for the digest lists above.
-		capN := int(nu)
-		if maxN := (len(r.data) - r.off) / 11; capN > maxN {
-			capN = maxN
-		}
-		m.Updates = make([]gossip.MemberUpdate, 0, capN)
-		for i := 0; i < int(nu); i++ {
-			node, err := r.str(c.MaxIDLen)
-			if err != nil {
-				return nil, err
-			}
-			status, err := r.u8()
-			if err != nil {
-				return nil, err
-			}
-			if gossip.MemberStatus(status) > gossip.MemberConfirmed {
-				return nil, fmt.Errorf("transport: unknown member status %d", status)
-			}
-			inc, err := r.u64()
-			if err != nil {
-				return nil, err
-			}
-			m.Updates = append(m.Updates, gossip.MemberUpdate{
-				Node:        gossip.NodeID(node),
-				Status:      gossip.MemberStatus(status),
-				Incarnation: inc,
-			})
-		}
-	}
-	ne, err := r.u32()
-	if err != nil {
-		return nil, err
-	}
-	if int64(ne) > int64(c.MaxEvents) {
-		return nil, fmt.Errorf("%w: %d events", ErrTooLarge, ne)
-	}
-	if ne > 0 {
-		m.Events = make([]gossip.Event, 0, ne)
-		for i := 0; i < int(ne); i++ {
-			origin, err := r.str(c.MaxIDLen)
-			if err != nil {
-				return nil, err
-			}
-			seq, err := r.u64()
-			if err != nil {
-				return nil, err
-			}
-			age, err := r.u32()
-			if err != nil {
-				return nil, err
-			}
-			var hop uint16
-			if traced {
-				if hop, err = r.u16(); err != nil {
-					return nil, err
-				}
-			}
-			plen, err := r.u32()
-			if err != nil {
-				return nil, err
-			}
-			if int64(plen) > int64(c.MaxPayload) {
-				return nil, fmt.Errorf("%w: payload %d bytes", ErrTooLarge, plen)
-			}
-			if err := r.need(int(plen)); err != nil {
-				return nil, err
-			}
-			var payload []byte
-			if plen > 0 {
-				payload = make([]byte, plen)
-				copy(payload, r.data[r.off:])
-			}
-			r.off += int(plen)
-			m.Events = append(m.Events, gossip.Event{
-				ID:      gossip.EventID{Origin: gossip.NodeID(origin), Seq: seq},
-				Age:     int(age),
-				Hop:     int(hop),
-				Payload: payload,
-			})
-		}
-	}
-	for _, dst := range []*[]gossip.NodeID{&m.Subs, &m.Unsubs} {
-		n, err := r.u16()
-		if err != nil {
-			return nil, err
-		}
-		for i := 0; i < int(n); i++ {
-			s, err := r.str(c.MaxIDLen)
-			if err != nil {
-				return nil, err
-			}
-			*dst = append(*dst, gossip.NodeID(s))
-		}
-	}
-	if version >= 4 {
-		if m.Health, err = c.decodeHealth(r); err != nil {
-			return nil, err
-		}
 	}
 	if r.off != len(data) {
 		return nil, fmt.Errorf("transport: %d trailing bytes", len(data)-r.off)
@@ -744,82 +562,52 @@ func (c Codec) Decode(data []byte) (*gossip.Message, error) {
 	return m, nil
 }
 
-// decodeHealth parses the trailing health-digest section (v4+),
-// enforcing the canonical sparse-histogram form so a decoded message
-// re-encodes to identical bytes.
-func (c Codec) decodeHealth(r *reader) ([]gossip.HealthDigest, error) {
-	nh, err := r.u16()
+// readEventSection consumes the v5 event section framing and returns
+// the (decompressed) columnar rows. The advertised raw length is capped
+// both absolutely and relative to the compressed input so a hostile
+// frame cannot turn a small datagram into an unbounded allocation
+// (DEFLATE tops out near 1:1032; anything claiming more is corrupt by
+// definition).
+func (c Codec) readEventSection(r *reader, flags byte) ([]byte, error) {
+	rawLen, err := r.uvarint()
 	if err != nil {
 		return nil, err
 	}
-	if nh == 0 {
-		return nil, nil
+	if rawLen > maxEventSectionRaw {
+		return nil, fmt.Errorf("%w: %d-byte event section", ErrTooLarge, rawLen)
 	}
-	// Preallocation capped by what the remaining input could hold
-	// (≥107 bytes per digest), as for the id lists.
-	capN := int(nh)
-	if maxN := (len(r.data) - r.off) / 107; capN > maxN {
-		capN = maxN
+	comp, err := r.u8()
+	if err != nil {
+		return nil, err
 	}
-	out := make([]gossip.HealthDigest, 0, capN)
-	for i := 0; i < int(nh); i++ {
-		var d gossip.HealthDigest
-		node, err := r.str(c.MaxIDLen)
-		if err != nil {
-			return nil, err
-		}
-		d.Node = gossip.NodeID(node)
-		for _, dst := range []*uint64{
-			&d.Round, &d.WallMillis,
-			&d.Published, &d.Delivered, &d.DroppedCapacity, &d.DroppedExpired,
-			&d.MessagesSent, &d.MessagesReceived, &d.BytesSent, &d.BytesReceived,
-		} {
-			if *dst, err = r.u64(); err != nil {
-				return nil, err
-			}
-		}
-		bl, err := r.u32()
-		if err != nil {
-			return nil, err
-		}
-		bc, err := r.u32()
-		if err != nil {
-			return nil, err
-		}
-		d.BufferLen, d.BufferCap = int(int32(bl)), int(int32(bc))
-		if d.DeliverHops.Count, err = r.u64(); err != nil {
-			return nil, err
-		}
-		if d.DeliverHops.Sum, err = r.u64(); err != nil {
-			return nil, err
-		}
-		nb, err := r.u8()
-		if err != nil {
-			return nil, err
-		}
-		if int(nb) > len(d.DeliverHops.Buckets) {
-			return nil, fmt.Errorf("%w: %d histogram buckets", ErrTooLarge, nb)
-		}
-		last := -1
-		for j := 0; j < int(nb); j++ {
-			idx, err := r.u8()
-			if err != nil {
-				return nil, err
-			}
-			if int(idx) >= len(d.DeliverHops.Buckets) || int(idx) <= last {
-				return nil, fmt.Errorf("transport: bad histogram bucket index %d", idx)
-			}
-			val, err := r.u64()
-			if err != nil {
-				return nil, err
-			}
-			if val == 0 {
-				return nil, fmt.Errorf("transport: zero histogram bucket encoded")
-			}
-			d.DeliverHops.Buckets[idx] = val
-			last = int(idx)
-		}
-		out = append(out, d)
+	if (comp != compressorNone) != (flags&flagCompress != 0) {
+		return nil, fmt.Errorf("transport: compression flag/id mismatch (flag %t, id %d)",
+			flags&flagCompress != 0, comp)
 	}
-	return out, nil
+	if comp == compressorNone {
+		if err := r.need(int(rawLen)); err != nil {
+			return nil, err
+		}
+		rows := r.data[r.off : r.off+int(rawLen)]
+		r.off += int(rawLen)
+		return rows, nil
+	}
+	wireLen, err := r.uvarint()
+	if err != nil {
+		return nil, err
+	}
+	if err := r.need(int(wireLen)); err != nil {
+		return nil, err
+	}
+	if rawLen > 1040*wireLen+64 {
+		return nil, fmt.Errorf("%w: event section claims %d bytes from %d compressed",
+			ErrTooLarge, rawLen, wireLen)
+	}
+	d, ok := decompressors[comp]
+	if !ok {
+		return nil, fmt.Errorf("transport: unknown compressor id %d", comp)
+	}
+	src := r.data[r.off : r.off+int(wireLen)]
+	r.off += int(wireLen)
+	return d.Decompress(make([]byte, 0, rawLen), src, int(rawLen))
 }

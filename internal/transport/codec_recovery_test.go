@@ -307,17 +307,41 @@ func FuzzCodecDecode(f *testing.F) {
 		tail[len(tail)-9] ^= 0xFF // corrupt a histogram bucket entry
 		f.Add(tail)
 	}
-	// Previous-version (v3) seeds: must still decode.
+	// Previous-version (v4 and v3) seeds: must still decode.
 	{
 		m := &gossip.Message{From: "v3-sender", Round: 7,
 			Events: []gossip.Event{{ID: gossip.EventID{Origin: "o", Seq: 1}, Age: 2, Payload: []byte("p")}}}
-		data, err := c.Encode(m)
+		c4 := c
+		c4.WireVersion = wireV4
+		data, err := c4.Encode(m)
 		if err != nil {
 			f.Fatal(err)
 		}
+		f.Add(append([]byte(nil), data...))
 		v3 := data[:len(data)-2] // drop the (empty) health section...
-		v3[3] = prevCodecVersion // ...and patch the version byte
+		v3[3] = wireV3           // ...and patch the version byte
 		f.Add(v3)
+	}
+	// Compressed (v5+flate) seeds: columnar sections compressed on the
+	// wire, plus variants corrupting the compression envelope and the
+	// deflate stream itself.
+	{
+		cz := c
+		cz.Compression = NewFlateCompressor()
+		for _, m := range []*gossip.Message{sampleMessage(), tracedKindSamples()[0]} {
+			data, err := cz.Encode(m)
+			if err != nil {
+				f.Fatal(err)
+			}
+			f.Add(append([]byte(nil), data...))
+			f.Add(append([]byte(nil), data[:len(data)-4]...)) // truncated deflate stream
+			bad := append([]byte(nil), data...)
+			bad[len(bad)-1] ^= 0xFF // corrupt the deflate stream tail
+			f.Add(bad)
+			noflag := append([]byte(nil), data...)
+			noflag[4] &^= flagCompress // compressed body, flag cleared
+			f.Add(noflag)
+		}
 	}
 	f.Add([]byte{})
 	f.Add([]byte("AGB"))
@@ -325,9 +349,10 @@ func FuzzCodecDecode(f *testing.F) {
 	// Spoofed digest count (0xFFFF) in a tiny datagram: the decoder
 	// must fail on truncation without committing large allocations.
 	f.Add([]byte{'A', 'G', 'B', codecVersion, 0, 0, 0, 1, 'x', 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0xFF, 0xFF})
-	// Spoofed health count at the tail of a minimal v4 message.
+	// Spoofed health count in a minimal v5 message (the health count is
+	// the 2 bytes before the 3-byte empty event section).
 	if data, err := c.Encode(&gossip.Message{From: "x"}); err == nil {
-		spoof := append([]byte(nil), data[:len(data)-2]...)
+		spoof := append([]byte(nil), data[:len(data)-5]...)
 		spoof = append(spoof, 0xFF, 0xFF)
 		f.Add(spoof)
 	}

@@ -46,21 +46,24 @@ func TestCodecV4TraceRoundTripAllKinds(t *testing.T) {
 }
 
 // encodeV3 renders the wire-v3 encoding of an untraced, health-free
-// message. The v4 encoding of such a message differs from v3 only by
-// the version byte and the trailing (empty, 2-byte) health section, so
-// the v3 bytes are recovered exactly — a compatibility oracle that
-// tracks the encoder instead of hand-maintained golden bytes.
+// message via the codec's legacy v4 encoder: the v4 encoding of such a
+// message differs from v3 only by the version byte and the trailing
+// (empty, 2-byte) health section, so the v3 bytes are recovered
+// exactly — a compatibility oracle that tracks the encoder instead of
+// hand-maintained golden bytes.
 func encodeV3(t *testing.T, c Codec, m *gossip.Message) []byte {
 	t.Helper()
 	if m.Traced || len(m.Health) > 0 {
 		t.Fatal("encodeV3 needs an untraced, health-free message")
 	}
-	data, err := c.Encode(m)
+	c4 := c
+	c4.WireVersion = wireV4
+	data, err := c4.Encode(m)
 	if err != nil {
 		t.Fatal(err)
 	}
 	data = data[:len(data)-2]
-	data[3] = prevCodecVersion
+	data[3] = wireV3
 	return data
 }
 
@@ -181,9 +184,10 @@ func TestCodecRejectsNonCanonicalHealth(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	// The histogram tail is the last section: ... nb, (idx,val)*. Locate
+	// The histogram tail ends the control fields: ... nb, (idx,val)*,
+	// followed only by the empty event section (3 bytes in v5). Locate
 	// the first bucket index byte from the end: 3 entries of 9 bytes.
-	idxPos := len(data) - 3*9
+	idxPos := len(data) - 3 - 3*9
 	corrupt := func(mutate func([]byte)) []byte {
 		d := append([]byte(nil), data...)
 		mutate(d)

@@ -53,6 +53,12 @@ type UDPStats struct {
 	// either the dispatch queue was full (the consumer fell behind the
 	// wire) or they were still queued when Close ran.
 	RecvQueueDrops uint64
+	// PreCompressionBytes and PostCompressionBytes measure the event
+	// sections of encoded messages before and after the configured
+	// payload compression (wire v5). Equal counters mean compression is
+	// off or never paid for itself.
+	PreCompressionBytes  uint64
+	PostCompressionBytes uint64
 }
 
 // udpConn is the socket surface the transport uses, satisfied by
@@ -182,6 +188,18 @@ func WithMaxDatagram(n int) UDPOption {
 	}
 }
 
+// WithUDPCompression installs a payload compressor on the wire codec:
+// every encoded message's event section is run through it (stored
+// uncompressed when compression would not shrink it). nil disables
+// compression. Decoding is unaffected — compressed frames from peers
+// are accepted either way.
+func WithUDPCompression(comp Compressor) UDPOption {
+	return func(t *UDPTransport) error {
+		t.codec.Compression = comp
+		return nil
+	}
+}
+
 // WithUDPRecvQueue overrides the dispatch queue depth
 // (DefaultRecvQueue). Deeper queues absorb longer handler stalls;
 // overflow is dropped and counted either way.
@@ -231,6 +249,11 @@ func newUDPTransport(id gossip.NodeID, conn udpConn, opts ...UDPOption) (*UDPTra
 	}
 	if t.recvQ == nil {
 		t.recvQ = make(chan recvPacket, DefaultRecvQueue)
+	}
+	// Give the codec a stats sink (unless an override codec brought its
+	// own) so the pre-/post-compression byte counters show up in Stats.
+	if t.codec.Stats == nil {
+		t.codec.Stats = &CodecStats{}
 	}
 	return t, nil
 }
@@ -517,7 +540,7 @@ func (t *UDPTransport) dropForLoss() bool {
 
 // Stats returns a snapshot of the counters.
 func (t *UDPTransport) Stats() UDPStats {
-	return UDPStats{
+	s := UDPStats{
 		Sent:           t.sent.Load(),
 		SentBytes:      t.sentBytes.Load(),
 		SplitChunks:    t.splitChunks.Load(),
@@ -530,6 +553,11 @@ func (t *UDPTransport) Stats() UDPStats {
 		ReadErrors:     t.readErrors.Load(),
 		RecvQueueDrops: t.recvQueueDrops.Load(),
 	}
+	if t.codec.Stats != nil {
+		s.PreCompressionBytes = t.codec.Stats.PreCompressionBytes.Load()
+		s.PostCompressionBytes = t.codec.Stats.PostCompressionBytes.Load()
+	}
+	return s
 }
 
 // Close stops the read and dispatch loops and releases the socket.

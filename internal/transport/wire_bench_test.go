@@ -105,6 +105,48 @@ func BenchmarkCodecEncodeAppend(b *testing.B) {
 	})
 }
 
+// BenchmarkCodecEncodeV5 pins the columnar encode path for the
+// benchgate baseline: ns/op and allocs/op through AppendEncode on the
+// Figure-4 regime message, with the wire density as bytes/event.
+func BenchmarkCodecEncodeV5(b *testing.B) {
+	c := DefaultCodec()
+	msg := benchMessage()
+	data, err := c.Encode(msg)
+	if err != nil {
+		b.Fatal(err)
+	}
+	buf := make([]byte, 0, c.EncodedSize(msg))
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		out, err := c.AppendEncode(buf[:0], msg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		buf = out[:0]
+	}
+	b.ReportMetric(float64(len(data))/float64(len(msg.Events)), "bytes/event")
+}
+
+// BenchmarkCodecDecodeV5 pins the columnar decode path for the
+// benchgate baseline.
+func BenchmarkCodecDecodeV5(b *testing.B) {
+	c := DefaultCodec()
+	msg := benchMessage()
+	data, err := c.Encode(msg)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := c.Decode(data); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(float64(len(data))/float64(len(msg.Events)), "bytes/event")
+}
+
 // TestEncodeOnceFanoutAllocs pins the tentpole's acceptance bound: at
 // fanout 8 the encode-once path does at least 4× fewer allocations per
 // round than the per-peer-encode baseline, and its allocation count

@@ -78,6 +78,9 @@ func NewNode(id string, cfg Config, opts ...Option) (*Node, error) {
 		o.fabric = fabric
 	}
 	fabric := o.fabric
+	if err := applyTransportConfig(fabric, cfg.Transport); err != nil {
+		return fail(err)
+	}
 	ep, err := fabric.Endpoint(NodeID(id))
 	if err != nil {
 		return fail(err)

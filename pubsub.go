@@ -75,6 +75,9 @@ func NewPubSub(n, bufferBudget int, cfg Config, opts ...Option) (*PubSub, error)
 		o.fabric = fabric
 	}
 	fabric := o.fabric
+	if err := applyTransportConfig(fabric, cfg.Transport); err != nil {
+		return failEarly(err)
+	}
 	c := &PubSub{
 		fabric: fabric,
 		hub:    newStreamHub(),

@@ -32,6 +32,15 @@ type (
 	// Endpoints that do not are driven through a per-peer Send fallback
 	// and keep working unchanged. See SendMany.
 	ManySender = transport.ManySender
+	// Compressor is the payload-compression seam of the wire codec
+	// (wire v5): it compresses and decompresses the event section of
+	// encoded messages. Compress appends the compressed form of src to
+	// dst; Decompress appends exactly rawLen decompressed bytes,
+	// erroring on any mismatch. Implementations must be safe for
+	// concurrent use. Select the built-in implementations by name
+	// through Config.Transport.Compression or WithCompression ("none",
+	// "flate").
+	Compressor = transport.Compressor
 )
 
 // SendMany transmits msg to every target through ep, using the
@@ -100,6 +109,12 @@ type WireStats struct {
 	// RecvQueueDrops counts inbound messages discarded because the
 	// receive dispatch queue was full.
 	RecvQueueDrops uint64
+	// PreCompressionBytes and PostCompressionBytes measure the event
+	// sections of encoded messages before and after payload compression
+	// (wire v5). Equal counters mean compression is off or never paid
+	// for itself; their ratio is the achieved compression factor.
+	PreCompressionBytes  uint64
+	PostCompressionBytes uint64
 }
 
 // WireStatser is implemented by transports that can report wire-level
@@ -113,16 +128,19 @@ type WireStatser interface {
 // transports. Options that do not apply to a given fabric are rejected
 // by its constructor, not silently ignored.
 type transportConfig struct {
-	seed        int64
-	seedSet     bool
-	latencyMin  time.Duration
-	latencyMax  time.Duration
-	latencySet  bool
-	loss        float64
-	lossSet     bool
-	bind        string
-	maxDatagram int
-	recvQueue   int
+	seed           int64
+	seedSet        bool
+	latencyMin     time.Duration
+	latencyMax     time.Duration
+	latencySet     bool
+	loss           float64
+	lossSet        bool
+	bind           string
+	maxDatagram    int
+	recvQueue      int
+	compression    string
+	compressor     transport.Compressor
+	compressionSet bool
 }
 
 // TransportOption configures a built-in transport fabric
@@ -207,6 +225,53 @@ func WithRecvQueue(depth int) TransportOption {
 	}
 }
 
+// WithCompression selects the payload compression applied to the event
+// section of every encoded message (wire v5): "none" (or "") leaves
+// frames uncompressed, "flate" runs them through DEFLATE, stored
+// uncompressed whenever compression would not shrink the section.
+// Decoding is unaffected — compressed frames from peers are always
+// accepted. Serializing fabrics only (the built-in UDP transport).
+func WithCompression(name string) TransportOption {
+	return func(c *transportConfig) error {
+		comp, err := transport.CompressorByName(name)
+		if err != nil {
+			return fmt.Errorf("adaptivegossip: %w", err)
+		}
+		c.compression = name
+		c.compressor = comp
+		c.compressionSet = true
+		return nil
+	}
+}
+
+// compressionSetter is the internal seam through which the facades push
+// Config.Transport.Compression into a fabric after construction. Both
+// built-in transports implement it; custom fabrics that cannot accept
+// the knob surface a configuration error instead of silently sending
+// uncompressed.
+type compressionSetter interface {
+	setCompression(name string) error
+}
+
+// applyTransportConfig pushes the Config.Transport knobs into a fabric
+// (built-in or user-provided) before its endpoints are created. Asking
+// for real compression on a fabric without the seam is a configuration
+// error, never a silent no-op.
+func applyTransportConfig(fabric Transport, tc TransportConfig) error {
+	comp, err := transport.CompressorByName(tc.Compression)
+	if err != nil {
+		return fmt.Errorf("adaptivegossip: Config.Transport: %w", err)
+	}
+	if comp == nil {
+		return nil
+	}
+	cs, ok := fabric.(compressionSetter)
+	if !ok {
+		return fmt.Errorf("adaptivegossip: Config.Transport.Compression %q needs a transport with a compression seam (the built-in UDP fabric); %T has none", tc.Compression, fabric)
+	}
+	return cs.setCompression(tc.Compression)
+}
+
 func buildTransportConfig(opts []TransportOption) (transportConfig, error) {
 	var c transportConfig
 	for _, opt := range opts {
@@ -240,6 +305,9 @@ func NewMemTransport(opts ...TransportOption) (*MemTransport, error) {
 	}
 	if c.recvQueue != 0 {
 		return nil, fmt.Errorf("adaptivegossip: WithRecvQueue does not apply to the memory transport")
+	}
+	if c.compressor != nil {
+		return nil, fmt.Errorf("adaptivegossip: WithCompression(%q) does not apply to the memory transport (it never serializes)", c.compression)
 	}
 	memOpts := []transport.MemOption{}
 	if c.seedSet {
@@ -285,9 +353,23 @@ func (t *MemTransport) Close() error {
 	return nil
 }
 
+// setCompression validates the Config.Transport.Compression knob: the
+// memory fabric never serializes, so only "none" is accepted.
+func (t *MemTransport) setCompression(name string) error {
+	comp, err := transport.CompressorByName(name)
+	if err != nil {
+		return fmt.Errorf("adaptivegossip: %w", err)
+	}
+	if comp != nil {
+		return fmt.Errorf("adaptivegossip: Config.Transport.Compression %q does not apply to the memory transport (it never serializes)", name)
+	}
+	return nil
+}
+
 var (
-	_ Transport   = (*MemTransport)(nil)
-	_ WireStatser = (*MemTransport)(nil)
+	_ Transport         = (*MemTransport)(nil)
+	_ WireStatser       = (*MemTransport)(nil)
+	_ compressionSetter = (*MemTransport)(nil)
 )
 
 // UDPTransport is the real-wire fabric: one UDP socket per endpoint,
@@ -358,6 +440,9 @@ func (t *UDPTransport) Endpoint(id NodeID) (Endpoint, error) {
 			seed = seed*131 + uint64(b)
 		}
 		udpOpts = append(udpOpts, transport.WithUDPSendLoss(t.cfg.loss, seed))
+	}
+	if t.cfg.compressor != nil {
+		udpOpts = append(udpOpts, transport.WithUDPCompression(t.cfg.compressor))
 	}
 	ep, err := transport.NewUDPTransport(id, bind, udpOpts...)
 	if err != nil {
@@ -444,6 +529,8 @@ func (t *UDPTransport) Stats() UDPTransportStats {
 		sum.LossDropped += st.LossDropped
 		sum.ReadErrors += st.ReadErrors
 		sum.RecvQueueDrops += st.RecvQueueDrops
+		sum.PreCompressionBytes += st.PreCompressionBytes
+		sum.PostCompressionBytes += st.PostCompressionBytes
 	}
 	return sum
 }
@@ -453,13 +540,15 @@ func (t *UDPTransport) Stats() UDPTransportStats {
 func (t *UDPTransport) WireStats() WireStats {
 	st := t.Stats()
 	return WireStats{
-		Sent:           st.Sent,
-		SentBytes:      st.SentBytes,
-		Received:       st.Received,
-		RecvBytes:      st.RecvBytes,
-		ReadErrors:     st.ReadErrors,
-		SplitChunks:    st.SplitChunks,
-		RecvQueueDrops: st.RecvQueueDrops,
+		Sent:                 st.Sent,
+		SentBytes:            st.SentBytes,
+		Received:             st.Received,
+		RecvBytes:            st.RecvBytes,
+		ReadErrors:           st.ReadErrors,
+		SplitChunks:          st.SplitChunks,
+		RecvQueueDrops:       st.RecvQueueDrops,
+		PreCompressionBytes:  st.PreCompressionBytes,
+		PostCompressionBytes: st.PostCompressionBytes,
 	}
 }
 
@@ -477,10 +566,26 @@ func (t *UDPTransport) Close() error {
 	return first
 }
 
+// setCompression applies the Config.Transport.Compression knob to every
+// endpoint created after the call (the facades apply it before any
+// endpoints exist).
+func (t *UDPTransport) setCompression(name string) error {
+	comp, err := transport.CompressorByName(name)
+	if err != nil {
+		return fmt.Errorf("adaptivegossip: %w", err)
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.cfg.compression = name
+	t.cfg.compressor = comp
+	return nil
+}
+
 var (
-	_ Transport     = (*UDPTransport)(nil)
-	_ PeerRegistrar = (*UDPTransport)(nil)
-	_ WireStatser   = (*UDPTransport)(nil)
+	_ Transport         = (*UDPTransport)(nil)
+	_ PeerRegistrar     = (*UDPTransport)(nil)
+	_ WireStatser       = (*UDPTransport)(nil)
+	_ compressionSetter = (*UDPTransport)(nil)
 )
 
 // udpAddrer lets the Node facade report a bound address without
