@@ -19,6 +19,8 @@
 //	gossipsim -figure wirecost       # bytes and allocs per round vs fanout
 //	gossipsim -figure healthdigest   # health-digest convergence vs group
 //	                                 # size and digests per message
+//	gossipsim -figure scale          # n=1k/5k/10k uniform vs proximity-
+//	                                 # biased sampling over WAN regions
 //	gossipsim -figure 2 -fast        # reduced duration for a quick look
 package main
 
@@ -46,7 +48,7 @@ func main() {
 func run(args []string) error {
 	fs := flag.NewFlagSet("gossipsim", flag.ContinueOnError)
 	var (
-		figure   = fs.String("figure", "all", "2|4|6|7|8|9|9rt|t1|ablations|recovery|churn|wirecost|healthdigest|all")
+		figure   = fs.String("figure", "all", "2|4|6|7|8|9|9rt|t1|ablations|recovery|churn|wirecost|healthdigest|scale|all")
 		seed     = fs.Int64("seed", 1, "base random seed")
 		seeds    = fs.Int("seeds", 1, "seeds to average per data point")
 		n        = fs.Int("n", 60, "group size")
@@ -139,6 +141,8 @@ func run(args []string) error {
 		return wirecostSweep(*fast)
 	case "healthdigest":
 		return healthdigestSweep(*fast, *seed)
+	case "scale":
+		return scaleSweep(*fast, *seed)
 	case "all":
 		if err := figure2(base, *seeds); err != nil {
 			return err
@@ -413,6 +417,26 @@ func healthdigestSweep(fast bool, seed int64) error {
 		fmt.Printf("%8d %12d %14s %12s %12s\n",
 			p.n, p.dpm, roundsFull, coverageAt(5), coverageAt(10))
 	}
+	fmt.Println()
+	return nil
+}
+
+// scaleSweep runs the large-n scale figure: 1k/5k/10k-node groups over
+// WAN regions, uniform vs proximity-biased peer sampling. -fast trims
+// the grid to {1k, 10k} and shortens the measurement window for the CI
+// smoke budget.
+func scaleSweep(fast bool, seed int64) error {
+	cfg := experiments.DefaultScaleConfig()
+	cfg.Seed = seed
+	if fast {
+		cfg.Sizes = []int{1000, 10000}
+		cfg.Rounds = 15
+	}
+	rows, err := experiments.RunScale(cfg)
+	if err != nil {
+		return err
+	}
+	experiments.RenderScale(os.Stdout, cfg, rows)
 	fmt.Println()
 	return nil
 }

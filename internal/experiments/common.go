@@ -293,7 +293,7 @@ func Run(cfg Config) (RunResult, error) {
 	if cfg.Loss > 0 {
 		netOpts = append(netOpts, sim.WithLoss(cfg.Loss))
 	}
-	network, err := sim.NewNetwork(sched, sim.DeriveRNG(cfg.Seed, 0), netOpts...)
+	network, err := sim.NewNetwork(sched, sim.NetworkRNG(cfg.Seed), netOpts...)
 	if err != nil {
 		return RunResult{}, err
 	}
@@ -396,7 +396,7 @@ func Run(cfg Config) (RunResult, error) {
 			Failure:      cfg.failureParams(),
 			OnMembership: onMembership,
 			Peers:        ownReg,
-			RNG:          sim.DeriveRNG(cfg.Seed, uint64(i)+1),
+			RNG:          sim.NodeRNG(cfg.Seed, i),
 			Deliver: func(ev gossip.Event) {
 				tracker.DeliverHop(ev.ID, name, sched.Now(), ev.Age)
 			},
@@ -423,7 +423,7 @@ func Run(cfg Config) (RunResult, error) {
 	// phase so the cluster does not tick in lockstep. Late joiners'
 	// first tick is deferred to their join instant.
 	startTicks := func(i int) {
-		phaseRNG := sim.DeriveRNG(cfg.Seed, 10_000+uint64(i))
+		phaseRNG := sim.PhaseRNG(cfg.Seed, i)
 		var tick func()
 		tick = func() {
 			// A crashed process executes nothing: the timer keeps
@@ -476,7 +476,7 @@ func Run(cfg Config) (RunResult, error) {
 				tracker.Broadcast(ev.ID, sched.Now())
 			}
 			return ok
-		}, sim.DeriveRNG(cfg.Seed, 20_000+uint64(i)))
+		}, sim.WorkloadRNG(cfg.Seed, i))
 		if err != nil {
 			return err
 		}

@@ -1,0 +1,8 @@
+//go:build race
+
+package experiments
+
+// raceEnabled lets tests whose cost is dominated by sheer simulation
+// volume (not by concurrency) skip under the race detector; the
+// concurrency they exercise is covered by smaller race-enabled tests.
+const raceEnabled = true

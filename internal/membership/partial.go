@@ -2,6 +2,7 @@ package membership
 
 import (
 	"fmt"
+	"math"
 	"math/rand/v2"
 
 	"adaptivegossip/internal/gossip"
@@ -62,6 +63,13 @@ type PartialView struct {
 	cfg  PartialViewConfig
 	rng  *rand.Rand
 
+	// weight is the optional proximity-biased sampling mode (see
+	// SetSampleWeights); the scratch slices below make the weighted
+	// draw allocation-free across rounds.
+	weight        PeerWeight
+	weightScratch []float64
+	candScratch   []gossip.NodeID
+
 	view    []gossip.NodeID
 	viewSet map[gossip.NodeID]struct{}
 
@@ -111,6 +119,25 @@ func (v *PartialView) Contains(id gossip.NodeID) bool {
 	return ok
 }
 
+// PeerWeight scores a candidate gossip target's relative selection
+// probability. Weights must be finite; a weight <= 0 excludes the
+// candidate from the draw entirely.
+type PeerWeight func(peer gossip.NodeID) float64
+
+// SetSampleWeights switches target selection to proximity-biased
+// sampling: peers are drawn from the view without replacement with
+// probability proportional to weight(peer), instead of uniformly — the
+// topology-aware gossip probability of Haas et al.'s "Gossip-Based Ad
+// Hoc Routing", where nearby (cheap) links carry most rounds while the
+// occasional long link keeps regions connected. Only target selection
+// (SamplePeers / AppendPeers) is affected; the view's membership
+// content stays uniform lpbcast. Pass nil to restore uniform sampling.
+//
+// The weighted draw consumes the RNG differently from the uniform one,
+// so flipping the mode mid-run changes the randomness downstream of the
+// switch.
+func (v *PartialView) SetSampleWeights(w PeerWeight) { v.weight = w }
+
 // SamplePeers draws up to k distinct targets from the partial view.
 func (v *PartialView) SamplePeers(self gossip.NodeID, k int, rng *rand.Rand) []gossip.NodeID {
 	return v.AppendPeers(nil, self, k, rng)
@@ -123,6 +150,9 @@ func (v *PartialView) SamplePeers(self gossip.NodeID, k int, rng *rand.Rand) []g
 func (v *PartialView) AppendPeers(dst []gossip.NodeID, self gossip.NodeID, k int, rng *rand.Rand) []gossip.NodeID {
 	if k <= 0 || len(v.view) == 0 {
 		return dst
+	}
+	if v.weight != nil {
+		return v.appendWeighted(dst, k, rng)
 	}
 	base := len(dst)
 	if k >= len(v.view) {
@@ -144,6 +174,48 @@ func (v *PartialView) AppendPeers(dst []gossip.NodeID, self gossip.NodeID, k int
 			continue
 		}
 		dst = append(dst, id)
+	}
+	return dst
+}
+
+// appendWeighted is the proximity-biased draw (SetSampleWeights):
+// weighted sampling without replacement over the view. Zero- and
+// negative-weight candidates are excluded up front, so the draw is
+// exact — no rounding fallback can resurrect them. The scratch slices
+// are reused across calls, keeping the per-round fast path (gossip
+// target selection) allocation-free in steady state.
+func (v *PartialView) appendWeighted(dst []gossip.NodeID, k int, rng *rand.Rand) []gossip.NodeID {
+	cands := v.candScratch[:0]
+	weights := v.weightScratch[:0]
+	total := 0.0
+	for _, id := range v.view {
+		w := v.weight(id)
+		if w <= 0 || math.IsInf(w, 1) || math.IsNaN(w) {
+			continue
+		}
+		cands = append(cands, id)
+		weights = append(weights, w)
+		total += w
+	}
+	v.candScratch, v.weightScratch = cands, weights
+	if k > len(cands) {
+		k = len(cands)
+	}
+	for drawn := 0; drawn < k && total > 0; drawn++ {
+		r := rng.Float64() * total
+		i := 0
+		for ; i < len(weights)-1; i++ {
+			r -= weights[i]
+			if r < 0 {
+				break
+			}
+		}
+		dst = append(dst, cands[i])
+		total -= weights[i]
+		last := len(cands) - 1
+		cands[i], weights[i] = cands[last], weights[last]
+		v.candScratch, v.weightScratch = cands[:last], weights[:last]
+		cands, weights = v.candScratch, v.weightScratch
 	}
 	return dst
 }

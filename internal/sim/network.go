@@ -25,6 +25,14 @@ type NetworkStats struct {
 	PingSent             uint64
 	PingAckSent          uint64
 	PingReqSent          uint64
+	// Region traffic split (topology runs only, see WithTopology):
+	// sends whose endpoints sit in the same region versus different
+	// regions. The byte counters need a message sizer (WithMessageSizer)
+	// and stay zero without one.
+	IntraRegionSent  uint64
+	CrossRegionSent  uint64
+	IntraRegionBytes uint64
+	CrossRegionBytes uint64
 }
 
 // Merge adds another run's counters into s (seed-sweep pooling).
@@ -41,6 +49,10 @@ func (s *NetworkStats) Merge(o NetworkStats) {
 	s.PingSent += o.PingSent
 	s.PingAckSent += o.PingAckSent
 	s.PingReqSent += o.PingReqSent
+	s.IntraRegionSent += o.IntraRegionSent
+	s.CrossRegionSent += o.CrossRegionSent
+	s.IntraRegionBytes += o.IntraRegionBytes
+	s.CrossRegionBytes += o.CrossRegionBytes
 }
 
 // ProbeSent totals the failure-detection control messages.
@@ -48,21 +60,112 @@ func (s NetworkStats) ProbeSent() uint64 {
 	return s.PingSent + s.PingAckSent + s.PingReqSent
 }
 
+// CrossRegionPct is the share of region-classified sends that crossed a
+// region boundary, in percent. It returns 0 when no send was classified
+// (no topology installed or no regions assigned).
+func (s NetworkStats) CrossRegionPct() float64 {
+	total := s.IntraRegionSent + s.CrossRegionSent
+	if total == 0 {
+		return 0
+	}
+	return 100 * float64(s.CrossRegionSent) / float64(total)
+}
+
+// LatencyClass bounds one link class's delivery latency: uniform in
+// [Min, Max].
+type LatencyClass struct {
+	Min, Max time.Duration
+}
+
+// Validate reports the first bound error.
+func (c LatencyClass) Validate() error {
+	if c.Min < 0 || c.Max < c.Min {
+		return fmt.Errorf("sim: invalid latency class [%v, %v]", c.Min, c.Max)
+	}
+	return nil
+}
+
+// Topology is an optional region-based latency model: every node is
+// assigned to a region (SetRegion), and each ordered region pair maps to
+// a latency class, replacing the network's single uniform latency range
+// for classified links. This is the WAN model of the scale experiments:
+// cheap intra-region links, expensive cross-region ones, with
+// NetworkStats splitting traffic accordingly.
+type Topology struct {
+	// Regions is the number of regions; SetRegion accepts [0, Regions).
+	Regions int
+	// Classes[from][to] is the latency class of links from region
+	// "from" to region "to". Must be Regions x Regions.
+	Classes [][]LatencyClass
+}
+
+// NewTwoTierTopology builds the common two-class model: intra for links
+// within a region, inter for links between distinct regions.
+func NewTwoTierTopology(regions int, intra, inter LatencyClass) Topology {
+	classes := make([][]LatencyClass, regions)
+	for i := range classes {
+		classes[i] = make([]LatencyClass, regions)
+		for j := range classes[i] {
+			if i == j {
+				classes[i][j] = intra
+			} else {
+				classes[i][j] = inter
+			}
+		}
+	}
+	return Topology{Regions: regions, Classes: classes}
+}
+
+// Validate reports the first topology error.
+func (t Topology) Validate() error {
+	if t.Regions <= 0 {
+		return fmt.Errorf("sim: topology needs at least 1 region, got %d", t.Regions)
+	}
+	if len(t.Classes) != t.Regions {
+		return fmt.Errorf("sim: topology has %d class rows for %d regions", len(t.Classes), t.Regions)
+	}
+	for i, row := range t.Classes {
+		if len(row) != t.Regions {
+			return fmt.Errorf("sim: topology class row %d has %d entries for %d regions", i, len(row), t.Regions)
+		}
+		for j, c := range row {
+			if err := c.Validate(); err != nil {
+				return fmt.Errorf("sim: topology class [%d][%d]: %w", i, j, err)
+			}
+		}
+	}
+	return nil
+}
+
 // Network is the simulated message fabric: point-to-point delivery with
 // uniform random latency, independent (iid) loss, per-node down state
 // and an optional link filter for partition experiments. The paper's
 // probabilistic guarantees assume independently distributed loss (§2);
 // the loss model here matches that assumption.
+//
+// Node identifiers are interned to dense indices on first contact
+// (Attach, SetRegion, or appearing in a Send), so the delivery path —
+// down-state bitset, handler table, per-kind counters — is slice-indexed
+// and allocation-free: sends carry a typed delivery record through the
+// scheduler's event slab instead of a capture closure.
 type Network struct {
-	sched    *Scheduler
-	rng      *rand.Rand
-	latMin   time.Duration
-	latMax   time.Duration
-	loss     float64
-	handlers map[gossip.NodeID]func(*gossip.Message)
-	down     map[gossip.NodeID]bool
-	filter   func(from, to gossip.NodeID) bool
-	stats    NetworkStats
+	sched  *Scheduler
+	rng    *rand.Rand
+	latMin time.Duration
+	latMax time.Duration
+	loss   float64
+	filter func(from, to gossip.NodeID) bool
+	topo   *Topology
+	sizer  func(*gossip.Message) int
+	stats  NetworkStats
+
+	// Interned node state, indexed by the dense id assigned at intern
+	// time. A detached node keeps its index; its handler goes nil.
+	index    map[gossip.NodeID]int32
+	ids      []gossip.NodeID
+	handlers []func(*gossip.Message)
+	regions  []int32  // -1 = unassigned
+	down     []uint64 // bitset
 }
 
 // NetworkOption configures a Network.
@@ -71,7 +174,7 @@ type NetworkOption func(*Network) error
 // WithLatency sets the delivery latency bounds (uniform in [min, max]).
 func WithLatency(min, max time.Duration) NetworkOption {
 	return func(n *Network) error {
-		if min < 0 || max < min {
+		if err := (LatencyClass{Min: min, Max: max}).Validate(); err != nil {
 			return fmt.Errorf("sim: invalid latency bounds [%v, %v]", min, max)
 		}
 		n.latMin, n.latMax = min, max
@@ -90,16 +193,43 @@ func WithLoss(p float64) NetworkOption {
 	}
 }
 
+// WithTopology installs a region latency model. Links whose endpoints
+// both have a region (SetRegion) draw latency from the region pair's
+// class and are counted in the Intra/CrossRegion stats; unclassified
+// links keep the uniform WithLatency bounds.
+func WithTopology(t Topology) NetworkOption {
+	return func(n *Network) error {
+		if err := t.Validate(); err != nil {
+			return err
+		}
+		n.topo = &t
+		return nil
+	}
+}
+
+// WithMessageSizer installs the byte-size estimator behind the
+// Intra/CrossRegionBytes counters — typically a wire codec's
+// EncodedSize, so the simulated WAN traffic split is measured in real
+// encoded bytes. Without it the region byte counters stay zero.
+func WithMessageSizer(size func(*gossip.Message) int) NetworkOption {
+	return func(n *Network) error {
+		if size == nil {
+			return fmt.Errorf("sim: message sizer must not be nil")
+		}
+		n.sizer = size
+		return nil
+	}
+}
+
 // NewNetwork creates a network driven by sched with randomness from rng.
 func NewNetwork(sched *Scheduler, rng *rand.Rand, opts ...NetworkOption) (*Network, error) {
 	if sched == nil || rng == nil {
 		return nil, fmt.Errorf("sim: scheduler and rng must not be nil")
 	}
 	n := &Network{
-		sched:    sched,
-		rng:      rng,
-		handlers: make(map[gossip.NodeID]func(*gossip.Message)),
-		down:     make(map[gossip.NodeID]bool),
+		sched: sched,
+		rng:   rng,
+		index: make(map[gossip.NodeID]int32),
 	}
 	for _, opt := range opts {
 		if err := opt(n); err != nil {
@@ -109,25 +239,68 @@ func NewNetwork(sched *Scheduler, rng *rand.Rand, opts ...NetworkOption) (*Netwo
 	return n, nil
 }
 
-// Attach registers the delivery handler for a node.
-func (n *Network) Attach(id gossip.NodeID, handler func(*gossip.Message)) {
-	n.handlers[id] = handler
+// intern returns the dense index of id, assigning one on first contact.
+func (n *Network) intern(id gossip.NodeID) int32 {
+	if i, ok := n.index[id]; ok {
+		return i
+	}
+	i := int32(len(n.ids))
+	n.index[id] = i
+	n.ids = append(n.ids, id)
+	n.handlers = append(n.handlers, nil)
+	n.regions = append(n.regions, -1)
+	if int(i)/64 >= len(n.down) {
+		n.down = append(n.down, 0)
+	}
+	return i
 }
 
-// Detach removes a node from the network.
+func (n *Network) isDown(i int32) bool {
+	return n.down[i/64]&(1<<(uint(i)%64)) != 0
+}
+
+// Attach registers the delivery handler for a node.
+func (n *Network) Attach(id gossip.NodeID, handler func(*gossip.Message)) {
+	n.handlers[n.intern(id)] = handler
+}
+
+// Detach removes a node from the network: subsequent sends to it count
+// as unrouted and its down state clears.
 func (n *Network) Detach(id gossip.NodeID) {
-	delete(n.handlers, id)
-	delete(n.down, id)
+	i := n.intern(id)
+	n.handlers[i] = nil
+	n.down[i/64] &^= 1 << (uint(i) % 64)
 }
 
 // SetDown marks a node unreachable (crash simulation). Messages to and
 // from a down node are dropped.
 func (n *Network) SetDown(id gossip.NodeID, down bool) {
+	i := n.intern(id)
 	if down {
-		n.down[id] = true
+		n.down[i/64] |= 1 << (uint(i) % 64)
 	} else {
-		delete(n.down, id)
+		n.down[i/64] &^= 1 << (uint(i) % 64)
 	}
+}
+
+// SetRegion assigns a node to a topology region (see WithTopology).
+func (n *Network) SetRegion(id gossip.NodeID, region int) error {
+	if n.topo == nil {
+		return fmt.Errorf("sim: SetRegion without a topology (WithTopology)")
+	}
+	if region < 0 || region >= n.topo.Regions {
+		return fmt.Errorf("sim: region %d out of [0, %d)", region, n.topo.Regions)
+	}
+	n.regions[n.intern(id)] = int32(region)
+	return nil
+}
+
+// Region reports a node's region, or -1 when unassigned.
+func (n *Network) Region(id gossip.NodeID) int {
+	if i, ok := n.index[id]; ok {
+		return int(n.regions[i])
+	}
+	return -1
 }
 
 // SetLinkFilter installs a predicate; links for which it returns false
@@ -139,7 +312,7 @@ func (n *Network) SetLinkFilter(filter func(from, to gossip.NodeID) bool) {
 // Stats returns a copy of the traffic counters.
 func (n *Network) Stats() NetworkStats { return n.stats }
 
-// Attach registers a node as the delivery handler: incoming messages
+// AttachNode registers a node as the delivery handler: incoming messages
 // are fed to receive, and any control messages it returns (recovery
 // requests and responses) are routed back through the network. This is
 // the standard way to wire a protocol node into the fabric.
@@ -153,6 +326,8 @@ func (n *Network) AttachNode(id gossip.NodeID, receive func(*gossip.Message) []g
 
 // Send routes a message, applying down state, the link filter, loss and
 // latency. Delivery re-checks the destination's state at arrival time.
+// The steady-state path allocates nothing: the in-flight message rides a
+// typed delivery record in the scheduler's event slab.
 func (n *Network) Send(from, to gossip.NodeID, msg *gossip.Message) {
 	n.stats.Sent++
 	switch msg.Kind {
@@ -169,7 +344,8 @@ func (n *Network) Send(from, to gossip.NodeID, msg *gossip.Message) {
 	default:
 		n.stats.GossipSent++
 	}
-	if n.down[from] || n.down[to] {
+	fi, ti := n.intern(from), n.intern(to)
+	if n.isDown(fi) || n.isDown(ti) {
 		n.stats.DownDropped++
 		return
 	}
@@ -181,21 +357,44 @@ func (n *Network) Send(from, to gossip.NodeID, msg *gossip.Message) {
 		n.stats.LossDropped++
 		return
 	}
-	lat := n.latMin
-	if n.latMax > n.latMin {
-		lat += time.Duration(n.rng.Int64N(int64(n.latMax - n.latMin + 1)))
+	latMin, latMax := n.latMin, n.latMax
+	if n.topo != nil {
+		fr, tr := n.regions[fi], n.regions[ti]
+		if fr >= 0 && tr >= 0 {
+			class := n.topo.Classes[fr][tr]
+			latMin, latMax = class.Min, class.Max
+			var size uint64
+			if n.sizer != nil {
+				size = uint64(n.sizer(msg))
+			}
+			if fr == tr {
+				n.stats.IntraRegionSent++
+				n.stats.IntraRegionBytes += size
+			} else {
+				n.stats.CrossRegionSent++
+				n.stats.CrossRegionBytes += size
+			}
+		}
 	}
-	n.sched.After(lat, func() {
-		if n.down[to] {
-			n.stats.DownDropped++
-			return
-		}
-		h, ok := n.handlers[to]
-		if !ok {
-			n.stats.Unrouted++
-			return
-		}
-		n.stats.Delivered++
-		h(msg)
-	})
+	lat := latMin
+	if latMax > latMin {
+		lat += time.Duration(n.rng.Int64N(int64(latMax - latMin + 1)))
+	}
+	n.sched.scheduleDelivery(lat, n, ti, msg)
+}
+
+// deliver lands a message on the interned destination at its delivery
+// instant: the slab event's execution.
+func (n *Network) deliver(to int32, msg *gossip.Message) {
+	if n.isDown(to) {
+		n.stats.DownDropped++
+		return
+	}
+	h := n.handlers[to]
+	if h == nil {
+		n.stats.Unrouted++
+		return
+	}
+	n.stats.Delivered++
+	h(msg)
 }

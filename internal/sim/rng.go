@@ -11,13 +11,53 @@ func splitmix64(x uint64) uint64 {
 	return x ^ (x >> 31)
 }
 
+// Stream namespaces. Every per-node stream is derived from the run seed
+// and the node's *index* — never from attach or construction order — so
+// a simulation's randomness is a pure function of (seed, topology) and
+// stays bit-identical when runs execute on the parallel sweep engine or
+// nodes are wired up in a different order.
+//
+// Namespaces are spaced 2^32 apart so per-node streams cannot collide
+// across namespaces at any realistic group size. (The pre-PR-10 ad-hoc
+// offsets — node i at stream i+1, tick phases at 10_000+i — collided at
+// n >= 10,000: node 9999's protocol RNG was node 0's phase RNG.)
+const (
+	streamNetwork      uint64 = 0
+	streamNodeBase     uint64 = 1 << 32
+	streamPhaseBase    uint64 = 2 << 32
+	streamWorkloadBase uint64 = 3 << 32
+)
+
 // DeriveRNG returns a deterministic generator for (seed, stream).
 // Distinct streams from the same seed are statistically independent;
 // simulations derive one stream per node plus streams for the network
 // and workload so that changing one component's consumption does not
-// perturb the others.
+// perturb the others. Prefer the named derivations below, which keep
+// the namespaces separated.
 func DeriveRNG(seed int64, stream uint64) *rand.Rand {
 	s1 := splitmix64(uint64(seed) ^ splitmix64(stream))
 	s2 := splitmix64(s1 ^ 0xD1B54A32D192ED03)
 	return rand.New(rand.NewPCG(s1, s2))
+}
+
+// NetworkRNG derives the fabric's stream (latency jitter, loss draws).
+func NetworkRNG(seed int64) *rand.Rand {
+	return DeriveRNG(seed, streamNetwork)
+}
+
+// NodeRNG derives node's protocol stream (peer sampling and any other
+// per-node protocol randomness) from its index.
+func NodeRNG(seed int64, node int) *rand.Rand {
+	return DeriveRNG(seed, streamNodeBase+uint64(node))
+}
+
+// PhaseRNG derives node's tick-phase stream from its index.
+func PhaseRNG(seed int64, node int) *rand.Rand {
+	return DeriveRNG(seed, streamPhaseBase+uint64(node))
+}
+
+// WorkloadRNG derives node's publisher stream (inter-arrival jitter)
+// from its index.
+func WorkloadRNG(seed int64, node int) *rand.Rand {
+	return DeriveRNG(seed, streamWorkloadBase+uint64(node))
 }
